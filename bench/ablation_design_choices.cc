@@ -1,0 +1,172 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A. Script vs native object classes — what does the programmability of
+//     the Data I/O interface cost per operation?
+//  B. Replication factor — write latency/throughput as the primary waits
+//     on more replicas.
+//  C. Gossip fanout vs monitor-subscription fraction — how the Fig 8
+//     propagation latency decomposes.
+#include "bench/bench_util.h"
+#include "src/cluster/cluster.h"
+
+namespace mal::bench {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterOptions;
+
+// -- A: script vs native class execution ---------------------------------------
+
+void AblationScriptVsNative() {
+  PrintSection("A. script vs native class execution (1000 key-value puts)");
+  PrintColumns({"impl", "ops_per_sec", "mean_latency_us"});
+
+  constexpr char kScriptKv[] = R"(
+function put(input)
+  local sep = string.find(input, "=")
+  cls_create(false)
+  cls_omap_set(string.sub(input, 1, sep - 1), string.sub(input, sep + 1))
+  return ""
+end
+)";
+
+  for (bool script : {false, true}) {
+    ClusterOptions options;
+    options.num_osds = 3;
+    options.osd.replicas = 2;
+    options.mon.proposal_interval = 200 * sim::kMillisecond;
+    Cluster cluster(options);
+    cluster.Boot();
+    auto* client = cluster.NewClient();
+    if (script) {
+      bool installed = false;
+      client->rados.InstallScriptInterface("skv", "v1", kScriptKv,
+                                           [&](Status s) { installed = s.ok(); });
+      cluster.RunUntil([&] { return installed; });
+      cluster.RunFor(2 * sim::kSecond);
+    }
+    Histogram latency_us;
+    sim::Time start = cluster.simulator().Now();
+    for (int i = 0; i < 1000; ++i) {
+      bool done = false;
+      sim::Time t0 = cluster.simulator().Now();
+      if (script) {
+        client->rados.Exec("kv", "skv", "put",
+                           Buffer::FromString("k" + std::to_string(i) + "=v"),
+                           [&](Status, const Buffer&) { done = true; });
+      } else {
+        Buffer input;
+        Encoder enc(&input);
+        enc.PutString("k" + std::to_string(i));
+        enc.PutString("v");
+        client->rados.Exec("kv", "kvindex", "put", std::move(input),
+                           [&](Status, const Buffer&) { done = true; });
+      }
+      cluster.RunUntil([&] { return done; });
+      latency_us.Add(static_cast<double>(cluster.simulator().Now() - t0) / 1e3);
+    }
+    double elapsed = static_cast<double>(cluster.simulator().Now() - start) / 1e9;
+    std::printf("%s\t%.0f\t%.1f\n", script ? "script(MalScript)" : "native(C++)",
+                1000.0 / elapsed, latency_us.mean());
+  }
+}
+
+// -- B: replication factor -----------------------------------------------------
+
+void AblationReplication() {
+  PrintSection("B. replication factor vs write latency (500 writes, 5 OSDs)");
+  PrintColumns({"replicas", "writes_per_sec", "p50_us", "p99_us"});
+  for (uint32_t replicas : {1u, 2u, 3u}) {
+    ClusterOptions options;
+    options.num_osds = 5;
+    options.osd.replicas = replicas;
+    options.mon.proposal_interval = 200 * sim::kMillisecond;
+    Cluster cluster(options);
+    cluster.Boot();
+    auto* client = cluster.NewClient();
+    Histogram latency_us;
+    sim::Time start = cluster.simulator().Now();
+    for (int i = 0; i < 500; ++i) {
+      bool done = false;
+      sim::Time t0 = cluster.simulator().Now();
+      client->rados.WriteFull("obj" + std::to_string(i),
+                              Buffer::FromString(std::string(1024, 'x')),
+                              [&](Status) { done = true; });
+      cluster.RunUntil([&] { return done; });
+      latency_us.Add(static_cast<double>(cluster.simulator().Now() - t0) / 1e3);
+    }
+    double elapsed = static_cast<double>(cluster.simulator().Now() - start) / 1e9;
+    std::printf("%u\t%.0f\t%.1f\t%.1f\n", replicas, 500.0 / elapsed,
+                latency_us.Quantile(0.5), latency_us.Quantile(0.99));
+  }
+}
+
+// -- C: gossip fanout / subscription mix -----------------------------------------
+
+double MeasurePropagationP90(uint32_t fanout, double subscribe_fraction) {
+  ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 60;
+  options.num_mds = 0;
+  options.mon.proposal_interval = 100 * sim::kMillisecond;
+  options.osd_subscribe_fraction = subscribe_fraction;
+  options.osd.gossip_fanout = fanout;
+  options.osd.gossip_interval = 250 * sim::kMillisecond;
+  options.osd.map_apply_cost = 4 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+
+  std::map<std::string, sim::Time> committed_at;
+  Histogram latency_ms;
+  cluster.monitor(0).on_apply = [&](const std::vector<mon::Transaction>& batch) {
+    for (const auto& txn : batch) {
+      if (txn.key.rfind("cls.ver.", 0) == 0) {
+        committed_at[txn.value] = cluster.simulator().Now();
+      }
+    }
+  };
+  int installs = 0;
+  for (size_t i = 0; i < cluster.num_osds(); ++i) {
+    cluster.osd(i).on_interface_installed = [&](const std::string&,
+                                                const std::string& version) {
+      auto it = committed_at.find(version);
+      if (it != committed_at.end()) {
+        latency_ms.Add(static_cast<double>(cluster.simulator().Now() - it->second) / 1e6);
+        ++installs;
+      }
+    };
+  }
+  auto* admin = cluster.NewClient();
+  for (int u = 0; u < 30; ++u) {
+    bool published = false;
+    admin->rados.InstallScriptInterface("abl", "v" + std::to_string(u),
+                                        "function f(i) return i end",
+                                        [&](Status) { published = true; });
+    int want = static_cast<int>(cluster.num_osds()) * (u + 1);
+    cluster.RunUntil([&] { return published && installs >= want; }, 60 * sim::kSecond);
+  }
+  return latency_ms.Quantile(0.9);
+}
+
+void AblationGossip() {
+  PrintSection("C. propagation P90 (ms) vs gossip fanout x subscription fraction, 60 OSDs");
+  PrintColumns({"fanout", "subscribe=10%", "subscribe=100%"});
+  for (uint32_t fanout : {1u, 2u, 4u}) {
+    double sparse = MeasurePropagationP90(fanout, 0.1);
+    double full = MeasurePropagationP90(fanout, 1.0);
+    std::printf("%u\t%.1f\t%.1f\n", fanout, sparse, full);
+  }
+}
+
+}  // namespace
+}  // namespace mal::bench
+
+int main() {
+  using namespace mal::bench;
+  PrintHeader("Ablations: design-choice sensitivity",
+              "script-vs-native classes, replication factor, gossip tuning.");
+  AblationScriptVsNative();
+  AblationReplication();
+  AblationGossip();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Output helpers shared by the figure-reproduction benches: each bench
+// prints a titled block with tab-separated rows that can be piped straight
+// into a plotting tool.
+#ifndef MALACOLOGY_BENCH_BENCH_UTIL_H_
+#define MALACOLOGY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace mal::bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintSection(const std::string& name) { std::printf("\n-- %s --\n", name.c_str()); }
+
+inline void PrintColumns(const std::vector<std::string>& columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : "\t", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+// Prints a (time, value) series as two columns.
+inline void PrintSeries(const std::string& label,
+                        const std::vector<std::pair<double, double>>& series) {
+  for (const auto& [x, y] : series) {
+    std::printf("%s\t%.3f\t%.2f\n", label.c_str(), x, y);
+  }
+}
+
+// Prints selected quantiles of a histogram on one line.
+inline void PrintQuantiles(const std::string& label, const Histogram& histogram) {
+  std::printf("%s\tcount=%zu\tp50=%.1f\tp90=%.1f\tp99=%.1f\tp999=%.1f\tmax=%.1f\n",
+              label.c_str(), histogram.count(), histogram.Quantile(0.50),
+              histogram.Quantile(0.90), histogram.Quantile(0.99),
+              histogram.Quantile(0.999), histogram.max());
+}
+
+}  // namespace mal::bench
+
+#endif  // MALACOLOGY_BENCH_BENCH_UTIL_H_

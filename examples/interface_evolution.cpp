@@ -1,0 +1,103 @@
+// Interface evolution without restarts (paper §4.2 / §6.1.2): upgrade a
+// live object interface from v1 to v2 while clients keep calling it, watch
+// every OSD hot-swap the implementation, and see the sandbox stop a
+// malicious/runaway version before it can harm the cluster.
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+
+using namespace mal;
+
+int main() {
+  cluster::ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 5;
+  options.num_mds = 0;  // pure object-store demo
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+
+  int installs = 0;
+  for (size_t i = 0; i < cluster.num_osds(); ++i) {
+    cluster.osd(i).on_interface_installed = [&installs, i](const std::string& cls,
+                                                           const std::string& version) {
+      std::printf("  osd.%zu loaded %s@%s (no restart)\n", i, cls.c_str(),
+                  version.c_str());
+      ++installs;
+    };
+  }
+
+  cluster::Client* client = cluster.NewClient();
+  auto install = [&](const char* version, const std::string& source) {
+    bool done = false;
+    int target = installs + static_cast<int>(cluster.num_osds());
+    client->rados.InstallScriptInterface("stats", version, source, [&](Status s) {
+      std::printf("published stats@%s via service metadata: %s\n", version,
+                  s.ToString().c_str());
+      done = true;
+    });
+    cluster.RunUntil([&] { return done && installs >= target; }, 30 * sim::kSecond);
+  };
+  auto call = [&](const char* method, const std::string& input) {
+    bool done = false;
+    client->rados.Exec("metrics-object", "stats", method, Buffer::FromString(input),
+                       [&](Status s, const Buffer& out) {
+                         std::printf("stats.%s(\"%s\") -> %s (%s)\n", method,
+                                     input.c_str(), out.ToString().c_str(),
+                                     s.ToString().c_str());
+                         done = true;
+                       });
+    cluster.RunUntil([&] { return done; });
+  };
+
+  // v1: record numeric samples, return the running count.
+  std::printf("--- v1: counting interface ---\n");
+  install("v1", R"(
+function record(input)
+  local n = tonumber(cls_xattr_get("count")) or 0
+  cls_create(false)
+  cls_append(input .. "\n")
+  cls_xattr_set("count", tostring(n + 1))
+  return "count=" .. (n + 1)
+end
+)");
+  call("record", "42");
+  call("record", "17");
+
+  // v2 adds a running sum — deployed live; existing object data survives.
+  std::printf("--- v2: upgraded interface (adds running sum) ---\n");
+  install("v2", R"(
+function record(input)
+  local n = tonumber(cls_xattr_get("count")) or 0
+  local sum = tonumber(cls_xattr_get("sum")) or 0
+  local v = tonumber(input) or 0
+  cls_create(false)
+  cls_append(input .. "\n")
+  cls_xattr_set("count", tostring(n + 1))
+  cls_xattr_set("sum", tostring(sum + v))
+  return "count=" .. (n + 1) .. " sum=" .. (sum + v)
+end
+)");
+  call("record", "100");  // count continues from v1's state
+
+  // A hostile/runaway version: the instruction budget sandbox kills it and
+  // the object is left untouched (transactional execution).
+  std::printf("--- v3: runaway version is sandboxed ---\n");
+  install("v3", "function record(input) while true do end end");
+  call("record", "1");  // expect ABORTED, not a wedged OSD
+
+  // Roll back to v2: the cluster keeps serving.
+  std::printf("--- rollback to v2 ---\n");
+  install("v2-rollback", R"(
+function record(input)
+  local n = tonumber(cls_xattr_get("count")) or 0
+  cls_xattr_set("count", tostring(n + 1))
+  return "count=" .. (n + 1)
+end
+)");
+  call("record", "7");
+  std::printf("done: interface evolved v1 -> v2 -> (sandboxed v3) -> rollback, "
+              "zero restarts, zero lost state\n");
+  return 0;
+}

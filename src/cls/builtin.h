@@ -1,0 +1,56 @@
+// Built-in (native C++) object classes shipped with the system, mirroring
+// the co-designed interfaces surveyed in the paper's Table 1:
+//
+//   zlog      — the CORFU storage-device interface (write-once entries,
+//               epoch sealing); the critical piece of the ZLog service.
+//   lock      — cooperative object lock via xattrs ("Grants clients
+//               exclusive access").
+//   log       — append-only records in the omap ("Logging").
+//   refcount  — reference counting with delete-on-zero ("Other").
+//   checksum  — compute + cache a checksum of an extent (the paper's §2
+//               example of a co-designed interface, "Management").
+//   kvindex   — atomically update a record in the bytestream and its index
+//               in the key-value database (the paper's §4.2 example,
+//               "Metadata").
+//
+// Wire formats of inputs/outputs are documented per method below.
+#ifndef MALACOLOGY_CLS_BUILTIN_H_
+#define MALACOLOGY_CLS_BUILTIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cls/registry.h"
+
+namespace mal::cls {
+
+// Registers all built-in classes into `registry`.
+void RegisterBuiltinClasses(ClassRegistry* registry);
+
+// ---- cls zlog: CORFU storage interface helpers ------------------------------
+// Entry states stored per log position.
+enum class ZlogEntryState : uint8_t { kWritten = 1, kFilled = 2, kTrimmed = 3 };
+
+// Input encodings (all little-endian via mal::Encoder):
+//   seal:    u64 epoch                 -> out: u64 max_pos (log tail)
+//   write:   u64 epoch, u64 pos, buf   -> out: empty
+//   read:    u64 epoch, u64 pos        -> out: u8 state, buf data
+//   fill:    u64 epoch, u64 pos        -> out: empty
+//   trim:    u64 epoch, u64 pos        -> out: empty
+//   max_pos: u64 epoch                 -> out: u64 max_pos
+// Any request with epoch < stored epoch fails with kStaleEpoch.
+struct ZlogOps {
+  static mal::Buffer MakeSeal(uint64_t epoch);
+  static mal::Buffer MakeWrite(uint64_t epoch, uint64_t pos, const mal::Buffer& data);
+  static mal::Buffer MakeRead(uint64_t epoch, uint64_t pos);
+  static mal::Buffer MakeFill(uint64_t epoch, uint64_t pos);
+  static mal::Buffer MakeTrim(uint64_t epoch, uint64_t pos);
+  static mal::Buffer MakeMaxPos(uint64_t epoch);
+
+  // Key layout inside the log object's omap (zero-padded for ordering).
+  static std::string EntryKey(uint64_t pos);
+};
+
+}  // namespace mal::cls
+
+#endif  // MALACOLOGY_CLS_BUILTIN_H_

@@ -1,0 +1,144 @@
+#include "src/cls/context.h"
+
+namespace mal::cls {
+
+mal::Result<mal::Buffer> ClsContext::Read(uint64_t offset, uint64_t length) const {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  uint64_t len = length == 0 ? (*staged_)->data.size() : length;
+  return (*staged_)->data.Read(offset, len);
+}
+
+mal::Result<uint64_t> ClsContext::Size() const {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  return static_cast<uint64_t>((*staged_)->data.size());
+}
+
+mal::Result<std::string> ClsContext::OmapGet(const std::string& key) const {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  auto it = (*staged_)->omap.find(key);
+  if (it == (*staged_)->omap.end()) {
+    return mal::Status::NotFound("omap key " + key);
+  }
+  return it->second;
+}
+
+mal::Result<std::map<std::string, std::string>> ClsContext::OmapList(
+    const std::string& prefix) const {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  std::map<std::string, std::string> matched;
+  for (const auto& [k, v] : (*staged_)->omap) {
+    if (k.rfind(prefix, 0) == 0) {
+      matched[k] = v;
+    }
+  }
+  return matched;
+}
+
+mal::Result<std::string> ClsContext::XattrGet(const std::string& key) const {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  auto it = (*staged_)->xattrs.find(key);
+  if (it == (*staged_)->xattrs.end()) {
+    return mal::Status::NotFound("xattr " + key);
+  }
+  return it->second;
+}
+
+void ClsContext::Materialize() {
+  if (!staged_->has_value()) {
+    staged_->emplace();
+  }
+}
+
+void ClsContext::RecordAndApply(osd::Op op) { effects_->push_back(std::move(op)); }
+
+mal::Status ClsContext::Create(bool excl) {
+  if (staged_->has_value()) {
+    if (excl) {
+      return mal::Status::AlreadyExists("object " + oid_);
+    }
+    return mal::Status::Ok();
+  }
+  Materialize();
+  osd::Op op;
+  op.type = osd::Op::Type::kCreate;
+  op.excl = false;  // staged check already enforced exclusivity
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::Write(uint64_t offset, const mal::Buffer& data) {
+  Materialize();
+  (*staged_)->data.Write(offset, data.data(), data.size());
+  osd::Op op;
+  op.type = osd::Op::Type::kWrite;
+  op.offset = offset;
+  op.data = data;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::WriteFull(const mal::Buffer& data) {
+  Materialize();
+  (*staged_)->data = data;
+  osd::Op op;
+  op.type = osd::Op::Type::kWriteFull;
+  op.data = data;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::Append(const mal::Buffer& data) {
+  Materialize();
+  (*staged_)->data.Append(data);
+  osd::Op op;
+  op.type = osd::Op::Type::kAppend;
+  op.data = data;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::OmapSet(const std::string& key, const std::string& value) {
+  Materialize();
+  (*staged_)->omap[key] = value;
+  osd::Op op;
+  op.type = osd::Op::Type::kOmapSet;
+  op.key = key;
+  op.value = value;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::OmapDel(const std::string& key) {
+  if (!staged_->has_value()) {
+    return mal::Status::NotFound("object " + oid_);
+  }
+  (*staged_)->omap.erase(key);
+  osd::Op op;
+  op.type = osd::Op::Type::kOmapDel;
+  op.key = key;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+mal::Status ClsContext::XattrSet(const std::string& key, const std::string& value) {
+  Materialize();
+  (*staged_)->xattrs[key] = value;
+  osd::Op op;
+  op.type = osd::Op::Type::kXattrSet;
+  op.key = key;
+  op.value = value;
+  RecordAndApply(std::move(op));
+  return mal::Status::Ok();
+}
+
+}  // namespace mal::cls

@@ -1,0 +1,60 @@
+// Execution context handed to object-class methods (paper §4.2).
+//
+// A method runs "within the context of an object": reads observe the
+// staged transaction state, and every mutation is both applied to the
+// staged object and recorded as a primitive Op. The recorded ops replace
+// the kExec op in the transaction that the primary OSD ships to replicas,
+// so replicas never run class code — they apply its effects
+// deterministically (like Ceph replicating the resulting transaction).
+#ifndef MALACOLOGY_CLS_CONTEXT_H_
+#define MALACOLOGY_CLS_CONTEXT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/osd/object_store.h"
+
+namespace mal::cls {
+
+class ClsContext {
+ public:
+  // `staged` is the transaction's working copy of the object (nullopt if it
+  // does not exist); `effects` accumulates replicated primitive ops.
+  ClsContext(std::string oid, std::optional<osd::Object>* staged,
+             std::vector<osd::Op>* effects)
+      : oid_(std::move(oid)), staged_(staged), effects_(effects) {}
+
+  const std::string& oid() const { return oid_; }
+  bool Exists() const { return staged_->has_value(); }
+
+  // -- reads (staged view) ---------------------------------------------------
+  mal::Result<mal::Buffer> Read(uint64_t offset, uint64_t length) const;
+  mal::Result<uint64_t> Size() const;
+  mal::Result<std::string> OmapGet(const std::string& key) const;
+  mal::Result<std::map<std::string, std::string>> OmapList(const std::string& prefix) const;
+  mal::Result<std::string> XattrGet(const std::string& key) const;
+
+  // -- writes (staged + recorded) ---------------------------------------------
+  mal::Status Create(bool excl);
+  mal::Status Write(uint64_t offset, const mal::Buffer& data);
+  mal::Status WriteFull(const mal::Buffer& data);
+  mal::Status Append(const mal::Buffer& data);
+  mal::Status OmapSet(const std::string& key, const std::string& value);
+  mal::Status OmapDel(const std::string& key);
+  mal::Status XattrSet(const std::string& key, const std::string& value);
+
+ private:
+  void Materialize();
+  void RecordAndApply(osd::Op op);
+
+  std::string oid_;
+  std::optional<osd::Object>* staged_;
+  std::vector<osd::Op>* effects_;
+};
+
+}  // namespace mal::cls
+
+#endif  // MALACOLOGY_CLS_CONTEXT_H_

@@ -1,0 +1,82 @@
+#include "src/cluster/workload.h"
+
+namespace mal::cluster {
+
+SequencerClient::SequencerClient(Cluster* cluster, Client* client,
+                                 SequencerClientOptions options)
+    : cluster_(cluster), client_(client), options_(std::move(options)) {}
+
+void SequencerClient::Start() {
+  running_ = true;
+  Loop();
+}
+
+void SequencerClient::Record(sim::Time issued_at, uint64_t position) {
+  sim::Time now = cluster_->simulator().Now();
+  latency_.Add(static_cast<double>(now - issued_at + options_.local_cost) / 1e3);  // usec
+  throughput_.Record(now);
+  if (keep_events_) {
+    if (events_.size() >= 2'000'000) {
+      keep_events_ = false;  // cap memory on very long runs
+    } else {
+      events_.emplace_back(now, position);
+    }
+  }
+}
+
+void SequencerClient::Loop() {
+  if (!running_) {
+    return;
+  }
+  sim::Time issued_at = cluster_->simulator().Now();
+  if (options_.cached) {
+    if (client_->mds.HasCap(options_.path)) {
+      auto position = client_->mds.LocalNext(options_.path);
+      if (position.ok()) {
+        Record(issued_at, position.value());
+        cluster_->simulator().Schedule(options_.local_cost, [this] { Loop(); });
+        return;
+      }
+    }
+    client_->mds.AcquireCap(options_.path, [this, issued_at](mal::Status status) {
+      if (!running_) {
+        return;
+      }
+      if (!status.ok()) {
+        // Back off briefly on errors (e.g. recovery in progress) and retry.
+        cluster_->simulator().Schedule(10 * sim::kMillisecond, [this] { Loop(); });
+        return;
+      }
+      auto position = client_->mds.LocalNext(options_.path);
+      if (position.ok()) {
+        Record(issued_at, position.value());
+      }
+      cluster_->simulator().Schedule(options_.local_cost, [this] { Loop(); });
+    });
+    return;
+  }
+  // Round-trip mode: one RPC per position, immediate re-issue.
+  client_->mds.SeqNext(options_.path, [this, issued_at](mal::Status status, uint64_t pos) {
+    if (!running_) {
+      return;
+    }
+    if (status.ok()) {
+      Record(issued_at, pos);
+    }
+    cluster_->simulator().Schedule(options_.local_cost, [this] { Loop(); });
+  });
+}
+
+mal::Status CreateSequencer(Cluster* cluster, Client* client, const std::string& path,
+                            const mds::LeasePolicy& policy) {
+  mal::Status result = mal::Status::TimedOut("create sequencer");
+  bool done = false;
+  client->mds.Create(path, mds::InodeType::kSequencer, policy, [&](mal::Status s) {
+    result = s;
+    done = true;
+  });
+  cluster->RunUntil([&] { return done; });
+  return result;
+}
+
+}  // namespace mal::cluster

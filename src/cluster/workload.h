@@ -1,0 +1,63 @@
+// Closed-loop sequencer workload driver used by the evaluation benches
+// (Figures 5-12) and the examples. Each SequencerClient hammers one
+// sequencer inode — either by round-trips (kSeqNext RPCs) or through the
+// cached capability protocol with local increments — recording per-op
+// latency, windowed throughput, and the raw (time, position) event stream
+// the Fig 5 scatter plots need.
+#ifndef MALACOLOGY_CLUSTER_WORKLOAD_H_
+#define MALACOLOGY_CLUSTER_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/stats.h"
+
+namespace mal::cluster {
+
+struct SequencerClientOptions {
+  std::string path = "/zlog/seq";
+  bool cached = false;  // false: round-trip RPCs; true: capability protocol
+  // Simulated local work per obtained position (the client-side cost of
+  // using a position; also the think time between requests).
+  sim::Time local_cost = 5 * sim::kMicrosecond;
+};
+
+class SequencerClient {
+ public:
+  SequencerClient(Cluster* cluster, Client* client, SequencerClientOptions options);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const Histogram& latency() const { return latency_; }
+  const ThroughputSeries& throughput() const { return throughput_; }
+  uint64_t total_ops() const { return throughput_.total(); }
+  // Raw event stream: (virtual time, position obtained).
+  const std::vector<std::pair<sim::Time, uint64_t>>& events() const { return events_; }
+  // Completed cap handoffs observed by this client.
+  uint64_t cap_exchanges() const { return client_->mds.caps_released(); }
+  Client* client() { return client_; }
+
+ private:
+  void Loop();
+  void Record(sim::Time issued_at, uint64_t position);
+
+  Cluster* cluster_;
+  Client* client_;
+  SequencerClientOptions options_;
+  bool running_ = false;
+  bool keep_events_ = true;
+  Histogram latency_;
+  ThroughputSeries throughput_{1 * sim::kSecond};
+  std::vector<std::pair<sim::Time, uint64_t>> events_;
+};
+
+// Convenience: creates a round-trip (or cached) sequencer inode.
+mal::Status CreateSequencer(Cluster* cluster, Client* client, const std::string& path,
+                            const mds::LeasePolicy& policy);
+
+}  // namespace mal::cluster
+
+#endif  // MALACOLOGY_CLUSTER_WORKLOAD_H_

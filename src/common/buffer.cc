@@ -1,0 +1,102 @@
+#include "src/common/buffer.h"
+
+#include <algorithm>
+
+namespace mal {
+
+void Buffer::Write(size_t offset, const void* p, size_t n) {
+  if (offset + n > data_.size()) {
+    data_.resize(offset + n, '\0');
+  }
+  std::memcpy(data_.data() + offset, p, n);
+}
+
+Buffer Buffer::Read(size_t offset, size_t n) const {
+  if (offset >= data_.size()) {
+    return Buffer();
+  }
+  size_t take = std::min(n, data_.size() - offset);
+  return Buffer(data_.substr(offset, take));
+}
+
+void Encoder::PutVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+uint8_t Decoder::GetU8() {
+  if (pos_ >= data_.size()) {
+    Fail();
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint64_t Decoder::GetFixed(size_t width) {
+  if (pos_ + width > data_.size()) {
+    Fail();
+    pos_ = data_.size();
+    return 0;
+  }
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += width;
+  return v;
+}
+
+uint64_t Decoder::GetVarU64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (shift > 63) {
+      Fail();
+      return 0;
+    }
+    uint8_t byte = GetU8();
+    if (!ok_) {
+      return 0;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+std::string Decoder::GetString() {
+  uint64_t n = GetVarU64();
+  if (!ok_ || pos_ + n > data_.size()) {
+    Fail();
+    return std::string();
+  }
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+void EncodeStringMap(Encoder* enc, const std::map<std::string, std::string>& m) {
+  enc->PutVarU64(m.size());
+  for (const auto& [k, v] : m) {
+    enc->PutString(k);
+    enc->PutString(v);
+  }
+}
+
+std::map<std::string, std::string> DecodeStringMap(Decoder* dec) {
+  std::map<std::string, std::string> m;
+  uint64_t n = dec->GetVarU64();
+  for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+    std::string k = dec->GetString();
+    std::string v = dec->GetString();
+    m.emplace(std::move(k), std::move(v));
+  }
+  return m;
+}
+
+}  // namespace mal

@@ -1,0 +1,162 @@
+// Byte buffer and wire-format encoding, modeled on Ceph's bufferlist and
+// encode/decode framework. Every message that crosses the simulated network
+// and every object payload persisted by the object store round-trips through
+// this encoding, so the whole stack continuously exercises it.
+//
+// Wire format:
+//   - fixed-width integers: little-endian
+//   - varuint: LEB128
+//   - string/bytes: varuint length + raw bytes
+//   - containers: varuint count + elements
+#ifndef MALACOLOGY_COMMON_BUFFER_H_
+#define MALACOLOGY_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mal {
+
+// An owned, contiguous byte buffer. Contiguity keeps the simulator fast and
+// the decoding logic simple; a production system would use iovec chains.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::string data) : data_(std::move(data)) {}
+  static Buffer FromString(std::string s) { return Buffer(std::move(s)); }
+
+  const char* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+
+  void Append(const void* p, size_t n) { data_.append(static_cast<const char*>(p), n); }
+  void Append(const Buffer& other) { data_.append(other.data_); }
+  void Append(std::string_view sv) { data_.append(sv); }
+
+  // Zero-fill or truncate to exactly n bytes.
+  void Resize(size_t n) { data_.resize(n, '\0'); }
+
+  // Overwrite [offset, offset+n) growing the buffer (zero-padded) if needed.
+  void Write(size_t offset, const void* p, size_t n);
+
+  // Copy out [offset, offset+n), clamped to the buffer end.
+  Buffer Read(size_t offset, size_t n) const;
+
+  std::string ToString() const { return data_; }
+  std::string_view View() const { return data_; }
+
+  bool operator==(const Buffer& other) const { return data_ == other.data_; }
+
+ private:
+  std::string data_;
+};
+
+// Appends wire-encoded values to a Buffer.
+class Encoder {
+ public:
+  explicit Encoder(Buffer* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->Append(&v, 1); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutF64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutVarU64(uint64_t v);
+
+  void PutString(std::string_view s) {
+    PutVarU64(s.size());
+    out_->Append(s);
+  }
+  void PutBuffer(const Buffer& b) {
+    PutVarU64(b.size());
+    out_->Append(b);
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v, void (Encoder::*put)(T)) {
+    PutVarU64(v.size());
+    for (const T& e : v) {
+      (this->*put)(e);
+    }
+  }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    out_->Append(bytes, sizeof(T));
+  }
+
+  Buffer* out_;
+};
+
+// Reads wire-encoded values from a Buffer. All getters are checked: reading
+// past the end flips the decoder into a failed state, and subsequent reads
+// return zero values. Callers check `ok()` once at the end.
+class Decoder {
+ public:
+  explicit Decoder(const Buffer& in) : data_(in.View()) {}
+  explicit Decoder(std::string_view in) : data_(in) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t GetU8();
+  uint16_t GetU16() { return static_cast<uint16_t>(GetFixed(2)); }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetFixed(4)); }
+  uint64_t GetU64() { return GetFixed(8); }
+  int64_t GetI64() { return static_cast<int64_t>(GetFixed(8)); }
+  double GetF64() {
+    uint64_t bits = GetFixed(8);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool GetBool() { return GetU8() != 0; }
+
+  uint64_t GetVarU64();
+
+  std::string GetString();
+  Buffer GetBuffer() { return Buffer(GetString()); }
+
+  Status Finish() const {
+    if (!ok_) {
+      return Status::Corruption("decode past end of buffer");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  uint64_t GetFixed(size_t width);
+  void Fail() { ok_ = false; }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Convenience: encode a map<string, string>.
+void EncodeStringMap(Encoder* enc, const std::map<std::string, std::string>& m);
+std::map<std::string, std::string> DecodeStringMap(Decoder* dec);
+
+}  // namespace mal
+
+#endif  // MALACOLOGY_COMMON_BUFFER_H_

@@ -1,0 +1,41 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace mal {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace log_internal {
+
+void Emit(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(), message.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace mal

@@ -1,0 +1,54 @@
+// Minimal leveled logger with per-component tags. Daemons log through this;
+// the monitor's *centralized cluster log* (Section 5.1.3 of the paper) is a
+// separate facility in src/mon that daemons write to over the network.
+#ifndef MALACOLOGY_COMMON_LOG_H_
+#define MALACOLOGY_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace mal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; tests and benches default to kWarn to keep output
+// focused on results.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+void Emit(LogLevel level, const std::string& component, const std::string& message);
+
+class LineLogger {
+ public:
+  LineLogger(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LineLogger() { Emit(level_, component_, stream_.str()); }
+
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace mal
+
+#define MAL_LOG(level, component) \
+  ::mal::log_internal::LineLogger(::mal::LogLevel::level, component)
+
+#define MAL_DEBUG(component) MAL_LOG(kDebug, component)
+#define MAL_INFO(component) MAL_LOG(kInfo, component)
+#define MAL_WARN(component) MAL_LOG(kWarn, component)
+#define MAL_ERROR(component) MAL_LOG(kError, component)
+
+#endif  // MALACOLOGY_COMMON_LOG_H_

@@ -1,0 +1,136 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+
+namespace mal {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  for (auto& s : state_) {
+    s = SplitMix64(&seed);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+double Rng::Exponential(double mean) {
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-18;
+  }
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::LogNormal(double median, double sigma) {
+  return median * std::exp(Normal(0.0, sigma));
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+  double target = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) {
+      return i;
+    }
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  double u = rng->UniformDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  auto v = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace mal

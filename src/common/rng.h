@@ -1,0 +1,71 @@
+// Deterministic random number generation for the simulator and workload
+// generators. Every experiment seeds its own Rng so runs are reproducible
+// bit-for-bit; nothing in the codebase touches std::random_device.
+#ifndef MALACOLOGY_COMMON_RNG_H_
+#define MALACOLOGY_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mal {
+
+// xoshiro256** seeded via splitmix64. Fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n == 0 returns 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponential with the given mean (used for service/arrival times).
+  double Exponential(double mean);
+
+  // Normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Log-normal parameterized by the target median and sigma of the
+  // underlying normal; heavy-tailed latencies in the network model.
+  double LogNormal(double median, double sigma);
+
+  // Sample an index in [0, weights.size()) proportional to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipfian generator over [0, n) with parameter theta (0 = uniform,
+// typical skew 0.99). Used by workload generators for hot-object skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+  uint64_t Next(Rng* rng);
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace mal
+
+#endif  // MALACOLOGY_COMMON_RNG_H_

@@ -1,0 +1,70 @@
+// Measurement primitives used by the benchmark harness: latency histograms
+// with quantile/CDF extraction, and windowed throughput time series matching
+// the "throughput over time" figures in the paper.
+#ifndef MALACOLOGY_COMMON_STATS_H_
+#define MALACOLOGY_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mal {
+
+// Stores raw samples; exact quantiles on demand. Experiments record
+// 10^4-10^6 samples, well within memory for exactness.
+class Histogram {
+ public:
+  void Add(double v);
+  void Merge(const Histogram& other);
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  // q in [0,1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+
+  // Evenly-spaced CDF points: (value, cumulative probability).
+  std::vector<std::pair<double, double>> Cdf(size_t points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Counts events into fixed-width time windows; yields ops/sec per window.
+// This is what the paper's Figures 9 and 12 plot.
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(uint64_t window_ns) : window_ns_(window_ns) {}
+
+  void Record(uint64_t time_ns, uint64_t count = 1);
+
+  // (window start seconds, ops/sec) for every window up to the last event.
+  std::vector<std::pair<double, double>> Series() const;
+
+  uint64_t total() const { return total_; }
+
+  // Mean ops/sec over [from_ns, to_ns).
+  double MeanRate(uint64_t from_ns, uint64_t to_ns) const;
+
+ private:
+  uint64_t window_ns_;
+  std::map<uint64_t, uint64_t> windows_;  // window index -> count
+  uint64_t total_ = 0;
+  uint64_t last_ns_ = 0;
+};
+
+// Fixed-point formatting helpers for the bench table printers.
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace mal
+
+#endif  // MALACOLOGY_COMMON_STATS_H_

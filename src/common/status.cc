@@ -1,0 +1,55 @@
+#include "src/common/status.h"
+
+namespace mal {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Code::kStaleEpoch:
+      return "STALE_EPOCH";
+    case Code::kReadOnly:
+      return "READ_ONLY";
+    case Code::kNotWritten:
+      return "NOT_WRITTEN";
+    case Code::kTimedOut:
+      return "TIMED_OUT";
+    case Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Code::kCorruption:
+      return "CORRUPTION";
+    case Code::kAborted:
+      return "ABORTED";
+    case Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Code::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+}  // namespace mal

@@ -1,0 +1,144 @@
+// Error handling primitives used across the Malacology codebase.
+//
+// We follow the storage-systems convention of returning rich error values
+// rather than throwing: daemons must degrade gracefully on bad input from
+// the network, and simulation code runs millions of operations where
+// exception overhead and non-local control flow hurt auditability.
+#ifndef MALACOLOGY_COMMON_STATUS_H_
+#define MALACOLOGY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mal {
+
+// Error taxonomy. Mirrors the error classes a Ceph-like stack surfaces:
+// not-found/exists from the object store, stale-epoch from the CORFU
+// protocol, permission/invalid from interface plumbing, timeouts from the
+// simulated network, and aborts from transactional class execution.
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kStaleEpoch,    // request tagged with an out-of-date epoch (CORFU seal)
+  kReadOnly,      // write-once position already written (CORFU)
+  kNotWritten,    // read of an unwritten log position
+  kTimedOut,
+  kUnavailable,   // daemon down or resource revoked
+  kCorruption,
+  kAborted,       // transaction aborted by class logic
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+const char* CodeName(Code code);
+
+// A cheap, copyable status value. `ok()` statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") { return {Code::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return {Code::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "invalid argument") {
+    return {Code::kInvalidArgument, std::move(m)};
+  }
+  static Status PermissionDenied(std::string m = "permission denied") {
+    return {Code::kPermissionDenied, std::move(m)};
+  }
+  static Status StaleEpoch(std::string m = "stale epoch") {
+    return {Code::kStaleEpoch, std::move(m)};
+  }
+  static Status ReadOnly(std::string m = "position already written") {
+    return {Code::kReadOnly, std::move(m)};
+  }
+  static Status NotWritten(std::string m = "position not written") {
+    return {Code::kNotWritten, std::move(m)};
+  }
+  static Status TimedOut(std::string m = "timed out") { return {Code::kTimedOut, std::move(m)}; }
+  static Status Unavailable(std::string m = "unavailable") {
+    return {Code::kUnavailable, std::move(m)};
+  }
+  static Status Corruption(std::string m = "corruption") {
+    return {Code::kCorruption, std::move(m)};
+  }
+  static Status Aborted(std::string m = "aborted") { return {Code::kAborted, std::move(m)}; }
+  static Status OutOfRange(std::string m = "out of range") {
+    return {Code::kOutOfRange, std::move(m)};
+  }
+  static Status Unimplemented(std::string m = "unimplemented") {
+    return {Code::kUnimplemented, std::move(m)};
+  }
+  static Status Internal(std::string m = "internal error") {
+    return {Code::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T>: either a value or an error Status. Accessing the value of an
+// error result is a programming bug and asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}      // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(value_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace mal
+
+#endif  // MALACOLOGY_COMMON_STATUS_H_

@@ -1,0 +1,151 @@
+#include "src/ec/codec.h"
+
+namespace mal::ec {
+
+std::vector<mal::Buffer> Encode(const mal::Buffer& data, uint32_t k) {
+  uint64_t shard_len = k == 0 ? 0 : (data.size() + k - 1) / k;
+  std::vector<mal::Buffer> shards;
+  shards.reserve(k + 1);
+  for (uint32_t i = 0; i < k; ++i) {
+    mal::Buffer shard = data.Read(static_cast<uint64_t>(i) * shard_len, shard_len);
+    shard.Resize(shard_len);  // zero-pad the tail shard
+    shards.push_back(std::move(shard));
+  }
+  mal::Buffer parity;
+  parity.Resize(shard_len);
+  std::string parity_bytes(shard_len, '\0');
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint64_t b = 0; b < shard_len; ++b) {
+      parity_bytes[b] = static_cast<char>(parity_bytes[b] ^ shards[i].data()[b]);
+    }
+  }
+  shards.push_back(mal::Buffer::FromString(parity_bytes));
+  return shards;
+}
+
+mal::Result<mal::Buffer> Decode(const std::vector<std::optional<mal::Buffer>>& shards,
+                                uint64_t size) {
+  if (shards.size() < 2) {
+    return mal::Status::InvalidArgument("need at least one data + one parity shard");
+  }
+  uint32_t k = static_cast<uint32_t>(shards.size()) - 1;
+  int missing = -1;
+  uint64_t shard_len = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].has_value()) {
+      if (missing >= 0) {
+        return mal::Status::Unavailable("more than one shard lost (m=1 code)");
+      }
+      missing = static_cast<int>(i);
+    } else {
+      shard_len = shards[i]->size();
+    }
+  }
+  // Verify consistent shard lengths.
+  for (const auto& shard : shards) {
+    if (shard.has_value() && shard->size() != shard_len) {
+      return mal::Status::Corruption("inconsistent shard lengths");
+    }
+  }
+  std::string reconstructed(shard_len, '\0');
+  if (missing >= 0) {
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (static_cast<int>(i) == missing) {
+        continue;
+      }
+      for (uint64_t b = 0; b < shard_len; ++b) {
+        reconstructed[b] = static_cast<char>(reconstructed[b] ^ shards[i]->data()[b]);
+      }
+    }
+  }
+  mal::Buffer out;
+  for (uint32_t i = 0; i < k; ++i) {
+    if (static_cast<int>(i) == missing) {
+      out.Append(reconstructed.data(), shard_len);
+    } else {
+      out.Append(*shards[i]);
+    }
+  }
+  out.Resize(size);  // strip padding
+  return out;
+}
+
+void EcObject::Write(mal::Buffer data, DoneHandler on_done) {
+  std::vector<mal::Buffer> shards = Encode(data, k_);
+  auto pending = std::make_shared<size_t>(shards.size());
+  auto first_error = std::make_shared<mal::Status>();
+  for (uint32_t i = 0; i < shards.size(); ++i) {
+    std::vector<osd::Op> ops(2);
+    ops[0].type = osd::Op::Type::kWriteFull;
+    ops[0].data = shards[i];
+    ops[1].type = osd::Op::Type::kXattrSet;
+    ops[1].key = "ec.size";
+    ops[1].value = std::to_string(data.size());
+    rados_->Execute(ShardOid(i), std::move(ops),
+                    [pending, first_error, on_done](mal::Status status,
+                                                    const osd::OsdOpReply& reply) {
+                      mal::Status op_status = status;
+                      if (status.ok()) {
+                        for (const osd::OpResult& result : reply.results) {
+                          if (!result.status.ok()) {
+                            op_status = result.status;
+                          }
+                        }
+                      }
+                      if (!op_status.ok() && first_error->ok()) {
+                        *first_error = op_status;
+                      }
+                      if (--*pending == 0) {
+                        on_done(*first_error);
+                      }
+                    });
+  }
+}
+
+void EcObject::Read(DataHandler on_data) {
+  uint32_t total = num_shards();
+  auto shards = std::make_shared<std::vector<std::optional<mal::Buffer>>>(total);
+  auto sizes = std::make_shared<std::vector<uint64_t>>(total, 0);
+  auto pending = std::make_shared<uint32_t>(total);
+  for (uint32_t i = 0; i < total; ++i) {
+    std::vector<osd::Op> ops(2);
+    ops[0].type = osd::Op::Type::kRead;
+    ops[1].type = osd::Op::Type::kXattrGet;
+    ops[1].key = "ec.size";
+    rados_->Execute(
+        ShardOid(i), std::move(ops),
+        [shards, sizes, pending, on_data, i](mal::Status status,
+                                             const osd::OsdOpReply& reply) {
+          if (status.ok() && reply.results.size() == 2 && reply.results[0].status.ok() &&
+              reply.results[1].status.ok()) {
+            (*shards)[i] = reply.results[0].out;
+            (*sizes)[i] = std::strtoull(reply.results[1].out.ToString().c_str(), nullptr, 10);
+          }
+          if (--*pending != 0) {
+            return;
+          }
+          // All replies in: find the logical size from any present shard.
+          uint64_t size = 0;
+          bool any = false;
+          for (uint32_t s = 0; s < shards->size(); ++s) {
+            if ((*shards)[s].has_value()) {
+              size = (*sizes)[s];
+              any = true;
+              break;
+            }
+          }
+          if (!any) {
+            on_data(mal::Status::NotFound("all shards missing"), mal::Buffer());
+            return;
+          }
+          auto decoded = Decode(*shards, size);
+          if (!decoded.ok()) {
+            on_data(decoded.status(), mal::Buffer());
+            return;
+          }
+          on_data(mal::Status::Ok(), decoded.value());
+        });
+  }
+}
+
+}  // namespace mal::ec

@@ -1,0 +1,68 @@
+// Erasure coding (paper §4.4: "RADOS protects data using common techniques
+// such as erasure coding, replication, and scrubbing").
+//
+// A k+1 XOR-parity code: data splits into k equal shards plus one parity
+// shard; any single lost shard is reconstructible from the survivors. This
+// is the classic RAID-5 construction — the m=1 member of the Reed-Solomon
+// family Ceph configures — chosen so the math stays auditable while
+// exercising the same code paths (shard placement, partial reads,
+// reconstruction after daemon loss).
+//
+// EcObject stores one logical object as k+1 shard objects, each placed
+// independently by the normal placement function, so shards land on
+// distinct OSDs with high probability; pools can then run with
+// replicas = 1 and still survive a daemon loss.
+#ifndef MALACOLOGY_EC_CODEC_H_
+#define MALACOLOGY_EC_CODEC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/rados/client.h"
+
+namespace mal::ec {
+
+// Splits `data` into k data shards (zero-padded to equal length) plus one
+// XOR parity shard. Returns k+1 shards.
+std::vector<mal::Buffer> Encode(const mal::Buffer& data, uint32_t k);
+
+// Reassembles the original `size` bytes from shards; at most one entry may
+// be nullopt (reconstructed via parity). Order: data shards 0..k-1, parity
+// at index k.
+mal::Result<mal::Buffer> Decode(const std::vector<std::optional<mal::Buffer>>& shards,
+                                uint64_t size);
+
+// A logical object erasure-coded across shard objects "<name>.shard<i>".
+class EcObject {
+ public:
+  using DoneHandler = std::function<void(mal::Status)>;
+  using DataHandler = std::function<void(mal::Status, const mal::Buffer&)>;
+
+  EcObject(rados::RadosClient* rados, std::string name, uint32_t k = 2)
+      : rados_(rados), name_(std::move(name)), k_(k) {}
+
+  // Encodes and writes all k+1 shards (each tagged with the logical size).
+  void Write(mal::Buffer data, DoneHandler on_done);
+
+  // Reads all shards; tolerates one missing/unreachable shard by
+  // reconstructing it from the parity.
+  void Read(DataHandler on_data);
+
+  std::string ShardOid(uint32_t index) const {
+    return name_ + ".shard" + std::to_string(index);
+  }
+  uint32_t num_shards() const { return k_ + 1; }
+
+ private:
+  rados::RadosClient* rados_;
+  std::string name_;
+  uint32_t k_;
+};
+
+}  // namespace mal::ec
+
+#endif  // MALACOLOGY_EC_CODEC_H_

@@ -1,0 +1,100 @@
+#include "src/mds/balancer.h"
+
+#include <algorithm>
+
+namespace mal::mds {
+
+const char* CephFsModeName(CephFsMode mode) {
+  switch (mode) {
+    case CephFsMode::kCpu:
+      return "cpu";
+    case CephFsMode::kWorkload:
+      return "workload";
+    case CephFsMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+double CephFsBalancer::Metric(const LoadMetrics& m) const {
+  switch (mode_) {
+    case CephFsMode::kCpu:
+      // CPU utilization scaled to be comparable with request rates; the
+      // paper notes this metric's volatility causes unpredictable decisions.
+      return m.cpu * 10000.0;
+    case CephFsMode::kWorkload:
+      return m.req_rate;
+    case CephFsMode::kHybrid:
+      return 0.5 * (m.cpu * 10000.0) + 0.5 * m.req_rate;
+  }
+  return 0;
+}
+
+mal::Result<MigrationTargets> CephFsBalancer::Decide(const BalancerContext& ctx) {
+  auto self = ctx.mds.find(ctx.whoami);
+  if (self == ctx.mds.end() || ctx.mds.size() < 2) {
+    return MigrationTargets{};
+  }
+  double my_load = Metric(self->second);
+  double total = 0;
+  for (const auto& [rank, metrics] : ctx.mds) {
+    total += Metric(metrics);
+  }
+  double mean = total / static_cast<double>(ctx.mds.size());
+  if (mean <= 0 || my_load <= mean * threshold_) {
+    return MigrationTargets{};  // not overloaded enough
+  }
+  // Export to every underloaded peer proportionally to its headroom, up to
+  // shedding (my_load - mean) in total — the classic CephFS heuristic.
+  double to_shed = my_load - mean;
+  double total_headroom = 0;
+  for (const auto& [rank, metrics] : ctx.mds) {
+    if (rank != ctx.whoami && Metric(metrics) < mean) {
+      total_headroom += mean - Metric(metrics);
+    }
+  }
+  if (total_headroom <= 0) {
+    return MigrationTargets{};
+  }
+  MigrationTargets targets;
+  for (const auto& [rank, metrics] : ctx.mds) {
+    if (rank == ctx.whoami || Metric(metrics) >= mean) {
+      continue;
+    }
+    double headroom = mean - Metric(metrics);
+    double share = to_shed * headroom / total_headroom;
+    if (share > 0) {
+      targets[rank] = share;
+    }
+  }
+  return targets;
+}
+
+std::vector<std::string> PickSubtreesForLoad(const std::vector<SubtreeLoad>& subtrees,
+                                             double amount) {
+  // Largest-first greedy fill: mirrors CephFS preferring big dirfrags so
+  // migrations are few and meaningful.
+  std::vector<SubtreeLoad> sorted = subtrees;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SubtreeLoad& a, const SubtreeLoad& b) { return a.rate > b.rate; });
+  std::vector<std::string> picked;
+  double sum = 0;
+  for (const SubtreeLoad& subtree : sorted) {
+    if (sum >= amount) {
+      break;
+    }
+    if (subtree.rate <= 0) {
+      continue;
+    }
+    // Skip a subtree that would overshoot the target by more than half of
+    // its own weight unless nothing has been picked yet.
+    if (!picked.empty() && sum + subtree.rate > amount + subtree.rate / 2) {
+      continue;
+    }
+    picked.push_back(subtree.path);
+    sum += subtree.rate;
+  }
+  return picked;
+}
+
+}  // namespace mal::mds

@@ -1,0 +1,633 @@
+#include "src/mds/mds.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace mal::mds {
+
+namespace {
+
+constexpr uint32_t kMsgCoherence = 306;  // one-way scatter-gather strain
+
+std::string ParentPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+MdsDaemon::MdsDaemon(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+                     std::vector<uint32_t> mons, MdsConfig config)
+    : Actor(simulator, network, sim::EntityName::Mds(id)),
+      config_(config),
+      mon_client_(this, mons),
+      rados_(this, mons) {
+  rng_.Seed(config.seed * 0x9e3779b97f4a7c15ULL + id + 1);
+}
+
+MdsDaemon::~MdsDaemon() = default;
+
+void MdsDaemon::Boot() {
+  mon::Transaction boot;
+  boot.op = mon::Transaction::Op::kMdsBoot;
+  boot.daemon_id = name().id;
+  mon_client_.SubmitTransaction(boot, [](mal::Status) {});
+  mon_client_.Subscribe(mon::MapKind::kMdsMap, 0);
+  rados_.Connect([](mal::Status) {});
+  window_start_ = Now();
+
+  if (name().id == config_.root_rank) {
+    HostedInode root;
+    root.inode.ino = next_ino_++;
+    root.inode.type = InodeType::kDir;
+    inodes_["/"] = std::move(root);
+  }
+  StartPeriodic(config_.load_report_interval, [this] { ReportLoad(); });
+  StartPeriodic(config_.balance_interval, [this] {
+    if (config_.balancing_enabled && policy_ != nullptr) {
+      BalanceTick();
+    }
+  });
+}
+
+void MdsDaemon::SetBalancerPolicy(std::shared_ptr<BalancerPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+std::vector<uint32_t> MdsDaemon::PeerRanks() const {
+  std::vector<uint32_t> peers;
+  for (const auto& [id, info] : mds_map_.mds) {
+    if (info.state == mon::MdsState::kActive && id != name().id) {
+      peers.push_back(id);
+    }
+  }
+  return peers;
+}
+
+bool MdsDaemon::IsAuthority(const std::string& path) const {
+  return AuthorityOf(path) == name().id;
+}
+
+uint32_t MdsDaemon::AuthorityOf(const std::string& path) const {
+  if (inodes_.count(path) != 0) {
+    return name().id;
+  }
+  auto it = authority_.find(path);
+  if (it != authority_.end()) {
+    return it->second;
+  }
+  // Fall back to the parent directory's authority, then the root.
+  std::string parent = ParentPath(path);
+  if (parent != path) {
+    if (inodes_.count(parent) != 0) {
+      return name().id;
+    }
+    auto pit = authority_.find(parent);
+    if (pit != authority_.end()) {
+      return pit->second;
+    }
+  }
+  return config_.root_rank;
+}
+
+const Inode* MdsDaemon::GetInode(const std::string& path) const {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? nullptr : &it->second.inode;
+}
+
+std::vector<SubtreeLoad> MdsDaemon::HostedSubtrees() const {
+  std::vector<SubtreeLoad> subtrees;
+  for (const auto& [path, hosted] : inodes_) {
+    if (path == "/") {
+      continue;  // the root never migrates
+    }
+    subtrees.push_back({path, hosted.rate});
+  }
+  return subtrees;
+}
+
+void MdsDaemon::HandleRequest(const sim::Envelope& request) {
+  switch (request.type) {
+    case kMsgClientRequest:
+      HandleClientRequest(request, /*forwarded=*/false);
+      break;
+    case kMsgForward:
+      HandleClientRequest(request, /*forwarded=*/true);
+      break;
+    case kMsgMigrate:
+      HandleMigrateIn(request);
+      break;
+    case kMsgAuthorityUpdate:
+      HandleAuthorityUpdate(request);
+      break;
+    case kMsgLoadReport:
+      HandleLoadReport(request);
+      break;
+    case kMsgCoherence:
+      // Scatter-gather participation: pure CPU strain at the root.
+      ReserveCpu(config_.coherence_peer_cost);
+      break;
+    case mon::kMsgMapUpdate: {
+      if (rados_.OnMapUpdate(request)) {
+        return;
+      }
+      mal::Decoder dec(request.payload);
+      mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
+      if (update.kind == mon::MapKind::kMdsMap) {
+        mal::Decoder map_dec(update.map_payload);
+        auto map = mon::MdsMap::Decode(&map_dec);
+        if (map.ok() && map.value().epoch > mds_map_.epoch) {
+          mds_map_ = std::move(map).value();
+        }
+      }
+      break;
+    }
+    default:
+      ReplyError(request, mal::Status::Unimplemented("unknown MDS message"));
+  }
+}
+
+void MdsDaemon::HandleClientRequest(const sim::Envelope& request, bool forwarded) {
+  mal::Decoder dec(request.payload);
+  ClientRequest req = ClientRequest::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad mds request"));
+    return;
+  }
+  ++requests_handled_;
+  ++window_requests_;
+
+  uint32_t authority = AuthorityOf(req.path);
+  if (authority != name().id) {
+    if (forwarded) {
+      // Authority moved while the forward was in flight; bounce.
+      ReplyError(request, mal::Status::Unavailable("authority moved"));
+      return;
+    }
+    if (config_.routing == RoutingMode::kProxy) {
+      // Proxy: the relay happens on the dispatch (messenger) lane so it
+      // does not queue behind local tail-finding work, but each proxied
+      // request still steals admin capacity from the work queue.
+      ReserveCpu(config_.proxy_admin_cost);
+      sim::Envelope original = request;
+      AfterDispatch(config_.handle_cost + config_.forward_cost, [this, original, authority] {
+        SendRequest(sim::EntityName::Mds(authority), kMsgForward, original.payload,
+                    [this, original](mal::Status status, const sim::Envelope& reply) {
+                      if (status.ok()) {
+                        Reply(original, reply.payload);
+                      } else {
+                        ReplyError(original, status);
+                      }
+                    },
+                    60 * sim::kSecond);
+      });
+    } else {
+      ReplyError(request,
+                 mal::Status::Unavailable("redirect:" + std::to_string(authority)));
+    }
+    return;
+  }
+
+  // We are the authority. Work cost: forwarded requests skip the handling
+  // charge (the proxy already paid it); direct requests at a non-root
+  // authority pay the coherence tax and strain the root.
+  sim::Time cost = forwarded ? 0 : config_.handle_cost;
+  if (!forwarded && name().id != config_.root_rank &&
+      request.from.type == sim::EntityType::kClient) {
+    cost += config_.coherence_self_cost;
+    SendOneWay(sim::EntityName::Mds(config_.root_rank), kMsgCoherence, mal::Buffer());
+  }
+  if (req.op == MdsOp::kSeqNext || req.op == MdsOp::kSeqRead) {
+    cost += config_.tail_cost;
+  }
+  if (req.op == MdsOp::kAcquireCap || req.op == MdsOp::kReleaseCap) {
+    cost += config_.cap_process_cost;
+  }
+  sim::Envelope req_envelope = request;
+  AfterCpu(cost, [this, req_envelope, req, forwarded] {
+    ExecuteRequest(req_envelope, req, forwarded);
+  });
+}
+
+void MdsDaemon::ReplyWithInode(const sim::Envelope& request, const MdsReply& reply) {
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  reply.Encode(&enc);
+  Reply(request, std::move(payload));
+}
+
+void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest& req,
+                               bool /*forwarded*/) {
+  auto it = inodes_.find(req.path);
+  if (it != inodes_.end()) {
+    ++it->second.window_requests;
+  }
+  switch (req.op) {
+    case MdsOp::kMkdir:
+    case MdsOp::kCreate: {
+      if (it != inodes_.end()) {
+        ReplyError(request, mal::Status::AlreadyExists(req.path));
+        return;
+      }
+      HostedInode hosted;
+      hosted.inode.ino = next_ino_++;
+      hosted.inode.type = req.op == MdsOp::kMkdir ? InodeType::kDir : req.inode_type;
+      hosted.inode.lease_policy = req.policy;
+      MdsReply reply;
+      reply.inode = hosted.inode;
+      inodes_[req.path] = std::move(hosted);
+      ReplyWithInode(request, reply);
+      return;
+    }
+    case MdsOp::kLookup: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      MdsReply reply;
+      reply.inode = it->second.inode;
+      reply.seq_value = it->second.inode.seq_tail;
+      ReplyWithInode(request, reply);
+      return;
+    }
+    case MdsOp::kUnlink: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      inodes_.erase(it);
+      Reply(request, mal::Buffer());
+      return;
+    }
+    case MdsOp::kSetPolicy: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      it->second.inode.lease_policy = req.policy;
+      Reply(request, mal::Buffer());
+      return;
+    }
+    case MdsOp::kSeqNext:
+    case MdsOp::kSeqRead: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      HostedInode& hosted = it->second;
+      if (hosted.inode.type != InodeType::kSequencer) {
+        ReplyError(request, mal::Status::InvalidArgument(req.path + " is not a sequencer"));
+        return;
+      }
+      if (hosted.cap.held) {
+        // A cached holder owns the tail; round-trippers must wait for the
+        // cap system (mixing modes is an application bug worth surfacing).
+        ReplyError(request, mal::Status::Unavailable("tail cached by " +
+                                                     hosted.cap.holder.ToString()));
+        return;
+      }
+      if (hosted.inode.params.count("needs_recovery") != 0) {
+        ReplyError(request, mal::Status::Aborted("sequencer needs recovery"));
+        return;
+      }
+      MdsReply reply;
+      if (req.op == MdsOp::kSeqNext) {
+        reply.seq_value = hosted.inode.seq_tail++;
+      } else {
+        reply.seq_value = hosted.inode.seq_tail;
+      }
+      ReplyWithInode(request, reply);
+      return;
+    }
+    case MdsOp::kAcquireCap: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      HostedInode& hosted = it->second;
+      if (hosted.inode.lease_policy.mode == LeaseMode::kRoundTrip) {
+        ReplyError(request,
+                   mal::Status::PermissionDenied("inode is non-cacheable (round-trip)"));
+        return;
+      }
+      if (hosted.inode.params.count("needs_recovery") != 0) {
+        ReplyError(request, mal::Status::Aborted("sequencer needs recovery"));
+        return;
+      }
+      if (!hosted.cap.held) {
+        GrantCap(req.path, hosted, request);
+        return;
+      }
+      if (hosted.cap.holder == request.from) {
+        GrantCap(req.path, hosted, request);  // re-grant to current holder
+        return;
+      }
+      hosted.cap.waiters.push_back(request);
+      MaybeRevoke(req.path, hosted);
+      return;
+    }
+    case MdsOp::kReleaseCap: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      HostedInode& hosted = it->second;
+      if (!hosted.cap.held || !(hosted.cap.holder == request.from)) {
+        ReplyError(request, mal::Status::PermissionDenied("not the cap holder"));
+        return;
+      }
+      hosted.inode.seq_tail = std::max(hosted.inode.seq_tail, req.seq_value);
+      hosted.cap.held = false;
+      hosted.cap.revoke_sent = false;
+      Reply(request, mal::Buffer());
+      if (!hosted.cap.waiters.empty()) {
+        sim::Envelope next = hosted.cap.waiters.front();
+        hosted.cap.waiters.pop_front();
+        GrantCap(req.path, hosted, next);
+      }
+      return;
+    }
+    case MdsOp::kSetSize: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      it->second.inode.size = req.seq_value;
+      Reply(request, mal::Buffer());
+      return;
+    }
+    case MdsOp::kSetSeqState: {
+      if (it == inodes_.end()) {
+        ReplyError(request, mal::Status::NotFound(req.path));
+        return;
+      }
+      Inode& inode = it->second.inode;
+      inode.seq_tail = req.seq_value;
+      for (const auto& [key, value] : req.params) {
+        if (value.empty()) {
+          inode.params.erase(key);
+        } else {
+          inode.params[key] = value;
+        }
+      }
+      Reply(request, mal::Buffer());
+      return;
+    }
+  }
+  ReplyError(request, mal::Status::Unimplemented("unknown mds op"));
+}
+
+void MdsDaemon::GrantCap(const std::string& path, HostedInode& hosted,
+                         const sim::Envelope& to) {
+  hosted.cap.held = true;
+  hosted.cap.holder = to.from;
+  hosted.cap.grant_time_ns = Now();
+  hosted.cap.revoke_sent = false;
+  MdsReply reply;
+  reply.seq_value = hosted.inode.seq_tail;
+  reply.terms = hosted.inode.lease_policy;
+  reply.grant_time_ns = Now();
+  reply.inode = hosted.inode;
+  ReplyWithInode(to, reply);
+  // If others are already waiting, start the revocation clock immediately
+  // (this is what yields the round-robin batching behavior of §5.2.1).
+  if (!hosted.cap.waiters.empty()) {
+    MaybeRevoke(path, hosted);
+  }
+}
+
+void MdsDaemon::MaybeRevoke(const std::string& path, HostedInode& hosted) {
+  if (!hosted.cap.held || hosted.cap.revoke_sent) {
+    return;
+  }
+  hosted.cap.revoke_sent = true;
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutString(path);
+  SendOneWay(hosted.cap.holder, kMsgCapRevoke, std::move(payload));
+
+  // Failure handling: if the holder never answers, declare it dead, reclaim
+  // the cap, and flag the inode so the next client runs CORFU recovery
+  // (the locally cached tail died with the holder).
+  sim::EntityName holder = hosted.cap.holder;
+  uint64_t grant_time = hosted.cap.grant_time_ns;
+  simulator()->Schedule(config_.cap_reclaim_timeout, [this, path, holder, grant_time] {
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+      return;
+    }
+    HostedInode& current = it->second;
+    if (!current.cap.held || !(current.cap.holder == holder) ||
+        current.cap.grant_time_ns != grant_time) {
+      return;  // cap moved on; the holder complied after all
+    }
+    current.cap.held = false;
+    current.cap.revoke_sent = false;
+    current.inode.params["needs_recovery"] = "1";
+    mon_client_.Log("WARN", "reclaimed cap on " + path + " from dead client " +
+                                holder.ToString());
+    // Fail queued waiters so they initiate recovery.
+    while (!current.cap.waiters.empty()) {
+      ReplyError(current.cap.waiters.front(),
+                 mal::Status::Aborted("sequencer needs recovery"));
+      current.cap.waiters.pop_front();
+    }
+  });
+}
+
+// -- migration ------------------------------------------------------------------
+
+void MdsDaemon::Migrate(const std::string& path, uint32_t target,
+                        std::function<void(mal::Status)> on_done) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    on_done(mal::Status::NotFound("not authoritative for " + path));
+    return;
+  }
+  if (it->second.cap.held) {
+    on_done(mal::Status::Unavailable("cap outstanding on " + path));
+    return;
+  }
+  if (target == name().id) {
+    on_done(mal::Status::InvalidArgument("cannot migrate to self"));
+    return;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutString(path);
+  it->second.inode.Encode(&enc);
+  // Export costs CPU on both ends (the Fig 9 dip during rebalancing).
+  AfterCpu(config_.migration_cost, [this, path, target, payload = std::move(payload),
+                                    on_done = std::move(on_done)] {
+    auto exporting = inodes_.find(path);
+    if (exporting == inodes_.end()) {
+      on_done(mal::Status::NotFound("subtree vanished during export"));
+      return;
+    }
+    SendRequest(sim::EntityName::Mds(target), kMsgMigrate, payload,
+                [this, path, target, on_done](mal::Status status, const sim::Envelope&) {
+                  if (!status.ok()) {
+                    on_done(status);
+                    return;
+                  }
+                  inodes_.erase(path);
+                  authority_[path] = target;
+                  // Broadcast the new authority cluster-wide.
+                  mal::Buffer update;
+                  mal::Encoder update_enc(&update);
+                  update_enc.PutString(path);
+                  update_enc.PutU32(target);
+                  for (uint32_t peer : PeerRanks()) {
+                    if (peer != target) {
+                      SendOneWay(sim::EntityName::Mds(peer), kMsgAuthorityUpdate, update);
+                    }
+                  }
+                  if (on_migration) {
+                    on_migration(path, target);
+                  }
+                  mon_client_.Log("INFO", "migrated " + path + " to mds." +
+                                              std::to_string(target));
+                  on_done(mal::Status::Ok());
+                });
+  });
+}
+
+void MdsDaemon::HandleMigrateIn(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  std::string path = dec.GetString();
+  Inode inode = Inode::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad migration payload"));
+    return;
+  }
+  sim::Envelope req_envelope = request;
+  AfterCpu(config_.migration_cost, [this, path, inode, req_envelope] {
+    HostedInode hosted;
+    hosted.inode = inode;
+    inodes_[path] = std::move(hosted);
+    authority_.erase(path);
+    Reply(req_envelope, mal::Buffer());
+  });
+}
+
+void MdsDaemon::HandleAuthorityUpdate(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  std::string path = dec.GetString();
+  uint32_t rank = dec.GetU32();
+  if (!dec.ok()) {
+    return;
+  }
+  if (rank == name().id) {
+    return;  // we learn by receiving the inode itself
+  }
+  if (inodes_.count(path) == 0) {
+    authority_[path] = rank;
+  }
+}
+
+// -- load + balancing ---------------------------------------------------------------
+
+LoadMetrics MdsDaemon::SnapshotLoad(bool commit) {
+  // Exponentially decayed rates, like CephFS's decaying load counters:
+  // momentary quiet does not zero the balancer's view of a hot subtree.
+  constexpr double kAlpha = 0.5;
+  LoadMetrics metrics;
+  double window_sec = static_cast<double>(Now() - window_start_) / 1e9;
+  if (window_sec <= 0) {
+    window_sec = 1;
+  }
+  double window_rate = static_cast<double>(window_requests_) / window_sec;
+  metrics.req_rate = kAlpha * window_rate + (1 - kAlpha) * smoothed_req_rate_;
+  metrics.cpu = CpuUtilization(config_.load_window);
+  if (config_.cpu_metric_noise > 0) {
+    metrics.cpu = std::clamp(
+        metrics.cpu * (1.0 + rng_.Normal(0.0, config_.cpu_metric_noise)), 0.0, 1.0);
+  }
+  metrics.load = metrics.req_rate;
+  for (auto& [path, hosted] : inodes_) {
+    if (path == "/") {
+      continue;
+    }
+    double subtree_window = static_cast<double>(hosted.window_requests) / window_sec;
+    double blended = kAlpha * subtree_window + (1 - kAlpha) * hosted.rate;
+    metrics.subtree_rate[path] = blended;
+    if (commit) {
+      hosted.rate = blended;
+    }
+  }
+  if (commit) {
+    smoothed_req_rate_ = metrics.req_rate;
+    window_requests_ = 0;
+    window_start_ = Now();
+    for (auto& [path, hosted] : inodes_) {
+      hosted.window_requests = 0;
+    }
+  }
+  return metrics;
+}
+
+void MdsDaemon::ReportLoad() {
+  LoadMetrics metrics = SnapshotLoad(/*commit=*/true);
+  load_table_[name().id] = metrics;
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutU32(name().id);
+  metrics.Encode(&enc);
+  for (uint32_t peer : PeerRanks()) {
+    SendOneWay(sim::EntityName::Mds(peer), kMsgLoadReport, payload);
+  }
+}
+
+void MdsDaemon::HandleLoadReport(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  uint32_t rank = dec.GetU32();
+  LoadMetrics metrics = LoadMetrics::Decode(&dec);
+  if (dec.ok()) {
+    load_table_[rank] = metrics;
+  }
+}
+
+void MdsDaemon::BalanceTick() {
+  BalancerContext ctx;
+  ctx.whoami = name().id;
+  ctx.now_ns = Now();
+  ctx.mds = load_table_;
+  ctx.mds[name().id] = SnapshotLoad(/*commit=*/false);  // fresh self-view
+  // Subtree rates must come from the same snapshot as the self load, or
+  // policies would compare a fresh total against stale per-subtree values
+  // and massively over- or under-migrate during ramp-up.
+  for (const auto& [path, rate] : ctx.mds[name().id].subtree_rate) {
+    ctx.my_subtrees.push_back({path, rate});
+  }
+
+  auto targets = policy_->Decide(ctx);
+  if (!targets.ok()) {
+    MAL_WARN(name().ToString()) << "balancer error: " << targets.status();
+    mon_client_.Log("ERROR", "balancer: " + targets.status().ToString());
+    return;
+  }
+  std::vector<SubtreeLoad> available = ctx.my_subtrees;
+  for (const auto& [rank, amount] : targets.value()) {
+    if (rank == name().id || amount <= 0) {
+      continue;
+    }
+    std::vector<std::string> picked = PickSubtreesForLoad(available, amount);
+    for (const std::string& path : picked) {
+      available.erase(std::remove_if(available.begin(), available.end(),
+                                     [&path](const SubtreeLoad& s) { return s.path == path; }),
+                      available.end());
+      Migrate(path, rank, [this, path, rank](mal::Status s) {
+        if (!s.ok()) {
+          MAL_WARN(name().ToString())
+              << "migration of " << path << " to mds." << rank << " failed: " << s;
+        }
+      });
+    }
+  }
+}
+
+}  // namespace mal::mds

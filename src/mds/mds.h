@@ -1,0 +1,176 @@
+// Metadata server daemon.
+//
+// Implements the three Distributed Metadata interfaces of the paper:
+//  - Shared Resource (§4.3.1): a capability state machine per inode with
+//    programmable lease policies (best-effort / delay / quota) plus a
+//    non-cacheable round-trip mode.
+//  - File Type (§4.3.2): typed inodes; the kSequencer type embeds a 64-bit
+//    tail counter in the inode, which is how ZLog maps its CORFU sequencer
+//    onto the metadata service.
+//  - Load Balancing (§4.3.3): per-subtree load accounting, cluster-wide
+//    load table via peer reports, pluggable BalancerPolicy deciding how
+//    much load to export, and subtree migration with either proxy
+//    (forwarding) or client (redirect) routing after migration (Fig 11).
+//
+// CPU model (drives Figures 9-12): every client request charges
+// handle_cost at the receiving server; sequencer operations charge
+// tail_cost at the inode's authority; proxy forwarding charges
+// forward_cost at the proxy; requests served directly by a non-root
+// authority additionally charge coherence costs at both the serving MDS
+// and the root authority — the "scatter-gather cache coherence" strain the
+// paper observes in client mode (§6.2.1).
+#ifndef MALACOLOGY_MDS_MDS_H_
+#define MALACOLOGY_MDS_MDS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mds/balancer.h"
+#include "src/mds/types.h"
+#include "src/mon/mon_client.h"
+#include "src/rados/client.h"
+#include "src/sim/actor.h"
+
+namespace mal::mds {
+
+enum class RoutingMode : uint8_t { kProxy = 0, kRedirect = 1 };
+
+struct MdsConfig {
+  sim::Time handle_cost = 50 * sim::kMicrosecond;
+  sim::Time tail_cost = 60 * sim::kMicrosecond;
+  sim::Time forward_cost = 20 * sim::kMicrosecond;
+  // Work-queue charge per proxied request (journal/coherence bookkeeping
+  // the proxy still performs for subtrees it exported); the forward itself
+  // rides the dispatch lane.
+  sim::Time proxy_admin_cost = 80 * sim::kMicrosecond;
+  sim::Time coherence_self_cost = 150 * sim::kMicrosecond;
+  sim::Time coherence_peer_cost = 120 * sim::kMicrosecond;
+  sim::Time migration_cost = 5 * sim::kMillisecond;
+  // Capability grant/release processing (journaling the cap transition).
+  // This is the dead time per exchange that makes fine-grained cap
+  // ping-pong expensive (Figs 5-7).
+  sim::Time cap_process_cost = 1 * sim::kMillisecond;
+  // A cap holder that ignores a revoke this long is declared dead; the cap
+  // is reclaimed and the inode flagged for CORFU-style recovery (§5.2.2:
+  // "a timeout is used to determine when a client should be considered
+  // unavailable").
+  sim::Time cap_reclaim_timeout = 10 * sim::kSecond;
+
+  RoutingMode routing = RoutingMode::kProxy;
+  uint32_t root_rank = 0;  // authority for "/" and coherence anchor
+
+  // Relative sampling noise on the exported CPU metric: request counters
+  // are exact, but CPU utilization is sampled from a volatile signal (the
+  // paper's explanation for the CephFS CPU mode's high variance, §6.2.1).
+  double cpu_metric_noise = 0.25;
+  uint64_t seed = 1;
+
+  sim::Time balance_interval = 10 * sim::kSecond;  // the "balancing tick"
+  sim::Time load_report_interval = 5 * sim::kSecond;
+  sim::Time load_window = 10 * sim::kSecond;  // rate averaging window
+  bool balancing_enabled = false;
+};
+
+class MdsDaemon : public sim::Actor {
+ public:
+  MdsDaemon(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+            std::vector<uint32_t> mons, MdsConfig config = {});
+  ~MdsDaemon() override;
+
+  // Registers with the monitor, subscribes to maps, starts timers.
+  void Boot();
+
+  // Installs a balancer policy (stock CephFS mode or Mantle). Balancing
+  // runs only if config.balancing_enabled.
+  void SetBalancerPolicy(std::shared_ptr<BalancerPolicy> policy);
+  BalancerPolicy* balancer_policy() { return policy_.get(); }
+
+  // Manually migrate a subtree this MDS is authoritative for.
+  void Migrate(const std::string& path, uint32_t target,
+               std::function<void(mal::Status)> on_done);
+
+  // -- introspection (tests and benches) ---------------------------------------
+  bool IsAuthority(const std::string& path) const;
+  uint32_t AuthorityOf(const std::string& path) const;
+  const Inode* GetInode(const std::string& path) const;
+  std::vector<SubtreeLoad> HostedSubtrees() const;
+  const std::map<uint32_t, LoadMetrics>& load_table() const { return load_table_; }
+  uint64_t requests_handled() const { return requests_handled_; }
+  const mon::MdsMap& mds_map() const { return mds_map_; }
+  mon::MonClient& mon_client() { return mon_client_; }
+  rados::RadosClient& rados_client() { return rados_; }
+  const MdsConfig& config() const { return config_; }
+  // Exposed so Mantle can tune aggressiveness knobs at runtime.
+  MdsConfig& mutable_config() { return config_; }
+
+  // Observer hooks for experiments.
+  std::function<void(const std::string&, uint32_t)> on_migration;  // path, target
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override;
+
+ private:
+  struct CapState {
+    bool held = false;
+    sim::EntityName holder;
+    uint64_t grant_time_ns = 0;
+    bool revoke_sent = false;
+    std::deque<sim::Envelope> waiters;  // pending kAcquireCap requests
+  };
+
+  struct HostedInode {
+    Inode inode;
+    CapState cap;
+    uint64_t window_requests = 0;  // decayed per load window
+    double rate = 0;
+  };
+
+  void HandleClientRequest(const sim::Envelope& request, bool forwarded);
+  void ExecuteRequest(const sim::Envelope& request, const ClientRequest& req,
+                      bool forwarded);
+  void HandleMigrateIn(const sim::Envelope& request);
+  void HandleAuthorityUpdate(const sim::Envelope& request);
+  void HandleLoadReport(const sim::Envelope& request);
+
+  void GrantCap(const std::string& path, HostedInode& hosted, const sim::Envelope& to);
+  void MaybeRevoke(const std::string& path, HostedInode& hosted);
+  void ReplyWithInode(const sim::Envelope& request, const MdsReply& reply);
+
+  void ReportLoad();
+  void BalanceTick();
+  // Blends the current window with the smoothed history (decayed load, as
+  // in CephFS). commit=true folds the window into the smoothed state and
+  // resets counters.
+  LoadMetrics SnapshotLoad(bool commit);
+
+  std::vector<uint32_t> PeerRanks() const;
+
+  MdsConfig config_;
+  mon::MonClient mon_client_;
+  rados::RadosClient rados_;
+  mon::MdsMap mds_map_;
+
+  // Inodes this MDS is authoritative for, by absolute path.
+  std::map<std::string, HostedInode> inodes_;
+  // Cluster-wide authority hints (exact path -> rank). Missing entries
+  // resolve to the root rank.
+  std::map<std::string, uint32_t> authority_;
+
+  std::map<uint32_t, LoadMetrics> load_table_;
+  std::shared_ptr<BalancerPolicy> policy_;
+
+  mal::Rng rng_{1};
+  uint64_t next_ino_ = 1;
+  uint64_t requests_handled_ = 0;
+  uint64_t window_requests_ = 0;
+  sim::Time window_start_ = 0;
+  double smoothed_req_rate_ = 0;
+};
+
+}  // namespace mal::mds
+
+#endif  // MALACOLOGY_MDS_MDS_H_

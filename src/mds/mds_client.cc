@@ -1,0 +1,246 @@
+#include "src/mds/mds_client.h"
+
+namespace mal::mds {
+
+namespace {
+
+// Redirect replies carry "redirect:<rank>" in the error message.
+bool ParseRedirect(const mal::Status& status, uint32_t* rank) {
+  constexpr char kPrefix[] = "redirect:";
+  const std::string& message = status.message();
+  if (status.code() != mal::Code::kUnavailable || message.rfind(kPrefix, 0) != 0) {
+    return false;
+  }
+  *rank = static_cast<uint32_t>(std::stoul(message.substr(sizeof(kPrefix) - 1)));
+  return true;
+}
+
+}  // namespace
+
+uint32_t MdsClient::TargetFor(const std::string& path) const {
+  auto it = authority_cache_.find(path);
+  return it == authority_cache_.end() ? config_.home_mds : it->second;
+}
+
+void MdsClient::Request(const ClientRequest& request, ReplyHandler on_reply) {
+  RequestAttempt(request, std::move(on_reply), 0);
+}
+
+void MdsClient::RequestAttempt(const ClientRequest& request, ReplyHandler on_reply,
+                               int attempt) {
+  if (attempt >= 4) {
+    on_reply(mal::Status::Unavailable("mds unreachable"), MdsReply{});
+    return;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  request.Encode(&enc);
+  owner_->SendRequest(
+      sim::EntityName::Mds(TargetFor(request.path)), kMsgClientRequest, std::move(payload),
+      [this, request, on_reply = std::move(on_reply), attempt](
+          mal::Status status, const sim::Envelope& reply) {
+        uint32_t redirect_rank = 0;
+        if (ParseRedirect(status, &redirect_rank)) {
+          authority_cache_[request.path] = redirect_rank;
+          RequestAttempt(request, on_reply, attempt + 1);
+          return;
+        }
+        if (!status.ok()) {
+          on_reply(status, MdsReply{});
+          return;
+        }
+        mal::Decoder dec(reply.payload);
+        on_reply(mal::Status::Ok(), MdsReply::Decode(&dec));
+      },
+      config_.rpc_timeout);
+}
+
+void MdsClient::Mkdir(const std::string& path, DoneHandler on_done) {
+  ClientRequest req;
+  req.op = MdsOp::kMkdir;
+  req.path = path;
+  Request(req, [on_done = std::move(on_done)](mal::Status s, const MdsReply&) {
+    on_done(s);
+  });
+}
+
+void MdsClient::Create(const std::string& path, InodeType type, const LeasePolicy& policy,
+                       DoneHandler on_done) {
+  ClientRequest req;
+  req.op = MdsOp::kCreate;
+  req.path = path;
+  req.inode_type = type;
+  req.policy = policy;
+  Request(req, [on_done = std::move(on_done)](mal::Status s, const MdsReply&) {
+    on_done(s);
+  });
+}
+
+void MdsClient::Lookup(const std::string& path, ReplyHandler on_reply) {
+  ClientRequest req;
+  req.op = MdsOp::kLookup;
+  req.path = path;
+  Request(req, std::move(on_reply));
+}
+
+void MdsClient::SetPolicy(const std::string& path, const LeasePolicy& policy,
+                          DoneHandler on_done) {
+  ClientRequest req;
+  req.op = MdsOp::kSetPolicy;
+  req.path = path;
+  req.policy = policy;
+  Request(req, [on_done = std::move(on_done)](mal::Status s, const MdsReply&) {
+    on_done(s);
+  });
+}
+
+void MdsClient::SeqNext(const std::string& path,
+                        std::function<void(mal::Status, uint64_t)> on_pos) {
+  ClientRequest req;
+  req.op = MdsOp::kSeqNext;
+  req.path = path;
+  Request(req, [on_pos = std::move(on_pos)](mal::Status s, const MdsReply& reply) {
+    on_pos(s, reply.seq_value);
+  });
+}
+
+void MdsClient::SeqRead(const std::string& path,
+                        std::function<void(mal::Status, uint64_t)> on_pos) {
+  ClientRequest req;
+  req.op = MdsOp::kSeqRead;
+  req.path = path;
+  Request(req, [on_pos = std::move(on_pos)](mal::Status s, const MdsReply& reply) {
+    on_pos(s, reply.seq_value);
+  });
+}
+
+bool MdsClient::HasCap(const std::string& path) const {
+  auto it = caps_.find(path);
+  return it != caps_.end() && !it->second.releasing;
+}
+
+void MdsClient::AcquireCap(const std::string& path, DoneHandler on_granted) {
+  if (HasCap(path)) {
+    on_granted(mal::Status::Ok());
+    return;
+  }
+  ClientRequest req;
+  req.op = MdsOp::kAcquireCap;
+  req.path = path;
+  Request(req, [this, path, on_granted = std::move(on_granted)](mal::Status s,
+                                                                const MdsReply& reply) {
+    if (!s.ok()) {
+      on_granted(s);
+      return;
+    }
+    HeldCap cap;
+    cap.next_value = reply.seq_value;
+    cap.terms = reply.terms;
+    cap.grant_time_ns = owner_->Now();
+    caps_[path] = cap;
+    on_granted(mal::Status::Ok());
+  });
+}
+
+mal::Result<uint64_t> MdsClient::LocalNext(const std::string& path) {
+  auto it = caps_.find(path);
+  if (it == caps_.end() || it->second.releasing) {
+    return mal::Status::Unavailable("cap not held for " + path);
+  }
+  HeldCap& cap = it->second;
+  uint64_t value = cap.next_value++;
+  ++cap.ops_since_grant;
+  // Quota terms: once a revoke is pending and we have used our quota, give
+  // the cap back (the "quota" curve of Fig 5c).
+  if (cap.revoke_pending && cap.terms.mode == LeaseMode::kQuota &&
+      cap.ops_since_grant >= cap.terms.quota) {
+    ReleaseNow(path);
+  }
+  return value;
+}
+
+bool MdsClient::OnMessage(const sim::Envelope& envelope) {
+  if (envelope.type != kMsgCapRevoke) {
+    return false;
+  }
+  mal::Decoder dec(envelope.payload);
+  std::string path = dec.GetString();
+  HandleRevoke(path);
+  return true;
+}
+
+void MdsClient::HandleRevoke(const std::string& path) {
+  auto it = caps_.find(path);
+  if (it == caps_.end() || it->second.releasing) {
+    return;
+  }
+  HeldCap& cap = it->second;
+  if (cap.revoke_pending) {
+    return;
+  }
+  cap.revoke_pending = true;
+  switch (cap.terms.mode) {
+    case LeaseMode::kBestEffort:
+    case LeaseMode::kRoundTrip:
+      ReleaseNow(path);
+      return;
+    case LeaseMode::kDelay: {
+      // Keep the cap until the reservation expires.
+      uint64_t deadline = cap.grant_time_ns + cap.terms.max_hold_ns;
+      uint64_t now = owner_->Now();
+      if (deadline <= now) {
+        ReleaseNow(path);
+        return;
+      }
+      cap.hold_timer = owner_->simulator()->Schedule(
+          deadline - now, [this, path] { ReleaseNow(path); });
+      return;
+    }
+    case LeaseMode::kQuota: {
+      // Yield once the quota is exhausted (checked in LocalNext), but never
+      // hold past the reservation either.
+      if (cap.ops_since_grant >= cap.terms.quota) {
+        ReleaseNow(path);
+        return;
+      }
+      uint64_t deadline = cap.grant_time_ns + cap.terms.max_hold_ns;
+      uint64_t now = owner_->Now();
+      cap.hold_timer = owner_->simulator()->Schedule(
+          deadline > now ? deadline - now : 0, [this, path] { ReleaseNow(path); });
+      return;
+    }
+  }
+}
+
+void MdsClient::ReleaseNow(const std::string& path) {
+  auto it = caps_.find(path);
+  if (it == caps_.end() || it->second.releasing) {
+    return;
+  }
+  it->second.releasing = true;
+  if (it->second.hold_timer != 0) {
+    owner_->simulator()->Cancel(it->second.hold_timer);
+  }
+  ClientRequest req;
+  req.op = MdsOp::kReleaseCap;
+  req.path = path;
+  req.seq_value = it->second.next_value;
+  Request(req, [this, path](mal::Status, const MdsReply&) {
+    caps_.erase(path);
+    ++caps_released_;
+    if (on_cap_lost) {
+      on_cap_lost(path);
+    }
+  });
+}
+
+void MdsClient::ReleaseCap(const std::string& path, DoneHandler on_done) {
+  if (!HasCap(path)) {
+    on_done(mal::Status::NotFound("no cap held for " + path));
+    return;
+  }
+  ReleaseNow(path);
+  on_done(mal::Status::Ok());
+}
+
+}  // namespace mal::mds

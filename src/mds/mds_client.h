@@ -1,0 +1,94 @@
+// MdsClient: client-side metadata library.
+//
+// Routes requests to the right MDS (authority cache + redirect handling in
+// client mode; the session server forwards in proxy mode) and implements
+// the client half of the cooperative capability protocol (paper §4.3.1:
+// "clients voluntarily release resources back to the file system metadata
+// service"): on revoke, the client yields according to the lease terms it
+// was granted — immediately (best-effort), when its reservation expires
+// (delay), or after exhausting its operation quota (quota).
+#ifndef MALACOLOGY_MDS_MDS_CLIENT_H_
+#define MALACOLOGY_MDS_MDS_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mds/types.h"
+#include "src/sim/actor.h"
+
+namespace mal::mds {
+
+struct MdsClientConfig {
+  uint32_t home_mds = 0;                      // session server
+  sim::Time rpc_timeout = 60 * sim::kSecond;  // cap grants can take a while
+};
+
+class MdsClient {
+ public:
+  MdsClient(sim::Actor* owner, MdsClientConfig config = {})
+      : owner_(owner), config_(config) {}
+
+  using ReplyHandler = std::function<void(mal::Status, const MdsReply&)>;
+  using DoneHandler = std::function<void(mal::Status)>;
+
+  // Fired when a held cap is fully released (after a revoke was honored).
+  std::function<void(const std::string& path)> on_cap_lost;
+
+  // Routes envelopes the owner receives; returns true if consumed.
+  bool OnMessage(const sim::Envelope& envelope);
+
+  // -- namespace ----------------------------------------------------------------
+  void Mkdir(const std::string& path, DoneHandler on_done);
+  void Create(const std::string& path, InodeType type, const LeasePolicy& policy,
+              DoneHandler on_done);
+  void Lookup(const std::string& path, ReplyHandler on_reply);
+  void SetPolicy(const std::string& path, const LeasePolicy& policy, DoneHandler on_done);
+
+  // -- sequencer: round-trip mode -----------------------------------------------
+  void SeqNext(const std::string& path, std::function<void(mal::Status, uint64_t)> on_pos);
+  void SeqRead(const std::string& path, std::function<void(mal::Status, uint64_t)> on_pos);
+
+  // -- sequencer: cached (capability) mode ----------------------------------------
+  // Requests the exclusive cap; on grant the client increments locally via
+  // LocalNext() until the cap is revoked and the lease terms force release.
+  void AcquireCap(const std::string& path, DoneHandler on_granted);
+  bool HasCap(const std::string& path) const;
+  // Next position from the locally cached tail. Fails kUnavailable if the
+  // cap is not held. Honoring quota terms may trigger a release afterwards.
+  mal::Result<uint64_t> LocalNext(const std::string& path);
+  // Voluntarily give the cap back now.
+  void ReleaseCap(const std::string& path, DoneHandler on_done);
+
+  // Generic escape hatch.
+  void Request(const ClientRequest& request, ReplyHandler on_reply);
+
+  uint64_t caps_released() const { return caps_released_; }
+
+ private:
+  struct HeldCap {
+    uint64_t next_value = 0;
+    LeasePolicy terms;
+    uint64_t grant_time_ns = 0;
+    uint64_t ops_since_grant = 0;
+    bool revoke_pending = false;
+    bool releasing = false;
+    sim::EventId hold_timer = 0;
+  };
+
+  void RequestAttempt(const ClientRequest& request, ReplyHandler on_reply, int attempt);
+  uint32_t TargetFor(const std::string& path) const;
+  void HandleRevoke(const std::string& path);
+  void ReleaseNow(const std::string& path);
+
+  sim::Actor* owner_;
+  MdsClientConfig config_;
+  std::map<std::string, uint32_t> authority_cache_;
+  std::map<std::string, HeldCap> caps_;
+  uint64_t caps_released_ = 0;
+};
+
+}  // namespace mal::mds
+
+#endif  // MALACOLOGY_MDS_MDS_CLIENT_H_

@@ -1,0 +1,66 @@
+// Cluster maps: epoch-versioned membership and service metadata, mirroring
+// Ceph's OSDMap and MDSMap. The Service Metadata interface (paper §4.1) is
+// the `service_metadata` key-value section carried by each map: Malacology
+// "provides a generic API for adding arbitrary values to existing subsystem
+// cluster maps", which is how object-interface versions and balancer-policy
+// versions propagate consistently.
+#ifndef MALACOLOGY_MON_MAPS_H_
+#define MALACOLOGY_MON_MAPS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace mal::mon {
+
+using Epoch = uint64_t;
+
+// Well-known service-metadata keys.
+inline constexpr char kClsInterfaceKeyPrefix[] = "cls.";      // cls.<class>: version
+inline constexpr char kMantleBalancerVersionKey[] = "mantle.balancer_version";
+
+struct OsdInfo {
+  bool up = false;
+  double weight = 1.0;
+};
+
+// Map of object storage daemons plus placement-group count.
+struct OsdMap {
+  Epoch epoch = 0;
+  uint32_t pg_count = 128;
+  std::map<uint32_t, OsdInfo> osds;
+  std::map<std::string, std::string> service_metadata;
+
+  uint32_t NumUp() const;
+  void Encode(mal::Encoder* enc) const;
+  static mal::Result<OsdMap> Decode(mal::Decoder* dec);
+};
+
+enum class MdsState : uint8_t { kStandby = 0, kActive = 1, kStopping = 2, kFailed = 3 };
+
+struct MdsInfo {
+  MdsState state = MdsState::kStandby;
+  // Rank within the active metadata cluster (which subtrees it owns is the
+  // MDS's own business; the map only tracks membership).
+  int32_t rank = -1;
+};
+
+struct MdsMap {
+  Epoch epoch = 0;
+  std::map<uint32_t, MdsInfo> mds;
+  std::map<std::string, std::string> service_metadata;
+
+  uint32_t NumActive() const;
+  void Encode(mal::Encoder* enc) const;
+  static mal::Result<MdsMap> Decode(mal::Decoder* dec);
+};
+
+// Which map a transaction or subscription targets.
+enum class MapKind : uint8_t { kOsdMap = 0, kMdsMap = 1 };
+
+}  // namespace mal::mon
+
+#endif  // MALACOLOGY_MON_MAPS_H_

@@ -1,0 +1,125 @@
+// Wire messages for the monitor subsystem (envelope types 100-199).
+#ifndef MALACOLOGY_MON_MESSAGES_H_
+#define MALACOLOGY_MON_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/mon/maps.h"
+#include "src/sim/network.h"
+
+namespace mal::mon {
+
+enum MsgType : uint32_t {
+  kMsgPaxos = 100,        // monitor <-> monitor consensus traffic
+  kMsgMonCommand = 101,   // client/daemon -> monitor transaction
+  kMsgGetMap = 102,       // fetch current map of a kind
+  kMsgSubscribe = 103,    // register for push updates of a map
+  kMsgMapUpdate = 104,    // monitor -> subscriber push (one-way)
+  kMsgLogEntry = 105,     // daemon -> monitor centralized cluster log
+  kMsgGetClusterLog = 106,
+};
+
+// A transaction applied to monitor state through Paxos. One MonCommand
+// request carries one transaction; the leader batches all transactions
+// accumulated during a proposal interval into a single Paxos value.
+struct Transaction {
+  enum class Op : uint8_t {
+    kSetServiceMetadata = 0,  // map_kind, key, value
+    kOsdBoot = 1,             // daemon_id
+    kOsdFail = 2,             // daemon_id
+    kMdsBoot = 3,             // daemon_id
+    kMdsFail = 4,             // daemon_id
+    kSetPgCount = 5,          // number in `value`
+  };
+
+  Op op = Op::kSetServiceMetadata;
+  MapKind map_kind = MapKind::kOsdMap;
+  uint32_t daemon_id = 0;
+  std::string key;
+  std::string value;
+
+  void Encode(mal::Encoder* enc) const;
+  static Transaction DecodeOne(mal::Decoder* dec);
+
+  static void EncodeBatch(mal::Encoder* enc, const std::vector<Transaction>& batch);
+  static std::vector<Transaction> DecodeBatch(mal::Decoder* dec);
+};
+
+struct GetMapRequest {
+  MapKind kind = MapKind::kOsdMap;
+  void Encode(mal::Encoder* enc) const { enc->PutU8(static_cast<uint8_t>(kind)); }
+  static GetMapRequest Decode(mal::Decoder* dec) {
+    return {static_cast<MapKind>(dec->GetU8())};
+  }
+};
+
+struct SubscribeRequest {
+  MapKind kind = MapKind::kOsdMap;
+  Epoch have_epoch = 0;  // monitor replies immediately if it has newer
+  sim::EntityName subscriber;
+
+  void Encode(mal::Encoder* enc) const {
+    enc->PutU8(static_cast<uint8_t>(kind));
+    enc->PutU64(have_epoch);
+    subscriber.Encode(enc);
+  }
+  static SubscribeRequest Decode(mal::Decoder* dec) {
+    SubscribeRequest req;
+    req.kind = static_cast<MapKind>(dec->GetU8());
+    req.have_epoch = dec->GetU64();
+    req.subscriber = sim::EntityName::Decode(dec);
+    return req;
+  }
+};
+
+// Map push: kind tag + encoded map.
+struct MapUpdate {
+  MapKind kind = MapKind::kOsdMap;
+  mal::Buffer map_payload;
+
+  void Encode(mal::Encoder* enc) const {
+    enc->PutU8(static_cast<uint8_t>(kind));
+    enc->PutBuffer(map_payload);
+  }
+  static MapUpdate Decode(mal::Decoder* dec) {
+    MapUpdate update;
+    update.kind = static_cast<MapKind>(dec->GetU8());
+    update.map_payload = dec->GetBuffer();
+    return update;
+  }
+};
+
+// Centralized cluster log entry (paper §5.1.3: "Mantle re-uses the
+// centralized logging features of the monitoring service").
+struct ClusterLogEntry {
+  uint64_t time_ns = 0;
+  uint64_t seq = 0;      // per-source sequence, breaks same-timestamp ties
+  std::string source;    // e.g. "mds.2"
+  std::string severity;  // "INFO" | "WARN" | "ERROR"
+  std::string message;
+
+  void Encode(mal::Encoder* enc) const {
+    enc->PutU64(time_ns);
+    enc->PutU64(seq);
+    enc->PutString(source);
+    enc->PutString(severity);
+    enc->PutString(message);
+  }
+  static ClusterLogEntry Decode(mal::Decoder* dec) {
+    ClusterLogEntry e;
+    e.time_ns = dec->GetU64();
+    e.seq = dec->GetU64();
+    e.source = dec->GetString();
+    e.severity = dec->GetString();
+    e.message = dec->GetString();
+    return e;
+  }
+};
+
+}  // namespace mal::mon
+
+#endif  // MALACOLOGY_MON_MESSAGES_H_

@@ -1,0 +1,125 @@
+// MonClient: helper every daemon and client embeds to talk to the monitor
+// quorum — submit transactions, fetch/subscribe to maps, and write to the
+// centralized cluster log. Retries against other quorum members on timeout.
+#ifndef MALACOLOGY_MON_MON_CLIENT_H_
+#define MALACOLOGY_MON_MON_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/mon/messages.h"
+#include "src/sim/actor.h"
+
+namespace mal::mon {
+
+class MonClient {
+ public:
+  MonClient(sim::Actor* owner, std::vector<uint32_t> mons)
+      : owner_(owner), mons_(std::move(mons)) {}
+
+  using AckHandler = std::function<void(mal::Status)>;
+  using MapHandler = std::function<void(mal::Status, const MapUpdate&)>;
+
+  // Submits a transaction; `on_done` fires after the transaction commits
+  // through Paxos (or fails after exhausting retries).
+  void SubmitTransaction(const Transaction& txn, AckHandler on_done) {
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    txn.Encode(&enc);
+    SendWithRetry(kMsgMonCommand, std::move(payload), 0,
+                  [on_done = std::move(on_done)](mal::Status status, const sim::Envelope&) {
+                    on_done(status);
+                  });
+  }
+
+  // Convenience: set a service-metadata key on a cluster map (the paper's
+  // Service Metadata interface).
+  void SetServiceMetadata(MapKind kind, const std::string& key, const std::string& value,
+                          AckHandler on_done) {
+    Transaction txn;
+    txn.op = Transaction::Op::kSetServiceMetadata;
+    txn.map_kind = kind;
+    txn.key = key;
+    txn.value = value;
+    SubmitTransaction(txn, std::move(on_done));
+  }
+
+  void GetMap(MapKind kind, MapHandler on_map) {
+    GetMapRequest req{kind};
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    req.Encode(&enc);
+    SendWithRetry(kMsgGetMap, std::move(payload), 0,
+                  [on_map = std::move(on_map)](mal::Status status,
+                                               const sim::Envelope& reply) {
+                    if (!status.ok()) {
+                      on_map(status, MapUpdate{});
+                      return;
+                    }
+                    mal::Decoder dec(reply.payload);
+                    on_map(mal::Status::Ok(), MapUpdate::Decode(&dec));
+                  });
+  }
+
+  // Registers for push updates (delivered to the owner as kMsgMapUpdate).
+  void Subscribe(MapKind kind, Epoch have_epoch) {
+    SubscribeRequest req;
+    req.kind = kind;
+    req.have_epoch = have_epoch;
+    req.subscriber = owner_->name();
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    req.Encode(&enc);
+    SendWithRetry(kMsgSubscribe, std::move(payload), 0,
+                  [](mal::Status, const sim::Envelope&) {});
+  }
+
+  // Centralized cluster log (fire-and-forget).
+  void Log(const std::string& severity, const std::string& message) {
+    ClusterLogEntry entry;
+    entry.time_ns = owner_->Now();
+    entry.seq = ++log_seq_;
+    entry.source = owner_->name().ToString();
+    entry.severity = severity;
+    entry.message = message;
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    entry.Encode(&enc);
+    owner_->SendOneWay(sim::EntityName::Mon(mons_[pick_ % mons_.size()]), kMsgLogEntry,
+                       std::move(payload));
+  }
+
+  const std::vector<uint32_t>& mons() const { return mons_; }
+
+ private:
+  void SendWithRetry(uint32_t type, mal::Buffer payload, size_t attempt,
+                     sim::Actor::ReplyHandler handler) {
+    if (attempt >= mons_.size() * 2) {
+      handler(mal::Status::Unavailable("monitor quorum unreachable"), sim::Envelope{});
+      return;
+    }
+    uint32_t mon = mons_[(pick_ + attempt) % mons_.size()];
+    owner_->SendRequest(
+        sim::EntityName::Mon(mon), type, payload,
+        [this, type, payload, attempt, handler = std::move(handler)](
+            mal::Status status, const sim::Envelope& reply) {
+          if (status.code() == mal::Code::kTimedOut ||
+              status.code() == mal::Code::kUnavailable) {
+            SendWithRetry(type, payload, attempt + 1, handler);
+            return;
+          }
+          handler(status, reply);
+        });
+  }
+
+  sim::Actor* owner_;
+  std::vector<uint32_t> mons_;
+  size_t pick_ = 0;
+  uint64_t log_seq_ = 0;
+};
+
+}  // namespace mal::mon
+
+#endif  // MALACOLOGY_MON_MON_CLIENT_H_

@@ -1,0 +1,366 @@
+#include "src/mon/monitor.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace mal::mon {
+
+void Transaction::Encode(mal::Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(op));
+  enc->PutU8(static_cast<uint8_t>(map_kind));
+  enc->PutU32(daemon_id);
+  enc->PutString(key);
+  enc->PutString(value);
+}
+
+Transaction Transaction::DecodeOne(mal::Decoder* dec) {
+  Transaction txn;
+  txn.op = static_cast<Op>(dec->GetU8());
+  txn.map_kind = static_cast<MapKind>(dec->GetU8());
+  txn.daemon_id = dec->GetU32();
+  txn.key = dec->GetString();
+  txn.value = dec->GetString();
+  return txn;
+}
+
+void Transaction::EncodeBatch(mal::Encoder* enc, const std::vector<Transaction>& batch) {
+  enc->PutVarU64(batch.size());
+  for (const Transaction& txn : batch) {
+    txn.Encode(enc);
+  }
+}
+
+std::vector<Transaction> Transaction::DecodeBatch(mal::Decoder* dec) {
+  std::vector<Transaction> batch;
+  uint64_t n = dec->GetVarU64();
+  for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+    batch.push_back(DecodeOne(dec));
+  }
+  return batch;
+}
+
+Monitor::Monitor(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+                 std::vector<uint32_t> quorum, MonitorConfig config)
+    : Actor(simulator, network, sim::EntityName::Mon(id)),
+      config_(config),
+      quorum_(std::move(quorum)) {
+  paxos_ = std::make_unique<consensus::PaxosNode>(
+      id, quorum_,
+      [this](uint32_t peer, const consensus::PaxosMessage& msg) {
+        mal::Buffer payload;
+        mal::Encoder enc(&payload);
+        msg.Encode(&enc);
+        SendOneWay(sim::EntityName::Mon(peer), kMsgPaxos, std::move(payload));
+      },
+      [this](uint64_t /*instance*/, const mal::Buffer& value) { ApplyCommitted(value); });
+}
+
+void Monitor::Boot() {
+  last_leader_contact_ = Now();
+  if (name().id == *std::min_element(quorum_.begin(), quorum_.end())) {
+    paxos_->StartElection();
+  }
+  StartPeriodic(config_.proposal_interval, [this] { ProposeBatch(); });
+  StartPeriodic(config_.retransmit_interval, [this] {
+    paxos_->Retransmit();
+    paxos_->Heartbeat();
+  });
+  StartPeriodic(config_.election_timeout, [this] {
+    if (!paxos_->IsLeader() && Now() - last_leader_contact_ > config_.election_timeout) {
+      MAL_INFO(name().ToString()) << "leader timeout, starting election";
+      paxos_->StartElection();
+    }
+  });
+}
+
+void Monitor::Crash() {
+  Actor::Crash();
+  paxos_->StepDown();
+  pending_batch_.clear();
+  waiting_acks_.clear();
+}
+
+void Monitor::Recover() {
+  Actor::Recover();
+  // NB: paxos acceptor state (promises/accepts) survives: the monitor store
+  // is durable in Ceph, and we model that by keeping PaxosNode state.
+  Boot();
+}
+
+void Monitor::HandleRequest(const sim::Envelope& request) {
+  switch (request.type) {
+    case kMsgPaxos:
+      HandlePaxos(request);
+      break;
+    case kMsgMonCommand:
+      HandleCommand(request);
+      break;
+    case kMsgGetMap:
+      HandleGetMap(request);
+      break;
+    case kMsgSubscribe:
+      HandleSubscribe(request);
+      break;
+    case kMsgLogEntry:
+      HandleLogEntry(request);
+      break;
+    case kMsgGetClusterLog:
+      HandleGetClusterLog(request);
+      break;
+    default:
+      ReplyError(request, mal::Status::Unimplemented("unknown monitor message"));
+  }
+}
+
+void Monitor::HandlePaxos(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  auto msg = consensus::PaxosMessage::Decode(&dec);
+  if (!msg.ok()) {
+    MAL_WARN(name().ToString()) << "bad paxos message: " << msg.status();
+    return;
+  }
+  // Only leader-originated traffic counts as evidence the leader is alive;
+  // follower-to-follower chatter (promises, catchup requests) must not
+  // suppress failure detection.
+  switch (msg.value().type) {
+    case consensus::PaxosMsgType::kPrepare:
+    case consensus::PaxosMsgType::kAccept:
+    case consensus::PaxosMsgType::kCommit:
+      last_leader_contact_ = Now();
+      break;
+    default:
+      break;
+  }
+  if (config_.store_commit_latency > 0 &&
+      msg.value().type == consensus::PaxosMsgType::kAccept) {
+    // Model the fsync an acceptor performs before acknowledging.
+    auto accept = std::move(msg).value();
+    AfterCpu(config_.store_commit_latency,
+             [this, accept = std::move(accept)] { paxos_->HandleMessage(accept); });
+    return;
+  }
+  paxos_->HandleMessage(msg.value());
+}
+
+uint32_t Monitor::LeaderHint() const {
+  // The low 16 ballot bits carry the node id of the ballot owner.
+  uint64_t ballot = paxos_->promised_ballot();
+  return static_cast<uint32_t>(ballot & 0xffff);
+}
+
+void Monitor::HandleCommand(const sim::Envelope& request) {
+  if (!paxos_->IsLeader()) {
+    // Forward to the believed leader and relay the reply back.
+    uint32_t leader = LeaderHint();
+    if (leader == name().id || std::find(quorum_.begin(), quorum_.end(), leader) ==
+                                   quorum_.end()) {
+      ReplyError(request, mal::Status::Unavailable("no monitor leader known"));
+      return;
+    }
+    sim::Envelope original = request;
+    SendRequest(sim::EntityName::Mon(leader), kMsgMonCommand, request.payload,
+                [this, original](mal::Status status, const sim::Envelope& reply) {
+                  if (status.ok()) {
+                    Reply(original, reply.payload);
+                  } else {
+                    ReplyError(original, status);
+                  }
+                });
+    return;
+  }
+  mal::Decoder dec(request.payload);
+  Transaction txn = Transaction::DecodeOne(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad transaction"));
+    return;
+  }
+  pending_batch_.push_back(std::move(txn));
+  waiting_acks_.emplace_back(next_batch_id_, request);
+}
+
+void Monitor::ProposeBatch() {
+  if (!paxos_->IsLeader() || pending_batch_.empty()) {
+    return;
+  }
+  mal::Buffer value;
+  mal::Encoder enc(&value);
+  enc.PutU64(next_batch_id_);
+  enc.PutU32(name().id);
+  Transaction::EncodeBatch(&enc, pending_batch_);
+  pending_batch_.clear();
+  ++next_batch_id_;
+
+  if (config_.store_commit_latency > 0) {
+    AfterCpu(config_.store_commit_latency,
+             [this, value = std::move(value)] { paxos_->Propose(value); });
+  } else {
+    paxos_->Propose(std::move(value));
+  }
+}
+
+void Monitor::ApplyCommitted(const mal::Buffer& value) {
+  mal::Decoder dec(value);
+  uint64_t batch_id = dec.GetU64();
+  uint32_t proposer = dec.GetU32();
+  std::vector<Transaction> batch = Transaction::DecodeBatch(&dec);
+  ++applied_batches_;
+
+  bool osd_dirty = false;
+  bool mds_dirty = false;
+  for (const Transaction& txn : batch) {
+    ApplyTransaction(txn, &osd_dirty, &mds_dirty);
+  }
+  if (osd_dirty) {
+    ++osd_map_.epoch;
+    PushMap(MapKind::kOsdMap);
+  }
+  if (mds_dirty) {
+    ++mds_map_.epoch;
+    PushMap(MapKind::kMdsMap);
+  }
+  if (on_apply) {
+    on_apply(batch);
+  }
+  // Ack the requests that were folded into this batch (proposer only).
+  if (proposer == name().id) {
+    auto it = waiting_acks_.begin();
+    while (it != waiting_acks_.end()) {
+      if (it->first == batch_id) {
+        mal::Buffer ack;
+        mal::Encoder enc(&ack);
+        enc.PutU64(osd_map_.epoch);
+        enc.PutU64(mds_map_.epoch);
+        Reply(it->second, std::move(ack));
+        it = waiting_acks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Monitor::ApplyTransaction(const Transaction& txn, bool* osd_dirty, bool* mds_dirty) {
+  switch (txn.op) {
+    case Transaction::Op::kSetServiceMetadata:
+      if (txn.map_kind == MapKind::kOsdMap) {
+        osd_map_.service_metadata[txn.key] = txn.value;
+        *osd_dirty = true;
+      } else {
+        mds_map_.service_metadata[txn.key] = txn.value;
+        *mds_dirty = true;
+      }
+      break;
+    case Transaction::Op::kOsdBoot:
+      osd_map_.osds[txn.daemon_id].up = true;
+      *osd_dirty = true;
+      break;
+    case Transaction::Op::kOsdFail:
+      osd_map_.osds[txn.daemon_id].up = false;
+      *osd_dirty = true;
+      break;
+    case Transaction::Op::kMdsBoot: {
+      MdsInfo& info = mds_map_.mds[txn.daemon_id];
+      info.state = MdsState::kActive;
+      if (info.rank < 0) {
+        int32_t max_rank = -1;
+        for (const auto& [id, other] : mds_map_.mds) {
+          max_rank = std::max(max_rank, other.rank);
+        }
+        info.rank = max_rank + 1;
+      }
+      *mds_dirty = true;
+      break;
+    }
+    case Transaction::Op::kMdsFail:
+      mds_map_.mds[txn.daemon_id].state = MdsState::kFailed;
+      *mds_dirty = true;
+      break;
+    case Transaction::Op::kSetPgCount:
+      osd_map_.pg_count = static_cast<uint32_t>(std::stoul(txn.value));
+      *osd_dirty = true;
+      break;
+  }
+}
+
+mal::Buffer Monitor::EncodeMap(MapKind kind) const {
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  MapUpdate update;
+  update.kind = kind;
+  mal::Encoder map_enc(&update.map_payload);
+  if (kind == MapKind::kOsdMap) {
+    osd_map_.Encode(&map_enc);
+  } else {
+    mds_map_.Encode(&map_enc);
+  }
+  update.Encode(&enc);
+  return payload;
+}
+
+void Monitor::PushMap(MapKind kind) {
+  const auto& subscribers =
+      kind == MapKind::kOsdMap ? osd_subscribers_ : mds_subscribers_;
+  for (const sim::EntityName& sub : subscribers) {
+    SendOneWay(sub, kMsgMapUpdate, EncodeMap(kind));
+  }
+}
+
+void Monitor::HandleGetMap(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  GetMapRequest req = GetMapRequest::Decode(&dec);
+  Reply(request, EncodeMap(req.kind));
+}
+
+void Monitor::HandleSubscribe(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  SubscribeRequest req = SubscribeRequest::Decode(&dec);
+  if (req.kind == MapKind::kOsdMap) {
+    osd_subscribers_.insert(req.subscriber);
+  } else {
+    mds_subscribers_.insert(req.subscriber);
+  }
+  Epoch current = req.kind == MapKind::kOsdMap ? osd_map_.epoch : mds_map_.epoch;
+  if (current > req.have_epoch) {
+    SendOneWay(req.subscriber, kMsgMapUpdate, EncodeMap(req.kind));
+  }
+  Reply(request, mal::Buffer());
+}
+
+void Monitor::HandleLogEntry(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  ClusterLogEntry entry = ClusterLogEntry::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad log entry"));
+    return;
+  }
+  // Entries can arrive out of order (one-way sends race); keep the log
+  // ordered by the source timestamp so operators see causal order.
+  auto pos = std::upper_bound(cluster_log_.begin(), cluster_log_.end(), entry,
+                              [](const ClusterLogEntry& a, const ClusterLogEntry& b) {
+                                return std::tie(a.time_ns, a.source, a.seq) <
+                                       std::tie(b.time_ns, b.source, b.seq);
+                              });
+  cluster_log_.insert(pos, entry);
+  // Fan out so every monitor holds the log (centralized view, replicated).
+  for (uint32_t peer : quorum_) {
+    if (peer != name().id && request.from.type != sim::EntityType::kMon) {
+      SendOneWay(sim::EntityName::Mon(peer), kMsgLogEntry, request.payload);
+    }
+  }
+  if (request.rpc_id != 0 && request.from.type != sim::EntityType::kMon) {
+    Reply(request, mal::Buffer());
+  }
+}
+
+void Monitor::HandleGetClusterLog(const sim::Envelope& request) {
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutVarU64(cluster_log_.size());
+  for (const ClusterLogEntry& entry : cluster_log_) {
+    entry.Encode(&enc);
+  }
+  Reply(request, std::move(payload));
+}
+
+}  // namespace mal::mon

@@ -1,0 +1,97 @@
+// Monitor daemon: the consensus heart of the cluster.
+//
+// Each Monitor actor embeds a Paxos node. Client/daemon transactions are
+// forwarded to the current leader, batched for one proposal interval
+// (paper §6.1.2: "By default Paxos proposals occur periodically with a
+// 1 second interval in order to accumulate updates ... we were able to
+// decrease this interval to an average of 222 ms"), committed through
+// Paxos, applied to the cluster maps, and pushed to subscribers.
+//
+// The monitor also hosts the centralized cluster log that Mantle uses for
+// warnings/errors (paper §5.1.3).
+#ifndef MALACOLOGY_MON_MONITOR_H_
+#define MALACOLOGY_MON_MONITOR_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/consensus/paxos.h"
+#include "src/mon/maps.h"
+#include "src/mon/messages.h"
+#include "src/sim/actor.h"
+
+namespace mal::mon {
+
+struct MonitorConfig {
+  // Time the leader accumulates transactions before proposing.
+  sim::Time proposal_interval = 1 * sim::kSecond;
+  // Added to each proposal to model the commit fsync on the monitor store
+  // (the paper contrasts RAM-backed vs HDD-backed monitors in Fig 8).
+  sim::Time store_commit_latency = 0;
+  sim::Time retransmit_interval = 500 * sim::kMillisecond;
+  sim::Time election_timeout = 2 * sim::kSecond;
+};
+
+class Monitor : public sim::Actor {
+ public:
+  Monitor(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+          std::vector<uint32_t> quorum, MonitorConfig config = {});
+
+  // Starts timers; the lowest-id monitor campaigns for leadership.
+  void Boot();
+
+  bool IsLeader() const { return paxos_->IsLeader(); }
+  const OsdMap& osd_map() const { return osd_map_; }
+  const MdsMap& mds_map() const { return mds_map_; }
+  const std::vector<ClusterLogEntry>& cluster_log() const { return cluster_log_; }
+
+  // Observer hook for experiments: fired when a committed transaction batch
+  // has been applied (after map epochs bump).
+  std::function<void(const std::vector<Transaction>&)> on_apply;
+
+  void Crash() override;
+  void Recover() override;
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override;
+
+ private:
+  void HandlePaxos(const sim::Envelope& request);
+  void HandleCommand(const sim::Envelope& request);
+  void HandleGetMap(const sim::Envelope& request);
+  void HandleSubscribe(const sim::Envelope& request);
+  void HandleLogEntry(const sim::Envelope& request);
+  void HandleGetClusterLog(const sim::Envelope& request);
+
+  void ProposeBatch();
+  void ApplyCommitted(const mal::Buffer& value);
+  void ApplyTransaction(const Transaction& txn, bool* osd_dirty, bool* mds_dirty);
+  void PushMap(MapKind kind);
+  mal::Buffer EncodeMap(MapKind kind) const;
+  uint32_t LeaderHint() const;
+
+  MonitorConfig config_;
+  std::vector<uint32_t> quorum_;
+  std::unique_ptr<consensus::PaxosNode> paxos_;
+
+  OsdMap osd_map_;
+  MdsMap mds_map_;
+  std::vector<ClusterLogEntry> cluster_log_;
+
+  std::vector<Transaction> pending_batch_;
+  // Requests waiting for their transaction to commit: batch sequence ->
+  // envelopes to ack. Keyed by the batch id we assign when proposing.
+  std::vector<std::pair<uint64_t, sim::Envelope>> waiting_acks_;
+  uint64_t next_batch_id_ = 1;
+  uint64_t applied_batches_ = 0;
+
+  std::set<sim::EntityName> osd_subscribers_;
+  std::set<sim::EntityName> mds_subscribers_;
+  sim::Time last_leader_contact_ = 0;
+};
+
+}  // namespace mal::mon
+
+#endif  // MALACOLOGY_MON_MONITOR_H_

@@ -1,0 +1,340 @@
+#include "src/osd/object_store.h"
+
+namespace mal::osd {
+
+void Object::Encode(mal::Encoder* enc) const {
+  enc->PutBuffer(data);
+  EncodeStringMap(enc, omap);
+  EncodeStringMap(enc, xattrs);
+  enc->PutVarU64(snapshots.size());
+  for (const auto& [name, snap] : snapshots) {
+    enc->PutString(name);
+    enc->PutBuffer(snap);
+  }
+  enc->PutU64(version);
+}
+
+Object Object::Decode(mal::Decoder* dec) {
+  Object object;
+  object.data = dec->GetBuffer();
+  object.omap = DecodeStringMap(dec);
+  object.xattrs = DecodeStringMap(dec);
+  uint64_t n = dec->GetVarU64();
+  for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+    std::string name = dec->GetString();
+    object.snapshots[name] = dec->GetBuffer();
+  }
+  object.version = dec->GetU64();
+  return object;
+}
+
+void Op::Encode(mal::Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type));
+  enc->PutBool(excl);
+  enc->PutU64(offset);
+  enc->PutU64(length);
+  enc->PutBuffer(data);
+  enc->PutString(key);
+  enc->PutString(value);
+  enc->PutString(cls_name);
+  enc->PutString(method);
+}
+
+Op Op::Decode(mal::Decoder* dec) {
+  Op op;
+  op.type = static_cast<Type>(dec->GetU8());
+  op.excl = dec->GetBool();
+  op.offset = dec->GetU64();
+  op.length = dec->GetU64();
+  op.data = dec->GetBuffer();
+  op.key = dec->GetString();
+  op.value = dec->GetString();
+  op.cls_name = dec->GetString();
+  op.method = dec->GetString();
+  return op;
+}
+
+mal::Result<const Object*> ObjectStore::Get(const std::string& oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return mal::Status::NotFound("object " + oid);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ObjectStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [oid, object] : objects_) {
+    names.push_back(oid);
+  }
+  return names;
+}
+
+uint64_t ObjectStore::bytes_used() const {
+  uint64_t total = 0;
+  for (const auto& [oid, object] : objects_) {
+    total += object.data.size();
+    for (const auto& [k, v] : object.omap) {
+      total += k.size() + v.size();
+    }
+  }
+  return total;
+}
+
+mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vector<Op>& ops,
+                                          std::vector<OpResult>* results) {
+  results->clear();
+  results->resize(ops.size());
+
+  // Stage: copy-on-write of the single target object. All ops execute
+  // against the staged copy; commit swaps it in only if every op succeeded.
+  std::optional<Object> staged;
+  bool existed = false;
+  if (auto it = objects_.find(oid); it != objects_.end()) {
+    staged = it->second;
+    existed = true;
+  }
+  bool removed = false;
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (op.type == Op::Type::kExec) {
+      (*results)[i].status =
+          mal::Status::Internal("kExec must be expanded by the class runtime");
+      return (*results)[i].status;
+    }
+    if (op.type == Op::Type::kRemove) {
+      if (!staged.has_value()) {
+        (*results)[i].status = mal::Status::NotFound("object " + oid);
+        return (*results)[i].status;
+      }
+      staged.reset();
+      removed = true;
+      (*results)[i].status = mal::Status::Ok();
+      continue;
+    }
+    mal::Status s = ApplyOp(op, &staged, &(*results)[i]);
+    (*results)[i].status = s;
+    if (!s.ok()) {
+      return s;  // abort: nothing applied
+    }
+  }
+
+  // Commit.
+  if (removed && !staged.has_value()) {
+    objects_.erase(oid);
+    return mal::Status::Ok();
+  }
+  if (staged.has_value()) {
+    bool mutated = !existed;
+    for (const Op& op : ops) {
+      switch (op.type) {
+        case Op::Type::kCreate:
+        case Op::Type::kWrite:
+        case Op::Type::kWriteFull:
+        case Op::Type::kAppend:
+        case Op::Type::kTruncate:
+        case Op::Type::kOmapSet:
+        case Op::Type::kOmapDel:
+        case Op::Type::kXattrSet:
+        case Op::Type::kSnapCreate:
+        case Op::Type::kSnapRemove:
+          mutated = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (mutated) {
+      ++staged->version;
+      objects_[oid] = std::move(*staged);
+    }
+  }
+  return mal::Status::Ok();
+}
+
+mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
+                                 OpResult* result) {
+  auto require = [&]() -> mal::Status {
+    if (!object->has_value()) {
+      return mal::Status::NotFound("object does not exist");
+    }
+    return mal::Status::Ok();
+  };
+  auto materialize = [&]() {
+    if (!object->has_value()) {
+      object->emplace();
+    }
+  };
+
+  switch (op.type) {
+    case Op::Type::kCreate:
+      if (object->has_value()) {
+        return op.excl ? mal::Status::AlreadyExists() : mal::Status::Ok();
+      }
+      materialize();
+      return mal::Status::Ok();
+
+    case Op::Type::kRead: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      uint64_t len = op.length == 0 ? (*object)->data.size() : op.length;
+      result->out = (*object)->data.Read(op.offset, len);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kWrite:
+      materialize();
+      (*object)->data.Write(op.offset, op.data.data(), op.data.size());
+      return mal::Status::Ok();
+
+    case Op::Type::kWriteFull:
+      materialize();
+      (*object)->data = op.data;
+      return mal::Status::Ok();
+
+    case Op::Type::kAppend:
+      materialize();
+      (*object)->data.Append(op.data);
+      return mal::Status::Ok();
+
+    case Op::Type::kTruncate: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      (*object)->data.Resize(op.offset);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kStat: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      mal::Encoder enc(&result->out);
+      enc.PutU64((*object)->data.size());
+      enc.PutU64((*object)->version);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kOmapGet: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      auto it = (*object)->omap.find(op.key);
+      if (it == (*object)->omap.end()) {
+        return mal::Status::NotFound("omap key " + op.key);
+      }
+      result->out = mal::Buffer::FromString(it->second);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kOmapSet:
+      materialize();
+      (*object)->omap[op.key] = op.value;
+      return mal::Status::Ok();
+
+    case Op::Type::kOmapDel: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      (*object)->omap.erase(op.key);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kOmapList: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      std::map<std::string, std::string> matched;
+      for (const auto& [k, v] : (*object)->omap) {
+        if (k.rfind(op.key, 0) == 0) {  // prefix match
+          matched[k] = v;
+        }
+      }
+      mal::Encoder enc(&result->out);
+      EncodeStringMap(&enc, matched);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kXattrGet: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      auto it = (*object)->xattrs.find(op.key);
+      if (it == (*object)->xattrs.end()) {
+        return mal::Status::NotFound("xattr " + op.key);
+      }
+      result->out = mal::Buffer::FromString(it->second);
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kXattrSet:
+      materialize();
+      (*object)->xattrs[op.key] = op.value;
+      return mal::Status::Ok();
+
+    case Op::Type::kCmpXattr: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      auto it = (*object)->xattrs.find(op.key);
+      if (it == (*object)->xattrs.end() || it->second != op.value) {
+        return mal::Status::Aborted("cmpxattr mismatch on " + op.key);
+      }
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kSnapCreate: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      if ((*object)->snapshots.count(op.key) != 0) {
+        return mal::Status::AlreadyExists("snapshot " + op.key);
+      }
+      (*object)->snapshots[op.key] = (*object)->data;
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kSnapRead: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      auto it = (*object)->snapshots.find(op.key);
+      if (it == (*object)->snapshots.end()) {
+        return mal::Status::NotFound("snapshot " + op.key);
+      }
+      result->out = it->second;
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kSnapRemove: {
+      mal::Status s = require();
+      if (!s.ok()) {
+        return s;
+      }
+      if ((*object)->snapshots.erase(op.key) == 0) {
+        return mal::Status::NotFound("snapshot " + op.key);
+      }
+      return mal::Status::Ok();
+    }
+
+    case Op::Type::kRemove:
+    case Op::Type::kExec:
+      return mal::Status::Internal("handled by caller");
+  }
+  return mal::Status::Internal("unknown op");
+}
+
+}  // namespace mal::osd

@@ -1,0 +1,118 @@
+// Local object store: the storage engine inside each OSD.
+//
+// An object is a bytestream plus a sorted key-value map ("omap") plus
+// extended attributes — exactly the native interfaces Ceph exposes to
+// object classes (paper §4.2: "reading and writing to a byte stream,
+// controlling object snapshots and clones, and accessing a sorted
+// key-value database"). Operations are grouped into transactions that
+// apply atomically: either every op succeeds or the object set is
+// untouched. This transactional composition is what lets object classes
+// build semantically rich interfaces (e.g. "atomically update a matrix in
+// the bytestream and its index in the key-value database").
+#ifndef MALACOLOGY_OSD_OBJECT_STORE_H_
+#define MALACOLOGY_OSD_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace mal::osd {
+
+struct Object {
+  mal::Buffer data;
+  std::map<std::string, std::string> omap;
+  std::map<std::string, std::string> xattrs;
+  // Named point-in-time copies of the bytestream ("controlling object
+  // snapshots and clones" is one of the native interfaces of §4.2).
+  std::map<std::string, mal::Buffer> snapshots;
+  uint64_t version = 0;  // bumped on every mutating transaction
+
+  void Encode(mal::Encoder* enc) const;
+  static Object Decode(mal::Decoder* dec);
+};
+
+// One primitive operation on an object.
+struct Op {
+  enum class Type : uint8_t {
+    kCreate = 0,      // flags: excl -> kAlreadyExists if present
+    kRemove = 1,
+    kRead = 2,        // offset, length -> out
+    kWrite = 3,       // offset, data
+    kWriteFull = 4,   // data (replaces bytestream)
+    kAppend = 5,      // data
+    kTruncate = 6,    // offset = new size
+    kStat = 7,        // -> out: u64 size, u64 version
+    kOmapGet = 8,     // key -> out (kNotFound if absent)
+    kOmapSet = 9,     // key, value
+    kOmapDel = 10,    // key
+    kOmapList = 11,   // key = prefix -> out: encoded map
+    kXattrGet = 12,   // key -> out
+    kXattrSet = 13,   // key, value
+    kCmpXattr = 14,   // key, value -> kAborted unless equal (guard op)
+    kExec = 15,       // cls_name, method, data = input -> out (handled by OSD)
+    kSnapCreate = 16, // key = snapshot name (kAlreadyExists if taken)
+    kSnapRead = 17,   // key = snapshot name -> out: snapshot bytes
+    kSnapRemove = 18, // key = snapshot name
+  };
+
+  Type type = Type::kRead;
+  bool excl = false;       // kCreate: fail if object exists
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  mal::Buffer data;
+  std::string key;
+  std::string value;
+  std::string cls_name;    // kExec
+  std::string method;      // kExec
+
+  void Encode(mal::Encoder* enc) const;
+  static Op Decode(mal::Decoder* dec);
+};
+
+struct OpResult {
+  mal::Status status;
+  mal::Buffer out;
+};
+
+// The whole-store interface. Thread-free: the simulated OSD serializes all
+// access through its CPU model.
+class ObjectStore {
+ public:
+  // Executes all ops on `oid` atomically. If any op fails (other than
+  // per-op reads reporting kNotFound data — those fail the transaction
+  // too), no mutation is applied and the failing status is returned.
+  // Per-op results land in `results` (sized to ops) for the caller to
+  // forward. kExec ops must be resolved by the caller into primitive ops
+  // via the class runtime; the store rejects them here.
+  mal::Status ApplyTransaction(const std::string& oid, const std::vector<Op>& ops,
+                               std::vector<OpResult>* results);
+
+  bool Exists(const std::string& oid) const { return objects_.count(oid) != 0; }
+  mal::Result<const Object*> Get(const std::string& oid) const;
+
+  // Direct object install (recovery path: replica push).
+  void Put(const std::string& oid, Object object) { objects_[oid] = std::move(object); }
+  void Remove(const std::string& oid) { objects_.erase(oid); }
+
+  std::vector<std::string> List() const;
+  size_t size() const { return objects_.size(); }
+
+  uint64_t bytes_used() const;
+
+  // Applies one op against a staged object (nullopt = does not exist yet).
+  // Public and static so the OSD's class runtime can expand kExec ops
+  // against a staged copy before committing.
+  static mal::Status ApplyOp(const Op& op, std::optional<Object>* object, OpResult* result);
+
+ private:
+  std::map<std::string, Object> objects_;
+};
+
+}  // namespace mal::osd
+
+#endif  // MALACOLOGY_OSD_OBJECT_STORE_H_

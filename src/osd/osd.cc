@@ -1,0 +1,611 @@
+#include "src/osd/osd.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/log.h"
+
+namespace mal::osd {
+
+Osd::Osd(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+         std::vector<uint32_t> mons, OsdConfig config)
+    : Actor(simulator, network, sim::EntityName::Osd(id)),
+      config_(config),
+      mon_client_(this, std::move(mons)),
+      rng_(config.seed * 0x9e3779b97f4a7c15ULL + id) {
+  cls::RegisterBuiltinClasses(&registry_);
+}
+
+void Osd::Boot() {
+  mon::Transaction boot;
+  boot.op = mon::Transaction::Op::kOsdBoot;
+  boot.daemon_id = name().id;
+  mon_client_.SubmitTransaction(boot, [this](mal::Status s) {
+    if (!s.ok()) {
+      MAL_WARN(name().ToString()) << "boot registration failed: " << s;
+    }
+  });
+  if (config_.subscribe_to_mon) {
+    mon_client_.Subscribe(mon::MapKind::kOsdMap, osd_map_.epoch);
+  } else {
+    mon_client_.GetMap(mon::MapKind::kOsdMap,
+                       [this](mal::Status s, const mon::MapUpdate& update) {
+                         if (!s.ok()) {
+                           return;
+                         }
+                         mal::Decoder dec(update.map_payload);
+                         auto map = mon::OsdMap::Decode(&dec);
+                         if (map.ok()) {
+                           AdoptMap(map.value(), /*gossip=*/false);
+                         }
+                       });
+  }
+  if (config_.scrub_interval > 0) {
+    StartPeriodic(config_.scrub_interval, [this] { ScrubTick(); });
+  }
+  StartPeriodic(config_.gossip_interval, [this] {
+    // Anti-entropy: push our map to one random up peer.
+    std::vector<uint32_t> peers;
+    for (const auto& [id, info] : osd_map_.osds) {
+      if (info.up && id != name().id) {
+        peers.push_back(id);
+      }
+    }
+    if (!peers.empty()) {
+      GossipTo(peers[rng_.NextBelow(peers.size())]);
+    }
+  });
+}
+
+void Osd::Crash() { Actor::Crash(); }
+
+void Osd::Recover() {
+  Actor::Recover();
+  // ObjectStore contents survive (disk); map may be stale — resubscribe.
+  Boot();
+}
+
+void Osd::HandleRequest(const sim::Envelope& request) {
+  switch (request.type) {
+    case kMsgOsdOp:
+      HandleOsdOp(request);
+      break;
+    case kMsgRepOp:
+      HandleRepOp(request);
+      break;
+    case kMsgGossipMap:
+      HandleGossip(request);
+      break;
+    case kMsgPullObject:
+      HandlePull(request);
+      break;
+    case kMsgScrub:
+      HandleScrub(request);
+      break;
+    case kMsgWatch:
+      HandleWatch(request);
+      break;
+    case kMsgPushObject: {
+      // Scrub repair: install the primary's authoritative copy.
+      mal::Decoder dec(request.payload);
+      std::string oid = dec.GetString();
+      Object object = Object::Decode(&dec);
+      if (dec.ok()) {
+        store_.Put(oid, std::move(object));
+        Reply(request, mal::Buffer());
+      } else {
+        ReplyError(request, mal::Status::Corruption("bad push payload"));
+      }
+      break;
+    }
+    case mon::kMsgMapUpdate: {
+      mal::Decoder dec(request.payload);
+      mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
+      if (update.kind != mon::MapKind::kOsdMap) {
+        return;
+      }
+      mal::Decoder map_dec(update.map_payload);
+      auto map = mon::OsdMap::Decode(&map_dec);
+      if (map.ok()) {
+        AdoptMap(map.value(), /*gossip=*/true);
+      }
+      break;
+    }
+    default:
+      ReplyError(request, mal::Status::Unimplemented("unknown OSD message"));
+  }
+}
+
+sim::Time Osd::OpCost(const OsdOpRequest& req) const {
+  sim::Time cost = config_.op_cpu_cost;
+  for (const Op& op : req.ops) {
+    cost += static_cast<sim::Time>(config_.per_byte_cpu_ns *
+                                   static_cast<double>(op.data.size()));
+    if (op.type == Op::Type::kExec && registry_.ScriptVersion(op.cls_name) != "") {
+      cost += config_.script_exec_cost;
+    }
+  }
+  return cost;
+}
+
+mal::Status Osd::ExpandTransaction(const OsdOpRequest& req, std::vector<OpResult>* results,
+                                   std::vector<Op>* expanded) {
+  results->clear();
+  results->resize(req.ops.size());
+  expanded->clear();
+
+  std::optional<Object> staged;
+  if (auto existing = store_.Get(req.oid); existing.ok()) {
+    staged = *existing.value();
+  }
+  bool removed = false;
+
+  for (size_t i = 0; i < req.ops.size(); ++i) {
+    const Op& op = req.ops[i];
+    OpResult& result = (*results)[i];
+    if (op.type == Op::Type::kExec) {
+      std::vector<Op> effects;
+      cls::ClsContext ctx(req.oid, &staged, &effects);
+      auto out = registry_.Execute(op.cls_name, op.method, ctx, op.data);
+      if (!out.ok()) {
+        result.status = out.status();
+        return result.status;
+      }
+      result.status = mal::Status::Ok();
+      result.out = std::move(out).value();
+      expanded->insert(expanded->end(), effects.begin(), effects.end());
+      continue;
+    }
+    if (op.type == Op::Type::kRemove) {
+      if (!staged.has_value()) {
+        result.status = mal::Status::NotFound("object " + req.oid);
+        return result.status;
+      }
+      staged.reset();
+      removed = true;
+      result.status = mal::Status::Ok();
+      expanded->push_back(op);
+      continue;
+    }
+    result.status = ObjectStore::ApplyOp(op, &staged, &result);
+    if (!result.status.ok()) {
+      return result.status;
+    }
+    expanded->push_back(op);
+  }
+  (void)removed;
+  return mal::Status::Ok();
+}
+
+namespace {
+
+bool IsMutating(const Op& op) {
+  switch (op.type) {
+    case Op::Type::kCreate:
+    case Op::Type::kRemove:
+    case Op::Type::kWrite:
+    case Op::Type::kWriteFull:
+    case Op::Type::kAppend:
+    case Op::Type::kTruncate:
+    case Op::Type::kOmapSet:
+    case Op::Type::kOmapDel:
+    case Op::Type::kXattrSet:
+    case Op::Type::kSnapCreate:
+    case Op::Type::kSnapRemove:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Osd::HandleOsdOp(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  OsdOpRequest req = OsdOpRequest::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad osd op"));
+    return;
+  }
+  // Primary check against our map view.
+  std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
+  if (acting.empty() || acting[0] != name().id) {
+    ReplyError(request, mal::Status::Unavailable("not primary for " + req.oid));
+    return;
+  }
+  // Re-peering: a newly-promoted primary may not hold the object yet.
+  if (config_.pull_on_miss && !store_.Exists(req.oid) && acting.size() > 1) {
+    bool reads_existing = false;
+    for (const Op& op : req.ops) {
+      switch (op.type) {
+        case Op::Type::kRead:
+        case Op::Type::kStat:
+        case Op::Type::kOmapGet:
+        case Op::Type::kOmapList:
+        case Op::Type::kXattrGet:
+        case Op::Type::kCmpXattr:
+        case Op::Type::kSnapRead:
+        case Op::Type::kExec:  // class methods may read prior state
+          reads_existing = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (reads_existing) {
+      // Candidate holders: the rest of the acting set first, then every
+      // other up OSD (after a placement-group split the old acting set can
+      // be disjoint from the new one; Ceph consults map history, we sweep).
+      std::vector<uint32_t> candidates(acting.begin() + 1, acting.end());
+      for (const auto& [id, info] : osd_map_.osds) {
+        if (info.up && id != name().id &&
+            std::find(candidates.begin(), candidates.end(), id) == candidates.end()) {
+          candidates.push_back(id);
+        }
+      }
+      PullThenExecute(request, req, candidates, 0);
+      return;
+    }
+  }
+  ExecuteOsdOp(request, req, acting);
+}
+
+void Osd::PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
+                          const std::vector<uint32_t>& candidates, size_t index) {
+  std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
+  if (index >= candidates.size()) {
+    ExecuteOsdOp(request, req, acting);  // nobody has it; proceed (NotFound)
+    return;
+  }
+  PullObjectRequest pull{req.oid};
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  pull.Encode(&enc);
+  SendRequest(sim::EntityName::Osd(candidates[index]), kMsgPullObject, std::move(payload),
+              [this, request, req, candidates, index, acting](
+                  mal::Status status, const sim::Envelope& reply) {
+                if (status.ok()) {
+                  mal::Decoder dec(reply.payload);
+                  store_.Put(req.oid, Object::Decode(&dec));
+                  ExecuteOsdOp(request, req, acting);
+                  return;
+                }
+                PullThenExecute(request, req, candidates, index + 1);
+              },
+              config_.pull_timeout);
+}
+
+void Osd::ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req_in,
+                       const std::vector<uint32_t>& acting) {
+  sim::Envelope req_envelope = request;
+  AfterCpu(OpCost(req_in), [this, req = req_in, req_envelope, acting] {
+    ++ops_served_;
+    auto results = std::make_shared<std::vector<OpResult>>();
+    std::vector<Op> expanded;
+    mal::Status status = ExpandTransaction(req, results.get(), &expanded);
+
+    auto send_reply = [this, req_envelope, results] {
+      OsdOpReply reply;
+      reply.map_epoch = osd_map_.epoch;
+      reply.results = *results;
+      mal::Buffer payload;
+      mal::Encoder enc(&payload);
+      reply.Encode(&enc);
+      Reply(req_envelope, std::move(payload));
+    };
+
+    bool mutating = false;
+    for (const Op& op : expanded) {
+      mutating = mutating || IsMutating(op);
+    }
+    if (!status.ok() || !mutating) {
+      send_reply();  // read-only or failed: no replication round
+      return;
+    }
+
+    // Commit locally.
+    std::vector<OpResult> local_results;
+    mal::Status commit = store_.ApplyTransaction(req.oid, expanded, &local_results);
+    if (commit.ok()) {
+      NotifyWatchers(req.oid);
+    }
+    if (!commit.ok()) {
+      // Should not happen: expansion validated the transaction.
+      MAL_ERROR(name().ToString()) << "commit failed after validation: " << commit;
+      (*results)[0].status = commit;
+      send_reply();
+      return;
+    }
+
+    // Replicate the expanded transaction.
+    std::vector<uint32_t> replicas(acting.begin() + 1, acting.end());
+    if (replicas.empty()) {
+      send_reply();
+      return;
+    }
+    OsdOpRequest rep;
+    rep.oid = req.oid;
+    rep.ops = expanded;
+    mal::Buffer rep_payload;
+    mal::Encoder rep_enc(&rep_payload);
+    rep.Encode(&rep_enc);
+
+    auto pending = std::make_shared<size_t>(replicas.size());
+    auto replied = std::make_shared<bool>(false);
+    for (uint32_t replica : replicas) {
+      SendRequest(sim::EntityName::Osd(replica), kMsgRepOp, rep_payload,
+                  [pending, replied, send_reply](mal::Status, const sim::Envelope&) {
+                    // Timeouts still decrement: a down replica must not
+                    // wedge the write (recovery heals it later).
+                    if (--*pending == 0 && !*replied) {
+                      *replied = true;
+                      send_reply();
+                    }
+                  },
+                  config_.replication_timeout);
+    }
+  });
+}
+
+void Osd::HandleRepOp(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  OsdOpRequest req = OsdOpRequest::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad rep op"));
+    return;
+  }
+  sim::Envelope req_envelope = request;
+  AfterCpu(OpCost(req), [this, req = std::move(req), req_envelope] {
+    std::vector<OpResult> results;
+    mal::Status s = store_.ApplyTransaction(req.oid, req.ops, &results);
+    if (!s.ok()) {
+      ReplyError(req_envelope, s);
+      return;
+    }
+    Reply(req_envelope, mal::Buffer());
+  });
+}
+
+void Osd::AdoptMap(const mon::OsdMap& map, bool gossip) {
+  if (map.epoch <= osd_map_.epoch) {
+    return;
+  }
+  if (config_.map_apply_cost > 0) {
+    // Charge the decode/install work, then re-check freshness: a newer map
+    // may have arrived while this one was being processed.
+    AfterCpu(config_.map_apply_cost, [this, map, gossip] {
+      if (map.epoch > osd_map_.epoch) {
+        AdoptMapNow(map, gossip);
+      }
+    });
+    return;
+  }
+  AdoptMapNow(map, gossip);
+}
+
+void Osd::AdoptMapNow(const mon::OsdMap& map, bool gossip) {
+  osd_map_ = map;
+  InstallScriptInterfaces();
+  if (on_map_applied) {
+    on_map_applied(osd_map_.epoch);
+  }
+  if (gossip && config_.gossip_fanout > 0) {
+    std::vector<uint32_t> peers;
+    for (const auto& [id, info] : osd_map_.osds) {
+      if (info.up && id != name().id) {
+        peers.push_back(id);
+      }
+    }
+    for (uint32_t i = 0; i < config_.gossip_fanout && !peers.empty(); ++i) {
+      size_t pick = rng_.NextBelow(peers.size());
+      GossipTo(peers[pick]);
+      peers.erase(peers.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+}
+
+void Osd::InstallScriptInterfaces() {
+  constexpr char kSrcPrefix[] = "cls.src.";
+  constexpr char kVerPrefix[] = "cls.ver.";
+  for (const auto& [key, source] : osd_map_.service_metadata) {
+    if (key.rfind(kSrcPrefix, 0) != 0) {
+      continue;
+    }
+    std::string cls_name = key.substr(sizeof(kSrcPrefix) - 1);
+    std::string version;
+    auto ver_it = osd_map_.service_metadata.find(kVerPrefix + cls_name);
+    if (ver_it != osd_map_.service_metadata.end()) {
+      version = ver_it->second;
+    }
+    if (registry_.ScriptVersion(cls_name) == version) {
+      continue;  // already current
+    }
+    mal::Status s = registry_.InstallScript(cls_name, version, source);
+    if (!s.ok()) {
+      MAL_WARN(name().ToString()) << "script class " << cls_name << " install failed: " << s;
+      mon_client_.Log("ERROR", "cls " + cls_name + "@" + version + " install: " + s.ToString());
+      continue;
+    }
+    if (on_interface_installed) {
+      on_interface_installed(cls_name, version);
+    }
+  }
+}
+
+void Osd::GossipTo(uint32_t peer) {
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  osd_map_.Encode(&enc);
+  SendOneWay(sim::EntityName::Osd(peer), kMsgGossipMap, std::move(payload));
+}
+
+void Osd::HandleGossip(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  auto map = mon::OsdMap::Decode(&dec);
+  if (!map.ok()) {
+    return;
+  }
+  if (map.value().epoch > osd_map_.epoch) {
+    AdoptMap(map.value(), /*gossip=*/true);
+  } else if (map.value().epoch < osd_map_.epoch) {
+    GossipTo(request.from.id);  // peer is behind: push ours back
+  }
+}
+
+void Osd::HandlePull(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  PullObjectRequest req = PullObjectRequest::Decode(&dec);
+  auto object = store_.Get(req.oid);
+  if (!object.ok()) {
+    ReplyError(request, object.status());
+    return;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  object.value()->Encode(&enc);
+  Reply(request, std::move(payload));
+}
+
+void Osd::RecoverObject(uint32_t from_osd, const std::string& oid,
+                        std::function<void(mal::Status)> on_done) {
+  PullObjectRequest req{oid};
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  SendRequest(sim::EntityName::Osd(from_osd), kMsgPullObject, std::move(payload),
+              [this, oid, on_done = std::move(on_done)](mal::Status status,
+                                                        const sim::Envelope& reply) {
+                if (!status.ok()) {
+                  on_done(status);
+                  return;
+                }
+                mal::Decoder dec(reply.payload);
+                store_.Put(oid, Object::Decode(&dec));
+                on_done(mal::Status::Ok());
+              });
+}
+
+void Osd::HandleWatch(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  WatchRequest req = WatchRequest::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad watch request"));
+    return;
+  }
+  if (req.unwatch) {
+    auto it = watchers_.find(req.oid);
+    if (it != watchers_.end()) {
+      it->second.erase(request.from);
+      if (it->second.empty()) {
+        watchers_.erase(it);
+      }
+    }
+  } else {
+    watchers_[req.oid].insert(request.from);
+  }
+  Reply(request, mal::Buffer());
+}
+
+void Osd::NotifyWatchers(const std::string& oid) {
+  auto it = watchers_.find(oid);
+  if (it == watchers_.end()) {
+    return;
+  }
+  NotifyEvent event;
+  event.oid = oid;
+  if (auto object = store_.Get(oid); object.ok()) {
+    event.version = object.value()->version;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  event.Encode(&enc);
+  for (const sim::EntityName& watcher : it->second) {
+    SendOneWay(watcher, kMsgNotify, payload);
+  }
+}
+
+void Osd::PushObjectTo(uint32_t peer, const std::string& oid) {
+  auto object = store_.Get(oid);
+  if (!object.ok()) {
+    return;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutString(oid);
+  object.value()->Encode(&enc);
+  SendRequest(sim::EntityName::Osd(peer), kMsgPushObject, std::move(payload),
+              [this, oid](mal::Status status, const sim::Envelope&) {
+                if (status.ok()) {
+                  ++scrub_repairs_;
+                  mon_client_.Log("WARN", "scrub repaired " + oid);
+                }
+              });
+}
+
+void Osd::ScrubTick() {
+  // Pick one random local object we are primary for and compare with every
+  // replica; on divergence, push our copy (primary is authoritative).
+  std::vector<std::string> locals = store_.List();
+  if (locals.empty()) {
+    return;
+  }
+  const std::string& oid = locals[rng_.NextBelow(locals.size())];
+  std::vector<uint32_t> acting = OsdsForObject(oid, osd_map_, config_.replicas);
+  if (acting.empty() || acting[0] != name().id) {
+    return;
+  }
+  for (size_t i = 1; i < acting.size(); ++i) {
+    uint32_t peer = acting[i];
+    ScrubObject(peer, oid, [this, peer, oid](mal::Status status) {
+      if (status.code() == mal::Code::kCorruption) {
+        PushObjectTo(peer, oid);
+      }
+    });
+  }
+}
+
+void Osd::HandleScrub(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  ScrubRequest req = ScrubRequest::Decode(&dec);
+  uint64_t version = 0;
+  if (auto object = store_.Get(req.oid); object.ok()) {
+    version = object.value()->version;
+  }
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutU64(version);
+  Reply(request, std::move(payload));
+}
+
+void Osd::ScrubObject(uint32_t peer_osd, const std::string& oid,
+                      std::function<void(mal::Status)> on_done) {
+  ScrubRequest req;
+  req.oid = oid;
+  if (auto object = store_.Get(oid); object.ok()) {
+    req.version = object.value()->version;
+  }
+  uint64_t my_version = req.version;
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  SendRequest(sim::EntityName::Osd(peer_osd), kMsgScrub, std::move(payload),
+              [my_version, oid, on_done = std::move(on_done)](mal::Status status,
+                                                              const sim::Envelope& reply) {
+                if (!status.ok()) {
+                  on_done(status);
+                  return;
+                }
+                mal::Decoder dec(reply.payload);
+                uint64_t peer_version = dec.GetU64();
+                if (peer_version != my_version) {
+                  on_done(mal::Status::Corruption(
+                      "scrub mismatch on " + oid + ": local v" +
+                      std::to_string(my_version) + " vs peer v" +
+                      std::to_string(peer_version)));
+                  return;
+                }
+                on_done(mal::Status::Ok());
+              });
+}
+
+}  // namespace mal::osd

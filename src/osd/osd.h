@@ -1,0 +1,143 @@
+// Object storage daemon.
+//
+// Serves object transactions with primary-copy replication, executes
+// object-class methods (native and dynamically installed scripts), gossips
+// cluster maps peer-to-peer (paper §4.4: "the object storage daemons use a
+// gossip protocol to efficiently propagate changes to cluster maps"), and
+// installs script interfaces referenced from the OSDMap's service metadata
+// without restarting (§4.2, §6.1.2).
+//
+// Script interfaces ride in the map under two keys per class:
+//   cls.src.<name> = MalScript source
+//   cls.ver.<name> = version string
+// When an OSD applies a map whose cls.ver differs from what it has loaded,
+// it (re)installs the class and fires `on_interface_installed` — the hook
+// the Figure 8 bench uses to timestamp cluster-wide propagation.
+#ifndef MALACOLOGY_OSD_OSD_H_
+#define MALACOLOGY_OSD_OSD_H_
+
+#include <functional>
+#include <set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cls/builtin.h"
+#include "src/cls/registry.h"
+#include "src/common/rng.h"
+#include "src/mon/mon_client.h"
+#include "src/osd/messages.h"
+#include "src/osd/object_store.h"
+#include "src/osd/placement.h"
+#include "src/sim/actor.h"
+
+namespace mal::osd {
+
+struct OsdConfig {
+  uint32_t replicas = 3;
+  // CPU model: fixed per-op cost plus per-byte cost.
+  sim::Time op_cpu_cost = 20 * sim::kMicrosecond;
+  double per_byte_cpu_ns = 0.5;
+  // Script-class execution surcharge relative to native.
+  sim::Time script_exec_cost = 30 * sim::kMicrosecond;
+  // Gossip: on map change, forward to `gossip_fanout` random up peers;
+  // additionally anti-entropy with 1 random peer every `gossip_interval`.
+  uint32_t gossip_fanout = 3;
+  sim::Time gossip_interval = 2 * sim::kSecond;
+  // Cost of decoding a cluster map and (re)installing the interfaces it
+  // references (script compilation is the dominant term). Drives the shape
+  // of the Fig 8 propagation CDF.
+  sim::Time map_apply_cost = 0;
+  // Subscribe to monitor pushes; when false the OSD fetches the map once at
+  // boot and afterwards relies purely on peer-to-peer gossip (Fig 8).
+  bool subscribe_to_mon = true;
+  sim::Time replication_timeout = 2 * sim::kSecond;
+  // When a primary receives an op for an object it does not hold (e.g. the
+  // acting set changed after a failure or a placement-group split), it
+  // first tries to pull the object from the other acting-set members.
+  bool pull_on_miss = true;
+  sim::Time pull_timeout = 1 * sim::kSecond;
+  // Background scrub: every interval, the primary of one random local
+  // object compares versions with its replicas and repairs divergence by
+  // pushing its authoritative copy (0 = disabled).
+  sim::Time scrub_interval = 0;
+  uint64_t seed = 1;
+};
+
+class Osd : public sim::Actor {
+ public:
+  Osd(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+      std::vector<uint32_t> mons, OsdConfig config = {});
+
+  // Registers with the monitor (OsdBoot transaction) and subscribes to maps.
+  void Boot();
+
+  const mon::OsdMap& osd_map() const { return osd_map_; }
+  ObjectStore& store() { return store_; }
+  cls::ClassRegistry& registry() { return registry_; }
+  const OsdConfig& config() const { return config_; }
+
+  // Fired when a map with a strictly newer epoch is adopted.
+  std::function<void(mon::Epoch)> on_map_applied;
+  // Fired when a script interface (re)install completes: (class, version).
+  std::function<void(const std::string&, const std::string&)> on_interface_installed;
+
+  // Recovery: pull one object from a peer OSD and install it locally.
+  void RecoverObject(uint32_t from_osd, const std::string& oid,
+                     std::function<void(mal::Status)> on_done);
+  // Anti-entropy scrub of one object against a peer; reports kCorruption on
+  // version mismatch (the caller decides how to repair).
+  void ScrubObject(uint32_t peer_osd, const std::string& oid,
+                   std::function<void(mal::Status)> on_done);
+
+  void Crash() override;
+  void Recover() override;
+
+  uint64_t ops_served() const { return ops_served_; }
+  uint64_t scrub_repairs() const { return scrub_repairs_; }
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override;
+
+ private:
+  void HandleOsdOp(const sim::Envelope& request);
+  void ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req,
+                    const std::vector<uint32_t>& acting);
+  // Tries peers[index..] for a copy of req.oid, then executes the op.
+  void PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
+                       const std::vector<uint32_t>& acting, size_t index);
+  void HandleRepOp(const sim::Envelope& request);
+  void HandleGossip(const sim::Envelope& request);
+  void HandleWatch(const sim::Envelope& request);
+  void NotifyWatchers(const std::string& oid);
+  void ScrubTick();
+  void PushObjectTo(uint32_t peer, const std::string& oid);
+  void HandlePull(const sim::Envelope& request);
+  void HandleScrub(const sim::Envelope& request);
+
+  void AdoptMap(const mon::OsdMap& map, bool gossip);
+  void AdoptMapNow(const mon::OsdMap& map, bool gossip);
+  void InstallScriptInterfaces();
+  void GossipTo(uint32_t peer);
+  sim::Time OpCost(const OsdOpRequest& req) const;
+
+  // Expands kExec ops and validates the whole transaction against a staged
+  // copy. On success, `expanded` holds only primitive ops.
+  mal::Status ExpandTransaction(const OsdOpRequest& req, std::vector<OpResult>* results,
+                                std::vector<Op>* expanded);
+
+  OsdConfig config_;
+  mon::MonClient mon_client_;
+  mon::OsdMap osd_map_;
+  ObjectStore store_;
+  cls::ClassRegistry registry_;
+  mal::Rng rng_;
+  uint64_t ops_served_ = 0;
+  uint64_t scrub_repairs_ = 0;
+  // Watchers per object (client entity names); notified on every commit.
+  std::map<std::string, std::set<sim::EntityName>> watchers_;
+};
+
+}  // namespace mal::osd
+
+#endif  // MALACOLOGY_OSD_OSD_H_

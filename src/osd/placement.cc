@@ -1,0 +1,65 @@
+#include "src/osd/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mal::osd {
+
+uint64_t StableHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t StableHash64(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint32_t PgForObject(const std::string& oid, uint32_t pg_count) {
+  if (pg_count == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(StableHash(oid) % pg_count);
+}
+
+std::vector<uint32_t> PgToOsds(uint32_t pg, const mon::OsdMap& map, uint32_t replicas) {
+  // Rendezvous hashing: score every up OSD against the PG, take the top R.
+  std::vector<std::pair<double, uint32_t>> scored;
+  for (const auto& [id, info] : map.osds) {
+    if (!info.up || info.weight <= 0) {
+      continue;
+    }
+    uint64_t h = StableHash64(pg, id);
+    // Weighted rendezvous: -w / ln(u) ordering, u in (0,1].
+    double u = (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;
+    double score = -info.weight / std::log(u);
+    scored.emplace_back(score, id);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second < b.second;
+  });
+  std::vector<uint32_t> acting;
+  for (size_t i = 0; i < scored.size() && i < replicas; ++i) {
+    acting.push_back(scored[i].second);
+  }
+  return acting;
+}
+
+std::vector<uint32_t> OsdsForObject(const std::string& oid, const mon::OsdMap& map,
+                                    uint32_t replicas) {
+  return PgToOsds(PgForObject(oid, map.pg_count), map, replicas);
+}
+
+}  // namespace mal::osd

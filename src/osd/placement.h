@@ -1,0 +1,35 @@
+// Data placement: object -> placement group -> ordered OSD set.
+//
+// Ceph uses CRUSH; we substitute rendezvous (highest-random-weight)
+// hashing, which shares the relevant properties: placement is computed
+// from the map alone (no central directory), is stable under membership
+// change (only affected PGs move), and weights can bias selection.
+#ifndef MALACOLOGY_OSD_PLACEMENT_H_
+#define MALACOLOGY_OSD_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mon/maps.h"
+
+namespace mal::osd {
+
+// Stable 64-bit hash (FNV-1a) used for all placement decisions.
+uint64_t StableHash(const std::string& s);
+uint64_t StableHash64(uint64_t a, uint64_t b);
+
+// Object id -> placement group.
+uint32_t PgForObject(const std::string& oid, uint32_t pg_count);
+
+// Placement group -> ordered list of up-OSDs (primary first), at most
+// `replicas` entries. Empty if no OSD is up.
+std::vector<uint32_t> PgToOsds(uint32_t pg, const mon::OsdMap& map, uint32_t replicas);
+
+// Convenience: the acting set for an object (primary first).
+std::vector<uint32_t> OsdsForObject(const std::string& oid, const mon::OsdMap& map,
+                                    uint32_t replicas);
+
+}  // namespace mal::osd
+
+#endif  // MALACOLOGY_OSD_PLACEMENT_H_

@@ -1,0 +1,299 @@
+#include "src/rados/client.h"
+
+namespace mal::rados {
+
+void RadosClient::Connect(DoneHandler on_done) {
+  mon_client_.Subscribe(mon::MapKind::kOsdMap, 0);
+  RefreshMap(std::move(on_done));
+}
+
+void RadosClient::RefreshMap(DoneHandler on_done) {
+  mon_client_.GetMap(mon::MapKind::kOsdMap,
+                     [this, on_done = std::move(on_done)](mal::Status status,
+                                                          const mon::MapUpdate& update) {
+                       if (!status.ok()) {
+                         on_done(status);
+                         return;
+                       }
+                       mal::Decoder dec(update.map_payload);
+                       auto map = mon::OsdMap::Decode(&dec);
+                       if (!map.ok()) {
+                         on_done(map.status());
+                         return;
+                       }
+                       if (map.value().epoch > osd_map_.epoch) {
+                         osd_map_ = std::move(map).value();
+                       }
+                       on_done(mal::Status::Ok());
+                     });
+}
+
+bool RadosClient::OnMapUpdate(const sim::Envelope& envelope) {
+  if (envelope.type != mon::kMsgMapUpdate) {
+    return false;
+  }
+  mal::Decoder dec(envelope.payload);
+  mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
+  if (update.kind != mon::MapKind::kOsdMap) {
+    return false;
+  }
+  mal::Decoder map_dec(update.map_payload);
+  auto map = mon::OsdMap::Decode(&map_dec);
+  if (map.ok() && map.value().epoch > osd_map_.epoch) {
+    osd_map_ = std::move(map).value();
+  }
+  return true;
+}
+
+void RadosClient::Execute(const std::string& oid, std::vector<osd::Op> ops,
+                          OpHandler on_reply) {
+  auto shared_ops = std::make_shared<std::vector<osd::Op>>(std::move(ops));
+  ExecuteAttempt(oid, std::move(shared_ops), std::move(on_reply), 0);
+}
+
+void RadosClient::ExecuteAttempt(const std::string& oid,
+                                 std::shared_ptr<std::vector<osd::Op>> ops,
+                                 OpHandler on_reply, int attempt) {
+  if (attempt >= 5) {
+    on_reply(mal::Status::Unavailable("no reachable primary for " + oid),
+             osd::OsdOpReply{});
+    return;
+  }
+  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  if (acting.empty()) {
+    // No map yet (or no OSD up): refresh and retry.
+    RefreshMap([this, oid, ops, on_reply, attempt](mal::Status status) {
+      if (!status.ok()) {
+        on_reply(status, osd::OsdOpReply{});
+        return;
+      }
+      ExecuteAttempt(oid, ops, on_reply, attempt + 1);
+    });
+    return;
+  }
+  osd::OsdOpRequest req;
+  req.oid = oid;
+  req.ops = *ops;
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  owner_->SendRequest(
+      sim::EntityName::Osd(acting[0]), osd::kMsgOsdOp, std::move(payload),
+      [this, oid, ops, on_reply, attempt](mal::Status status, const sim::Envelope& reply) {
+        if (status.code() == mal::Code::kUnavailable ||
+            status.code() == mal::Code::kTimedOut) {
+          // Stale placement or dead primary: refresh the map and retry.
+          RefreshMap([this, oid, ops, on_reply, attempt](mal::Status refresh_status) {
+            if (!refresh_status.ok()) {
+              on_reply(refresh_status, osd::OsdOpReply{});
+              return;
+            }
+            ExecuteAttempt(oid, ops, on_reply, attempt + 1);
+          });
+          return;
+        }
+        if (!status.ok()) {
+          on_reply(status, osd::OsdOpReply{});
+          return;
+        }
+        mal::Decoder dec(reply.payload);
+        on_reply(mal::Status::Ok(), osd::OsdOpReply::Decode(&dec));
+      });
+}
+
+namespace {
+
+// Distills a one-op reply into (status, out buffer).
+void SingleOpResult(mal::Status status, const osd::OsdOpReply& reply, mal::Status* op_status,
+                    mal::Buffer* out) {
+  if (!status.ok()) {
+    *op_status = status;
+    return;
+  }
+  if (reply.results.empty()) {
+    *op_status = mal::Status::Internal("empty op reply");
+    return;
+  }
+  *op_status = reply.results[0].status;
+  if (out != nullptr) {
+    *out = reply.results[0].out;
+  }
+}
+
+}  // namespace
+
+void RadosClient::WriteFull(const std::string& oid, mal::Buffer data, DoneHandler on_done) {
+  osd::Op op;
+  op.type = osd::Op::Type::kWriteFull;
+  op.data = std::move(data);
+  Execute(oid, {op}, [on_done = std::move(on_done)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    SingleOpResult(s, reply, &op_status, nullptr);
+    on_done(op_status);
+  });
+}
+
+void RadosClient::Append(const std::string& oid, mal::Buffer data, DoneHandler on_done) {
+  osd::Op op;
+  op.type = osd::Op::Type::kAppend;
+  op.data = std::move(data);
+  Execute(oid, {op}, [on_done = std::move(on_done)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    SingleOpResult(s, reply, &op_status, nullptr);
+    on_done(op_status);
+  });
+}
+
+void RadosClient::Read(const std::string& oid, DataHandler on_data) {
+  osd::Op op;
+  op.type = osd::Op::Type::kRead;
+  Execute(oid, {op}, [on_data = std::move(on_data)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    mal::Buffer out;
+    SingleOpResult(s, reply, &op_status, &out);
+    on_data(op_status, out);
+  });
+}
+
+void RadosClient::Remove(const std::string& oid, DoneHandler on_done) {
+  osd::Op op;
+  op.type = osd::Op::Type::kRemove;
+  Execute(oid, {op}, [on_done = std::move(on_done)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    SingleOpResult(s, reply, &op_status, nullptr);
+    on_done(op_status);
+  });
+}
+
+void RadosClient::CreateExclusive(const std::string& oid, DoneHandler on_done) {
+  osd::Op op;
+  op.type = osd::Op::Type::kCreate;
+  op.excl = true;
+  Execute(oid, {op}, [on_done = std::move(on_done)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    SingleOpResult(s, reply, &op_status, nullptr);
+    on_done(op_status);
+  });
+}
+
+void RadosClient::OmapSet(const std::string& oid, const std::string& key,
+                          const std::string& value, DoneHandler on_done) {
+  osd::Op op;
+  op.type = osd::Op::Type::kOmapSet;
+  op.key = key;
+  op.value = value;
+  Execute(oid, {op}, [on_done = std::move(on_done)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    SingleOpResult(s, reply, &op_status, nullptr);
+    on_done(op_status);
+  });
+}
+
+void RadosClient::OmapGet(const std::string& oid, const std::string& key,
+                          DataHandler on_data) {
+  osd::Op op;
+  op.type = osd::Op::Type::kOmapGet;
+  op.key = key;
+  Execute(oid, {op}, [on_data = std::move(on_data)](mal::Status s,
+                                                    const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    mal::Buffer out;
+    SingleOpResult(s, reply, &op_status, &out);
+    on_data(op_status, out);
+  });
+}
+
+void RadosClient::Exec(const std::string& oid, const std::string& cls,
+                       const std::string& method, mal::Buffer input, DataHandler on_out) {
+  osd::Op op;
+  op.type = osd::Op::Type::kExec;
+  op.cls_name = cls;
+  op.method = method;
+  op.data = std::move(input);
+  Execute(oid, {op}, [on_out = std::move(on_out)](mal::Status s,
+                                                  const osd::OsdOpReply& reply) {
+    mal::Status op_status;
+    mal::Buffer out;
+    SingleOpResult(s, reply, &op_status, &out);
+    on_out(op_status, out);
+  });
+}
+
+void RadosClient::Watch(const std::string& oid, NotifyHandler on_notify,
+                        DoneHandler on_done) {
+  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  if (acting.empty()) {
+    on_done(mal::Status::Unavailable("no primary for " + oid));
+    return;
+  }
+  osd::WatchRequest req{oid, /*unwatch=*/false};
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  notify_handlers_[oid] = std::move(on_notify);
+  owner_->SendRequest(sim::EntityName::Osd(acting[0]), osd::kMsgWatch, std::move(payload),
+                      [this, oid, on_done = std::move(on_done)](
+                          mal::Status status, const sim::Envelope&) {
+                        if (!status.ok()) {
+                          notify_handlers_.erase(oid);
+                        }
+                        on_done(status);
+                      });
+}
+
+void RadosClient::Unwatch(const std::string& oid, DoneHandler on_done) {
+  notify_handlers_.erase(oid);
+  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  if (acting.empty()) {
+    on_done(mal::Status::Ok());
+    return;
+  }
+  osd::WatchRequest req{oid, /*unwatch=*/true};
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  owner_->SendRequest(sim::EntityName::Osd(acting[0]), osd::kMsgWatch, std::move(payload),
+                      [on_done = std::move(on_done)](mal::Status status,
+                                                     const sim::Envelope&) {
+                        on_done(status);
+                      });
+}
+
+bool RadosClient::OnNotify(const sim::Envelope& envelope) {
+  if (envelope.type != osd::kMsgNotify) {
+    return false;
+  }
+  mal::Decoder dec(envelope.payload);
+  osd::NotifyEvent event = osd::NotifyEvent::Decode(&dec);
+  auto it = notify_handlers_.find(event.oid);
+  if (it != notify_handlers_.end()) {
+    it->second(event.oid, event.version);
+  }
+  return true;
+}
+
+void RadosClient::InstallScriptInterface(const std::string& cls, const std::string& version,
+                                         const std::string& source, DoneHandler on_done) {
+  // Two service-metadata keys, committed in one Paxos batch (same proposal
+  // interval), so OSDs always observe source+version together.
+  auto pending = std::make_shared<int>(2);
+  auto first_error = std::make_shared<mal::Status>();
+  auto finish = [pending, first_error, on_done = std::move(on_done)](mal::Status s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*pending == 0) {
+      on_done(*first_error);
+    }
+  };
+  mon_client_.SetServiceMetadata(mon::MapKind::kOsdMap, "cls.src." + cls, source, finish);
+  mon_client_.SetServiceMetadata(mon::MapKind::kOsdMap, "cls.ver." + cls, version, finish);
+}
+
+}  // namespace mal::rados

@@ -1,0 +1,94 @@
+// RadosClient: librados-style client library.
+//
+// Owned by a client/daemon actor. Computes placement from its own OSDMap
+// view, routes transactions to the primary OSD, retries through map
+// refreshes when placement changed under it, and exposes the Durability +
+// Service Metadata composition used to install dynamic object interfaces
+// cluster-wide (paper §4.4: "we use this service to automatically install
+// interfaces in object storage daemons ... without restarting").
+//
+// The owning actor must forward kMsgMapUpdate envelopes for the OSDMap to
+// OnMapUpdate() so the client tracks placement changes pushed by monitors.
+#ifndef MALACOLOGY_RADOS_CLIENT_H_
+#define MALACOLOGY_RADOS_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mon/mon_client.h"
+#include "src/osd/messages.h"
+#include "src/osd/placement.h"
+#include "src/sim/actor.h"
+
+namespace mal::rados {
+
+class RadosClient {
+ public:
+  RadosClient(sim::Actor* owner, std::vector<uint32_t> mons, uint32_t replicas = 3)
+      : owner_(owner), mon_client_(owner, std::move(mons)), replicas_(replicas) {}
+
+  using OpHandler = std::function<void(mal::Status, const osd::OsdOpReply&)>;
+  using DataHandler = std::function<void(mal::Status, const mal::Buffer&)>;
+  using DoneHandler = std::function<void(mal::Status)>;
+
+  // Fetches the initial OSDMap and subscribes to updates.
+  void Connect(DoneHandler on_done);
+
+  const mon::OsdMap& osd_map() const { return osd_map_; }
+  mon::MonClient& mon_client() { return mon_client_; }
+
+  // Routes a push update from the monitor; returns true if consumed.
+  bool OnMapUpdate(const sim::Envelope& envelope);
+
+  // -- core -------------------------------------------------------------------
+  // Executes a transaction on the object's primary OSD. Retries on
+  // "not primary" / timeout after refreshing the map (up to 5 attempts).
+  void Execute(const std::string& oid, std::vector<osd::Op> ops, OpHandler on_reply);
+
+  // -- convenience wrappers ------------------------------------------------------
+  void WriteFull(const std::string& oid, mal::Buffer data, DoneHandler on_done);
+  void Append(const std::string& oid, mal::Buffer data, DoneHandler on_done);
+  void Read(const std::string& oid, DataHandler on_data);
+  void Remove(const std::string& oid, DoneHandler on_done);
+  void CreateExclusive(const std::string& oid, DoneHandler on_done);
+  void OmapSet(const std::string& oid, const std::string& key, const std::string& value,
+               DoneHandler on_done);
+  void OmapGet(const std::string& oid, const std::string& key, DataHandler on_data);
+  // Object-class invocation (the Data I/O interface).
+  void Exec(const std::string& oid, const std::string& cls, const std::string& method,
+            mal::Buffer input, DataHandler on_out);
+
+  // Registers interest in an object: `on_notify` fires every time a
+  // mutating transaction commits on it (RADOS watch/notify).
+  using NotifyHandler = std::function<void(const std::string& oid, uint64_t version)>;
+  void Watch(const std::string& oid, NotifyHandler on_notify, DoneHandler on_done);
+  void Unwatch(const std::string& oid, DoneHandler on_done);
+  // Routes a kMsgNotify push; returns true if consumed. The owning actor
+  // calls this alongside OnMapUpdate().
+  bool OnNotify(const sim::Envelope& envelope);
+
+  // Installs (or upgrades) a dynamic script interface cluster-wide: writes
+  // the source + version into the OSDMap service metadata through the
+  // monitor; the map fans out via push + OSD gossip and every OSD loads the
+  // class without restarting.
+  void InstallScriptInterface(const std::string& cls, const std::string& version,
+                              const std::string& source, DoneHandler on_done);
+
+ private:
+  void ExecuteAttempt(const std::string& oid, std::shared_ptr<std::vector<osd::Op>> ops,
+                      OpHandler on_reply, int attempt);
+  void RefreshMap(DoneHandler on_done);
+
+  sim::Actor* owner_;
+  mon::MonClient mon_client_;
+  uint32_t replicas_;
+  mon::OsdMap osd_map_;
+  std::map<std::string, NotifyHandler> notify_handlers_;
+};
+
+}  // namespace mal::rados
+
+#endif  // MALACOLOGY_RADOS_CLIENT_H_

@@ -1,0 +1,26 @@
+#include "src/rados/striper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mal::rados {
+
+std::vector<Extent> StripeRange(const std::string& prefix, uint64_t object_size,
+                                uint64_t offset, uint64_t length) {
+  assert(object_size > 0);
+  std::vector<Extent> extents;
+  uint64_t remaining = length;
+  uint64_t cursor = offset;
+  while (remaining > 0) {
+    uint64_t index = cursor / object_size;
+    uint64_t in_object = cursor % object_size;
+    uint64_t take = std::min(remaining, object_size - in_object);
+    extents.push_back(Extent{prefix + "." + std::to_string(index), in_object, take,
+                             cursor - offset});
+    cursor += take;
+    remaining -= take;
+  }
+  return extents;
+}
+
+}  // namespace mal::rados

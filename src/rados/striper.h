@@ -1,0 +1,28 @@
+// Striping: maps a byte range of a logical entity (file, block image) onto
+// extents of fixed-size backing objects. Shared by the block-device and
+// file layers (the "file, block, object" APIs of the paper's Figure 1 all
+// sit on the same object store).
+#ifndef MALACOLOGY_RADOS_STRIPER_H_
+#define MALACOLOGY_RADOS_STRIPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mal::rados {
+
+struct Extent {
+  std::string oid;       // backing object
+  uint64_t offset = 0;   // offset within the object
+  uint64_t length = 0;   // bytes in this extent
+  uint64_t logical = 0;  // offset within the logical entity
+};
+
+// Splits [offset, offset+length) into per-object extents. Objects are named
+// "<prefix>.<index>" and hold `object_size` bytes each.
+std::vector<Extent> StripeRange(const std::string& prefix, uint64_t object_size,
+                                uint64_t offset, uint64_t length);
+
+}  // namespace mal::rados
+
+#endif  // MALACOLOGY_RADOS_STRIPER_H_

@@ -1,0 +1,239 @@
+#include "src/rbd/image.h"
+
+namespace mal::rbd {
+
+namespace {
+
+uint64_t ParseU64(const std::string& s) {
+  return s.empty() ? 0 : std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+void Image::Create(uint64_t size, uint64_t object_size, DoneHandler on_done) {
+  if (size == 0 || object_size == 0) {
+    on_done(mal::Status::InvalidArgument("size and object_size must be positive"));
+    return;
+  }
+  std::vector<osd::Op> ops(3);
+  ops[0].type = osd::Op::Type::kCreate;
+  ops[0].excl = true;
+  ops[1].type = osd::Op::Type::kOmapSet;
+  ops[1].key = "size";
+  ops[1].value = std::to_string(size);
+  ops[2].type = osd::Op::Type::kOmapSet;
+  ops[2].key = "object_size";
+  ops[2].value = std::to_string(object_size);
+  rados_->Execute(HeaderOid(), std::move(ops),
+                  [this, size, object_size, on_done = std::move(on_done)](
+                      mal::Status status, const osd::OsdOpReply& reply) {
+                    if (!status.ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    for (const osd::OpResult& result : reply.results) {
+                      if (!result.status.ok()) {
+                        on_done(result.status);
+                        return;
+                      }
+                    }
+                    size_ = size;
+                    object_size_ = object_size;
+                    open_ = true;
+                    on_done(mal::Status::Ok());
+                  });
+}
+
+void Image::Open(DoneHandler on_done) {
+  std::vector<osd::Op> ops(2);
+  ops[0].type = osd::Op::Type::kOmapGet;
+  ops[0].key = "size";
+  ops[1].type = osd::Op::Type::kOmapGet;
+  ops[1].key = "object_size";
+  rados_->Execute(HeaderOid(), std::move(ops),
+                  [this, on_done = std::move(on_done)](mal::Status status,
+                                                       const osd::OsdOpReply& reply) {
+                    if (!status.ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    if (reply.results.size() < 2 || !reply.results[0].status.ok() ||
+                        !reply.results[1].status.ok()) {
+                      on_done(mal::Status::NotFound("image " + name_));
+                      return;
+                    }
+                    size_ = ParseU64(reply.results[0].out.ToString());
+                    object_size_ = ParseU64(reply.results[1].out.ToString());
+                    open_ = size_ > 0 && object_size_ > 0;
+                    on_done(open_ ? mal::Status::Ok()
+                                  : mal::Status::Corruption("bad image header"));
+                  });
+}
+
+mal::Status Image::CheckRange(uint64_t offset, uint64_t length) const {
+  if (!open_) {
+    return mal::Status::Unavailable("image not open");
+  }
+  if (offset + length > size_) {
+    return mal::Status::OutOfRange("I/O past end of image");
+  }
+  return mal::Status::Ok();
+}
+
+void Image::WriteAt(uint64_t offset, mal::Buffer data, DoneHandler on_done) {
+  mal::Status range = CheckRange(offset, data.size());
+  if (!range.ok()) {
+    on_done(range);
+    return;
+  }
+  auto extents = rados::StripeRange(DataPrefix(), object_size_, offset, data.size());
+  if (extents.empty()) {
+    on_done(mal::Status::Ok());
+    return;
+  }
+  auto pending = std::make_shared<size_t>(extents.size());
+  auto first_error = std::make_shared<mal::Status>();
+  for (const rados::Extent& extent : extents) {
+    osd::Op op;
+    op.type = osd::Op::Type::kWrite;
+    op.offset = extent.offset;
+    op.data = data.Read(extent.logical, extent.length);
+    rados_->Execute(extent.oid, {op},
+                    [pending, first_error, on_done](mal::Status status,
+                                                    const osd::OsdOpReply& reply) {
+                      mal::Status op_status = status;
+                      if (status.ok() && !reply.results.empty()) {
+                        op_status = reply.results[0].status;
+                      }
+                      if (!op_status.ok() && first_error->ok()) {
+                        *first_error = op_status;
+                      }
+                      if (--*pending == 0) {
+                        on_done(*first_error);
+                      }
+                    });
+  }
+}
+
+void Image::ForEachExtent(uint64_t offset, uint64_t length, bool snapshot_read,
+                          const std::string& snap_name, DataHandler on_data) {
+  auto extents = rados::StripeRange(DataPrefix(), object_size_, offset, length);
+  auto assembled = std::make_shared<mal::Buffer>();
+  assembled->Resize(length);
+  auto pending = std::make_shared<size_t>(extents.size());
+  auto first_error = std::make_shared<mal::Status>();
+  if (extents.empty()) {
+    on_data(mal::Status::Ok(), mal::Buffer());
+    return;
+  }
+  for (const rados::Extent& extent : extents) {
+    osd::Op op;
+    if (snapshot_read) {
+      op.type = osd::Op::Type::kSnapRead;
+      op.key = snap_name;
+    } else {
+      op.type = osd::Op::Type::kRead;
+      op.offset = extent.offset;
+      op.length = extent.length;
+    }
+    uint64_t logical = extent.logical;
+    uint64_t ext_offset = extent.offset;
+    uint64_t ext_length = extent.length;
+    rados_->Execute(
+        extent.oid, {op},
+        [assembled, pending, first_error, on_data, logical, ext_offset, ext_length,
+         snapshot_read](mal::Status status, const osd::OsdOpReply& reply) {
+          mal::Status op_status = status;
+          mal::Buffer out;
+          if (status.ok() && !reply.results.empty()) {
+            op_status = reply.results[0].status;
+            out = reply.results[0].out;
+          }
+          if (op_status.code() == mal::Code::kNotFound) {
+            // Unwritten region of a sparse image reads as zeros.
+            op_status = mal::Status::Ok();
+            out = mal::Buffer();
+          }
+          if (!op_status.ok()) {
+            if (first_error->ok()) {
+              *first_error = op_status;
+            }
+          } else {
+            // Snapshot reads return the whole object; slice our extent.
+            mal::Buffer slice =
+                snapshot_read ? out.Read(ext_offset, ext_length) : std::move(out);
+            slice.Resize(ext_length);  // zero-pad short objects
+            assembled->Write(logical, slice.data(), slice.size());
+          }
+          if (--*pending == 0) {
+            if (first_error->ok()) {
+              on_data(mal::Status::Ok(), *assembled);
+            } else {
+              on_data(*first_error, mal::Buffer());
+            }
+          }
+        });
+  }
+}
+
+void Image::ReadAt(uint64_t offset, uint64_t length, DataHandler on_data) {
+  mal::Status range = CheckRange(offset, length);
+  if (!range.ok()) {
+    on_data(range, mal::Buffer());
+    return;
+  }
+  ForEachExtent(offset, length, /*snapshot_read=*/false, "", std::move(on_data));
+}
+
+void Image::Snapshot(const std::string& snap_name, DoneHandler on_done) {
+  if (!open_) {
+    on_done(mal::Status::Unavailable("image not open"));
+    return;
+  }
+  // Snapshot every data object (create empty objects for unwritten regions
+  // so the snapshot is total), then record the snapshot in the header.
+  uint64_t num_objects = (size_ + object_size_ - 1) / object_size_;
+  auto pending = std::make_shared<uint64_t>(num_objects);
+  auto first_error = std::make_shared<mal::Status>();
+  for (uint64_t index = 0; index < num_objects; ++index) {
+    std::vector<osd::Op> ops(2);
+    ops[0].type = osd::Op::Type::kCreate;
+    ops[1].type = osd::Op::Type::kSnapCreate;
+    ops[1].key = snap_name;
+    rados_->Execute(DataPrefix() + "." + std::to_string(index), std::move(ops),
+                    [this, snap_name, pending, first_error, on_done](
+                        mal::Status status, const osd::OsdOpReply& reply) {
+                      mal::Status op_status = status;
+                      if (status.ok()) {
+                        for (const osd::OpResult& result : reply.results) {
+                          if (!result.status.ok()) {
+                            op_status = result.status;
+                          }
+                        }
+                      }
+                      if (!op_status.ok() && first_error->ok()) {
+                        *first_error = op_status;
+                      }
+                      if (--*pending != 0) {
+                        return;
+                      }
+                      if (!first_error->ok()) {
+                        on_done(*first_error);
+                        return;
+                      }
+                      rados_->OmapSet(HeaderOid(), "snaps." + snap_name, "1", on_done);
+                    });
+  }
+}
+
+void Image::ReadAtSnapshot(const std::string& snap_name, uint64_t offset, uint64_t length,
+                           DataHandler on_data) {
+  mal::Status range = CheckRange(offset, length);
+  if (!range.ok()) {
+    on_data(range, mal::Buffer());
+    return;
+  }
+  ForEachExtent(offset, length, /*snapshot_read=*/true, snap_name, std::move(on_data));
+}
+
+}  // namespace mal::rbd

@@ -1,0 +1,64 @@
+// RBD-style virtual block device: a fixed-size image striped over objects,
+// with image-wide snapshots ("Snapshots in the block device" is the
+// paper's Table 1 example of a co-designed Metadata interface).
+//
+// Layout:
+//   rbd.<name>.header      — omap: size, object_size, snaps.<name> = 1
+//   rbd.<name>.<index>     — data objects of `object_size` bytes
+#ifndef MALACOLOGY_RBD_IMAGE_H_
+#define MALACOLOGY_RBD_IMAGE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/rados/client.h"
+#include "src/rados/striper.h"
+
+namespace mal::rbd {
+
+class Image {
+ public:
+  using DoneHandler = std::function<void(mal::Status)>;
+  using DataHandler = std::function<void(mal::Status, const mal::Buffer&)>;
+
+  Image(rados::RadosClient* rados, std::string name)
+      : rados_(rados), name_(std::move(name)) {}
+
+  // Creates the image (fails with kAlreadyExists if present).
+  void Create(uint64_t size, uint64_t object_size, DoneHandler on_done);
+  // Opens an existing image (loads size/object_size from the header).
+  void Open(DoneHandler on_done);
+
+  uint64_t size() const { return size_; }
+  uint64_t object_size() const { return object_size_; }
+
+  // Block I/O at arbitrary byte offsets; ranges must lie inside the image.
+  void WriteAt(uint64_t offset, mal::Buffer data, DoneHandler on_done);
+  void ReadAt(uint64_t offset, uint64_t length, DataHandler on_data);
+
+  // Image-wide snapshot: snapshots every data object written so far plus
+  // records the snapshot in the header. Reading at a snapshot sees the
+  // image exactly as it was.
+  void Snapshot(const std::string& snap_name, DoneHandler on_done);
+  void ReadAtSnapshot(const std::string& snap_name, uint64_t offset, uint64_t length,
+                      DataHandler on_data);
+
+ private:
+  std::string HeaderOid() const { return "rbd." + name_ + ".header"; }
+  std::string DataPrefix() const { return "rbd." + name_; }
+  mal::Status CheckRange(uint64_t offset, uint64_t length) const;
+  // Runs `op_for_extent` for every extent and assembles results in order.
+  void ForEachExtent(uint64_t offset, uint64_t length, bool snapshot_read,
+                     const std::string& snap_name, DataHandler on_data);
+
+  rados::RadosClient* rados_;
+  std::string name_;
+  uint64_t size_ = 0;
+  uint64_t object_size_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace mal::rbd
+
+#endif  // MALACOLOGY_RBD_IMAGE_H_

@@ -1,0 +1,125 @@
+// Tree-walking interpreter for MalScript with sandboxed execution.
+//
+// Usage:
+//   Interpreter interp;
+//   interp.RegisterHostFunction("now", ...);
+//   auto chunk = Compile("function f(x) return x*2 end");
+//   interp.Run(*chunk);                 // defines f in globals
+//   auto r = interp.CallGlobal("f", {Value(21.0)});   // 42
+//
+// Sandboxing (paper §4: "the flexibility of the runtime allows execution
+// sandboxing in order to address security and performance concerns"):
+// every evaluated AST node consumes one unit of instruction budget; scripts
+// exceeding the budget are aborted with kAborted. The host environment is
+// only reachable through explicitly registered host functions.
+#ifndef MALACOLOGY_SCRIPT_INTERPRETER_H_
+#define MALACOLOGY_SCRIPT_INTERPRETER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/script/ast.h"
+#include "src/script/value.h"
+
+namespace mal::script {
+
+// Lexical environment: chain of scopes. Closures capture their defining
+// environment by shared_ptr.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  // Looks up through the chain; nil if absent anywhere.
+  Value Get(const std::string& name) const;
+
+  // Assigns to the nearest scope that defines `name`; if none, defines a
+  // global (walks to the root), matching Lua semantics.
+  void Set(const std::string& name, Value value);
+
+  // Defines in this scope (local declaration / parameter binding).
+  void Define(const std::string& name, Value value);
+
+  bool Has(const std::string& name) const;
+
+  // Names defined directly in this scope (not parents). Used to discover
+  // the methods a script class chunk defines.
+  std::vector<std::string> LocalNames() const;
+  const std::map<std::string, Value>& local_vars() const { return vars_; }
+
+ private:
+  std::shared_ptr<Environment> parent_;
+  std::map<std::string, Value> vars_;
+};
+
+// A script function plus its captured environment.
+class Closure {
+ public:
+  Closure(std::vector<std::string> params, bool is_vararg, std::shared_ptr<Block> body,
+          std::shared_ptr<Environment> env)
+      : params_(std::move(params)),
+        is_vararg_(is_vararg),
+        body_(std::move(body)),
+        env_(std::move(env)) {}
+
+  const std::vector<std::string>& params() const { return params_; }
+  bool is_vararg() const { return is_vararg_; }
+  const std::shared_ptr<Block>& body() const { return body_; }
+  const std::shared_ptr<Environment>& env() const { return env_; }
+
+ private:
+  std::vector<std::string> params_;
+  bool is_vararg_;
+  std::shared_ptr<Block> body_;
+  std::shared_ptr<Environment> env_;
+};
+
+// Compiles source to an AST chunk; cached and shared by daemons that install
+// the same interface version.
+Result<std::shared_ptr<Block>> Compile(const std::string& source);
+
+class Interpreter {
+ public:
+  Interpreter();
+
+  // Hard cap on AST nodes evaluated per top-level Run/Call. 0 = unlimited.
+  void set_instruction_budget(uint64_t budget) { instruction_budget_ = budget; }
+  uint64_t instructions_executed() const { return instructions_executed_; }
+
+  std::shared_ptr<Environment> globals() { return globals_; }
+
+  void SetGlobal(const std::string& name, Value v) { globals_->Define(name, v); }
+  Value GetGlobal(const std::string& name) const { return globals_->Get(name); }
+  void RegisterHostFunction(const std::string& name, HostFunction fn);
+
+  // Lines emitted by the script's print(); the host decides where they go
+  // (e.g. the monitor's centralized cluster log).
+  std::vector<std::string>& print_output() { return print_output_; }
+
+  // Executes a chunk in the global environment.
+  Status Run(const Block& chunk);
+
+  // Compiles and runs source.
+  Status RunSource(const std::string& source);
+
+  // Calls a global function by name.
+  Result<Value> CallGlobal(const std::string& name, const std::vector<Value>& args);
+
+  // Calls any callable value.
+  Result<Value> Call(const Value& callee, const std::vector<Value>& args);
+
+ private:
+  friend class Evaluator;
+
+  std::shared_ptr<Environment> globals_;
+  uint64_t instruction_budget_ = 10'000'000;
+  uint64_t instructions_executed_ = 0;
+  std::vector<std::string> print_output_;
+  int call_depth_ = 0;
+};
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_INTERPRETER_H_

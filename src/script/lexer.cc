@@ -1,0 +1,287 @@
+#include "src/script/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace mal::script {
+namespace {
+
+const std::map<std::string, TokenType>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokenType>{
+      {"and", TokenType::kAnd},       {"or", TokenType::kOr},
+      {"not", TokenType::kNot},       {"if", TokenType::kIf},
+      {"then", TokenType::kThen},     {"else", TokenType::kElse},
+      {"elseif", TokenType::kElseif}, {"end", TokenType::kEnd},
+      {"while", TokenType::kWhile},   {"do", TokenType::kDo},
+      {"for", TokenType::kFor},       {"function", TokenType::kFunction},
+      {"local", TokenType::kLocal},   {"return", TokenType::kReturn},
+      {"true", TokenType::kTrue},     {"false", TokenType::kFalse},
+      {"nil", TokenType::kNil},       {"break", TokenType::kBreak},
+      {"in", TokenType::kIn},         {"repeat", TokenType::kRepeat},
+      {"until", TokenType::kUntil},
+  };
+  return *kKeywords;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back({TokenType::kEof, "", 0, line_});
+        return tokens;
+      }
+      Result<Token> tok = Next();
+      if (!tok.ok()) {
+        return tok.status();
+      }
+      tokens.push_back(std::move(tok).value());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+  bool Match(char expected) {
+    if (Peek() == expected) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("lex error at line " + std::to_string(line_) + ": " + msg);
+  }
+
+  Token Simple(TokenType t, std::string text) { return {t, std::move(text), 0, line_}; }
+
+  Result<Token> Next() {
+    int start_line = line_;
+    char c = Advance();
+    switch (c) {
+      case '+':
+        return Simple(TokenType::kPlus, "+");
+      case '-':
+        return Simple(TokenType::kMinus, "-");
+      case '*':
+        return Simple(TokenType::kStar, "*");
+      case '/':
+        return Simple(TokenType::kSlash, "/");
+      case '%':
+        return Simple(TokenType::kPercent, "%");
+      case '^':
+        return Simple(TokenType::kCaret, "^");
+      case '#':
+        return Simple(TokenType::kHash, "#");
+      case '(':
+        return Simple(TokenType::kLParen, "(");
+      case ')':
+        return Simple(TokenType::kRParen, ")");
+      case '{':
+        return Simple(TokenType::kLBrace, "{");
+      case '}':
+        return Simple(TokenType::kRBrace, "}");
+      case '[':
+        return Simple(TokenType::kLBracket, "[");
+      case ']':
+        return Simple(TokenType::kRBracket, "]");
+      case ';':
+        return Simple(TokenType::kSemi, ";");
+      case ':':
+        return Simple(TokenType::kColon, ":");
+      case ',':
+        return Simple(TokenType::kComma, ",");
+      case '=':
+        return Match('=') ? Simple(TokenType::kEq, "==") : Simple(TokenType::kAssign, "=");
+      case '~':
+        if (Match('=')) {
+          return Simple(TokenType::kNe, "~=");
+        }
+        return Error("unexpected '~'");
+      case '<':
+        return Match('=') ? Simple(TokenType::kLe, "<=") : Simple(TokenType::kLt, "<");
+      case '>':
+        return Match('=') ? Simple(TokenType::kGe, ">=") : Simple(TokenType::kGt, ">");
+      case '.':
+        if (Match('.')) {
+          if (Match('.')) {
+            return Simple(TokenType::kEllipsis, "...");
+          }
+          return Simple(TokenType::kConcat, "..");
+        }
+        if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          --pos_;  // re-scan as a number like ".5"
+          return LexNumber();
+        }
+        return Simple(TokenType::kDot, ".");
+      case '"':
+      case '\'':
+        return LexString(c, start_line);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      --pos_;
+      return LexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      --pos_;
+      return LexName();
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '.') {
+        Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        Advance();
+        if (Peek() == '+' || Peek() == '-') {
+          Advance();
+        }
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      }
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    Token tok{TokenType::kNumber, text, std::strtod(text.c_str(), nullptr), line_};
+    return tok;
+  }
+
+  Result<Token> LexString(char quote, int start_line) {
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Status::InvalidArgument("lex error at line " + std::to_string(start_line) +
+                                       ": unterminated string");
+      }
+      char c = Advance();
+      if (c == quote) {
+        return Token{TokenType::kString, out, 0, start_line};
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          return Error("unterminated escape");
+        }
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case '\'':
+            out += '\'';
+            break;
+          case '0':
+            out += '\0';
+            break;
+          default:
+            return Error(std::string("bad escape '\\") + e + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Result<Token> LexName() {
+    size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      Advance();
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      return Token{it->second, text, 0, line_};
+    }
+    return Token{TokenType::kName, text, 0, line_};
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kName:
+      return "name";
+    case TokenType::kEof:
+      return "<eof>";
+    case TokenType::kAssign:
+      return "=";
+    case TokenType::kEq:
+      return "==";
+    case TokenType::kEnd:
+      return "end";
+    default:
+      return "token";
+  }
+}
+
+Result<std::vector<Token>> Lex(const std::string& source) { return LexerImpl(source).Run(); }
+
+}  // namespace mal::script

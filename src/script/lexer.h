@@ -1,0 +1,42 @@
+// Tokenizer for MalScript (Lua-like surface syntax).
+#ifndef MALACOLOGY_SCRIPT_LEXER_H_
+#define MALACOLOGY_SCRIPT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mal::script {
+
+enum class TokenType {
+  // literals
+  kNumber,
+  kString,
+  kName,
+  // keywords
+  kAnd, kOr, kNot, kIf, kThen, kElse, kElseif, kEnd, kWhile, kDo, kFor,
+  kFunction, kLocal, kReturn, kTrue, kFalse, kNil, kBreak, kIn, kRepeat, kUntil,
+  // symbols
+  kPlus, kMinus, kStar, kSlash, kPercent, kCaret, kHash,
+  kEq, kNe, kLe, kGe, kLt, kGt, kAssign,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kColon, kComma, kDot, kConcat, kEllipsis,
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // raw text for names, decoded text for strings
+  double number = 0;  // value for kNumber
+  int line = 0;
+};
+
+const char* TokenTypeName(TokenType t);
+
+// Tokenizes source. On lexical error, returns InvalidArgument with the line.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_LEXER_H_

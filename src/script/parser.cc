@@ -1,0 +1,794 @@
+#include "src/script/parser.h"
+
+#include <utility>
+
+#include "src/script/lexer.h"
+
+namespace mal::script {
+namespace {
+
+// Binding powers for binary operators (higher binds tighter). Mirrors Lua:
+// or < and < comparison < concat < additive < multiplicative < unary < pow.
+int LeftBindingPower(TokenType t) {
+  switch (t) {
+    case TokenType::kOr:
+      return 1;
+    case TokenType::kAnd:
+      return 2;
+    case TokenType::kLt:
+    case TokenType::kLe:
+    case TokenType::kGt:
+    case TokenType::kGe:
+    case TokenType::kEq:
+    case TokenType::kNe:
+      return 3;
+    case TokenType::kConcat:
+      return 4;  // right associative
+    case TokenType::kPlus:
+    case TokenType::kMinus:
+      return 5;
+    case TokenType::kStar:
+    case TokenType::kSlash:
+    case TokenType::kPercent:
+      return 6;
+    case TokenType::kCaret:
+      return 8;  // right associative, binds tighter than unary
+    default:
+      return 0;
+  }
+}
+
+BinOp ToBinOp(TokenType t) {
+  switch (t) {
+    case TokenType::kOr:
+      return BinOp::kOr;
+    case TokenType::kAnd:
+      return BinOp::kAnd;
+    case TokenType::kLt:
+      return BinOp::kLt;
+    case TokenType::kLe:
+      return BinOp::kLe;
+    case TokenType::kGt:
+      return BinOp::kGt;
+    case TokenType::kGe:
+      return BinOp::kGe;
+    case TokenType::kEq:
+      return BinOp::kEq;
+    case TokenType::kNe:
+      return BinOp::kNe;
+    case TokenType::kConcat:
+      return BinOp::kConcat;
+    case TokenType::kPlus:
+      return BinOp::kAdd;
+    case TokenType::kMinus:
+      return BinOp::kSub;
+    case TokenType::kStar:
+      return BinOp::kMul;
+    case TokenType::kSlash:
+      return BinOp::kDiv;
+    case TokenType::kPercent:
+      return BinOp::kMod;
+    case TokenType::kCaret:
+      return BinOp::kPow;
+    default:
+      return BinOp::kAdd;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<Block>> ParseChunk() {
+    auto block = std::make_shared<Block>();
+    Status s = ParseBlockInto(block.get());
+    if (!s.ok()) {
+      return s;
+    }
+    if (!Check(TokenType::kEof)) {
+      return ErrorHere("unexpected token '" + Peek().text + "'");
+    }
+    return block;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at line " + std::to_string(Peek().line) + ": " +
+                                   msg);
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Match(t)) {
+      return ErrorHere(std::string("expected ") + what + ", got '" + Peek().text + "'");
+    }
+    return Status::Ok();
+  }
+
+  // Does the current token end a block?
+  bool BlockEnds() const {
+    switch (Peek().type) {
+      case TokenType::kEnd:
+      case TokenType::kElse:
+      case TokenType::kElseif:
+      case TokenType::kUntil:
+      case TokenType::kEof:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status ParseBlockInto(Block* block) {
+    while (!BlockEnds()) {
+      if (Match(TokenType::kSemi)) {
+        continue;
+      }
+      Result<StmtPtr> stmt = ParseStatement();
+      if (!stmt.ok()) {
+        return stmt.status();
+      }
+      bool is_return = stmt.value()->kind == Stmt::Kind::kReturn;
+      block->stmts.push_back(std::move(stmt).value());
+      if (is_return) {
+        break;  // return must be the last statement of a block
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    int line = Peek().line;
+    switch (Peek().type) {
+      case TokenType::kIf:
+        return ParseIf();
+      case TokenType::kWhile:
+        return ParseWhile();
+      case TokenType::kRepeat:
+        return ParseRepeat();
+      case TokenType::kFor:
+        return ParseFor();
+      case TokenType::kFunction:
+        return ParseFunctionStatement();
+      case TokenType::kLocal:
+        return ParseLocal();
+      case TokenType::kReturn: {
+        Advance();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kReturn;
+        stmt->line = line;
+        if (!BlockEnds() && !Check(TokenType::kSemi)) {
+          Result<ExprPtr> e = ParseExpr();
+          if (!e.ok()) {
+            return e.status();
+          }
+          stmt->expr = std::move(e).value();
+        }
+        return StmtPtr(std::move(stmt));
+      }
+      case TokenType::kBreak: {
+        Advance();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kBreak;
+        stmt->line = line;
+        return StmtPtr(std::move(stmt));
+      }
+      case TokenType::kDo: {
+        Advance();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kDo;
+        stmt->line = line;
+        Status s = ParseBlockInto(&stmt->body);
+        if (!s.ok()) {
+          return s;
+        }
+        Status e = Expect(TokenType::kEnd, "'end'");
+        if (!e.ok()) {
+          return e;
+        }
+        return StmtPtr(std::move(stmt));
+      }
+      default:
+        return ParseExprStatement();
+    }
+  }
+
+  // Either a call statement or an assignment (possibly multi-target).
+  Result<StmtPtr> ParseExprStatement() {
+    int line = Peek().line;
+    Result<ExprPtr> first = ParseSuffixedExpr();
+    if (!first.ok()) {
+      return first.status();
+    }
+    if (Check(TokenType::kAssign) || Check(TokenType::kComma)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->line = line;
+      stmt->targets.push_back(std::move(first).value());
+      while (Match(TokenType::kComma)) {
+        Result<ExprPtr> t = ParseSuffixedExpr();
+        if (!t.ok()) {
+          return t.status();
+        }
+        stmt->targets.push_back(std::move(t).value());
+      }
+      for (const ExprPtr& t : stmt->targets) {
+        if (t->kind != Expr::Kind::kName && t->kind != Expr::Kind::kIndex) {
+          return ErrorHere("cannot assign to this expression");
+        }
+      }
+      Status s = Expect(TokenType::kAssign, "'='");
+      if (!s.ok()) {
+        return s;
+      }
+      do {
+        Result<ExprPtr> v = ParseExpr();
+        if (!v.ok()) {
+          return v.status();
+        }
+        stmt->values.push_back(std::move(v).value());
+      } while (Match(TokenType::kComma));
+      return StmtPtr(std::move(stmt));
+    }
+    if (first.value()->kind != Expr::Kind::kCall) {
+      return ErrorHere("expression is not a statement (only calls and assignments)");
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->line = line;
+    stmt->expr = std::move(first).value();
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseIf() {
+    int line = Peek().line;
+    Advance();  // if
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = line;
+    while (true) {
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      Status s = Expect(TokenType::kThen, "'then'");
+      if (!s.ok()) {
+        return s;
+      }
+      stmt->conditions.push_back(std::move(cond).value());
+      stmt->blocks.emplace_back();
+      Status b = ParseBlockInto(&stmt->blocks.back());
+      if (!b.ok()) {
+        return b;
+      }
+      if (Match(TokenType::kElseif)) {
+        continue;
+      }
+      if (Match(TokenType::kElse)) {
+        stmt->else_block = std::make_unique<Block>();
+        Status e = ParseBlockInto(stmt->else_block.get());
+        if (!e.ok()) {
+          return e;
+        }
+      }
+      Status e = Expect(TokenType::kEnd, "'end'");
+      if (!e.ok()) {
+        return e;
+      }
+      return StmtPtr(std::move(stmt));
+    }
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    int line = Peek().line;
+    Advance();  // while
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kWhile;
+    stmt->line = line;
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) {
+      return cond.status();
+    }
+    stmt->expr = std::move(cond).value();
+    Status s = Expect(TokenType::kDo, "'do'");
+    if (!s.ok()) {
+      return s;
+    }
+    Status b = ParseBlockInto(&stmt->body);
+    if (!b.ok()) {
+      return b;
+    }
+    Status e = Expect(TokenType::kEnd, "'end'");
+    if (!e.ok()) {
+      return e;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseRepeat() {
+    int line = Peek().line;
+    Advance();  // repeat
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kRepeat;
+    stmt->line = line;
+    Status b = ParseBlockInto(&stmt->body);
+    if (!b.ok()) {
+      return b;
+    }
+    Status s = Expect(TokenType::kUntil, "'until'");
+    if (!s.ok()) {
+      return s;
+    }
+    Result<ExprPtr> cond = ParseExpr();
+    if (!cond.ok()) {
+      return cond.status();
+    }
+    stmt->expr = std::move(cond).value();
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseFor() {
+    int line = Peek().line;
+    Advance();  // for
+    if (!Check(TokenType::kName)) {
+      return ErrorHere("expected loop variable name");
+    }
+    std::string first_name = Advance().text;
+    if (Match(TokenType::kAssign)) {
+      // numeric for
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kNumericFor;
+      stmt->line = line;
+      stmt->for_var = first_name;
+      Result<ExprPtr> start = ParseExpr();
+      if (!start.ok()) {
+        return start.status();
+      }
+      stmt->for_start = std::move(start).value();
+      Status c = Expect(TokenType::kComma, "','");
+      if (!c.ok()) {
+        return c;
+      }
+      Result<ExprPtr> stop = ParseExpr();
+      if (!stop.ok()) {
+        return stop.status();
+      }
+      stmt->for_stop = std::move(stop).value();
+      if (Match(TokenType::kComma)) {
+        Result<ExprPtr> step = ParseExpr();
+        if (!step.ok()) {
+          return step.status();
+        }
+        stmt->for_step = std::move(step).value();
+      }
+      Status s = Expect(TokenType::kDo, "'do'");
+      if (!s.ok()) {
+        return s;
+      }
+      Status b = ParseBlockInto(&stmt->body);
+      if (!b.ok()) {
+        return b;
+      }
+      Status e = Expect(TokenType::kEnd, "'end'");
+      if (!e.ok()) {
+        return e;
+      }
+      return StmtPtr(std::move(stmt));
+    }
+    // generic for: for k[, v, ...] in expr do ... end
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kGenericFor;
+    stmt->line = line;
+    stmt->for_names.push_back(first_name);
+    while (Match(TokenType::kComma)) {
+      if (!Check(TokenType::kName)) {
+        return ErrorHere("expected name in for-in list");
+      }
+      stmt->for_names.push_back(Advance().text);
+    }
+    Status in = Expect(TokenType::kIn, "'in'");
+    if (!in.ok()) {
+      return in;
+    }
+    Result<ExprPtr> iter = ParseExpr();
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    stmt->for_iterable = std::move(iter).value();
+    Status s = Expect(TokenType::kDo, "'do'");
+    if (!s.ok()) {
+      return s;
+    }
+    Status b = ParseBlockInto(&stmt->body);
+    if (!b.ok()) {
+      return b;
+    }
+    Status e = Expect(TokenType::kEnd, "'end'");
+    if (!e.ok()) {
+      return e;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // function name(...)  /  function a.b.c(...)  — sugar for assignment.
+  Result<StmtPtr> ParseFunctionStatement() {
+    int line = Peek().line;
+    Advance();  // function
+    if (!Check(TokenType::kName)) {
+      return ErrorHere("expected function name");
+    }
+    auto target = std::make_unique<Expr>();
+    target->kind = Expr::Kind::kName;
+    target->line = line;
+    target->name = Advance().text;
+    ExprPtr lhs = std::move(target);
+    while (Match(TokenType::kDot)) {
+      if (!Check(TokenType::kName)) {
+        return ErrorHere("expected name after '.'");
+      }
+      auto idx = std::make_unique<Expr>();
+      idx->kind = Expr::Kind::kIndex;
+      idx->line = line;
+      idx->object = std::move(lhs);
+      auto key = std::make_unique<Expr>();
+      key->kind = Expr::Kind::kString;
+      key->line = line;
+      key->string_value = Advance().text;
+      idx->key = std::move(key);
+      lhs = std::move(idx);
+    }
+    Result<ExprPtr> fn = ParseFunctionBody(line);
+    if (!fn.ok()) {
+      return fn.status();
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->line = line;
+    stmt->targets.push_back(std::move(lhs));
+    stmt->values.push_back(std::move(fn).value());
+    return StmtPtr(std::move(stmt));
+  }
+
+  Result<StmtPtr> ParseLocal() {
+    int line = Peek().line;
+    Advance();  // local
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kLocal;
+    stmt->line = line;
+    if (Match(TokenType::kFunction)) {
+      if (!Check(TokenType::kName)) {
+        return ErrorHere("expected function name");
+      }
+      stmt->local_names.push_back(Advance().text);
+      Result<ExprPtr> fn = ParseFunctionBody(line);
+      if (!fn.ok()) {
+        return fn.status();
+      }
+      stmt->local_values.push_back(std::move(fn).value());
+      return StmtPtr(std::move(stmt));
+    }
+    do {
+      if (!Check(TokenType::kName)) {
+        return ErrorHere("expected local variable name");
+      }
+      stmt->local_names.push_back(Advance().text);
+    } while (Match(TokenType::kComma));
+    if (Match(TokenType::kAssign)) {
+      do {
+        Result<ExprPtr> v = ParseExpr();
+        if (!v.ok()) {
+          return v.status();
+        }
+        stmt->local_values.push_back(std::move(v).value());
+      } while (Match(TokenType::kComma));
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // Parses "(params) block end" after the `function` keyword and name.
+  Result<ExprPtr> ParseFunctionBody(int line) {
+    Status s = Expect(TokenType::kLParen, "'('");
+    if (!s.ok()) {
+      return s;
+    }
+    auto fn = std::make_unique<Expr>();
+    fn->kind = Expr::Kind::kFunction;
+    fn->line = line;
+    fn->body = std::make_shared<Block>();
+    if (!Check(TokenType::kRParen)) {
+      do {
+        if (Match(TokenType::kEllipsis)) {
+          fn->is_vararg = true;
+          break;
+        }
+        if (!Check(TokenType::kName)) {
+          return ErrorHere("expected parameter name");
+        }
+        fn->params.push_back(Advance().text);
+      } while (Match(TokenType::kComma));
+    }
+    Status rp = Expect(TokenType::kRParen, "')'");
+    if (!rp.ok()) {
+      return rp;
+    }
+    Status b = ParseBlockInto(fn->body.get());
+    if (!b.ok()) {
+      return b;
+    }
+    Status e = Expect(TokenType::kEnd, "'end'");
+    if (!e.ok()) {
+      return e;
+    }
+    return ExprPtr(std::move(fn));
+  }
+
+  Result<ExprPtr> ParseExpr(int min_bp = 0) {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr expr = std::move(lhs).value();
+    while (true) {
+      TokenType op = Peek().type;
+      int bp = LeftBindingPower(op);
+      if (bp == 0 || bp <= min_bp) {
+        return ExprPtr(std::move(expr));
+      }
+      int line = Peek().line;
+      Advance();
+      // Left-associative ops parse the rhs at their own power (so an equal-
+      // power op breaks out); right-associative ops at one less (so it nests).
+      bool right_assoc = (op == TokenType::kConcat || op == TokenType::kCaret);
+      Result<ExprPtr> rhs = ParseExpr(right_assoc ? bp - 1 : bp);
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      auto bin = std::make_unique<Expr>();
+      bin->kind = Expr::Kind::kBinary;
+      bin->line = line;
+      bin->bin_op = ToBinOp(op);
+      bin->lhs = std::move(expr);
+      bin->rhs = std::move(rhs).value();
+      expr = std::move(bin);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    int line = Peek().line;
+    UnOp op;
+    if (Match(TokenType::kNot)) {
+      op = UnOp::kNot;
+    } else if (Match(TokenType::kMinus)) {
+      op = UnOp::kNeg;
+    } else if (Match(TokenType::kHash)) {
+      op = UnOp::kLen;
+    } else {
+      return ParseSuffixedExpr();
+    }
+    Result<ExprPtr> operand = ParseExpr(6);  // unary binds tighter than * /
+    if (!operand.ok()) {
+      return operand;
+    }
+    auto un = std::make_unique<Expr>();
+    un->kind = Expr::Kind::kUnary;
+    un->line = line;
+    un->un_op = op;
+    un->lhs = std::move(operand).value();
+    return ExprPtr(std::move(un));
+  }
+
+  // primary expr followed by [index], .field, (args) suffixes.
+  Result<ExprPtr> ParseSuffixedExpr() {
+    Result<ExprPtr> primary = ParsePrimary();
+    if (!primary.ok()) {
+      return primary;
+    }
+    ExprPtr expr = std::move(primary).value();
+    while (true) {
+      int line = Peek().line;
+      if (Match(TokenType::kDot)) {
+        if (!Check(TokenType::kName)) {
+          return ErrorHere("expected field name after '.'");
+        }
+        auto idx = std::make_unique<Expr>();
+        idx->kind = Expr::Kind::kIndex;
+        idx->line = line;
+        idx->object = std::move(expr);
+        auto key = std::make_unique<Expr>();
+        key->kind = Expr::Kind::kString;
+        key->line = line;
+        key->string_value = Advance().text;
+        idx->key = std::move(key);
+        expr = std::move(idx);
+      } else if (Match(TokenType::kLBracket)) {
+        Result<ExprPtr> key = ParseExpr();
+        if (!key.ok()) {
+          return key;
+        }
+        Status s = Expect(TokenType::kRBracket, "']'");
+        if (!s.ok()) {
+          return s;
+        }
+        auto idx = std::make_unique<Expr>();
+        idx->kind = Expr::Kind::kIndex;
+        idx->line = line;
+        idx->object = std::move(expr);
+        idx->key = std::move(key).value();
+        expr = std::move(idx);
+      } else if (Check(TokenType::kLParen) || Check(TokenType::kString)) {
+        auto call = std::make_unique<Expr>();
+        call->kind = Expr::Kind::kCall;
+        call->line = line;
+        call->callee = std::move(expr);
+        if (Check(TokenType::kString)) {
+          // f "literal" sugar
+          auto arg = std::make_unique<Expr>();
+          arg->kind = Expr::Kind::kString;
+          arg->line = line;
+          arg->string_value = Advance().text;
+          call->args.push_back(std::move(arg));
+        } else {
+          Advance();  // (
+          if (!Check(TokenType::kRParen)) {
+            do {
+              Result<ExprPtr> a = ParseExpr();
+              if (!a.ok()) {
+                return a;
+              }
+              call->args.push_back(std::move(a).value());
+            } while (Match(TokenType::kComma));
+          }
+          Status s = Expect(TokenType::kRParen, "')'");
+          if (!s.ok()) {
+            return s;
+          }
+        }
+        expr = std::move(call);
+      } else {
+        return ExprPtr(std::move(expr));
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    int line = Peek().line;
+    auto make = [line](Expr::Kind k) {
+      auto e = std::make_unique<Expr>();
+      e->kind = k;
+      e->line = line;
+      return e;
+    };
+    switch (Peek().type) {
+      case TokenType::kNil:
+        Advance();
+        return ExprPtr(make(Expr::Kind::kNil));
+      case TokenType::kTrue:
+        Advance();
+        return ExprPtr(make(Expr::Kind::kTrue));
+      case TokenType::kFalse:
+        Advance();
+        return ExprPtr(make(Expr::Kind::kFalse));
+      case TokenType::kEllipsis:
+        Advance();
+        return ExprPtr(make(Expr::Kind::kVararg));
+      case TokenType::kNumber: {
+        auto e = make(Expr::Kind::kNumber);
+        e->number = Advance().number;
+        return ExprPtr(std::move(e));
+      }
+      case TokenType::kString: {
+        auto e = make(Expr::Kind::kString);
+        e->string_value = Advance().text;
+        return ExprPtr(std::move(e));
+      }
+      case TokenType::kName: {
+        auto e = make(Expr::Kind::kName);
+        e->name = Advance().text;
+        return ExprPtr(std::move(e));
+      }
+      case TokenType::kLParen: {
+        Advance();
+        Result<ExprPtr> inner = ParseExpr();
+        if (!inner.ok()) {
+          return inner;
+        }
+        Status s = Expect(TokenType::kRParen, "')'");
+        if (!s.ok()) {
+          return s;
+        }
+        return inner;
+      }
+      case TokenType::kFunction: {
+        Advance();
+        return ParseFunctionBody(line);
+      }
+      case TokenType::kLBrace:
+        return ParseTableCtor();
+      default:
+        return ErrorHere("unexpected token '" + Peek().text + "' in expression");
+    }
+  }
+
+  Result<ExprPtr> ParseTableCtor() {
+    int line = Peek().line;
+    Advance();  // {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kTableCtor;
+    e->line = line;
+    while (!Check(TokenType::kRBrace)) {
+      if (Check(TokenType::kLBracket)) {
+        Advance();
+        Result<ExprPtr> key = ParseExpr();
+        if (!key.ok()) {
+          return key;
+        }
+        Status s = Expect(TokenType::kRBracket, "']'");
+        if (!s.ok()) {
+          return s;
+        }
+        Status a = Expect(TokenType::kAssign, "'='");
+        if (!a.ok()) {
+          return a;
+        }
+        Result<ExprPtr> value = ParseExpr();
+        if (!value.ok()) {
+          return value;
+        }
+        e->fields.emplace_back(std::move(key).value(), std::move(value).value());
+      } else if (Check(TokenType::kName) && Peek(1).type == TokenType::kAssign) {
+        auto key = std::make_unique<Expr>();
+        key->kind = Expr::Kind::kString;
+        key->line = Peek().line;
+        key->string_value = Advance().text;
+        Advance();  // =
+        Result<ExprPtr> value = ParseExpr();
+        if (!value.ok()) {
+          return value;
+        }
+        e->fields.emplace_back(std::move(key), std::move(value).value());
+      } else {
+        Result<ExprPtr> item = ParseExpr();
+        if (!item.ok()) {
+          return item;
+        }
+        e->array_items.push_back(std::move(item).value());
+      }
+      if (!Match(TokenType::kComma) && !Match(TokenType::kSemi)) {
+        break;
+      }
+    }
+    Status s = Expect(TokenType::kRBrace, "'}'");
+    if (!s.ok()) {
+      return s;
+    }
+    return ExprPtr(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Block>> Parse(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(tokens).value()).ParseChunk();
+}
+
+}  // namespace mal::script

@@ -1,0 +1,19 @@
+// Recursive-descent parser for MalScript.
+#ifndef MALACOLOGY_SCRIPT_PARSER_H_
+#define MALACOLOGY_SCRIPT_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/script/ast.h"
+
+namespace mal::script {
+
+// Parses a full chunk (sequence of statements) into a Block.
+// Returns InvalidArgument with line information on syntax errors.
+Result<std::shared_ptr<Block>> Parse(const std::string& source);
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_PARSER_H_

@@ -1,0 +1,324 @@
+#include "src/script/stdlib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/script/interpreter.h"
+
+namespace mal::script {
+namespace {
+
+Status WrongArg(const char* fn, const char* want) {
+  return Status::InvalidArgument(std::string(fn) + ": expected " + want);
+}
+
+Result<double> NumArg(const std::vector<Value>& args, size_t i, const char* fn) {
+  if (i >= args.size() || !args[i].is_number()) {
+    return WrongArg(fn, "number argument");
+  }
+  return args[i].as_number();
+}
+
+Result<std::string> StrArg(const std::vector<Value>& args, size_t i, const char* fn) {
+  if (i >= args.size() || !args[i].is_string()) {
+    return WrongArg(fn, "string argument");
+  }
+  return args[i].as_string();
+}
+
+Result<std::shared_ptr<Table>> TableArg(const std::vector<Value>& args, size_t i,
+                                        const char* fn) {
+  if (i >= args.size() || !args[i].is_table()) {
+    return WrongArg(fn, "table argument");
+  }
+  return args[i].as_table();
+}
+
+void DefineMathLib(Interpreter* interp) {
+  auto math = Table::Make();
+  auto def1 = [&math](const char* name, double (*fn)(double)) {
+    math->Set(TableKey(name),
+              Value::Host(std::string("math.") + name,
+                          [fn, name](Interpreter&, const std::vector<Value>& args)
+                              -> Result<Value> {
+                            Result<double> x = NumArg(args, 0, name);
+                            if (!x.ok()) {
+                              return x.status();
+                            }
+                            return Value(fn(x.value()));
+                          }));
+  };
+  def1("floor", [](double x) { return std::floor(x); });
+  def1("ceil", [](double x) { return std::ceil(x); });
+  def1("abs", [](double x) { return std::fabs(x); });
+  def1("sqrt", [](double x) { return std::sqrt(x); });
+  def1("exp", [](double x) { return std::exp(x); });
+  def1("log", [](double x) { return std::log(x); });
+  math->Set(TableKey("max"),
+            Value::Host("math.max", [](Interpreter&, const std::vector<Value>& args)
+                                        -> Result<Value> {
+              if (args.empty()) {
+                return WrongArg("math.max", "at least one number");
+              }
+              double best = -HUGE_VAL;
+              for (const Value& v : args) {
+                if (!v.is_number()) {
+                  return WrongArg("math.max", "number arguments");
+                }
+                best = std::max(best, v.as_number());
+              }
+              return Value(best);
+            }));
+  math->Set(TableKey("min"),
+            Value::Host("math.min", [](Interpreter&, const std::vector<Value>& args)
+                                        -> Result<Value> {
+              if (args.empty()) {
+                return WrongArg("math.min", "at least one number");
+              }
+              double best = HUGE_VAL;
+              for (const Value& v : args) {
+                if (!v.is_number()) {
+                  return WrongArg("math.min", "number arguments");
+                }
+                best = std::min(best, v.as_number());
+              }
+              return Value(best);
+            }));
+  math->Set(TableKey("huge"), Value(HUGE_VAL));
+  math->Set(TableKey("pi"), Value(M_PI));
+  interp->SetGlobal("math", Value(math));
+}
+
+void DefineStringLib(Interpreter* interp) {
+  auto str = Table::Make();
+  str->Set(TableKey("len"),
+           Value::Host("string.len", [](Interpreter&, const std::vector<Value>& args)
+                                         -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.len");
+             if (!s.ok()) {
+               return s.status();
+             }
+             return Value(static_cast<double>(s.value().size()));
+           }));
+  str->Set(TableKey("sub"),
+           Value::Host("string.sub", [](Interpreter&, const std::vector<Value>& args)
+                                         -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.sub");
+             Result<double> i = NumArg(args, 1, "string.sub");
+             if (!s.ok() || !i.ok()) {
+               return WrongArg("string.sub", "(string, number [, number])");
+             }
+             const std::string& text = s.value();
+             auto n = static_cast<int64_t>(text.size());
+             int64_t from = static_cast<int64_t>(i.value());
+             int64_t to = n;
+             if (args.size() > 2 && args[2].is_number()) {
+               to = static_cast<int64_t>(args[2].as_number());
+             }
+             // Lua 1-based with negative-from-end semantics.
+             if (from < 0) {
+               from = std::max<int64_t>(n + from + 1, 1);
+             } else if (from == 0) {
+               from = 1;
+             }
+             if (to < 0) {
+               to = n + to + 1;
+             } else if (to > n) {
+               to = n;
+             }
+             if (from > to) {
+               return Value(std::string());
+             }
+             return Value(text.substr(from - 1, to - from + 1));
+           }));
+  str->Set(TableKey("find"),
+           Value::Host("string.find", [](Interpreter&, const std::vector<Value>& args)
+                                          -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.find");
+             Result<std::string> needle = StrArg(args, 1, "string.find");
+             if (!s.ok() || !needle.ok()) {
+               return WrongArg("string.find", "(string, string)");
+             }
+             size_t pos = s.value().find(needle.value());
+             if (pos == std::string::npos) {
+               return Value::Nil();
+             }
+             return Value(static_cast<double>(pos + 1));
+           }));
+  str->Set(TableKey("rep"),
+           Value::Host("string.rep", [](Interpreter&, const std::vector<Value>& args)
+                                         -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.rep");
+             Result<double> n = NumArg(args, 1, "string.rep");
+             if (!s.ok() || !n.ok()) {
+               return WrongArg("string.rep", "(string, number)");
+             }
+             if (n.value() < 0 || n.value() > 1e6) {
+               return WrongArg("string.rep", "count in [0, 1e6]");
+             }
+             std::string out;
+             for (int64_t i = 0; i < static_cast<int64_t>(n.value()); ++i) {
+               out += s.value();
+             }
+             return Value(out);
+           }));
+  str->Set(TableKey("upper"),
+           Value::Host("string.upper", [](Interpreter&, const std::vector<Value>& args)
+                                           -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.upper");
+             if (!s.ok()) {
+               return s.status();
+             }
+             std::string out = s.value();
+             std::transform(out.begin(), out.end(), out.begin(),
+                            [](unsigned char c) { return std::toupper(c); });
+             return Value(out);
+           }));
+  str->Set(TableKey("lower"),
+           Value::Host("string.lower", [](Interpreter&, const std::vector<Value>& args)
+                                           -> Result<Value> {
+             Result<std::string> s = StrArg(args, 0, "string.lower");
+             if (!s.ok()) {
+               return s.status();
+             }
+             std::string out = s.value();
+             std::transform(out.begin(), out.end(), out.begin(),
+                            [](unsigned char c) { return std::tolower(c); });
+             return Value(out);
+           }));
+  interp->SetGlobal("string", Value(str));
+}
+
+void DefineTableLib(Interpreter* interp) {
+  auto table = Table::Make();
+  table->Set(TableKey("insert"),
+             Value::Host("table.insert", [](Interpreter&, const std::vector<Value>& args)
+                                             -> Result<Value> {
+               Result<std::shared_ptr<Table>> t = TableArg(args, 0, "table.insert");
+               if (!t.ok()) {
+                 return t.status();
+               }
+               if (args.size() < 2) {
+                 return WrongArg("table.insert", "(table, value)");
+               }
+               size_t n = t.value()->ArrayLength();
+               t.value()->Set(TableKey(static_cast<double>(n + 1)), args[1]);
+               return Value::Nil();
+             }));
+  table->Set(TableKey("remove"),
+             Value::Host("table.remove", [](Interpreter&, const std::vector<Value>& args)
+                                             -> Result<Value> {
+               Result<std::shared_ptr<Table>> t = TableArg(args, 0, "table.remove");
+               if (!t.ok()) {
+                 return t.status();
+               }
+               size_t n = t.value()->ArrayLength();
+               if (n == 0) {
+                 return Value::Nil();
+               }
+               auto idx = n;
+               if (args.size() > 1 && args[1].is_number()) {
+                 idx = static_cast<size_t>(args[1].as_number());
+                 if (idx < 1 || idx > n) {
+                   return WrongArg("table.remove", "index in range");
+                 }
+               }
+               Value removed = t.value()->Get(TableKey(static_cast<double>(idx)));
+               for (size_t i = idx; i < n; ++i) {
+                 t.value()->Set(TableKey(static_cast<double>(i)),
+                                t.value()->Get(TableKey(static_cast<double>(i + 1))));
+               }
+               t.value()->Set(TableKey(static_cast<double>(n)), Value::Nil());
+               return removed;
+             }));
+  interp->SetGlobal("table", Value(table));
+}
+
+}  // namespace
+
+void InstallStdlib(Interpreter* interp) {
+  interp->RegisterHostFunction(
+      "print", [](Interpreter& self, const std::vector<Value>& args) -> Result<Value> {
+        std::string line;
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) {
+            line += "\t";
+          }
+          line += args[i].ToString();
+        }
+        self.print_output().push_back(std::move(line));
+        return Value::Nil();
+      });
+  interp->RegisterHostFunction(
+      "type", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty()) {
+          return WrongArg("type", "one argument");
+        }
+        return Value(std::string(args[0].TypeName()));
+      });
+  interp->RegisterHostFunction(
+      "tostring", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty()) {
+          return WrongArg("tostring", "one argument");
+        }
+        return Value(args[0].ToString());
+      });
+  interp->RegisterHostFunction(
+      "tonumber", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty()) {
+          return Value::Nil();
+        }
+        if (args[0].is_number()) {
+          return args[0];
+        }
+        if (args[0].is_string()) {
+          const std::string& s = args[0].as_string();
+          char* end = nullptr;
+          double v = std::strtod(s.c_str(), &end);
+          if (end != s.c_str() && end == s.c_str() + s.size()) {
+            return Value(v);
+          }
+        }
+        return Value::Nil();
+      });
+  // pairs(t) just returns the table; the generic-for handles iteration.
+  interp->RegisterHostFunction(
+      "pairs", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty() || !args[0].is_table()) {
+          return WrongArg("pairs", "table argument");
+        }
+        return args[0];
+      });
+  interp->RegisterHostFunction(
+      "ipairs", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty() || !args[0].is_table()) {
+          return WrongArg("ipairs", "table argument");
+        }
+        // Return a table containing only the array part, preserving order.
+        auto out = Table::Make();
+        size_t n = args[0].as_table()->ArrayLength();
+        for (size_t i = 1; i <= n; ++i) {
+          out->Set(TableKey(static_cast<double>(i)),
+                   args[0].as_table()->Get(TableKey(static_cast<double>(i))));
+        }
+        return Value(out);
+      });
+  interp->RegisterHostFunction(
+      "assert", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty() || !args[0].Truthy()) {
+          std::string msg = args.size() > 1 ? args[1].ToString() : "assertion failed!";
+          return Status::Aborted(msg);
+        }
+        return args[0];
+      });
+  interp->RegisterHostFunction(
+      "error", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        return Status::Aborted(args.empty() ? "error" : args[0].ToString());
+      });
+  DefineMathLib(interp);
+  DefineStringLib(interp);
+  DefineTableLib(interp);
+}
+
+}  // namespace mal::script

@@ -1,0 +1,14 @@
+// Standard library installed into every MalScript interpreter: print, type,
+// tostring/tonumber, pairs, math.*, string.*, table.*.
+#ifndef MALACOLOGY_SCRIPT_STDLIB_H_
+#define MALACOLOGY_SCRIPT_STDLIB_H_
+
+namespace mal::script {
+
+class Interpreter;
+
+void InstallStdlib(Interpreter* interp);
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_STDLIB_H_

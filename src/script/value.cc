@@ -1,0 +1,151 @@
+#include "src/script/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mal::script {
+
+Value Value::Host(std::string name, HostFunction fn) {
+  auto box = std::make_shared<HostFunctionBox>();
+  box->name = std::move(name);
+  box->fn = std::move(fn);
+  return Value(std::move(box));
+}
+
+bool Value::Truthy() const {
+  if (is_nil()) {
+    return false;
+  }
+  if (is_bool()) {
+    return as_bool();
+  }
+  return true;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (v_.index() != other.v_.index()) {
+    return false;
+  }
+  if (is_nil()) {
+    return true;
+  }
+  if (is_bool()) {
+    return as_bool() == other.as_bool();
+  }
+  if (is_number()) {
+    return as_number() == other.as_number();
+  }
+  if (is_string()) {
+    return as_string() == other.as_string();
+  }
+  if (is_table()) {
+    return as_table() == other.as_table();
+  }
+  if (is_closure()) {
+    return as_closure() == other.as_closure();
+  }
+  return as_host_function() == other.as_host_function();
+}
+
+namespace {
+
+std::string NumberToString(double d) {
+  // Integers print without a decimal point, like Lua.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.14g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  if (is_nil()) {
+    return "nil";
+  }
+  if (is_bool()) {
+    return as_bool() ? "true" : "false";
+  }
+  if (is_number()) {
+    return NumberToString(as_number());
+  }
+  if (is_string()) {
+    return as_string();
+  }
+  if (is_table()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "table:%p", static_cast<void*>(as_table().get()));
+    return buf;
+  }
+  if (is_closure()) {
+    return "function";
+  }
+  return "builtin:" + as_host_function()->name;
+}
+
+const char* Value::TypeName() const {
+  if (is_nil()) {
+    return "nil";
+  }
+  if (is_bool()) {
+    return "boolean";
+  }
+  if (is_number()) {
+    return "number";
+  }
+  if (is_string()) {
+    return "string";
+  }
+  if (is_table()) {
+    return "table";
+  }
+  return "function";
+}
+
+Result<TableKey> TableKey::FromValue(const Value& v) {
+  if (v.is_number()) {
+    return TableKey(v.as_number());
+  }
+  if (v.is_string()) {
+    return TableKey(v.as_string());
+  }
+  return Status::InvalidArgument(std::string("table key must be number or string, got ") +
+                                 v.TypeName());
+}
+
+std::string TableKey::ToString() const {
+  if (std::holds_alternative<double>(k)) {
+    return Value(std::get<double>(k)).ToString();
+  }
+  return std::get<std::string>(k);
+}
+
+Value Table::Get(const TableKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? Value::Nil() : it->second;
+}
+
+void Table::Set(const TableKey& key, Value value) {
+  if (value.is_nil()) {
+    entries_.erase(key);  // assigning nil deletes, like Lua
+    return;
+  }
+  entries_[key] = std::move(value);
+}
+
+size_t Table::ArrayLength() const {
+  size_t n = 0;
+  while (true) {
+    auto it = entries_.find(TableKey(static_cast<double>(n + 1)));
+    if (it == entries_.end()) {
+      return n;
+    }
+    ++n;
+  }
+}
+
+}  // namespace mal::script

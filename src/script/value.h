@@ -1,0 +1,128 @@
+// Dynamically-typed values for the Malacology script engine.
+//
+// The paper embeds Lua (via community LuaJIT bindings) into the OSD, MDS,
+// and balancer. We cannot ship Lua here, so src/script implements a small
+// Lua-like language ("MalScript") with the features those call sites use:
+// nil/bool/number/string scalars, tables with string and numeric keys,
+// first-class functions with closures, and host functions bridging into
+// C++ daemon internals. Execution is sandboxed by an instruction budget.
+#ifndef MALACOLOGY_SCRIPT_VALUE_H_
+#define MALACOLOGY_SCRIPT_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mal::script {
+
+class Table;
+class Closure;
+class Interpreter;
+class Value;
+
+// Host (C++) function callable from script. Receives evaluated arguments,
+// returns a value or an error that surfaces as a script runtime error.
+using HostFunction = std::function<Result<Value>(Interpreter&, const std::vector<Value>&)>;
+
+struct HostFunctionBox {
+  std::string name;
+  HostFunction fn;
+};
+
+class Value {
+ public:
+  using Variant = std::variant<std::monostate, bool, double, std::string,
+                               std::shared_ptr<Table>, std::shared_ptr<Closure>,
+                               std::shared_ptr<HostFunctionBox>>;
+
+  Value() = default;  // nil
+  Value(bool b) : v_(b) {}                       // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}                     // NOLINT(google-explicit-constructor)
+  Value(int64_t i) : v_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<double>(i)) {}   // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}     // NOLINT(google-explicit-constructor)
+  Value(const char* s) : v_(std::string(s)) {}   // NOLINT(google-explicit-constructor)
+  Value(std::shared_ptr<Table> t) : v_(std::move(t)) {}    // NOLINT
+  Value(std::shared_ptr<Closure> c) : v_(std::move(c)) {}  // NOLINT
+  Value(std::shared_ptr<HostFunctionBox> f) : v_(std::move(f)) {}  // NOLINT
+
+  static Value Nil() { return Value(); }
+  static Value Host(std::string name, HostFunction fn);
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_table() const { return std::holds_alternative<std::shared_ptr<Table>>(v_); }
+  bool is_closure() const { return std::holds_alternative<std::shared_ptr<Closure>>(v_); }
+  bool is_host_function() const {
+    return std::holds_alternative<std::shared_ptr<HostFunctionBox>>(v_);
+  }
+  bool is_callable() const { return is_closure() || is_host_function(); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const std::shared_ptr<Table>& as_table() const { return std::get<std::shared_ptr<Table>>(v_); }
+  const std::shared_ptr<Closure>& as_closure() const {
+    return std::get<std::shared_ptr<Closure>>(v_);
+  }
+  const std::shared_ptr<HostFunctionBox>& as_host_function() const {
+    return std::get<std::shared_ptr<HostFunctionBox>>(v_);
+  }
+
+  // Lua truthiness: only nil and false are falsey.
+  bool Truthy() const;
+
+  // Structural equality for scalars, identity for tables/functions.
+  bool Equals(const Value& other) const;
+
+  // Human-readable rendering (used by print and error messages).
+  std::string ToString() const;
+  const char* TypeName() const;
+
+ private:
+  Variant v_;
+};
+
+// Table keys: numbers and strings (the subset Mantle/object classes use).
+struct TableKey {
+  std::variant<double, std::string> k;
+
+  TableKey(double d) : k(d) {}                 // NOLINT(google-explicit-constructor)
+  TableKey(std::string s) : k(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  TableKey(const char* s) : k(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+
+  bool operator<(const TableKey& o) const { return k < o.k; }
+  bool operator==(const TableKey& o) const { return k == o.k; }
+
+  static Result<TableKey> FromValue(const Value& v);
+  std::string ToString() const;
+};
+
+class Table {
+ public:
+  Value Get(const TableKey& key) const;
+  void Set(const TableKey& key, Value value);
+
+  // Lua-style '#': number of consecutive integer keys starting at 1.
+  size_t ArrayLength() const;
+
+  const std::map<TableKey, Value>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  static std::shared_ptr<Table> Make() { return std::make_shared<Table>(); }
+
+ private:
+  std::map<TableKey, Value> entries_;
+};
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_VALUE_H_

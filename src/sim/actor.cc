@@ -1,0 +1,178 @@
+#include "src/sim/actor.h"
+
+#include <algorithm>
+
+namespace mal::sim {
+
+Actor::Actor(Simulator* simulator, Network* network, EntityName name)
+    : simulator_(simulator), network_(network), name_(name) {
+  network_->Attach(name_, this);
+}
+
+Actor::~Actor() { network_->Detach(name_); }
+
+void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
+                        ReplyHandler on_reply, Time timeout) {
+  uint64_t rpc_id = next_rpc_id_++;
+  EventId timeout_event = simulator_->Schedule(timeout, [this, rpc_id]() {
+    auto it = pending_rpcs_.find(rpc_id);
+    if (it == pending_rpcs_.end()) {
+      return;
+    }
+    ReplyHandler handler = std::move(it->second.handler);
+    pending_rpcs_.erase(it);
+    handler(mal::Status::TimedOut(), Envelope{});
+  });
+  pending_rpcs_[rpc_id] = PendingRpc{std::move(on_reply), timeout_event};
+
+  Envelope envelope;
+  envelope.from = name_;
+  envelope.to = to;
+  envelope.type = type;
+  envelope.rpc_id = rpc_id;
+  envelope.payload = std::move(payload);
+  network_->Send(std::move(envelope));
+}
+
+void Actor::SendOneWay(EntityName to, uint32_t type, mal::Buffer payload) {
+  Envelope envelope;
+  envelope.from = name_;
+  envelope.to = to;
+  envelope.type = type;
+  envelope.payload = std::move(payload);
+  network_->Send(std::move(envelope));
+}
+
+void Actor::Reply(const Envelope& request, mal::Buffer payload) {
+  Envelope envelope;
+  envelope.from = name_;
+  envelope.to = request.from;
+  envelope.type = request.type;
+  envelope.rpc_id = request.rpc_id;
+  envelope.is_reply = true;
+  envelope.payload = std::move(payload);
+  network_->Send(std::move(envelope));
+}
+
+void Actor::ReplyError(const Envelope& request, const mal::Status& status) {
+  Envelope envelope;
+  envelope.from = name_;
+  envelope.to = request.from;
+  envelope.type = request.type;
+  envelope.rpc_id = request.rpc_id;
+  envelope.is_reply = true;
+  envelope.error_code = static_cast<uint32_t>(status.code());
+  envelope.payload = mal::Buffer::FromString(status.message());
+  network_->Send(std::move(envelope));
+}
+
+Time Actor::ReserveCpu(Time cost) {
+  Time start = std::max(Now(), cpu_busy_until_);
+  cpu_busy_until_ = start + cost;
+  busy_log_[cpu_busy_until_] = cost;
+  // Trim old intervals to bound memory (keep last ~120 virtual seconds).
+  while (!busy_log_.empty() && busy_log_.begin()->first + 120 * kSecond < Now()) {
+    busy_log_.erase(busy_log_.begin());
+  }
+  return cpu_busy_until_ - Now();
+}
+
+void Actor::AfterCpu(Time cost, std::function<void()> fn) {
+  Time delay = ReserveCpu(cost);
+  uint64_t incarnation = incarnation_;
+  simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
+    if (alive_ && incarnation_ == incarnation) {
+      fn();
+    }
+  });
+}
+
+Time Actor::ReserveDispatch(Time cost) {
+  Time start = std::max(Now(), dispatch_busy_until_);
+  dispatch_busy_until_ = start + cost;
+  return dispatch_busy_until_ - Now();
+}
+
+void Actor::AfterDispatch(Time cost, std::function<void()> fn) {
+  Time delay = ReserveDispatch(cost);
+  uint64_t incarnation = incarnation_;
+  simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
+    if (alive_ && incarnation_ == incarnation) {
+      fn();
+    }
+  });
+}
+
+double Actor::CpuUtilization(Time window) const {
+  if (window == 0) {
+    return 0;
+  }
+  Time from = Now() > window ? Now() - window : 0;
+  Time busy = 0;
+  for (const auto& [end, cost] : busy_log_) {
+    Time start = end - cost;
+    Time lo = std::max(start, from);
+    Time hi = std::min(end, Now());
+    if (hi > lo) {
+      busy += hi - lo;
+    }
+  }
+  return std::min(1.0, static_cast<double>(busy) / static_cast<double>(Now() - from));
+}
+
+void Actor::StartPeriodic(Time period, std::function<void()> fn) {
+  uint64_t incarnation = incarnation_;
+  simulator_->Schedule(period, [this, period, incarnation, fn = std::move(fn)]() {
+    if (!alive_ || incarnation_ != incarnation) {
+      return;
+    }
+    fn();
+    StartPeriodic(period, fn);
+  });
+}
+
+void Actor::Crash() {
+  alive_ = false;
+  ++incarnation_;
+  network_->SetCrashed(name_, true);
+  // Fail local in-flight RPCs: their replies will never arrive.
+  auto pending = std::move(pending_rpcs_);
+  pending_rpcs_.clear();
+  for (auto& [id, rpc] : pending) {
+    simulator_->Cancel(rpc.timeout_event);
+    rpc.handler(mal::Status::Unavailable("local daemon crashed"), Envelope{});
+  }
+  cpu_busy_until_ = 0;
+  dispatch_busy_until_ = 0;
+  busy_log_.clear();
+}
+
+void Actor::Recover() {
+  alive_ = true;
+  ++incarnation_;
+  network_->SetCrashed(name_, false);
+}
+
+void Actor::Deliver(Envelope envelope) {
+  if (!alive_) {
+    return;
+  }
+  if (envelope.is_reply) {
+    auto it = pending_rpcs_.find(envelope.rpc_id);
+    if (it == pending_rpcs_.end()) {
+      return;  // reply raced with its timeout; drop
+    }
+    ReplyHandler handler = std::move(it->second.handler);
+    simulator_->Cancel(it->second.timeout_event);
+    pending_rpcs_.erase(it);
+    mal::Status status = envelope.error_code == 0
+                             ? mal::Status::Ok()
+                             : mal::Status(static_cast<mal::Code>(envelope.error_code),
+                                           envelope.payload.ToString());
+    handler(status, envelope);
+    return;
+  }
+  HandleRequest(envelope);
+}
+
+}  // namespace mal::sim

@@ -1,0 +1,111 @@
+// Actor: base class for every daemon and client in the simulation.
+//
+// Provides request/response RPC with timeouts on top of the one-way
+// network, periodic timers, and a single-core CPU service-time model:
+// work "reserved" on an actor's CPU serializes, which is what makes an
+// overloaded metadata server an actual bottleneck in the balancer
+// experiments (paper §6.2).
+#ifndef MALACOLOGY_SIM_ACTOR_H_
+#define MALACOLOGY_SIM_ACTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace mal::sim {
+
+class Actor : public MessageSink {
+ public:
+  Actor(Simulator* simulator, Network* network, EntityName name);
+  ~Actor() override;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const EntityName& name() const { return name_; }
+  Simulator* simulator() { return simulator_; }
+  Network* network() { return network_; }
+  Time Now() const { return simulator_->Now(); }
+
+  // -- Messaging ------------------------------------------------------------
+
+  using ReplyHandler = std::function<void(mal::Status, const Envelope&)>;
+
+  // Sends a request; `on_reply` fires exactly once: with the reply, or with
+  // kTimedOut after `timeout`, or kUnavailable if this actor crashed.
+  void SendRequest(EntityName to, uint32_t type, mal::Buffer payload, ReplyHandler on_reply,
+                   Time timeout = 5 * kSecond);
+
+  // Fire-and-forget message.
+  void SendOneWay(EntityName to, uint32_t type, mal::Buffer payload);
+
+  // Replies to a request envelope.
+  void Reply(const Envelope& request, mal::Buffer payload);
+  void ReplyError(const Envelope& request, const mal::Status& status);
+
+  // -- CPU model ------------------------------------------------------------
+
+  // Reserves `cost` of serialized CPU time on this actor; returns the delay
+  // from now until that work completes (queueing + service).
+  Time ReserveCpu(Time cost);
+
+  // Runs `fn` after the reserved CPU work completes.
+  void AfterCpu(Time cost, std::function<void()> fn);
+
+  // Second service lane modeling a dispatch/messenger thread separate from
+  // the lock-bound work queue (as in Ceph's MDS). Forwarded requests ride
+  // this lane so they do not queue behind expensive local operations.
+  Time ReserveDispatch(Time cost);
+  void AfterDispatch(Time cost, std::function<void()> fn);
+
+  // Fraction of the last `window` that this actor's CPU was busy — the load
+  // metric exported to the balancer.
+  double CpuUtilization(Time window) const;
+
+  // -- Timers ---------------------------------------------------------------
+
+  // Calls `fn` every `period`, starting one period from now, while alive.
+  void StartPeriodic(Time period, std::function<void()> fn);
+
+  // -- Lifecycle ------------------------------------------------------------
+
+  bool alive() const { return alive_; }
+  // Crash: stop receiving, fail in-flight RPCs locally, clear CPU queue.
+  virtual void Crash();
+  // Restart after a crash; subclasses reset their volatile state.
+  virtual void Recover();
+
+  // MessageSink:
+  void Deliver(Envelope envelope) final;
+
+ protected:
+  // Subclasses implement request handling; replies are routed internally.
+  virtual void HandleRequest(const Envelope& request) = 0;
+
+ private:
+  struct PendingRpc {
+    ReplyHandler handler;
+    EventId timeout_event;
+  };
+
+  Simulator* simulator_;
+  Network* network_;
+  EntityName name_;
+  bool alive_ = true;
+  uint64_t next_rpc_id_ = 1;
+  uint64_t incarnation_ = 0;  // bumped on crash; stale timers check it
+  std::map<uint64_t, PendingRpc> pending_rpcs_;
+  Time cpu_busy_until_ = 0;
+  Time dispatch_busy_until_ = 0;
+  // Busy-time accounting for utilization: (interval_end, busy_in_interval).
+  std::map<Time, Time> busy_log_;
+};
+
+}  // namespace mal::sim
+
+#endif  // MALACOLOGY_SIM_ACTOR_H_

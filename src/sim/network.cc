@@ -1,0 +1,96 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+
+namespace mal::sim {
+
+std::string EntityName::ToString() const {
+  const char* prefix = "?";
+  switch (type) {
+    case EntityType::kMon:
+      prefix = "mon";
+      break;
+    case EntityType::kOsd:
+      prefix = "osd";
+      break;
+    case EntityType::kMds:
+      prefix = "mds";
+      break;
+    case EntityType::kClient:
+      prefix = "client";
+      break;
+  }
+  return std::string(prefix) + "." + std::to_string(id);
+}
+
+void EntityName::Encode(mal::Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type));
+  enc->PutU32(id);
+}
+
+EntityName EntityName::Decode(mal::Decoder* dec) {
+  EntityName name;
+  name.type = static_cast<EntityType>(dec->GetU8());
+  name.id = dec->GetU32();
+  return name;
+}
+
+Network::Network(Simulator* simulator, NetworkConfig config)
+    : simulator_(simulator), config_(config), rng_(config.seed) {}
+
+void Network::Attach(EntityName name, MessageSink* sink) { sinks_[name] = sink; }
+
+void Network::Detach(EntityName name) { sinks_.erase(name); }
+
+Time Network::ComputeLatency(const Envelope& envelope) {
+  Time base =
+      envelope.from == envelope.to ? config_.local_latency : config_.base_latency;
+  double jittered = rng_.LogNormal(static_cast<double>(base), config_.jitter_sigma);
+  double bytes_cost = config_.per_byte_ns * static_cast<double>(envelope.WireSize());
+  return static_cast<Time>(std::max(1.0, jittered + bytes_cost));
+}
+
+void Network::Send(Envelope envelope) {
+  ++messages_sent_;
+  bytes_sent_ += envelope.WireSize();
+  if (crashed_.count(envelope.from) != 0 || crashed_.count(envelope.to) != 0) {
+    return;
+  }
+  auto key = std::minmax(envelope.from, envelope.to);
+  if (partitions_.count({key.first, key.second}) != 0) {
+    return;
+  }
+  Time latency = ComputeLatency(envelope);
+  simulator_->Schedule(latency, [this, envelope = std::move(envelope)]() mutable {
+    // Re-check failure state at delivery time: a crash that happened while
+    // the message was in flight still loses it.
+    if (crashed_.count(envelope.to) != 0) {
+      return;
+    }
+    auto it = sinks_.find(envelope.to);
+    if (it == sinks_.end()) {
+      return;
+    }
+    ++messages_delivered_;
+    it->second->Deliver(std::move(envelope));
+  });
+}
+
+void Network::SetCrashed(EntityName name, bool crashed) {
+  if (crashed) {
+    crashed_.insert(name);
+  } else {
+    crashed_.erase(name);
+  }
+}
+
+void Network::SetPartitioned(EntityName a, EntityName b, bool partitioned) {
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
+}
+
+}  // namespace mal::sim

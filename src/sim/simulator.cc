@@ -1,0 +1,56 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mal::sim {
+
+EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id < next_id_) {
+    cancelled_[id] = true;
+  }
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Step();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace mal::sim

@@ -1,0 +1,330 @@
+#include "src/zlog/log.h"
+
+namespace mal::zlog {
+
+using cls::ZlogOps;
+
+namespace {
+
+uint64_t ParseU64(const std::string& s) {
+  return s.empty() ? 0 : std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Log::Log(sim::Actor* owner, rados::RadosClient* rados, mds::MdsClient* mds,
+         LogOptions options)
+    : owner_(owner),
+      rados_(rados),
+      mds_(mds),
+      options_(std::move(options)),
+      sequencer_path_("/zlog/" + options_.name) {
+  views_.push_back(View{0, options_.stripe_width, 0});
+}
+
+std::string Log::EncodeViews(const std::vector<View>& views) {
+  std::string out;
+  for (const View& view : views) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += std::to_string(view.epoch) + ":" + std::to_string(view.width) + ":" +
+           std::to_string(view.base_pos);
+  }
+  return out;
+}
+
+std::vector<View> Log::DecodeViews(const std::string& encoded, uint32_t default_width) {
+  std::vector<View> views;
+  size_t start = 0;
+  while (start < encoded.size()) {
+    size_t end = encoded.find(';', start);
+    if (end == std::string::npos) {
+      end = encoded.size();
+    }
+    std::string entry = encoded.substr(start, end - start);
+    size_t c1 = entry.find(':');
+    size_t c2 = entry.find(':', c1 + 1);
+    if (c1 != std::string::npos && c2 != std::string::npos) {
+      View view;
+      view.epoch = std::strtoull(entry.substr(0, c1).c_str(), nullptr, 10);
+      view.width = static_cast<uint32_t>(
+          std::strtoul(entry.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10));
+      view.base_pos = std::strtoull(entry.substr(c2 + 1).c_str(), nullptr, 10);
+      if (view.width > 0) {
+        views.push_back(view);
+      }
+    }
+    start = end + 1;
+  }
+  if (views.empty() || views.front().base_pos != 0) {
+    views.insert(views.begin(), View{0, default_width, 0});
+  }
+  return views;
+}
+
+std::string Log::ObjectFor(uint64_t position) const {
+  // Latest view whose base covers the position (views_ sorted by base_pos).
+  const View* view = &views_.front();
+  for (const View& candidate : views_) {
+    if (candidate.base_pos <= position) {
+      view = &candidate;
+    }
+  }
+  uint64_t index = (position - view->base_pos) % view->width;
+  if (view->epoch == 0) {
+    return options_.name + "." + std::to_string(index);
+  }
+  return options_.name + ".v" + std::to_string(view->epoch) + "." + std::to_string(index);
+}
+
+std::vector<std::string> Log::AllObjects() const {
+  std::vector<std::string> objects;
+  for (const View& view : views_) {
+    for (uint32_t i = 0; i < view.width; ++i) {
+      if (view.epoch == 0) {
+        objects.push_back(options_.name + "." + std::to_string(i));
+      } else {
+        objects.push_back(options_.name + ".v" + std::to_string(view.epoch) + "." +
+                          std::to_string(i));
+      }
+    }
+  }
+  return objects;
+}
+
+void Log::Open(DoneHandler on_done) {
+  mds::LeasePolicy policy = options_.lease;
+  if (options_.sequencer_mode == SequencerMode::kRoundTrip) {
+    policy.mode = mds::LeaseMode::kRoundTrip;
+  }
+  mds_->Create(sequencer_path_, mds::InodeType::kSequencer, policy,
+               [this, on_done = std::move(on_done)](mal::Status status) {
+                 if (!status.ok() && status.code() != mal::Code::kAlreadyExists) {
+                   on_done(status);
+                   return;
+                 }
+                 RefreshEpoch(on_done);
+               });
+}
+
+void Log::RefreshEpoch(DoneHandler on_done) {
+  mds_->Lookup(sequencer_path_,
+               [this, on_done = std::move(on_done)](mal::Status status,
+                                                    const mds::MdsReply& reply) {
+                 if (!status.ok()) {
+                   on_done(status);
+                   return;
+                 }
+                 auto it = reply.inode.params.find("epoch");
+                 epoch_ = it == reply.inode.params.end() ? 0 : ParseU64(it->second);
+                 auto views_it = reply.inode.params.find("views");
+                 if (views_it != reply.inode.params.end()) {
+                   views_ = DecodeViews(views_it->second, options_.stripe_width);
+                 }
+                 on_done(mal::Status::Ok());
+               });
+}
+
+void Log::GetPosition(PositionHandler on_position) {
+  if (options_.sequencer_mode == SequencerMode::kRoundTrip) {
+    mds_->SeqNext(sequencer_path_, std::move(on_position));
+    return;
+  }
+  // Cached mode: increment locally under the exclusive cap.
+  if (mds_->HasCap(sequencer_path_)) {
+    auto pos = mds_->LocalNext(sequencer_path_);
+    if (pos.ok()) {
+      on_position(mal::Status::Ok(), pos.value());
+      return;
+    }
+    // Cap slipped away between the check and the increment; fall through.
+  }
+  mds_->AcquireCap(sequencer_path_,
+                   [this, on_position = std::move(on_position)](mal::Status status) {
+                     if (!status.ok()) {
+                       on_position(status, 0);
+                       return;
+                     }
+                     auto pos = mds_->LocalNext(sequencer_path_);
+                     if (!pos.ok()) {
+                       on_position(pos.status(), 0);
+                       return;
+                     }
+                     on_position(mal::Status::Ok(), pos.value());
+                   });
+}
+
+void Log::Append(mal::Buffer data, PositionHandler on_done) {
+  AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(on_done), 0);
+}
+
+void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,
+                        int attempt) {
+  if (attempt >= options_.max_append_retries) {
+    on_done(mal::Status::Unavailable("append retries exhausted"), 0);
+    return;
+  }
+  GetPosition([this, data, on_done, attempt](mal::Status status, uint64_t position) {
+    if (status.code() == mal::Code::kAborted) {
+      // The sequencer lost its state (holder died): run CORFU recovery,
+      // then retry the append under the new epoch.
+      Recover([this, data, on_done, attempt](mal::Status recover_status, uint64_t) {
+        if (!recover_status.ok()) {
+          on_done(recover_status, 0);
+          return;
+        }
+        AppendAttempt(data, on_done, attempt + 1);
+      });
+      return;
+    }
+    if (!status.ok()) {
+      on_done(status, 0);
+      return;
+    }
+    rados_->Exec(
+        ObjectFor(position), "zlog", "write", ZlogOps::MakeWrite(epoch_, position, *data),
+        [this, data, on_done, attempt, position](mal::Status write_status,
+                                                 const mal::Buffer&) {
+          if (write_status.code() == mal::Code::kStaleEpoch) {
+            // We were fenced: learn the new epoch and retry with a fresh
+            // position (ours may have been consumed by recovery).
+            RefreshEpoch([this, data, on_done, attempt](mal::Status refresh_status) {
+              if (!refresh_status.ok()) {
+                on_done(refresh_status, 0);
+                return;
+              }
+              AppendAttempt(data, on_done, attempt + 1);
+            });
+            return;
+          }
+          if (write_status.code() == mal::Code::kReadOnly) {
+            // Position collision (post-recovery sequencer reset): retry.
+            AppendAttempt(data, on_done, attempt + 1);
+            return;
+          }
+          on_done(write_status, position);
+        });
+  });
+}
+
+void Log::Read(uint64_t position, ReadHandler on_data) {
+  rados_->Exec(ObjectFor(position), "zlog", "read", ZlogOps::MakeRead(epoch_, position),
+               [on_data = std::move(on_data)](mal::Status status, const mal::Buffer& out) {
+                 if (!status.ok()) {
+                   on_data(status, EntryState::kData, mal::Buffer());
+                   return;
+                 }
+                 mal::Decoder dec(out);
+                 auto state = static_cast<EntryState>(dec.GetU8());
+                 mal::Buffer data = mal::Buffer::FromString(dec.GetString());
+                 on_data(mal::Status::Ok(), state, data);
+               });
+}
+
+void Log::Fill(uint64_t position, DoneHandler on_done) {
+  rados_->Exec(ObjectFor(position), "zlog", "fill", ZlogOps::MakeFill(epoch_, position),
+               [on_done = std::move(on_done)](mal::Status status, const mal::Buffer&) {
+                 on_done(status);
+               });
+}
+
+void Log::Trim(uint64_t position, DoneHandler on_done) {
+  rados_->Exec(ObjectFor(position), "zlog", "trim", ZlogOps::MakeTrim(epoch_, position),
+               [on_done = std::move(on_done)](mal::Status status, const mal::Buffer&) {
+                 on_done(status);
+               });
+}
+
+void Log::CheckTail(PositionHandler on_tail) {
+  if (options_.sequencer_mode == SequencerMode::kCached &&
+      mds_->HasCap(sequencer_path_)) {
+    // We are the sequencer: answer locally (peek without allocating by
+    // reading the cached next value).
+    mds_->SeqRead(sequencer_path_, std::move(on_tail));  // falls back to MDS
+    return;
+  }
+  mds_->SeqRead(sequencer_path_, std::move(on_tail));
+}
+
+void Log::SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
+                         PositionHandler on_done) {
+  std::vector<std::string> objects = AllObjects();
+  auto max_tail = std::make_shared<uint64_t>(0);
+  auto pending = std::make_shared<size_t>(objects.size());
+  auto failed = std::make_shared<mal::Status>();
+  for (const std::string& oid : objects) {
+    rados_->Exec(
+        oid, "zlog", "seal", ZlogOps::MakeSeal(new_epoch),
+        [this, max_tail, pending, failed, new_epoch, new_width, on_done](
+            mal::Status seal_status, const mal::Buffer& out) {
+          if (!seal_status.ok()) {
+            if (failed->ok()) {
+              *failed = seal_status;
+            }
+          } else {
+            mal::Decoder dec(out);
+            *max_tail = std::max(*max_tail, dec.GetU64());
+          }
+          if (--*pending != 0) {
+            return;
+          }
+          if (!failed->ok()) {
+            // Lost a seal race or a device refused: report; the caller can
+            // retry (a competing recovery/reconfiguration may have won).
+            on_done(*failed, 0);
+            return;
+          }
+          // Install tail + epoch (+ the new view) into the sequencer inode
+          // and clear the recovery flag.
+          std::vector<View> new_views = views_;
+          if (new_width.has_value()) {
+            new_views.push_back(View{new_epoch, *new_width, *max_tail});
+          }
+          mds::ClientRequest install;
+          install.op = mds::MdsOp::kSetSeqState;
+          install.path = sequencer_path_;
+          install.seq_value = *max_tail;
+          install.params["epoch"] = std::to_string(new_epoch);
+          install.params["views"] = EncodeViews(new_views);
+          install.params["needs_recovery"] = "";  // erase
+          mds_->Request(install, [this, new_epoch, new_views, max_tail, on_done](
+                                     mal::Status install_status, const mds::MdsReply&) {
+            if (!install_status.ok()) {
+              on_done(install_status, 0);
+              return;
+            }
+            epoch_ = new_epoch;
+            views_ = new_views;
+            on_done(mal::Status::Ok(), *max_tail);
+          });
+        });
+  }
+}
+
+void Log::Recover(PositionHandler on_recovered) {
+  // Learn the latest epoch first so our seal outbids everyone sealed-so-far.
+  RefreshEpoch([this, on_recovered = std::move(on_recovered)](mal::Status status) {
+    if (!status.ok()) {
+      on_recovered(status, 0);
+      return;
+    }
+    SealAndInstall(epoch_ + 1, std::nullopt, std::move(on_recovered));
+  });
+}
+
+void Log::Reconfigure(uint32_t new_width, PositionHandler on_done) {
+  if (new_width == 0) {
+    on_done(mal::Status::InvalidArgument("stripe width must be positive"), 0);
+    return;
+  }
+  RefreshEpoch([this, new_width, on_done = std::move(on_done)](mal::Status status) {
+    if (!status.ok()) {
+      on_done(status, 0);
+      return;
+    }
+    SealAndInstall(epoch_ + 1, new_width, std::move(on_done));
+  });
+}
+
+}  // namespace mal::zlog

@@ -1,0 +1,126 @@
+// ZLog: a high-performance distributed shared log (paper §5.2), an
+// implementation of the CORFU protocol mapped onto Malacology interfaces:
+//
+//  - the sequencer is a kSequencer inode in the metadata service (File
+//    Type interface) — either round-trip (every position is an MDS RPC) or
+//    cached (the client holds the exclusive capability and increments the
+//    tail locally under programmable lease terms);
+//  - log entries live in a stripe of RADOS objects driven through the
+//    `zlog` object class (Data I/O interface), whose write-once +
+//    epoch-seal semantics provide CORFU's correctness;
+//  - sequencer recovery follows CORFU: bump the epoch, seal every stripe
+//    object (invalidating stale clients), take the max tail, and install
+//    the recovered state back into the inode.
+#ifndef MALACOLOGY_ZLOG_LOG_H_
+#define MALACOLOGY_ZLOG_LOG_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "src/cls/builtin.h"
+#include "src/mds/mds_client.h"
+#include "src/rados/client.h"
+
+namespace mal::zlog {
+
+// A CORFU view (projection): from `base_pos` onward, positions stripe
+// across `width` objects. Views are installed by Reconfigure()/Recover()
+// under a new epoch; the full view history lives in the sequencer inode's
+// params, so every client maps any historical position identically.
+struct View {
+  uint64_t epoch = 0;
+  uint32_t width = 1;
+  uint64_t base_pos = 0;
+};
+
+enum class SequencerMode : uint8_t {
+  kRoundTrip = 0,  // every position is an MDS round-trip (§6.2 experiments)
+  kCached = 1,     // exclusive capability + local increments (§6.1)
+};
+
+struct LogOptions {
+  std::string name = "log";
+  uint32_t stripe_width = 4;  // log positions stripe across this many objects
+  SequencerMode sequencer_mode = SequencerMode::kRoundTrip;
+  // Lease terms for kCached mode (the Fig 5/6/7 knobs).
+  mds::LeasePolicy lease;
+  int max_append_retries = 4;
+};
+
+// Read results distinguish real data from junk (filled) and trimmed holes.
+enum class EntryState : uint8_t { kData = 1, kFilled = 2, kTrimmed = 3 };
+
+class Log {
+ public:
+  Log(sim::Actor* owner, rados::RadosClient* rados, mds::MdsClient* mds,
+      LogOptions options = {});
+
+  using PositionHandler = std::function<void(mal::Status, uint64_t)>;
+  using ReadHandler = std::function<void(mal::Status, EntryState, const mal::Buffer&)>;
+  using DoneHandler = std::function<void(mal::Status)>;
+
+  // Creates the sequencer inode (idempotent) and learns the current epoch.
+  void Open(DoneHandler on_done);
+
+  // Appends an entry: obtains the next position from the sequencer, then
+  // writes it through the zlog object class. Retries through epoch
+  // refreshes and (after sequencer recovery) position conflicts.
+  void Append(mal::Buffer data, PositionHandler on_done);
+
+  // Random read of a position; never blocks on the sequencer.
+  void Read(uint64_t position, ReadHandler on_data);
+
+  // CORFU hole handling and GC.
+  void Fill(uint64_t position, DoneHandler on_done);
+  void Trim(uint64_t position, DoneHandler on_done);
+
+  // Current tail without allocating (round-trip to the sequencer inode).
+  void CheckTail(PositionHandler on_tail);
+
+  // CORFU sequencer recovery: seal all stripe objects at a higher epoch,
+  // compute the tail, install it into the inode, clear the recovery flag.
+  void Recover(PositionHandler on_recovered);
+
+  // CORFU view change: seals the log at a new epoch and installs a view
+  // with a different stripe width starting at the sealed tail. Appends
+  // before the tail stay mapped by the old views; new appends stripe over
+  // `new_width` objects. Concurrent reconfigurations race on the seal and
+  // the loser observes kStaleEpoch.
+  void Reconfigure(uint32_t new_width, PositionHandler on_done);
+
+  const std::vector<View>& views() const { return views_; }
+
+  uint64_t epoch() const { return epoch_; }
+  const std::string& sequencer_path() const { return sequencer_path_; }
+  // The stripe object holding `position`.
+  std::string ObjectFor(uint64_t position) const;
+
+ private:
+  void GetPosition(PositionHandler on_position);
+  void AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,
+                     int attempt);
+  void RefreshEpoch(DoneHandler on_done);
+  // Every object of every view (the set recovery must seal).
+  std::vector<std::string> AllObjects() const;
+  // Seals every object at `new_epoch`, returns max tail; then installs
+  // tail + epoch (+ optional view entry) into the sequencer inode.
+  void SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
+                      PositionHandler on_done);
+  static std::string EncodeViews(const std::vector<View>& views);
+  static std::vector<View> DecodeViews(const std::string& encoded, uint32_t default_width);
+
+  sim::Actor* owner_;
+  rados::RadosClient* rados_;
+  mds::MdsClient* mds_;
+  LogOptions options_;
+  std::string sequencer_path_;
+  uint64_t epoch_ = 0;
+  std::vector<View> views_;  // sorted by base_pos; views_[0].base_pos == 0
+};
+
+}  // namespace mal::zlog
+
+#endif  // MALACOLOGY_ZLOG_LOG_H_

@@ -1,0 +1,287 @@
+// Tests for the three user-facing API layers of Figure 1: striper math,
+// the RBD-style block image (incl. snapshots), and the file client.
+#include <gtest/gtest.h>
+
+#include "src/cephfs/file_client.h"
+#include "src/cluster/cluster.h"
+#include "src/rbd/image.h"
+
+namespace mal {
+namespace {
+
+// ---- striper (pure) ------------------------------------------------------------
+
+TEST(StriperTest, SingleObjectRange) {
+  auto extents = rados::StripeRange("img", 1000, 100, 200);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].oid, "img.0");
+  EXPECT_EQ(extents[0].offset, 100u);
+  EXPECT_EQ(extents[0].length, 200u);
+  EXPECT_EQ(extents[0].logical, 0u);
+}
+
+TEST(StriperTest, SpansObjectBoundaries) {
+  auto extents = rados::StripeRange("img", 1000, 900, 1200);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].oid, "img.0");
+  EXPECT_EQ(extents[0].offset, 900u);
+  EXPECT_EQ(extents[0].length, 100u);
+  EXPECT_EQ(extents[1].oid, "img.1");
+  EXPECT_EQ(extents[1].offset, 0u);
+  EXPECT_EQ(extents[1].length, 1000u);
+  EXPECT_EQ(extents[2].oid, "img.2");
+  EXPECT_EQ(extents[2].length, 100u);
+  EXPECT_EQ(extents[2].logical, 1100u);
+}
+
+TEST(StriperTest, ZeroLengthYieldsNothing) {
+  EXPECT_TRUE(rados::StripeRange("img", 1000, 500, 0).empty());
+}
+
+TEST(StriperTest, ExtentsCoverRangeExactly) {
+  for (uint64_t offset : {0ULL, 17ULL, 999ULL, 1000ULL, 4096ULL}) {
+    for (uint64_t length : {1ULL, 999ULL, 1000ULL, 1001ULL, 5000ULL}) {
+      auto extents = rados::StripeRange("x", 1000, offset, length);
+      uint64_t covered = 0;
+      uint64_t expect_logical = 0;
+      for (const auto& extent : extents) {
+        EXPECT_EQ(extent.logical, expect_logical);
+        EXPECT_LE(extent.offset + extent.length, 1000u);
+        covered += extent.length;
+        expect_logical += extent.length;
+      }
+      EXPECT_EQ(covered, length) << "offset=" << offset << " length=" << length;
+    }
+  }
+}
+
+// ---- fixtures -------------------------------------------------------------------
+
+class ApiLayersFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster::ClusterOptions options;
+    options.num_osds = 4;
+    options.num_mds = 1;
+    options.osd.replicas = 2;
+    options.mon.proposal_interval = 200 * sim::kMillisecond;
+    cluster = std::make_unique<cluster::Cluster>(options);
+    cluster->Boot();
+    client = cluster->NewClient();
+  }
+
+  Status Wait(std::optional<Status>* slot) {
+    EXPECT_TRUE(cluster->RunUntil([&] { return slot->has_value(); }));
+    return slot->value_or(Status::TimedOut("no callback"));
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster;
+  cluster::Client* client = nullptr;
+};
+
+// ---- RBD image --------------------------------------------------------------------
+
+class RbdFixture : public ApiLayersFixture {
+ protected:
+  std::unique_ptr<rbd::Image> CreateImage(const std::string& name, uint64_t size,
+                                          uint64_t object_size) {
+    auto image = std::make_unique<rbd::Image>(&client->rados, name);
+    std::optional<Status> created;
+    image->Create(size, object_size, [&](Status s) { created = s; });
+    EXPECT_TRUE(Wait(&created).ok());
+    return image;
+  }
+
+  Result<std::string> ReadAt(rbd::Image* image, uint64_t offset, uint64_t length) {
+    std::optional<Result<std::string>> result;
+    image->ReadAt(offset, length, [&](Status s, const Buffer& data) {
+      result = s.ok() ? Result<std::string>(data.ToString()) : Result<std::string>(s);
+    });
+    EXPECT_TRUE(cluster->RunUntil([&] { return result.has_value(); }));
+    return result.value_or(Status::TimedOut("read"));
+  }
+
+  Status WriteAt(rbd::Image* image, uint64_t offset, const std::string& data) {
+    std::optional<Status> written;
+    image->WriteAt(offset, Buffer::FromString(data), [&](Status s) { written = s; });
+    return Wait(&written);
+  }
+};
+
+TEST_F(RbdFixture, CreateOpenRoundTrip) {
+  CreateImage("disk0", 1 << 20, 4096);
+  rbd::Image reopened(&client->rados, "disk0");
+  std::optional<Status> opened;
+  reopened.Open([&](Status s) { opened = s; });
+  ASSERT_TRUE(Wait(&opened).ok());
+  EXPECT_EQ(reopened.size(), 1u << 20);
+  EXPECT_EQ(reopened.object_size(), 4096u);
+}
+
+TEST_F(RbdFixture, CreateTwiceFails) {
+  CreateImage("dup", 4096, 1024);
+  rbd::Image again(&client->rados, "dup");
+  std::optional<Status> created;
+  again.Create(4096, 1024, [&](Status s) { created = s; });
+  EXPECT_EQ(Wait(&created).code(), Code::kAlreadyExists);
+}
+
+TEST_F(RbdFixture, WriteReadAcrossObjectBoundary) {
+  auto image = CreateImage("disk1", 64 * 1024, 4096);
+  // 9000 bytes starting at 4000: spans three 4 KiB objects.
+  std::string pattern;
+  for (int i = 0; i < 9000; ++i) {
+    pattern += static_cast<char>('a' + i % 26);
+  }
+  ASSERT_TRUE(WriteAt(image.get(), 4000, pattern).ok());
+  auto data = ReadAt(image.get(), 4000, 9000);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data.value(), pattern);
+}
+
+TEST_F(RbdFixture, UnwrittenRegionsReadAsZeros) {
+  auto image = CreateImage("sparse", 32 * 1024, 4096);
+  ASSERT_TRUE(WriteAt(image.get(), 0, "head").ok());
+  auto data = ReadAt(image.get(), 8192, 16);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), std::string(16, '\0'));
+}
+
+TEST_F(RbdFixture, OutOfRangeIoRejected) {
+  auto image = CreateImage("small", 8192, 4096);
+  EXPECT_EQ(WriteAt(image.get(), 8000, std::string(500, 'x')).code(), Code::kOutOfRange);
+  EXPECT_EQ(ReadAt(image.get(), 0, 9000).status().code(), Code::kOutOfRange);
+}
+
+TEST_F(RbdFixture, SnapshotPreservesPointInTime) {
+  // The Table 1 example: block-device snapshots via the object interface.
+  auto image = CreateImage("snapdisk", 16 * 1024, 4096);
+  ASSERT_TRUE(WriteAt(image.get(), 0, "generation-one").ok());
+  ASSERT_TRUE(WriteAt(image.get(), 5000, "spans-too").ok());
+
+  std::optional<Status> snapped;
+  image->Snapshot("backup", [&](Status s) { snapped = s; });
+  ASSERT_TRUE(Wait(&snapped).ok());
+
+  ASSERT_TRUE(WriteAt(image.get(), 0, "generation-TWO").ok());
+
+  auto live = ReadAt(image.get(), 0, 14);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value(), "generation-TWO");
+
+  std::optional<Result<std::string>> snap_read;
+  image->ReadAtSnapshot("backup", 0, 14, [&](Status s, const Buffer& data) {
+    snap_read = s.ok() ? Result<std::string>(data.ToString()) : Result<std::string>(s);
+  });
+  ASSERT_TRUE(cluster->RunUntil([&] { return snap_read.has_value(); }));
+  ASSERT_TRUE(snap_read->ok()) << snap_read->status();
+  EXPECT_EQ(snap_read->value(), "generation-one");
+  // The cross-boundary write is also in the snapshot.
+  std::optional<Result<std::string>> snap_read2;
+  image->ReadAtSnapshot("backup", 5000, 9, [&](Status s, const Buffer& data) {
+    snap_read2 = s.ok() ? Result<std::string>(data.ToString()) : Result<std::string>(s);
+  });
+  ASSERT_TRUE(cluster->RunUntil([&] { return snap_read2.has_value(); }));
+  ASSERT_TRUE(snap_read2->ok());
+  EXPECT_EQ(snap_read2->value(), "spans-too");
+}
+
+// ---- file client ---------------------------------------------------------------------
+
+class FileFixture : public ApiLayersFixture {
+ protected:
+  void SetUp() override {
+    ApiLayersFixture::SetUp();
+    cephfs::FileClientOptions options;
+    options.object_size = 1024;  // small stripes to exercise striping
+    files = std::make_unique<cephfs::FileClient>(&client->mds, &client->rados, options);
+  }
+
+  Status WriteFile(const std::string& path, const std::string& data) {
+    std::optional<Status> written;
+    files->WriteFile(path, Buffer::FromString(data), [&](Status s) { written = s; });
+    return Wait(&written);
+  }
+
+  Result<std::string> ReadFile(const std::string& path) {
+    std::optional<Result<std::string>> result;
+    files->ReadFile(path, [&](Status s, const Buffer& data) {
+      result = s.ok() ? Result<std::string>(data.ToString()) : Result<std::string>(s);
+    });
+    EXPECT_TRUE(cluster->RunUntil([&] { return result.has_value(); }));
+    return result.value_or(Status::TimedOut("read"));
+  }
+
+  std::unique_ptr<cephfs::FileClient> files;
+};
+
+TEST_F(FileFixture, WriteReadSmallFile) {
+  ASSERT_TRUE(WriteFile("/docs/readme.txt", "hello files").ok());
+  auto data = ReadFile("/docs/readme.txt");
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data.value(), "hello files");
+}
+
+TEST_F(FileFixture, LargeFileStripesAcrossObjects) {
+  std::string big;
+  for (int i = 0; i < 5000; ++i) {
+    big += static_cast<char>('A' + i % 26);
+  }
+  ASSERT_TRUE(WriteFile("/data/big.bin", big).ok());
+  auto data = ReadFile("/data/big.bin");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), big);
+
+  // Data landed in multiple stripe objects on the OSDs.
+  int stripes = 0;
+  for (size_t i = 0; i < cluster->num_osds(); ++i) {
+    for (const std::string& oid : cluster->osd(i).store().List()) {
+      if (oid.rfind("file.", 0) == 0) {
+        ++stripes;
+      }
+    }
+  }
+  EXPECT_GE(stripes, 5);  // 5 stripes x replicas, deduped imprecisely
+}
+
+TEST_F(FileFixture, OverwriteShrinksFile) {
+  ASSERT_TRUE(WriteFile("/f", std::string(3000, 'x')).ok());
+  ASSERT_TRUE(WriteFile("/f", "tiny").ok());
+  auto data = ReadFile("/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "tiny");
+}
+
+TEST_F(FileFixture, StatReportsSizeAndType) {
+  ASSERT_TRUE(WriteFile("/stat-me", "12345").ok());
+  std::optional<Result<mds::Inode>> inode;
+  files->Stat("/stat-me", [&](Status s, const mds::Inode& node) {
+    inode = s.ok() ? Result<mds::Inode>(node) : Result<mds::Inode>(s);
+  });
+  ASSERT_TRUE(cluster->RunUntil([&] { return inode.has_value(); }));
+  ASSERT_TRUE(inode->ok());
+  EXPECT_EQ(inode->value().size, 5u);
+  EXPECT_EQ(inode->value().type, mds::InodeType::kFile);
+}
+
+TEST_F(FileFixture, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFile("/missing").status().code(), Code::kNotFound);
+}
+
+TEST_F(FileFixture, UnlinkRemovesFile) {
+  ASSERT_TRUE(WriteFile("/doomed", "bye").ok());
+  std::optional<Status> unlinked;
+  files->Unlink("/doomed", [&](Status s) { unlinked = s; });
+  ASSERT_TRUE(Wait(&unlinked).ok());
+  EXPECT_EQ(ReadFile("/doomed").status().code(), Code::kNotFound);
+}
+
+TEST_F(FileFixture, EmptyFileRoundTrips) {
+  ASSERT_TRUE(WriteFile("/empty", "").ok());
+  auto data = ReadFile("/empty");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "");
+}
+
+}  // namespace
+}  // namespace mal

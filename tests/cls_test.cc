@@ -1,0 +1,425 @@
+// Tests for the object-class subsystem: context staging/effects, registry
+// dispatch, script classes, sandboxing, and every builtin class — with a
+// deep dive on cls_zlog (the CORFU storage interface).
+#include <gtest/gtest.h>
+
+#include "src/cls/builtin.h"
+#include "src/cls/registry.h"
+
+namespace mal::cls {
+namespace {
+
+// Harness: executes a class method against an in-memory object the way the
+// OSD does — staged copy, recorded effects, commit on success.
+class ClsHarness {
+ public:
+  ClsHarness() { RegisterBuiltinClasses(&registry); }
+
+  mal::Result<mal::Buffer> Call(const std::string& cls, const std::string& method,
+                                const mal::Buffer& input) {
+    std::optional<osd::Object> staged = object;
+    std::vector<osd::Op> effects;
+    ClsContext ctx("test-obj", &staged, &effects);
+    auto out = registry.Execute(cls, method, ctx, input);
+    if (out.ok()) {
+      object = staged;  // commit
+      last_effects = std::move(effects);
+    }
+    return out;
+  }
+
+  ClassRegistry registry;
+  std::optional<osd::Object> object;
+  std::vector<osd::Op> last_effects;
+};
+
+// ---- cls zlog (CORFU storage interface) -------------------------------------
+
+TEST(ClsZlogTest, WriteOnceSemantics) {
+  ClsHarness h;
+  auto w1 = h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("a")));
+  ASSERT_TRUE(w1.ok()) << w1.status();
+  auto w2 = h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("b")));
+  EXPECT_EQ(w2.status().code(), mal::Code::kReadOnly);
+
+  auto r = h.Call("zlog", "read", ZlogOps::MakeRead(0, 0));
+  ASSERT_TRUE(r.ok());
+  mal::Decoder dec(r.value());
+  EXPECT_EQ(dec.GetU8(), static_cast<uint8_t>(ZlogEntryState::kWritten));
+  EXPECT_EQ(dec.GetString(), "a");
+}
+
+TEST(ClsZlogTest, ReadUnwrittenReportsNotWritten) {
+  ClsHarness h;
+  h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("x")));
+  auto r = h.Call("zlog", "read", ZlogOps::MakeRead(0, 5));
+  EXPECT_EQ(r.status().code(), mal::Code::kNotWritten);
+}
+
+TEST(ClsZlogTest, SealInstallsEpochAndReturnsMaxPos) {
+  ClsHarness h;
+  for (uint64_t pos : {0, 1, 2}) {
+    ASSERT_TRUE(
+        h.Call("zlog", "write", ZlogOps::MakeWrite(0, pos, mal::Buffer::FromString("e")))
+            .ok());
+  }
+  auto seal = h.Call("zlog", "seal", ZlogOps::MakeSeal(1));
+  ASSERT_TRUE(seal.ok());
+  mal::Decoder dec(seal.value());
+  EXPECT_EQ(dec.GetU64(), 3u);  // tail after 3 writes
+}
+
+TEST(ClsZlogTest, StaleEpochRejectedAfterSeal) {
+  ClsHarness h;
+  ASSERT_TRUE(h.Call("zlog", "seal", ZlogOps::MakeSeal(2)).ok());
+  // Old-epoch operations bounce with kStaleEpoch (CORFU invalidation).
+  EXPECT_EQ(h.Call("zlog", "write",
+                   ZlogOps::MakeWrite(1, 0, mal::Buffer::FromString("late")))
+                .status()
+                .code(),
+            mal::Code::kStaleEpoch);
+  EXPECT_EQ(h.Call("zlog", "read", ZlogOps::MakeRead(1, 0)).status().code(),
+            mal::Code::kStaleEpoch);
+  EXPECT_EQ(h.Call("zlog", "fill", ZlogOps::MakeFill(0, 0)).status().code(),
+            mal::Code::kStaleEpoch);
+  // Current-epoch operations proceed.
+  EXPECT_TRUE(
+      h.Call("zlog", "write", ZlogOps::MakeWrite(2, 0, mal::Buffer::FromString("ok"))).ok());
+}
+
+TEST(ClsZlogTest, SealMustIncreaseEpoch) {
+  ClsHarness h;
+  ASSERT_TRUE(h.Call("zlog", "seal", ZlogOps::MakeSeal(3)).ok());
+  EXPECT_EQ(h.Call("zlog", "seal", ZlogOps::MakeSeal(3)).status().code(),
+            mal::Code::kStaleEpoch);
+  EXPECT_EQ(h.Call("zlog", "seal", ZlogOps::MakeSeal(2)).status().code(),
+            mal::Code::kStaleEpoch);
+  EXPECT_TRUE(h.Call("zlog", "seal", ZlogOps::MakeSeal(4)).ok());
+}
+
+TEST(ClsZlogTest, FillMarksJunkAndProtectsWritten) {
+  ClsHarness h;
+  ASSERT_TRUE(
+      h.Call("zlog", "write", ZlogOps::MakeWrite(0, 1, mal::Buffer::FromString("v"))).ok());
+  // Fill an unwritten hole.
+  ASSERT_TRUE(h.Call("zlog", "fill", ZlogOps::MakeFill(0, 0)).ok());
+  auto r = h.Call("zlog", "read", ZlogOps::MakeRead(0, 0));
+  ASSERT_TRUE(r.ok());
+  mal::Decoder dec(r.value());
+  EXPECT_EQ(dec.GetU8(), static_cast<uint8_t>(ZlogEntryState::kFilled));
+  // Filling a written position fails; filling a filled one is idempotent.
+  EXPECT_EQ(h.Call("zlog", "fill", ZlogOps::MakeFill(0, 1)).status().code(),
+            mal::Code::kReadOnly);
+  EXPECT_TRUE(h.Call("zlog", "fill", ZlogOps::MakeFill(0, 0)).ok());
+}
+
+TEST(ClsZlogTest, TrimAllowsGarbageCollection) {
+  ClsHarness h;
+  ASSERT_TRUE(
+      h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("old"))).ok());
+  ASSERT_TRUE(h.Call("zlog", "trim", ZlogOps::MakeTrim(0, 0)).ok());
+  auto r = h.Call("zlog", "read", ZlogOps::MakeRead(0, 0));
+  ASSERT_TRUE(r.ok());
+  mal::Decoder dec(r.value());
+  EXPECT_EQ(dec.GetU8(), static_cast<uint8_t>(ZlogEntryState::kTrimmed));
+}
+
+TEST(ClsZlogTest, MaxPosTracksTail) {
+  ClsHarness h;
+  auto mp0 = h.Call("zlog", "max_pos", ZlogOps::MakeMaxPos(0));
+  ASSERT_TRUE(mp0.ok());
+  {
+    mal::Decoder dec(mp0.value());
+    EXPECT_EQ(dec.GetU64(), 0u);
+  }
+  // Sparse write at position 41 moves the tail to 42.
+  ASSERT_TRUE(
+      h.Call("zlog", "write", ZlogOps::MakeWrite(0, 41, mal::Buffer::FromString("x"))).ok());
+  auto mp = h.Call("zlog", "max_pos", ZlogOps::MakeMaxPos(0));
+  ASSERT_TRUE(mp.ok());
+  mal::Decoder dec(mp.value());
+  EXPECT_EQ(dec.GetU64(), 42u);
+}
+
+// Sequencer-recovery protocol shape: seal all, take max of max_pos.
+TEST(ClsZlogTest, RecoveryProtocolComputesTail) {
+  ClsHarness dev_a;
+  ClsHarness dev_b;
+  ASSERT_TRUE(dev_a.Call("zlog", "write", ZlogOps::MakeWrite(0, 10, mal::Buffer())).ok());
+  ASSERT_TRUE(dev_b.Call("zlog", "write", ZlogOps::MakeWrite(0, 7, mal::Buffer())).ok());
+
+  uint64_t tail = 0;
+  for (ClsHarness* dev : {&dev_a, &dev_b}) {
+    auto sealed = dev->Call("zlog", "seal", ZlogOps::MakeSeal(1));
+    ASSERT_TRUE(sealed.ok());
+    mal::Decoder dec(sealed.value());
+    tail = std::max(tail, dec.GetU64());
+  }
+  EXPECT_EQ(tail, 11u);
+  // Old-epoch client is now fenced on both devices.
+  EXPECT_EQ(dev_a.Call("zlog", "write", ZlogOps::MakeWrite(0, 11, mal::Buffer()))
+                .status()
+                .code(),
+            mal::Code::kStaleEpoch);
+}
+
+// ---- other builtins ------------------------------------------------------------
+
+TEST(ClsLockTest, AcquireReleaseCycle) {
+  ClsHarness h;
+  ASSERT_TRUE(h.Call("lock", "acquire", mal::Buffer::FromString("alice")).ok());
+  // Re-entrant for the same owner.
+  EXPECT_TRUE(h.Call("lock", "acquire", mal::Buffer::FromString("alice")).ok());
+  // Others bounce.
+  EXPECT_EQ(h.Call("lock", "acquire", mal::Buffer::FromString("bob")).status().code(),
+            mal::Code::kPermissionDenied);
+  EXPECT_EQ(h.Call("lock", "release", mal::Buffer::FromString("bob")).status().code(),
+            mal::Code::kPermissionDenied);
+  auto info = h.Call("lock", "info", mal::Buffer());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().ToString(), "alice");
+  ASSERT_TRUE(h.Call("lock", "release", mal::Buffer::FromString("alice")).ok());
+  EXPECT_TRUE(h.Call("lock", "acquire", mal::Buffer::FromString("bob")).ok());
+}
+
+TEST(ClsLogTest, AppendsSequencedRecords) {
+  ClsHarness h;
+  for (const char* rec : {"one", "two", "three"}) {
+    ASSERT_TRUE(h.Call("log", "add", mal::Buffer::FromString(rec)).ok());
+  }
+  auto list = h.Call("log", "list", mal::Buffer());
+  ASSERT_TRUE(list.ok());
+  mal::Decoder dec(list.value());
+  auto records = DecodeStringMap(&dec);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.begin()->second, "one");  // keys sort by sequence
+}
+
+TEST(ClsRefcountTest, CountsUpAndDown) {
+  ClsHarness h;
+  h.Call("refcount", "inc", mal::Buffer());
+  h.Call("refcount", "inc", mal::Buffer());
+  auto get = h.Call("refcount", "get", mal::Buffer());
+  ASSERT_TRUE(get.ok());
+  {
+    mal::Decoder dec(get.value());
+    EXPECT_EQ(dec.GetU64(), 2u);
+  }
+  h.Call("refcount", "dec", mal::Buffer());
+  h.Call("refcount", "dec", mal::Buffer());
+  EXPECT_EQ(h.Call("refcount", "dec", mal::Buffer()).status().code(),
+            mal::Code::kOutOfRange);
+}
+
+TEST(ClsChecksumTest, ComputesAndCaches) {
+  ClsHarness h;
+  h.object.emplace();
+  h.object->data = mal::Buffer::FromString("checksum me please");
+  mal::Buffer input;
+  mal::Encoder enc(&input);
+  enc.PutU64(0);
+  enc.PutU64(8);
+  auto first = h.Call("checksum", "compute", input);
+  ASSERT_TRUE(first.ok());
+  auto second = h.Call("checksum", "compute", input);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().ToString(), second.value().ToString());
+  EXPECT_EQ(h.object->xattrs.count("cksum.0.8"), 1u);  // cached server-side
+}
+
+TEST(ClsKvIndexTest, AtomicRecordPlusIndex) {
+  ClsHarness h;
+  auto put = [&](const std::string& k, const std::string& v) {
+    mal::Buffer input;
+    mal::Encoder enc(&input);
+    enc.PutString(k);
+    enc.PutString(v);
+    return h.Call("kvindex", "put", input);
+  };
+  ASSERT_TRUE(put("row1", "matrix-row-one").ok());
+  ASSERT_TRUE(put("row2", "matrix-row-two!").ok());
+  auto got = h.Call("kvindex", "get", mal::Buffer::FromString("row2"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ToString(), "matrix-row-two!");
+  EXPECT_EQ(h.Call("kvindex", "get", mal::Buffer::FromString("nope")).status().code(),
+            mal::Code::kNotFound);
+}
+
+// ---- context semantics -----------------------------------------------------------
+
+TEST(ClsContextTest, EffectsMirrorMutations) {
+  ClsHarness h;
+  ASSERT_TRUE(
+      h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("e"))).ok());
+  // Effects are primitive ops replayable on a replica.
+  ASSERT_FALSE(h.last_effects.empty());
+  std::optional<osd::Object> replica;
+  for (const osd::Op& op : h.last_effects) {
+    osd::OpResult result;
+    ASSERT_TRUE(osd::ObjectStore::ApplyOp(op, &replica, &result).ok());
+  }
+  ASSERT_TRUE(replica.has_value());
+  EXPECT_EQ(replica->omap, h.object->omap);
+  EXPECT_EQ(replica->xattrs, h.object->xattrs);
+}
+
+TEST(ClsContextTest, FailedMethodLeavesObjectUntouched) {
+  ClsHarness h;
+  ASSERT_TRUE(h.Call("lock", "acquire", mal::Buffer::FromString("alice")).ok());
+  auto before = h.object;
+  EXPECT_FALSE(h.Call("lock", "acquire", mal::Buffer::FromString("bob")).ok());
+  EXPECT_EQ(h.object->xattrs, before->xattrs);
+}
+
+// ---- script classes -----------------------------------------------------------------
+
+constexpr char kCounterScript[] = R"(
+function inc(input)
+  local v = tonumber(cls_xattr_get("count")) or 0
+  local step = tonumber(input) or 1
+  cls_create(false)
+  cls_xattr_set("count", tostring(v + step))
+  return tostring(v + step)
+end
+
+function get(input)
+  return cls_xattr_get("count") or "0"
+end
+)";
+
+TEST(ScriptClassTest, InstallAndExecute) {
+  ClsHarness h;
+  ASSERT_TRUE(h.registry.InstallScript("counter", "v1", kCounterScript).ok());
+  EXPECT_EQ(h.registry.ScriptVersion("counter"), "v1");
+  EXPECT_TRUE(h.registry.HasMethod("counter", "inc"));
+  EXPECT_TRUE(h.registry.HasMethod("counter", "get"));
+  EXPECT_FALSE(h.registry.HasMethod("counter", "nope"));
+
+  auto r1 = h.Call("counter", "inc", mal::Buffer::FromString("5"));
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1.value().ToString(), "5");
+  auto r2 = h.Call("counter", "inc", mal::Buffer::FromString("2"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().ToString(), "7");
+  auto got = h.Call("counter", "get", mal::Buffer());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ToString(), "7");
+}
+
+TEST(ScriptClassTest, VersionUpgradeReplacesBehavior) {
+  ClsHarness h;
+  ASSERT_TRUE(h.registry.InstallScript("greet", "v1",
+                                       "function hello(input) return 'v1:' .. input end")
+                  .ok());
+  EXPECT_EQ(h.Call("greet", "hello", mal::Buffer::FromString("x")).value().ToString(),
+            "v1:x");
+  ASSERT_TRUE(h.registry.InstallScript("greet", "v2",
+                                       "function hello(input) return 'v2:' .. input end")
+                  .ok());
+  EXPECT_EQ(h.registry.ScriptVersion("greet"), "v2");
+  EXPECT_EQ(h.Call("greet", "hello", mal::Buffer::FromString("x")).value().ToString(),
+            "v2:x");
+}
+
+TEST(ScriptClassTest, CompileErrorRejectedAtInstall) {
+  ClassRegistry registry;
+  EXPECT_FALSE(registry.InstallScript("bad", "v1", "function broken( end").ok());
+  EXPECT_EQ(registry.ScriptVersion("bad"), "");
+}
+
+TEST(ScriptClassTest, TypedErrorsPropagate) {
+  ClsHarness h;
+  ASSERT_TRUE(h.registry
+                  .InstallScript("strict", "v1", R"(
+function check(input)
+  if input == "old" then
+    cls_error("STALE_EPOCH", "client is behind")
+  end
+  return "fresh"
+end
+)")
+                  .ok());
+  EXPECT_EQ(h.Call("strict", "check", mal::Buffer::FromString("old")).status().code(),
+            mal::Code::kStaleEpoch);
+  EXPECT_TRUE(h.Call("strict", "check", mal::Buffer::FromString("new")).ok());
+}
+
+TEST(ScriptClassTest, RunawayScriptSandboxed) {
+  ClsHarness h;
+  ASSERT_TRUE(h.registry
+                  .InstallScript("spin", "v1",
+                                 "function loop(input) while true do end end")
+                  .ok());
+  EXPECT_EQ(h.Call("spin", "loop", mal::Buffer()).status().code(), mal::Code::kAborted);
+}
+
+TEST(ScriptClassTest, ScriptZlogMatchesNativeSemantics) {
+  // A MalScript re-implementation of the zlog write/read path — the paper's
+  // point that interfaces land in "an order of magnitude less code".
+  constexpr char kScriptZlog[] = R"(
+function swrite(input)
+  -- input: "<pos>:<data>"
+  local sep = string.find(input, ":")
+  local pos = string.sub(input, 1, sep - 1)
+  local data = string.sub(input, sep + 1)
+  local key = "entry." .. pos
+  if cls_omap_get(key) ~= nil then
+    cls_error("READ_ONLY", "position already written")
+  end
+  cls_create(false)
+  cls_omap_set(key, data)
+  return ""
+end
+
+function sread(input)
+  local v = cls_omap_get("entry." .. input)
+  if v == nil then
+    cls_error("NOT_WRITTEN", "position not written")
+  end
+  return v
+end
+)";
+  ClsHarness h;
+  ASSERT_TRUE(h.registry.InstallScript("szlog", "v1", kScriptZlog).ok());
+  ASSERT_TRUE(h.Call("szlog", "swrite", mal::Buffer::FromString("0:hello")).ok());
+  EXPECT_EQ(h.Call("szlog", "swrite", mal::Buffer::FromString("0:again")).status().code(),
+            mal::Code::kReadOnly);
+  EXPECT_EQ(h.Call("szlog", "sread", mal::Buffer::FromString("0")).value().ToString(),
+            "hello");
+  EXPECT_EQ(h.Call("szlog", "sread", mal::Buffer::FromString("1")).status().code(),
+            mal::Code::kNotWritten);
+}
+
+// ---- census (Fig 2 / Table 1 machinery) -----------------------------------------
+
+TEST(RegistryCensusTest, CountsClassesAndMethods) {
+  ClassRegistry registry;
+  RegisterBuiltinClasses(&registry);
+  EXPECT_EQ(registry.NumClasses(), 6u);
+  auto methods = registry.ListMethods();
+  EXPECT_EQ(methods.size(), 17u);
+
+  auto by_category = registry.MethodCountByCategory();
+  EXPECT_EQ(by_category[Category::kLogging], 8u);   // zlog(6) + log(2)
+  EXPECT_EQ(by_category[Category::kLocking], 3u);
+  EXPECT_EQ(by_category[Category::kMetadata], 2u);
+  EXPECT_EQ(by_category[Category::kManagement], 1u);
+  EXPECT_EQ(by_category[Category::kOther], 3u);
+}
+
+TEST(RegistryCensusTest, ScriptClassesJoinCensus) {
+  ClassRegistry registry;
+  ASSERT_TRUE(registry
+                  .InstallScript("custom", "v1",
+                                 "function a(i) return i end\nfunction b(i) return i end",
+                                 Category::kMetadata)
+                  .ok());
+  EXPECT_EQ(registry.NumClasses(), 1u);
+  EXPECT_EQ(registry.MethodCountByCategory()[Category::kMetadata], 2u);
+  auto methods = registry.ListMethods();
+  ASSERT_EQ(methods.size(), 2u);
+  EXPECT_TRUE(methods[0].is_script);
+}
+
+}  // namespace
+}  // namespace mal::cls

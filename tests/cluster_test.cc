@@ -1,0 +1,329 @@
+// Cross-cutting cluster tests: the assembly harness, the workload driver,
+// failure injection (OSD crash mid-append, monitor failover mid-workload,
+// network partition healing), and log-correctness properties under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/workload.h"
+
+namespace mal::cluster {
+namespace {
+
+TEST(ClusterHarnessTest, BootBringsEveryDaemonUp) {
+  ClusterOptions options;
+  options.num_mons = 3;
+  options.num_osds = 5;
+  options.num_mds = 2;
+  Cluster cluster(options);
+  cluster.Boot();
+  EXPECT_TRUE(cluster.monitor(0).IsLeader());
+  EXPECT_EQ(cluster.monitor(0).osd_map().NumUp(), 5u);
+  EXPECT_EQ(cluster.monitor(0).mds_map().NumActive(), 2u);
+}
+
+TEST(ClusterHarnessTest, RunUntilTimesOutOnFalsePredicate) {
+  Cluster cluster;
+  cluster.Boot();
+  sim::Time before = cluster.simulator().Now();
+  EXPECT_FALSE(cluster.RunUntil([] { return false; }, 2 * sim::kSecond));
+  EXPECT_GE(cluster.simulator().Now() - before, 2 * sim::kSecond);
+}
+
+TEST(WorkloadTest, RoundTripClientsRecordLatencyAndThroughput) {
+  ClusterOptions options;
+  options.num_mds = 1;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* admin = cluster.NewClient();
+  mds::LeasePolicy round_trip;
+  round_trip.mode = mds::LeaseMode::kRoundTrip;
+  ASSERT_TRUE(CreateSequencer(&cluster, admin, "/zlog/w", round_trip).ok());
+
+  SequencerClientOptions worker_options;
+  worker_options.path = "/zlog/w";
+  SequencerClient worker(&cluster, cluster.NewClient(), worker_options);
+  worker.Start();
+  cluster.RunFor(5 * sim::kSecond);
+  worker.Stop();
+
+  EXPECT_GT(worker.total_ops(), 1000u);
+  EXPECT_GT(worker.latency().count(), 1000u);
+  EXPECT_GT(worker.latency().mean(), 0.0);
+  // Events are recorded in time order with strictly increasing positions.
+  const auto& events = worker.events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].first, events[i - 1].first);
+    EXPECT_EQ(events[i].second, events[i - 1].second + 1);
+  }
+}
+
+TEST(WorkloadTest, ConcurrentClientsGetUniqueDensePositions) {
+  // Log-correctness property: N concurrent round-trip clients never see a
+  // duplicated position, and the union of positions is a dense prefix.
+  ClusterOptions options;
+  options.num_mds = 1;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* admin = cluster.NewClient();
+  mds::LeasePolicy round_trip;
+  round_trip.mode = mds::LeaseMode::kRoundTrip;
+  ASSERT_TRUE(CreateSequencer(&cluster, admin, "/zlog/dense", round_trip).ok());
+
+  std::vector<std::unique_ptr<SequencerClient>> workers;
+  for (int i = 0; i < 6; ++i) {
+    SequencerClientOptions worker_options;
+    worker_options.path = "/zlog/dense";
+    workers.push_back(
+        std::make_unique<SequencerClient>(&cluster, cluster.NewClient(), worker_options));
+    workers.back()->Start();
+  }
+  cluster.RunFor(3 * sim::kSecond);
+  for (auto& worker : workers) {
+    worker->Stop();
+  }
+  std::set<uint64_t> positions;
+  for (auto& worker : workers) {
+    for (const auto& [t, pos] : worker->events()) {
+      EXPECT_TRUE(positions.insert(pos).second) << "duplicate position " << pos;
+    }
+  }
+  ASSERT_FALSE(positions.empty());
+  EXPECT_EQ(*positions.rbegin(), positions.size() - 1) << "positions not dense";
+}
+
+TEST(FailureTest, OsdCrashMidWorkloadHealsViaNewPrimary) {
+  ClusterOptions options;
+  options.num_osds = 5;
+  options.osd.replicas = 3;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  // Seed 20 objects.
+  int written = 0;
+  for (int i = 0; i < 20; ++i) {
+    client->rados.WriteFull("obj" + std::to_string(i), Buffer::FromString("v"),
+                            [&](Status s) {
+                              if (s.ok()) {
+                                ++written;
+                              }
+                            });
+  }
+  ASSERT_TRUE(cluster.RunUntil([&] { return written == 20; }));
+
+  // Crash one OSD and tell the monitor.
+  cluster.osd(2).Crash();
+  mon::Transaction fail;
+  fail.op = mon::Transaction::Op::kOsdFail;
+  fail.daemon_id = 2;
+  bool failed = false;
+  client->rados.mon_client().SubmitTransaction(fail, [&](Status) { failed = true; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return failed; }));
+  cluster.RunFor(1 * sim::kSecond);
+
+  // Every object remains readable (some through new primaries).
+  int readable = 0;
+  for (int i = 0; i < 20; ++i) {
+    client->rados.Read("obj" + std::to_string(i), [&](Status s, const Buffer&) {
+      if (s.ok()) {
+        ++readable;
+      }
+    });
+  }
+  EXPECT_TRUE(cluster.RunUntil([&] { return readable == 20; }, 60 * sim::kSecond));
+}
+
+TEST(FailureTest, MonitorFailoverKeepsServiceMetadataAvailable) {
+  ClusterOptions options;
+  options.num_mons = 3;
+  options.num_osds = 3;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  bool committed = false;
+  client->rados.mon_client().SetServiceMetadata(mon::MapKind::kOsdMap, "before", "1",
+                                                [&](Status s) { committed = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return committed; }));
+
+  cluster.monitor(0).Crash();
+  cluster.RunFor(8 * sim::kSecond);  // election timeout + new leader
+
+  committed = false;
+  client->rados.mon_client().SetServiceMetadata(mon::MapKind::kOsdMap, "after", "2",
+                                                [&](Status s) { committed = s.ok(); });
+  EXPECT_TRUE(cluster.RunUntil([&] { return committed; }, 30 * sim::kSecond));
+  // A surviving monitor has both keys.
+  const auto& metadata = cluster.monitor(1).osd_map().service_metadata;
+  EXPECT_EQ(metadata.count("before"), 1u);
+  EXPECT_EQ(metadata.count("after"), 1u);
+}
+
+TEST(FailureTest, PartitionHealingResumesGossip) {
+  ClusterOptions options;
+  options.num_osds = 4;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  options.osd.gossip_interval = 500 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  // Partition osd.3 from everyone.
+  for (uint32_t i = 0; i < 3; ++i) {
+    cluster.network().SetPartitioned(sim::EntityName::Osd(3), sim::EntityName::Osd(i),
+                                     true);
+  }
+  cluster.network().SetPartitioned(sim::EntityName::Osd(3), sim::EntityName::Mon(0), true);
+
+  bool installed = false;
+  client->rados.InstallScriptInterface("part", "v1", "function f(i) return i end",
+                                       [&](Status s) { installed = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return installed; }));
+  cluster.RunFor(3 * sim::kSecond);
+  EXPECT_EQ(cluster.osd(3).registry().ScriptVersion("part"), "");  // isolated
+
+  // Heal: gossip anti-entropy catches osd.3 up without any explicit action.
+  for (uint32_t i = 0; i < 3; ++i) {
+    cluster.network().SetPartitioned(sim::EntityName::Osd(3), sim::EntityName::Osd(i),
+                                     false);
+  }
+  cluster.network().SetPartitioned(sim::EntityName::Osd(3), sim::EntityName::Mon(0),
+                                   false);
+  EXPECT_TRUE(cluster.RunUntil(
+      [&] { return cluster.osd(3).registry().ScriptVersion("part") == "v1"; },
+      30 * sim::kSecond));
+}
+
+TEST(FailureTest, CachedSequencerSurvivesRepeatedClientCrashes) {
+  // Repeated holder crashes: recovery must keep positions unique and
+  // monotonically advancing (no reuse of positions already written).
+  ClusterOptions options;
+  options.num_osds = 4;
+  options.mds.cap_reclaim_timeout = 1 * sim::kSecond;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+
+  zlog::LogOptions log_options;
+  log_options.name = "churnlog";
+  log_options.sequencer_mode = zlog::SequencerMode::kCached;
+  log_options.lease.mode = mds::LeaseMode::kDelay;
+  log_options.lease.max_hold_ns = 60 * sim::kSecond;
+
+  std::set<uint64_t> seen;
+  for (int round = 0; round < 3; ++round) {
+    auto* client = cluster.NewClient();
+    auto log = client->OpenLog(log_options);
+    bool opened = false;
+    log->Open([&](Status s) {
+      ASSERT_TRUE(s.ok()) << s;
+      opened = true;
+    });
+    ASSERT_TRUE(cluster.RunUntil([&] { return opened; }));
+    for (int i = 0; i < 4; ++i) {
+      std::optional<Result<uint64_t>> pos;
+      log->Append(Buffer::FromString("r" + std::to_string(round)),
+                  [&](Status s, uint64_t p) {
+                    pos = s.ok() ? Result<uint64_t>(p) : Result<uint64_t>(s);
+                  });
+      ASSERT_TRUE(cluster.RunUntil([&] { return pos.has_value(); }, 60 * sim::kSecond));
+      ASSERT_TRUE(pos->ok()) << pos->status();
+      EXPECT_TRUE(seen.insert(pos->value()).second)
+          << "position " << pos->value() << " reused in round " << round;
+    }
+    client->Crash();  // dies holding the cap; next round must recover
+    cluster.RunFor(3 * sim::kSecond);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(WatchNotifyTest, WatcherSeesEveryCommit) {
+  ClusterOptions options;
+  options.num_osds = 3;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* writer = cluster.NewClient();
+  auto* watcher = cluster.NewClient();
+
+  bool seeded = false;
+  writer->rados.WriteFull("watched", Buffer::FromString("v0"),
+                          [&](Status s) { seeded = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return seeded; }));
+
+  std::vector<uint64_t> versions;
+  bool registered = false;
+  watcher->rados.Watch("watched",
+                       [&](const std::string& oid, uint64_t version) {
+                         EXPECT_EQ(oid, "watched");
+                         versions.push_back(version);
+                       },
+                       [&](Status s) { registered = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return registered; }));
+
+  for (int i = 1; i <= 3; ++i) {
+    bool written = false;
+    writer->rados.WriteFull("watched", Buffer::FromString("v" + std::to_string(i)),
+                            [&](Status s) { written = s.ok(); });
+    ASSERT_TRUE(cluster.RunUntil([&] { return written; }));
+  }
+  cluster.RunFor(1 * sim::kSecond);
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_LT(versions[0], versions[2]);  // versions advance
+
+  // Reads do not notify.
+  size_t before = versions.size();
+  bool read_done = false;
+  writer->rados.Read("watched", [&](Status, const Buffer&) { read_done = true; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return read_done; }));
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(versions.size(), before);
+
+  // Unwatch stops the stream.
+  bool unwatched = false;
+  watcher->rados.Unwatch("watched", [&](Status s) { unwatched = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return unwatched; }));
+  bool final_write = false;
+  writer->rados.WriteFull("watched", Buffer::FromString("final"),
+                          [&](Status s) { final_write = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return final_write; }));
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(versions.size(), before);
+}
+
+TEST(WatchNotifyTest, ClassExecutionTriggersNotify) {
+  // Watch/notify composes with the Data I/O interface: a mutating class
+  // method notifies watchers exactly like a plain write.
+  ClusterOptions options;
+  options.num_osds = 3;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  bool created = false;
+  client->rados.CreateExclusive("counter-obj", [&](Status s) { created = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return created; }));
+
+  int notifications = 0;
+  bool registered = false;
+  client->rados.Watch("counter-obj",
+                      [&](const std::string&, uint64_t) { ++notifications; },
+                      [&](Status s) { registered = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return registered; }));
+
+  bool executed = false;
+  client->rados.Exec("counter-obj", "refcount", "inc", Buffer(),
+                     [&](Status s, const Buffer&) { executed = s.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&] { return executed; }));
+  cluster.RunFor(1 * sim::kSecond);
+  EXPECT_EQ(notifications, 1);
+}
+
+}  // namespace
+}  // namespace mal::cluster

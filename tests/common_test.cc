@@ -1,0 +1,276 @@
+// Unit tests for src/common: status/result, buffer encoding, rng, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/buffer.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace mal {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("object foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: object foo");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  EXPECT_EQ(Status::StaleEpoch().code(), Code::kStaleEpoch);
+  EXPECT_EQ(Status::ReadOnly().code(), Code::kReadOnly);
+  EXPECT_EQ(Status::NotWritten().code(), Code::kNotWritten);
+  EXPECT_EQ(Status::Unavailable().code(), Code::kUnavailable);
+  EXPECT_EQ(Status::Aborted().code(), Code::kAborted);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::TimedOut("slow"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kTimedOut);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(BufferTest, AppendAndRead) {
+  Buffer b;
+  b.Append("hello", 5);
+  b.Append(std::string_view(" world"));
+  EXPECT_EQ(b.size(), 11u);
+  EXPECT_EQ(b.Read(0, 5).ToString(), "hello");
+  EXPECT_EQ(b.Read(6, 100).ToString(), "world");
+  EXPECT_EQ(b.Read(20, 5).size(), 0u);
+}
+
+TEST(BufferTest, WriteExtendsWithZeroFill) {
+  Buffer b;
+  b.Write(4, "xy", 2);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.ToString().substr(0, 4), std::string(4, '\0'));
+  EXPECT_EQ(b.Read(4, 2).ToString(), "xy");
+}
+
+TEST(BufferTest, WriteOverlapsExisting) {
+  Buffer b(std::string("abcdef"));
+  b.Write(2, "XY", 2);
+  EXPECT_EQ(b.ToString(), "abXYef");
+}
+
+TEST(EncodingTest, FixedWidthRoundTrip) {
+  Buffer b;
+  Encoder enc(&b);
+  enc.PutU8(0xab);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutI64(-7);
+  enc.PutF64(3.14159);
+  enc.PutBool(true);
+
+  Decoder dec(b);
+  EXPECT_EQ(dec.GetU8(), 0xab);
+  EXPECT_EQ(dec.GetU16(), 0x1234);
+  EXPECT_EQ(dec.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.GetI64(), -7);
+  EXPECT_DOUBLE_EQ(dec.GetF64(), 3.14159);
+  EXPECT_TRUE(dec.GetBool());
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(EncodingTest, VarintRoundTrip) {
+  Buffer b;
+  Encoder enc(&b);
+  const uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384, (1ULL << 32), ~0ULL};
+  for (uint64_t v : values) {
+    enc.PutVarU64(v);
+  }
+  Decoder dec(b);
+  for (uint64_t v : values) {
+    EXPECT_EQ(dec.GetVarU64(), v);
+  }
+  EXPECT_TRUE(dec.Finish().ok());
+}
+
+TEST(EncodingTest, StringsAndMaps) {
+  Buffer b;
+  Encoder enc(&b);
+  enc.PutString(std::string_view("with\0null", 9));  // embedded NUL survives
+  std::map<std::string, std::string> m = {{"a", "1"}, {"b", "2"}};
+  EncodeStringMap(&enc, m);
+
+  Decoder dec(b);
+  EXPECT_EQ(dec.GetString().size(), 9u);
+  EXPECT_EQ(DecodeStringMap(&dec), m);
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(EncodingTest, DecodePastEndFails) {
+  Buffer b;
+  Encoder enc(&b);
+  enc.PutU32(7);
+  Decoder dec(b);
+  dec.GetU64();  // reads past end
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.Finish().code(), Code::kCorruption);
+  EXPECT_EQ(dec.GetU32(), 0u);  // subsequent reads are safe
+}
+
+TEST(EncodingTest, TruncatedStringFails) {
+  Buffer b;
+  Encoder enc(&b);
+  enc.PutVarU64(100);  // declares 100 bytes, provides none
+  Decoder dec(b);
+  EXPECT_EQ(dec.GetString(), "");
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(13);
+  ZipfGenerator zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next(&rng);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // Rank 0 should be sampled far more often than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(HistogramTest, QuantilesOnKnownData) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.99), 99.01, 0.1);
+}
+
+TEST(HistogramTest, CdfIsMonotonic) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(rng.LogNormal(1.0, 0.5));
+  }
+  auto cdf = h.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.Add(1);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(ThroughputSeriesTest, WindowsAndRates) {
+  ThroughputSeries ts(1'000'000'000);  // 1s windows
+  ts.Record(100'000'000);              // t=0.1s
+  ts.Record(200'000'000);
+  ts.Record(1'500'000'000);  // t=1.5s
+  auto series = ts.Series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(series[1].second, 1.0);
+  EXPECT_EQ(ts.total(), 3u);
+  EXPECT_DOUBLE_EQ(ts.MeanRate(0, 2'000'000'000), 1.5);
+}
+
+TEST(ThroughputSeriesTest, GapsAreZero) {
+  ThroughputSeries ts(1'000'000'000);
+  ts.Record(0);
+  ts.Record(3'200'000'000);
+  auto series = ts.Series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(series[2].second, 0.0);
+}
+
+}  // namespace
+}  // namespace mal

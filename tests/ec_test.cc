@@ -1,0 +1,115 @@
+// Erasure-coding tests: codec properties (round-trip, single-shard
+// reconstruction, double-loss detection) plus end-to-end shard loss on a
+// live cluster with replication disabled.
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/ec/codec.h"
+
+namespace mal::ec {
+namespace {
+
+TEST(EcCodecTest, RoundTripWithoutLoss) {
+  Buffer data = Buffer::FromString("erasure coding keeps data safe");
+  auto shards = Encode(data, 3);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<std::optional<Buffer>> present(shards.begin(), shards.end());
+  auto decoded = Decode(present, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().ToString(), data.ToString());
+}
+
+TEST(EcCodecTest, ReconstructsAnySingleShard) {
+  Buffer data = Buffer::FromString("any one of k+1 shards may vanish!");
+  const uint32_t k = 3;
+  auto shards = Encode(data, k);
+  for (uint32_t lost = 0; lost <= k; ++lost) {
+    std::vector<std::optional<Buffer>> present(shards.begin(), shards.end());
+    present[lost] = std::nullopt;
+    auto decoded = Decode(present, data.size());
+    ASSERT_TRUE(decoded.ok()) << "lost shard " << lost;
+    EXPECT_EQ(decoded.value().ToString(), data.ToString()) << "lost shard " << lost;
+  }
+}
+
+TEST(EcCodecTest, DoubleLossIsDetected) {
+  auto shards = Encode(Buffer::FromString("cannot survive two"), 3);
+  std::vector<std::optional<Buffer>> present(shards.begin(), shards.end());
+  present[0] = std::nullopt;
+  present[2] = std::nullopt;
+  EXPECT_EQ(Decode(present, 18).status().code(), Code::kUnavailable);
+}
+
+TEST(EcCodecTest, EmptyObjectRoundTrips) {
+  auto shards = Encode(Buffer(), 2);
+  std::vector<std::optional<Buffer>> present(shards.begin(), shards.end());
+  auto decoded = Decode(present, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 0u);
+}
+
+class EcCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcCodecPropertyTest, RandomDataSurvivesRandomShardLoss) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+  uint32_t k = 2 + static_cast<uint32_t>(rng.NextBelow(4));  // 2..5
+  std::string payload(rng.NextBelow(5000), '\0');
+  for (char& c : payload) {
+    c = static_cast<char>(rng.NextBelow(256));
+  }
+  Buffer data = Buffer::FromString(payload);
+  auto shards = Encode(data, k);
+  ASSERT_EQ(shards.size(), static_cast<size_t>(k) + 1);
+  std::vector<std::optional<Buffer>> present(shards.begin(), shards.end());
+  present[rng.NextBelow(k + 1)] = std::nullopt;
+  auto decoded = Decode(present, data.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().ToString(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcCodecPropertyTest, ::testing::Range(0, 30));
+
+TEST(EcObjectTest, SurvivesOsdLossWithoutReplication) {
+  // Pool with replicas = 1: only erasure coding protects the data.
+  cluster::ClusterOptions options;
+  options.num_osds = 6;
+  options.osd.replicas = 1;
+  options.osd.pull_on_miss = false;  // nothing to pull: no replicas exist
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  EcObject object(&client->rados, "precious", /*k=*/3);
+  std::string payload = "erasure-coded and replication-free";
+  std::optional<Status> written;
+  object.Write(Buffer::FromString(payload), [&](Status s) { written = s; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return written.has_value(); }));
+  ASSERT_TRUE(written->ok()) << *written;
+
+  // Find the OSD holding shard 1 and kill it.
+  std::string victim_oid = object.ShardOid(1);
+  auto acting = osd::OsdsForObject(victim_oid, client->rados.osd_map(), 1);
+  ASSERT_FALSE(acting.empty());
+  cluster.osd(acting[0]).Crash();
+  mon::Transaction fail;
+  fail.op = mon::Transaction::Op::kOsdFail;
+  fail.daemon_id = acting[0];
+  bool marked = false;
+  client->rados.mon_client().SubmitTransaction(fail, [&](Status) { marked = true; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return marked; }));
+  cluster.RunFor(1 * sim::kSecond);
+
+  // The shard is gone (its only copy died), but the object still reads.
+  std::optional<Result<std::string>> read;
+  object.Read([&](Status s, const Buffer& data) {
+    read = s.ok() ? Result<std::string>(data.ToString()) : Result<std::string>(s);
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return read.has_value(); }, 60 * sim::kSecond));
+  ASSERT_TRUE(read->ok()) << read->status();
+  EXPECT_EQ(read->value(), payload);
+}
+
+}  // namespace
+}  // namespace mal::ec

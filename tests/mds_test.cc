@@ -1,0 +1,472 @@
+// Tests for the metadata service: typed inodes, the capability/lease state
+// machine with all policies, routing modes, migration, load reporting, and
+// the stock CephFS balancer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mds/mds.h"
+#include "src/mds/mds_client.h"
+#include "src/mon/monitor.h"
+
+namespace mal::mds {
+namespace {
+
+class MdsAppClient : public sim::Actor {
+ public:
+  MdsAppClient(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+               MdsClientConfig config = {})
+      : Actor(simulator, network, sim::EntityName::Client(id)), mds(this, config) {}
+
+  MdsClient mds;
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override { mds.OnMessage(request); }
+};
+
+class MdsFixture : public ::testing::Test {
+ protected:
+  void Start(uint32_t num_mds, MdsConfig config = {}, uint32_t num_clients = 2) {
+    mon::MonitorConfig mon_config;
+    mon_config.proposal_interval = 200 * sim::kMillisecond;
+    monitor = std::make_unique<mon::Monitor>(&simulator, &network, 0,
+                                             std::vector<uint32_t>{0}, mon_config);
+    monitor->Boot();
+    for (uint32_t i = 0; i < num_mds; ++i) {
+      mds.push_back(std::make_unique<MdsDaemon>(&simulator, &network, i,
+                                                std::vector<uint32_t>{0}, config));
+      mds.back()->Boot();
+    }
+    for (uint32_t i = 0; i < num_clients; ++i) {
+      clients.push_back(std::make_unique<MdsAppClient>(&simulator, &network, i));
+    }
+    Settle(3 * sim::kSecond);
+  }
+
+  void Settle(sim::Time duration) { simulator.RunUntil(simulator.Now() + duration); }
+
+  Status CreateSequencer(const std::string& path, const LeasePolicy& policy,
+                         uint32_t client = 0) {
+    std::optional<Status> result;
+    clients[client]->mds.Create(path, InodeType::kSequencer, policy,
+                                [&](Status s) { result = s; });
+    Settle(3 * sim::kSecond);
+    return result.value_or(Status::TimedOut("no callback"));
+  }
+
+  Result<uint64_t> Next(const std::string& path, uint32_t client = 0) {
+    std::optional<Result<uint64_t>> result;
+    clients[client]->mds.SeqNext(path, [&](Status s, uint64_t pos) {
+      result = s.ok() ? Result<uint64_t>(pos) : Result<uint64_t>(s);
+    });
+    Settle(3 * sim::kSecond);
+    if (!result.has_value()) {
+      return Status::TimedOut("no callback");
+    }
+    return *result;
+  }
+
+  sim::Simulator simulator;
+  sim::Network network{&simulator};
+  std::unique_ptr<mon::Monitor> monitor;
+  std::vector<std::unique_ptr<MdsDaemon>> mds;
+  std::vector<std::unique_ptr<MdsAppClient>> clients;
+};
+
+LeasePolicy RoundTrip() {
+  LeasePolicy p;
+  p.mode = LeaseMode::kRoundTrip;
+  return p;
+}
+
+TEST_F(MdsFixture, CreateAndLookup) {
+  Start(1);
+  ASSERT_TRUE(CreateSequencer("/logs/seq0", RoundTrip()).ok());
+  std::optional<Inode> found;
+  clients[0]->mds.Lookup("/logs/seq0", [&](Status s, const MdsReply& reply) {
+    ASSERT_TRUE(s.ok()) << s;
+    found = reply.inode;
+  });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->type, InodeType::kSequencer);
+  EXPECT_EQ(CreateSequencer("/logs/seq0", RoundTrip()).code(), Code::kAlreadyExists);
+}
+
+TEST_F(MdsFixture, LookupMissingFails) {
+  Start(1);
+  std::optional<Status> status;
+  clients[0]->mds.Lookup("/nope", [&](Status s, const MdsReply&) { status = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), Code::kNotFound);
+}
+
+TEST_F(MdsFixture, SequencerRoundTripTotalOrder) {
+  Start(1);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  for (uint64_t expected = 0; expected < 5; ++expected) {
+    auto pos = Next("/seq", expected % 2);  // alternate clients
+    ASSERT_TRUE(pos.ok()) << pos.status();
+    EXPECT_EQ(pos.value(), expected);
+  }
+}
+
+TEST_F(MdsFixture, SeqNextOnNonSequencerFails) {
+  Start(1);
+  std::optional<Status> created;
+  clients[0]->mds.Create("/plain", InodeType::kFile, LeasePolicy{},
+                         [&](Status s) { created = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(created.has_value() && created->ok());
+  EXPECT_EQ(Next("/plain").status().code(), Code::kInvalidArgument);
+}
+
+TEST_F(MdsFixture, CapGrantAllowsLocalIncrements) {
+  Start(1);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kBestEffort;
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+
+  bool granted = false;
+  clients[0]->mds.AcquireCap("/seq", [&](Status s) {
+    ASSERT_TRUE(s.ok()) << s;
+    granted = true;
+  });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(granted);
+  ASSERT_TRUE(clients[0]->mds.HasCap("/seq"));
+  for (uint64_t expected = 0; expected < 100; ++expected) {
+    auto pos = clients[0]->mds.LocalNext("/seq");
+    ASSERT_TRUE(pos.ok());
+    EXPECT_EQ(pos.value(), expected);
+  }
+}
+
+TEST_F(MdsFixture, RoundTripInodeRefusesCaps) {
+  Start(1);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  std::optional<Status> status;
+  clients[0]->mds.AcquireCap("/seq", [&](Status s) { status = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), Code::kPermissionDenied);
+}
+
+TEST_F(MdsFixture, BestEffortRevokePassesCapAndPreservesOrder) {
+  Start(1);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kBestEffort;
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+
+  // Client 0 takes the cap and advances the tail locally.
+  bool lost = false;
+  clients[0]->mds.on_cap_lost = [&](const std::string&) { lost = true; };
+  clients[0]->mds.AcquireCap("/seq", [](Status) {});
+  Settle(2 * sim::kSecond);
+  for (int i = 0; i < 42; ++i) {
+    ASSERT_TRUE(clients[0]->mds.LocalNext("/seq").ok());
+  }
+
+  // Client 1 wants it: best-effort => client 0 releases promptly.
+  bool granted1 = false;
+  clients[1]->mds.AcquireCap("/seq", [&](Status s) {
+    ASSERT_TRUE(s.ok()) << s;
+    granted1 = true;
+  });
+  Settle(5 * sim::kSecond);
+  ASSERT_TRUE(granted1);
+  ASSERT_TRUE(lost);
+  EXPECT_FALSE(clients[0]->mds.HasCap("/seq"));
+  // The tail client 1 sees continues after client 0's 42 increments.
+  auto pos = clients[1]->mds.LocalNext("/seq");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 42u);
+}
+
+TEST_F(MdsFixture, DelayPolicyHoldsCapForReservation) {
+  Start(1);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kDelay;
+  policy.max_hold_ns = 500 * sim::kMillisecond;
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+
+  clients[0]->mds.AcquireCap("/seq", [](Status) {});
+  Settle(100 * sim::kMillisecond);
+  sim::Time grant_time = simulator.Now();
+
+  sim::Time granted_at = 0;
+  clients[1]->mds.AcquireCap("/seq", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    granted_at = simulator.Now();
+  });
+  Settle(2 * sim::kSecond);
+  ASSERT_GT(granted_at, 0u);
+  // Client 0 held the cap for ~its full reservation before yielding.
+  EXPECT_GE(granted_at - grant_time, 300 * sim::kMillisecond);
+}
+
+TEST_F(MdsFixture, QuotaPolicyYieldsAfterQuotaOps) {
+  Start(1);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kQuota;
+  policy.quota = 10;
+  policy.max_hold_ns = 60 * sim::kSecond;  // quota, not time, is the binding term
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+
+  clients[0]->mds.AcquireCap("/seq", [](Status) {});
+  Settle(1 * sim::kSecond);
+  ASSERT_TRUE(clients[0]->mds.HasCap("/seq"));
+
+  bool granted1 = false;
+  clients[1]->mds.AcquireCap("/seq", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    granted1 = true;
+  });
+  Settle(1 * sim::kSecond);  // revoke delivered; quota not yet exhausted
+  EXPECT_FALSE(granted1);
+
+  // Client 0 keeps allocating; at the 10th op it must yield.
+  int allocated = 0;
+  while (clients[0]->mds.HasCap("/seq") && allocated < 100) {
+    if (clients[0]->mds.LocalNext("/seq").ok()) {
+      ++allocated;
+    }
+    Settle(sim::kMillisecond);
+  }
+  EXPECT_EQ(allocated, 10);
+  Settle(2 * sim::kSecond);
+  EXPECT_TRUE(granted1);
+}
+
+TEST_F(MdsFixture, SetPolicyReprogramsLiveInode) {
+  Start(1);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  ASSERT_TRUE(Next("/seq").ok());
+
+  LeasePolicy cached;
+  cached.mode = LeaseMode::kBestEffort;
+  std::optional<Status> set;
+  clients[0]->mds.SetPolicy("/seq", cached, [&](Status s) { set = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(set.has_value() && set->ok());
+
+  bool granted = false;
+  clients[0]->mds.AcquireCap("/seq", [&](Status s) { granted = s.ok(); });
+  Settle(2 * sim::kSecond);
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(MdsFixture, ProxyModeForwardsAfterMigration) {
+  MdsConfig config;
+  config.routing = RoutingMode::kProxy;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  ASSERT_EQ(Next("/seq").value(), 0u);
+
+  std::optional<Status> migrated;
+  mds[0]->Migrate("/seq", 1, [&](Status s) { migrated = s; });
+  Settle(3 * sim::kSecond);
+  ASSERT_TRUE(migrated.has_value());
+  ASSERT_TRUE(migrated->ok()) << *migrated;
+  EXPECT_TRUE(mds[1]->IsAuthority("/seq"));
+  EXPECT_FALSE(mds[0]->IsAuthority("/seq"));
+
+  // Client still talks to mds.0, which forwards: order continues.
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 1u);
+  EXPECT_GT(mds[1]->requests_handled(), 0u);
+}
+
+TEST_F(MdsFixture, RedirectModeSendsClientsToNewAuthority) {
+  MdsConfig config;
+  config.routing = RoutingMode::kRedirect;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  ASSERT_EQ(Next("/seq").value(), 0u);
+
+  std::optional<Status> migrated;
+  mds[0]->Migrate("/seq", 1, [&](Status s) { migrated = s; });
+  Settle(3 * sim::kSecond);
+  ASSERT_TRUE(migrated.has_value() && migrated->ok());
+
+  uint64_t handled_by_1_before = mds[1]->requests_handled();
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 1u);
+  // mds.1 now serves the client directly (redirect was followed).
+  EXPECT_GT(mds[1]->requests_handled(), handled_by_1_before);
+}
+
+TEST_F(MdsFixture, MigrationWithHeldCapIsRefused) {
+  Start(2);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kBestEffort;
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+  clients[0]->mds.AcquireCap("/seq", [](Status) {});
+  Settle(2 * sim::kSecond);
+
+  std::optional<Status> migrated;
+  mds[0]->Migrate("/seq", 1, [&](Status s) { migrated = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(migrated.has_value());
+  EXPECT_EQ(migrated->code(), Code::kUnavailable);
+}
+
+TEST_F(MdsFixture, LoadReportsPropagateToPeers) {
+  MdsConfig config;
+  config.load_report_interval = 1 * sim::kSecond;
+  Start(3, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(Next("/seq").ok());
+  }
+  Settle(3 * sim::kSecond);
+  // Every MDS sees mds.0's load including the hot subtree.
+  for (auto& daemon : mds) {
+    const auto& table = daemon->load_table();
+    ASSERT_EQ(table.count(0), 1u) << daemon->name().ToString();
+    EXPECT_GT(table.at(0).req_rate, 0.0);
+  }
+}
+
+TEST_F(MdsFixture, CoherenceCostChargedAtNonRootAuthority) {
+  // Client (redirect) mode: serving a migrated inode directly strains both
+  // the serving MDS and the root — visible as CPU utilization.
+  MdsConfig config;
+  config.routing = RoutingMode::kRedirect;
+  config.coherence_self_cost = 500 * sim::kMicrosecond;
+  config.coherence_peer_cost = 500 * sim::kMicrosecond;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  mds[0]->Migrate("/seq", 1, [](Status) {});
+  Settle(3 * sim::kSecond);
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(Next("/seq").ok());
+  }
+  // Root (mds.0) was strained by scatter-gather despite serving nothing.
+  EXPECT_GT(mds[0]->CpuUtilization(10 * sim::kSecond), 0.0);
+  EXPECT_GT(mds[1]->CpuUtilization(10 * sim::kSecond), 0.0);
+}
+
+// ---- balancer policies -------------------------------------------------------
+
+BalancerContext MakeContext(uint32_t whoami, std::vector<double> loads) {
+  BalancerContext ctx;
+  ctx.whoami = whoami;
+  for (uint32_t i = 0; i < loads.size(); ++i) {
+    LoadMetrics m;
+    m.req_rate = loads[i];
+    m.load = loads[i];
+    m.cpu = loads[i] / 10000.0;
+    ctx.mds[i] = m;
+  }
+  return ctx;
+}
+
+TEST(CephFsBalancerTest, NoMigrationWhenBalanced) {
+  CephFsBalancer balancer(CephFsMode::kWorkload);
+  auto targets = balancer.Decide(MakeContext(0, {100, 100, 100}));
+  ASSERT_TRUE(targets.ok());
+  EXPECT_TRUE(targets.value().empty());
+}
+
+TEST(CephFsBalancerTest, OverloadedServerExportsToUnderloaded) {
+  CephFsBalancer balancer(CephFsMode::kWorkload);
+  auto targets = balancer.Decide(MakeContext(0, {300, 10, 20}));
+  ASSERT_TRUE(targets.ok());
+  ASSERT_EQ(targets.value().size(), 2u);
+  // Exports shed the overload above the mean (mean=110, shed=190).
+  double total = targets.value().at(1) + targets.value().at(2);
+  EXPECT_NEAR(total, 190.0, 1.0);
+  // More goes to the emptier server.
+  EXPECT_GT(targets.value().at(1), targets.value().at(2));
+}
+
+TEST(CephFsBalancerTest, UnderloadedServerStaysPut) {
+  CephFsBalancer balancer(CephFsMode::kWorkload);
+  auto targets = balancer.Decide(MakeContext(1, {300, 10, 20}));
+  ASSERT_TRUE(targets.ok());
+  EXPECT_TRUE(targets.value().empty());
+}
+
+TEST(CephFsBalancerTest, AllModesAgreeOnProportionalLoads) {
+  // When cpu and req_rate tell the same story, all three modes decide to
+  // migrate (the Fig 10a observation that they perform alike here).
+  for (CephFsMode mode : {CephFsMode::kCpu, CephFsMode::kWorkload, CephFsMode::kHybrid}) {
+    CephFsBalancer balancer(mode);
+    auto targets = balancer.Decide(MakeContext(0, {300, 10, 20}));
+    ASSERT_TRUE(targets.ok()) << CephFsModeName(mode);
+    EXPECT_FALSE(targets.value().empty()) << CephFsModeName(mode);
+  }
+}
+
+TEST(PickSubtreesTest, GreedyFillsAmount) {
+  std::vector<SubtreeLoad> subtrees = {
+      {"/a", 50}, {"/b", 30}, {"/c", 20}, {"/d", 5}};
+  auto picked = PickSubtreesForLoad(subtrees, 60);
+  double total = 0;
+  for (const std::string& path : picked) {
+    for (const SubtreeLoad& s : subtrees) {
+      if (s.path == path) {
+        total += s.rate;
+      }
+    }
+  }
+  EXPECT_GE(total, 50.0);
+  EXPECT_LE(total, 85.0);
+}
+
+TEST(PickSubtreesTest, ZeroAmountPicksNothing) {
+  EXPECT_TRUE(PickSubtreesForLoad({{"/a", 50}}, 0).empty());
+}
+
+TEST(PickSubtreesTest, HalfLoadPicksHalf) {
+  // The paper's migration-unit experiment: "Half" sends ~load/2.
+  std::vector<SubtreeLoad> subtrees = {{"/seq1", 100}, {"/seq2", 100}};
+  auto picked = PickSubtreesForLoad(subtrees, 100);
+  EXPECT_EQ(picked.size(), 1u);
+  auto all = PickSubtreesForLoad(subtrees, 200);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(MdsFixture, BalancerMigratesHotSequencersAutomatically) {
+  MdsConfig config;
+  config.balancing_enabled = true;
+  config.balance_interval = 5 * sim::kSecond;
+  config.load_report_interval = 2 * sim::kSecond;
+  Start(3, config, /*num_clients=*/1);
+  for (auto& daemon : mds) {
+    daemon->SetBalancerPolicy(
+        std::make_shared<CephFsBalancer>(CephFsMode::kWorkload, 1.1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(CreateSequencer("/seq" + std::to_string(i), RoundTrip()).ok());
+  }
+  int migrations = 0;
+  for (auto& daemon : mds) {
+    daemon->on_migration = [&migrations](const std::string&, uint32_t) { ++migrations; };
+  }
+  // Drive load against all 3 sequencers (all initially on mds.0).
+  for (int round = 0; round < 120; ++round) {
+    for (int s = 0; s < 3; ++s) {
+      clients[0]->mds.SeqNext("/seq" + std::to_string(s), [](Status, uint64_t) {});
+    }
+    Settle(200 * sim::kMillisecond);
+  }
+  EXPECT_GT(migrations, 0);
+  // At least one sequencer moved off mds.0.
+  int hosted_elsewhere = 0;
+  for (int s = 0; s < 3; ++s) {
+    std::string path = "/seq" + std::to_string(s);
+    if (mds[1]->GetInode(path) != nullptr || mds[2]->GetInode(path) != nullptr) {
+      ++hosted_elsewhere;
+    }
+  }
+  EXPECT_GT(hosted_elsewhere, 0);
+}
+
+}  // namespace
+}  // namespace mal::mds

@@ -1,0 +1,298 @@
+// Model-based property tests: random operation sequences run against both
+// the real implementation and a trivially-correct in-memory reference
+// model; any divergence is a bug.
+//
+//  - ObjectStore vs a reference object (bytestream/omap/xattr/snapshots)
+//  - MalScript tables vs std::map under random insert/erase/length
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/osd/messages.h"
+#include "src/osd/object_store.h"
+#include "src/script/interpreter.h"
+
+namespace mal {
+namespace {
+
+// ---- ObjectStore vs reference model --------------------------------------------
+
+struct RefObject {
+  std::string data;
+  std::map<std::string, std::string> omap;
+  std::map<std::string, std::string> xattrs;
+  std::map<std::string, std::string> snapshots;
+};
+
+class StoreModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreModelTest, RandomOpsMatchReferenceModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  osd::ObjectStore store;
+  std::optional<RefObject> ref;
+
+  auto random_key = [&rng] { return "k" + std::to_string(rng.NextBelow(6)); };
+  auto random_data = [&rng] {
+    return std::string(rng.NextBelow(32), static_cast<char>('a' + rng.NextBelow(26)));
+  };
+
+  std::vector<osd::OpResult> results;
+  for (int step = 0; step < 400; ++step) {
+    osd::Op op;
+    switch (rng.NextBelow(12)) {
+      case 0: {  // write full
+        op.type = osd::Op::Type::kWriteFull;
+        op.data = Buffer::FromString(random_data());
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        if (!ref.has_value()) {
+          ref.emplace();
+        }
+        ref->data = op.data.ToString();
+        break;
+      }
+      case 1: {  // append
+        op.type = osd::Op::Type::kAppend;
+        op.data = Buffer::FromString(random_data());
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        if (!ref.has_value()) {
+          ref.emplace();
+        }
+        ref->data += op.data.ToString();
+        break;
+      }
+      case 2: {  // offset write
+        op.type = osd::Op::Type::kWrite;
+        op.offset = rng.NextBelow(48);
+        op.data = Buffer::FromString(random_data());
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        if (!ref.has_value()) {
+          ref.emplace();
+        }
+        if (op.offset + op.data.size() > ref->data.size()) {
+          ref->data.resize(op.offset + op.data.size(), '\0');
+        }
+        ref->data.replace(op.offset, op.data.size(), op.data.ToString());
+        break;
+      }
+      case 3: {  // read & compare
+        op.type = osd::Op::Type::kRead;
+        Status s = store.ApplyTransaction("obj", {op}, &results);
+        if (!ref.has_value()) {
+          EXPECT_EQ(s.code(), Code::kNotFound);
+        } else {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(results[0].out.ToString(), ref->data) << "step " << step;
+        }
+        break;
+      }
+      case 4: {  // omap set
+        op.type = osd::Op::Type::kOmapSet;
+        op.key = random_key();
+        op.value = random_data();
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        if (!ref.has_value()) {
+          ref.emplace();
+        }
+        ref->omap[op.key] = op.value;
+        break;
+      }
+      case 5: {  // omap get & compare
+        op.type = osd::Op::Type::kOmapGet;
+        op.key = random_key();
+        Status s = store.ApplyTransaction("obj", {op}, &results);
+        if (!ref.has_value() || ref->omap.count(op.key) == 0) {
+          EXPECT_EQ(s.code(), Code::kNotFound) << "step " << step;
+        } else {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(results[0].out.ToString(), ref->omap.at(op.key));
+        }
+        break;
+      }
+      case 6: {  // omap del
+        if (!ref.has_value()) {
+          break;
+        }
+        op.type = osd::Op::Type::kOmapDel;
+        op.key = random_key();
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        ref->omap.erase(op.key);
+        break;
+      }
+      case 7: {  // xattr set
+        op.type = osd::Op::Type::kXattrSet;
+        op.key = random_key();
+        op.value = random_data();
+        ASSERT_TRUE(store.ApplyTransaction("obj", {op}, &results).ok());
+        if (!ref.has_value()) {
+          ref.emplace();
+        }
+        ref->xattrs[op.key] = op.value;
+        break;
+      }
+      case 8: {  // snapshot create
+        if (!ref.has_value()) {
+          break;
+        }
+        op.type = osd::Op::Type::kSnapCreate;
+        op.key = "snap" + std::to_string(rng.NextBelow(3));
+        Status s = store.ApplyTransaction("obj", {op}, &results);
+        if (ref->snapshots.count(op.key) != 0) {
+          EXPECT_EQ(s.code(), Code::kAlreadyExists);
+        } else {
+          ASSERT_TRUE(s.ok());
+          ref->snapshots[op.key] = ref->data;
+        }
+        break;
+      }
+      case 9: {  // snapshot read & compare
+        if (!ref.has_value()) {
+          break;
+        }
+        op.type = osd::Op::Type::kSnapRead;
+        op.key = "snap" + std::to_string(rng.NextBelow(3));
+        Status s = store.ApplyTransaction("obj", {op}, &results);
+        if (ref->snapshots.count(op.key) == 0) {
+          EXPECT_EQ(s.code(), Code::kNotFound);
+        } else {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(results[0].out.ToString(), ref->snapshots.at(op.key));
+        }
+        break;
+      }
+      case 10: {  // remove
+        if (rng.NextBelow(10) != 0) {
+          break;  // rare
+        }
+        op.type = osd::Op::Type::kRemove;
+        Status s = store.ApplyTransaction("obj", {op}, &results);
+        if (!ref.has_value()) {
+          EXPECT_EQ(s.code(), Code::kNotFound);
+        } else {
+          ASSERT_TRUE(s.ok());
+          ref.reset();
+        }
+        break;
+      }
+      case 11: {  // failing guard leaves both untouched
+        if (!ref.has_value()) {
+          break;
+        }
+        osd::Op guard;
+        guard.type = osd::Op::Type::kCmpXattr;
+        guard.key = "never-set-key";
+        guard.value = "x";
+        osd::Op mutate;
+        mutate.type = osd::Op::Type::kWriteFull;
+        mutate.data = Buffer::FromString("must-not-appear");
+        EXPECT_FALSE(store.ApplyTransaction("obj", {mutate, guard}, &results).ok());
+        // reference unchanged by construction
+        break;
+      }
+    }
+    // Full-state comparison every 50 steps.
+    if (step % 50 == 49) {
+      if (!ref.has_value()) {
+        EXPECT_FALSE(store.Exists("obj"));
+      } else {
+        ASSERT_TRUE(store.Exists("obj"));
+        const osd::Object* object = store.Get("obj").value();
+        EXPECT_EQ(object->data.ToString(), ref->data) << "step " << step;
+        EXPECT_EQ(object->omap, ref->omap) << "step " << step;
+        EXPECT_EQ(object->xattrs, ref->xattrs) << "step " << step;
+        ASSERT_EQ(object->snapshots.size(), ref->snapshots.size());
+        for (const auto& [name, snap] : ref->snapshots) {
+          EXPECT_EQ(object->snapshots.at(name).ToString(), snap);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest, ::testing::Range(0, 25));
+
+// ---- MalScript tables vs std::map -----------------------------------------------
+
+class ScriptTableModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptTableModelTest, RandomTableOpsMatchStdMap) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40503 + 5);
+  script::Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("t = {}").ok());
+  std::map<std::string, double> ref;
+
+  for (int step = 0; step < 200; ++step) {
+    std::string key = "f" + std::to_string(rng.NextBelow(8));
+    switch (rng.NextBelow(3)) {
+      case 0: {  // set
+        double value = static_cast<double>(rng.NextBelow(1000));
+        ASSERT_TRUE(interp.RunSource("t." + key + " = " + std::to_string(value)).ok());
+        ref[key] = value;
+        break;
+      }
+      case 1: {  // erase (assign nil)
+        ASSERT_TRUE(interp.RunSource("t." + key + " = nil").ok());
+        ref.erase(key);
+        break;
+      }
+      case 2: {  // lookup & compare
+        ASSERT_TRUE(interp.RunSource("probe = t." + key).ok());
+        script::Value probe = interp.GetGlobal("probe");
+        if (ref.count(key) == 0) {
+          EXPECT_TRUE(probe.is_nil()) << "step " << step << " key " << key;
+        } else {
+          ASSERT_TRUE(probe.is_number());
+          EXPECT_DOUBLE_EQ(probe.as_number(), ref.at(key));
+        }
+        break;
+      }
+    }
+  }
+  // Final sweep: count entries via pairs().
+  ASSERT_TRUE(interp.RunSource("n = 0\nfor k, v in pairs(t) do n = n + 1 end").ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("n").as_number(), static_cast<double>(ref.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptTableModelTest, ::testing::Range(0, 15));
+
+// ---- decoder robustness: arbitrary bytes never crash a decoder ---------------------
+
+class FuzzDecodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDecodeTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 11);
+  std::string junk(rng.NextBelow(512), '\0');
+  for (char& c : junk) {
+    c = static_cast<char>(rng.NextBelow(256));
+  }
+  Buffer buffer = Buffer::FromString(junk);
+  {
+    // Every daemon-facing decoder must handle adversarial input gracefully:
+    // return garbage values or a failed state, never crash or loop.
+    Decoder dec(buffer);
+    (void)dec.GetVarU64();
+    (void)dec.GetString();
+    (void)dec.GetU64();
+    (void)DecodeStringMap(&dec);
+    (void)dec.Finish();
+  }
+  {
+    Decoder dec(buffer);
+    (void)osd::Op::Decode(&dec);
+  }
+  {
+    Decoder dec(buffer);
+    (void)osd::Object::Decode(&dec);
+  }
+  {
+    Decoder dec(buffer);
+    osd::OsdOpRequest req = osd::OsdOpRequest::Decode(&dec);
+    EXPECT_LE(req.ops.size(), 600u);  // bounded by input size, not a huge alloc
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mal

@@ -1,0 +1,346 @@
+// Unit tests for the object store (transactions, ops) and placement.
+#include <gtest/gtest.h>
+
+#include "src/osd/object_store.h"
+#include "src/osd/placement.h"
+
+namespace mal::osd {
+namespace {
+
+Op MakeOp(Op::Type type) {
+  Op op;
+  op.type = type;
+  return op;
+}
+
+TEST(ObjectStoreTest, WriteAndReadBack) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("hello world");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+
+  Op read = MakeOp(Op::Type::kRead);
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "hello world");
+}
+
+TEST(ObjectStoreTest, PartialReadAndOffsetWrite) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("abcdefgh");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+
+  Op patch = MakeOp(Op::Type::kWrite);
+  patch.offset = 2;
+  patch.data = mal::Buffer::FromString("XY");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {patch}, &results).ok());
+
+  Op read = MakeOp(Op::Type::kRead);
+  read.offset = 1;
+  read.length = 4;
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "bXYe");
+}
+
+TEST(ObjectStoreTest, AppendGrowsObject) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  for (const char* chunk : {"a", "b", "c"}) {
+    Op append = MakeOp(Op::Type::kAppend);
+    append.data = mal::Buffer::FromString(chunk);
+    ASSERT_TRUE(store.ApplyTransaction("obj", {append}, &results).ok());
+  }
+  Op read = MakeOp(Op::Type::kRead);
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "abc");
+}
+
+TEST(ObjectStoreTest, CreateExclusiveFailsOnExisting) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op create = MakeOp(Op::Type::kCreate);
+  create.excl = true;
+  ASSERT_TRUE(store.ApplyTransaction("obj", {create}, &results).ok());
+  EXPECT_EQ(store.ApplyTransaction("obj", {create}, &results).code(),
+            Code::kAlreadyExists);
+  // Non-exclusive create succeeds.
+  create.excl = false;
+  EXPECT_TRUE(store.ApplyTransaction("obj", {create}, &results).ok());
+}
+
+TEST(ObjectStoreTest, ReadMissingObjectFails) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  EXPECT_EQ(store.ApplyTransaction("nope", {MakeOp(Op::Type::kRead)}, &results).code(),
+            Code::kNotFound);
+}
+
+TEST(ObjectStoreTest, RemoveDeletesObject) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("x");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+  ASSERT_TRUE(store.ApplyTransaction("obj", {MakeOp(Op::Type::kRemove)}, &results).ok());
+  EXPECT_FALSE(store.Exists("obj"));
+  EXPECT_EQ(store.ApplyTransaction("obj", {MakeOp(Op::Type::kRemove)}, &results).code(),
+            Code::kNotFound);
+}
+
+TEST(ObjectStoreTest, OmapRoundTripAndPrefixList) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  for (const auto& [k, v] : std::map<std::string, std::string>{
+           {"idx.a", "1"}, {"idx.b", "2"}, {"other", "3"}}) {
+    Op set = MakeOp(Op::Type::kOmapSet);
+    set.key = k;
+    set.value = v;
+    ASSERT_TRUE(store.ApplyTransaction("obj", {set}, &results).ok());
+  }
+  Op get = MakeOp(Op::Type::kOmapGet);
+  get.key = "idx.b";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {get}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "2");
+
+  Op list = MakeOp(Op::Type::kOmapList);
+  list.key = "idx.";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {list}, &results).ok());
+  mal::Decoder dec(results[0].out);
+  auto entries = DecodeStringMap(&dec);
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("idx.a"), "1");
+
+  Op del = MakeOp(Op::Type::kOmapDel);
+  del.key = "idx.a";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {del}, &results).ok());
+  EXPECT_EQ(store.ApplyTransaction("obj", {get}, &results).ok(), true);
+  get.key = "idx.a";
+  EXPECT_EQ(store.ApplyTransaction("obj", {get}, &results).code(), Code::kNotFound);
+}
+
+TEST(ObjectStoreTest, XattrsAndGuard) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op set = MakeOp(Op::Type::kXattrSet);
+  set.key = "epoch";
+  set.value = "5";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {set}, &results).ok());
+
+  Op cmp_ok = MakeOp(Op::Type::kCmpXattr);
+  cmp_ok.key = "epoch";
+  cmp_ok.value = "5";
+  EXPECT_TRUE(store.ApplyTransaction("obj", {cmp_ok}, &results).ok());
+
+  Op cmp_bad = cmp_ok;
+  cmp_bad.value = "4";
+  EXPECT_EQ(store.ApplyTransaction("obj", {cmp_bad}, &results).code(), Code::kAborted);
+}
+
+TEST(ObjectStoreTest, TransactionIsAtomic) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("before");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+
+  // Transaction: guard fails after a write -> the write must not apply.
+  Op mutate = MakeOp(Op::Type::kWriteFull);
+  mutate.data = mal::Buffer::FromString("after");
+  Op guard = MakeOp(Op::Type::kCmpXattr);
+  guard.key = "missing";
+  guard.value = "x";
+  EXPECT_FALSE(store.ApplyTransaction("obj", {mutate, guard}, &results).ok());
+
+  Op read = MakeOp(Op::Type::kRead);
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "before");
+}
+
+TEST(ObjectStoreTest, GuardedWriteComposition) {
+  // The canonical cmpxattr-then-write pattern object interfaces rely on.
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op init = MakeOp(Op::Type::kXattrSet);
+  init.key = "owner";
+  init.value = "alice";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {init}, &results).ok());
+
+  Op guard = MakeOp(Op::Type::kCmpXattr);
+  guard.key = "owner";
+  guard.value = "alice";
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("alice-data");
+  EXPECT_TRUE(store.ApplyTransaction("obj", {guard, write}, &results).ok());
+
+  guard.value = "bob";
+  write.data = mal::Buffer::FromString("bob-data");
+  EXPECT_EQ(store.ApplyTransaction("obj", {guard, write}, &results).code(), Code::kAborted);
+  Op read = MakeOp(Op::Type::kRead);
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "alice-data");
+}
+
+TEST(ObjectStoreTest, VersionBumpsOnlyOnMutation) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("v1");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+  uint64_t v1 = store.Get("obj").value()->version;
+
+  ASSERT_TRUE(store.ApplyTransaction("obj", {MakeOp(Op::Type::kRead)}, &results).ok());
+  EXPECT_EQ(store.Get("obj").value()->version, v1);
+
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+  EXPECT_EQ(store.Get("obj").value()->version, v1 + 1);
+}
+
+TEST(ObjectStoreTest, ObjectEncodeDecodeRoundTrip) {
+  Object object;
+  object.data = mal::Buffer::FromString("payload");
+  object.omap["k"] = "v";
+  object.xattrs["x"] = "y";
+  object.version = 9;
+  mal::Buffer buffer;
+  mal::Encoder enc(&buffer);
+  object.Encode(&enc);
+  mal::Decoder dec(buffer);
+  Object decoded = Object::Decode(&dec);
+  EXPECT_EQ(decoded.data.ToString(), "payload");
+  EXPECT_EQ(decoded.omap.at("k"), "v");
+  EXPECT_EQ(decoded.xattrs.at("x"), "y");
+  EXPECT_EQ(decoded.version, 9u);
+}
+
+TEST(ObjectStoreTest, SnapshotsCaptureAndRestorePointInTime) {
+  ObjectStore store;
+  std::vector<OpResult> results;
+  Op write = MakeOp(Op::Type::kWriteFull);
+  write.data = mal::Buffer::FromString("version-1");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+
+  Op snap = MakeOp(Op::Type::kSnapCreate);
+  snap.key = "v1";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {snap}, &results).ok());
+  // Duplicate snapshot names rejected.
+  EXPECT_EQ(store.ApplyTransaction("obj", {snap}, &results).code(), Code::kAlreadyExists);
+
+  write.data = mal::Buffer::FromString("version-2");
+  ASSERT_TRUE(store.ApplyTransaction("obj", {write}, &results).ok());
+
+  Op read_snap = MakeOp(Op::Type::kSnapRead);
+  read_snap.key = "v1";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read_snap}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "version-1");
+
+  Op read = MakeOp(Op::Type::kRead);
+  ASSERT_TRUE(store.ApplyTransaction("obj", {read}, &results).ok());
+  EXPECT_EQ(results[0].out.ToString(), "version-2");
+
+  Op remove_snap = MakeOp(Op::Type::kSnapRemove);
+  remove_snap.key = "v1";
+  ASSERT_TRUE(store.ApplyTransaction("obj", {remove_snap}, &results).ok());
+  EXPECT_EQ(store.ApplyTransaction("obj", {read_snap}, &results).code(), Code::kNotFound);
+}
+
+TEST(ObjectStoreTest, SnapshotSurvivesEncodeDecode) {
+  Object object;
+  object.data = mal::Buffer::FromString("now");
+  object.snapshots["then"] = mal::Buffer::FromString("before");
+  mal::Buffer buffer;
+  mal::Encoder enc(&buffer);
+  object.Encode(&enc);
+  mal::Decoder dec(buffer);
+  Object decoded = Object::Decode(&dec);
+  EXPECT_EQ(decoded.snapshots.at("then").ToString(), "before");
+}
+
+// ---- placement ---------------------------------------------------------------
+
+mon::OsdMap MakeMap(uint32_t num_osds, uint32_t pg_count = 128) {
+  mon::OsdMap map;
+  map.epoch = 1;
+  map.pg_count = pg_count;
+  for (uint32_t i = 0; i < num_osds; ++i) {
+    map.osds[i] = {true, 1.0};
+  }
+  return map;
+}
+
+TEST(PlacementTest, DeterministicAndPrimaryFirst) {
+  mon::OsdMap map = MakeMap(10);
+  auto a = OsdsForObject("obj-1", map, 3);
+  auto b = OsdsForObject("obj-1", map, 3);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_NE(a[0], a[1]);
+  EXPECT_NE(a[1], a[2]);
+  EXPECT_NE(a[0], a[2]);
+}
+
+TEST(PlacementTest, SkipsDownOsds) {
+  mon::OsdMap map = MakeMap(5);
+  auto before = OsdsForObject("obj-x", map, 3);
+  map.osds[before[0]].up = false;
+  auto after = OsdsForObject("obj-x", map, 3);
+  for (uint32_t osd : after) {
+    EXPECT_NE(osd, before[0]);
+  }
+  EXPECT_EQ(after.size(), 3u);
+}
+
+TEST(PlacementTest, StableUnderMembershipChange) {
+  // Rendezvous property: adding an OSD moves only the PGs it wins.
+  mon::OsdMap small = MakeMap(10);
+  mon::OsdMap large = MakeMap(11);
+  int moved = 0;
+  const int kPgs = 128;
+  for (uint32_t pg = 0; pg < kPgs; ++pg) {
+    auto a = PgToOsds(pg, small, 1);
+    auto b = PgToOsds(pg, large, 1);
+    if (a != b) {
+      ++moved;
+      EXPECT_EQ(b[0], 10u);  // any move must be to the new OSD
+    }
+  }
+  // Expected moved fraction ~ 1/11 of PGs; allow generous slack.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kPgs / 4);
+}
+
+TEST(PlacementTest, RoughlyUniformDistribution) {
+  mon::OsdMap map = MakeMap(10, 1024);
+  std::map<uint32_t, int> primary_count;
+  for (uint32_t pg = 0; pg < 1024; ++pg) {
+    auto acting = PgToOsds(pg, map, 1);
+    ASSERT_EQ(acting.size(), 1u);
+    primary_count[acting[0]]++;
+  }
+  for (const auto& [osd, count] : primary_count) {
+    EXPECT_GT(count, 50) << "osd " << osd;   // expected ~102
+    EXPECT_LT(count, 180) << "osd " << osd;
+  }
+}
+
+TEST(PlacementTest, WeightBiasesSelection) {
+  mon::OsdMap map = MakeMap(4, 2048);
+  map.osds[0].weight = 4.0;  // 4x the others
+  std::map<uint32_t, int> primary_count;
+  for (uint32_t pg = 0; pg < 2048; ++pg) {
+    primary_count[PgToOsds(pg, map, 1)[0]]++;
+  }
+  EXPECT_GT(primary_count[0], primary_count[1] * 2);
+}
+
+TEST(PlacementTest, NoUpOsdsYieldsEmpty) {
+  mon::OsdMap map = MakeMap(3);
+  for (auto& [id, info] : map.osds) {
+    info.up = false;
+  }
+  EXPECT_TRUE(OsdsForObject("obj", map, 3).empty());
+}
+
+}  // namespace
+}  // namespace mal::osd

@@ -1,0 +1,474 @@
+// Unit tests for the MalScript engine: lexer, parser, interpreter semantics,
+// stdlib, sandboxing, and the host-function bridge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/script/interpreter.h"
+#include "src/script/lexer.h"
+#include "src/script/parser.h"
+
+namespace mal::script {
+namespace {
+
+// Runs source then evaluates the global `result`.
+Value RunAndGet(const std::string& source, const std::string& global = "result") {
+  Interpreter interp;
+  Status s = interp.RunSource(source);
+  EXPECT_TRUE(s.ok()) << s.ToString() << " for source:\n" << source;
+  return interp.GetGlobal(global);
+}
+
+double EvalNumber(const std::string& expr) {
+  Value v = RunAndGet("result = " + expr);
+  EXPECT_TRUE(v.is_number()) << expr << " -> " << v.ToString();
+  return v.is_number() ? v.as_number() : 0;
+}
+
+TEST(LexerTest, TokenizesOperatorsAndKeywords) {
+  auto tokens = Lex("if x ~= 10 then y = x .. 'z' end");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 12u);  // includes EOF
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kIf);
+  EXPECT_EQ(tokens.value()[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens.value()[3].type, TokenType::kNumber);
+  EXPECT_EQ(tokens.value()[8].type, TokenType::kConcat);
+}
+
+TEST(LexerTest, NumbersIncludingHexAndExponent) {
+  auto tokens = Lex("1 2.5 0x10 1e3 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ(tokens.value()[0].number, 1);
+  EXPECT_DOUBLE_EQ(tokens.value()[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens.value()[2].number, 16);
+  EXPECT_DOUBLE_EQ(tokens.value()[3].number, 1000);
+  EXPECT_DOUBLE_EQ(tokens.value()[4].number, 0.5);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex(R"(x = "a\n\t\"b")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[2].text, "a\n\t\"b");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("a = 1 -- comment to end of line\nb = 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().size(), 7u);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("x = 'oops").ok());
+}
+
+TEST(ParserTest, RejectsBadSyntax) {
+  EXPECT_FALSE(Parse("if then end").ok());
+  EXPECT_FALSE(Parse("x = ").ok());
+  EXPECT_FALSE(Parse("function f( end").ok());
+  EXPECT_FALSE(Parse("1 + 2").ok());  // expression is not a statement
+  EXPECT_FALSE(Parse("while true do").ok());
+}
+
+TEST(ParserTest, AcceptsRepresentativePrograms) {
+  EXPECT_TRUE(Parse("local x = {a=1, [2]=3, 'arr'}").ok());
+  EXPECT_TRUE(Parse("for i = 1, 10, 2 do print(i) end").ok());
+  EXPECT_TRUE(Parse("for k, v in pairs(t) do print(k, v) end").ok());
+  EXPECT_TRUE(Parse("function a.b.c(x, ...) return x end").ok());
+  EXPECT_TRUE(Parse("repeat x = x - 1 until x == 0").ok());
+  EXPECT_TRUE(Parse("a, b = b, a").ok());
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(EvalNumber("1 + 2 * 3"), 7);
+  EXPECT_DOUBLE_EQ(EvalNumber("(1 + 2) * 3"), 9);
+  EXPECT_DOUBLE_EQ(EvalNumber("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(EvalNumber("7 % 3"), 1);
+  EXPECT_DOUBLE_EQ(EvalNumber("-7 % 3"), 2);  // Lua modulo semantics
+  EXPECT_DOUBLE_EQ(EvalNumber("2 ^ 10"), 1024);
+  EXPECT_DOUBLE_EQ(EvalNumber("2 ^ 3 ^ 2"), 512);  // right associative
+  EXPECT_DOUBLE_EQ(EvalNumber("-2 ^ 2"), -4);      // pow binds tighter than unary minus
+  EXPECT_DOUBLE_EQ(EvalNumber("10 - 2 - 3"), 5);   // left associative
+}
+
+TEST(InterpreterTest, ComparisonAndLogic) {
+  EXPECT_TRUE(RunAndGet("result = 1 < 2 and 'a' < 'b'").as_bool());
+  EXPECT_TRUE(RunAndGet("result = not nil").as_bool());
+  EXPECT_TRUE(RunAndGet("result = nil == nil").as_bool());
+  EXPECT_FALSE(RunAndGet("result = 1 == '1'").as_bool());
+  // and/or return operands, not booleans.
+  EXPECT_EQ(RunAndGet("result = false or 'fallback'").as_string(), "fallback");
+  EXPECT_DOUBLE_EQ(RunAndGet("result = 1 and 2").as_number(), 2);
+}
+
+TEST(InterpreterTest, ShortCircuitDoesNotEvaluateRhs) {
+  Interpreter interp;
+  int calls = 0;
+  interp.RegisterHostFunction("boom",
+                              [&calls](Interpreter&, const std::vector<Value>&) -> Result<Value> {
+                                ++calls;
+                                return Value::Nil();
+                              });
+  ASSERT_TRUE(interp.RunSource("x = false and boom(); y = true or boom()").ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(InterpreterTest, StringConcat) {
+  EXPECT_EQ(RunAndGet("result = 'a' .. 'b' .. 1").as_string(), "ab1");
+  EXPECT_EQ(RunAndGet("result = 1 .. 2").as_string(), "12");
+}
+
+TEST(InterpreterTest, Tables) {
+  Value v = RunAndGet(R"(
+    t = {x = 10, [20] = 'twenty', 'first', 'second'}
+    result = t.x + #t
+  )");
+  EXPECT_DOUBLE_EQ(v.as_number(), 12);
+  EXPECT_EQ(RunAndGet("t = {}; t[1] = 'a'; result = t[1]").as_string(), "a");
+  // Assigning nil removes the key.
+  EXPECT_DOUBLE_EQ(RunAndGet("t = {1, 2, 3}; t[3] = nil; result = #t").as_number(), 2);
+}
+
+TEST(InterpreterTest, NestedTables) {
+  Value v = RunAndGet(R"(
+    mds = {}
+    mds[0] = {load = 100, cpu = 0.5}
+    mds[1] = {load = 20, cpu = 0.1}
+    whoami = 0
+    result = mds[whoami]["load"] / 2
+  )");
+  EXPECT_DOUBLE_EQ(v.as_number(), 50);
+}
+
+TEST(InterpreterTest, ControlFlow) {
+  EXPECT_EQ(RunAndGet(R"(
+    x = 7
+    if x > 10 then result = 'big'
+    elseif x > 5 then result = 'mid'
+    else result = 'small' end
+  )").as_string(), "mid");
+
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    result = 0
+    for i = 1, 10 do result = result + i end
+  )").as_number(), 55);
+
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    result = 0
+    for i = 10, 1, -2 do result = result + 1 end
+  )").as_number(), 5);
+
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    result = 0
+    i = 0
+    while true do
+      i = i + 1
+      if i > 4 then break end
+      result = result + i
+    end
+  )").as_number(), 10);
+
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    x = 5
+    result = 0
+    repeat
+      result = result + x
+      x = x - 1
+    until x == 0
+  )").as_number(), 15);
+}
+
+TEST(InterpreterTest, GenericForIteratesEntries) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    t = {a = 1, b = 2, c = 3}
+    result = 0
+    for k, v in pairs(t) do result = result + v end
+  )").as_number(), 6);
+}
+
+TEST(InterpreterTest, FunctionsAndRecursion) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    function fib(n)
+      if n < 2 then return n end
+      return fib(n-1) + fib(n-2)
+    end
+    result = fib(15)
+  )").as_number(), 610);
+}
+
+TEST(InterpreterTest, ClosuresCaptureEnvironment) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    function counter()
+      local n = 0
+      return function()
+        n = n + 1
+        return n
+      end
+    end
+    c = counter()
+    c()
+    c()
+    result = c()
+  )").as_number(), 3);
+}
+
+TEST(InterpreterTest, LocalsShadowGlobals) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    x = 1
+    do
+      local x = 2
+    end
+    result = x
+  )").as_number(), 1);
+}
+
+TEST(InterpreterTest, MultipleAssignmentSwaps) {
+  EXPECT_EQ(RunAndGet("a, b = 'x', 'y'; a, b = b, a; result = a .. b").as_string(), "yx");
+}
+
+TEST(InterpreterTest, VarargCollectsExtras) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    function sum(...)
+      local total = 0
+      for i, v in pairs(arg) do total = total + v end
+      return total
+    end
+    result = sum(1, 2, 3, 4)
+  )").as_number(), 10);
+}
+
+TEST(InterpreterTest, RuntimeErrorsSurface) {
+  Interpreter interp;
+  EXPECT_EQ(interp.RunSource("x = nil + 1").code(), Code::kInvalidArgument);
+  EXPECT_EQ(interp.RunSource("x = {}; y = x.a.b").code(), Code::kInvalidArgument);
+  EXPECT_EQ(interp.RunSource("f = 5; f()").code(), Code::kInvalidArgument);
+  EXPECT_EQ(interp.RunSource("error('custom')").code(), Code::kAborted);
+}
+
+TEST(InterpreterTest, InstructionBudgetAbortsRunawayScript) {
+  Interpreter interp;
+  interp.set_instruction_budget(10'000);
+  Status s = interp.RunSource("while true do end");
+  EXPECT_EQ(s.code(), Code::kAborted);
+}
+
+TEST(InterpreterTest, BudgetAllowsNormalPolicies) {
+  Interpreter interp;
+  interp.set_instruction_budget(1'000'000);
+  EXPECT_TRUE(interp.RunSource("t = 0; for i = 1, 1000 do t = t + i end").ok());
+}
+
+TEST(InterpreterTest, StackOverflowIsCaught) {
+  Interpreter interp;
+  Status s = interp.RunSource("function f() return f() end f()");
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+}
+
+TEST(InterpreterTest, HostFunctionBridge) {
+  Interpreter interp;
+  interp.RegisterHostFunction(
+      "add", [](Interpreter&, const std::vector<Value>& args) -> Result<Value> {
+        return Value(args.at(0).as_number() + args.at(1).as_number());
+      });
+  ASSERT_TRUE(interp.RunSource("result = add(20, 22)").ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("result").as_number(), 42);
+}
+
+TEST(InterpreterTest, HostErrorPropagates) {
+  Interpreter interp;
+  interp.RegisterHostFunction(
+      "fail", [](Interpreter&, const std::vector<Value>&) -> Result<Value> {
+        return Status::PermissionDenied("nope");
+      });
+  EXPECT_EQ(interp.RunSource("fail()").code(), Code::kPermissionDenied);
+}
+
+TEST(InterpreterTest, CallGlobalFromHost) {
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("function when(load) return load > 50 end").ok());
+  Result<Value> hot = interp.CallGlobal("when", {Value(80.0)});
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(hot.value().as_bool());
+  Result<Value> cold = interp.CallGlobal("when", {Value(10.0)});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.value().as_bool());
+}
+
+TEST(InterpreterTest, CallGlobalMissingIsNotFound) {
+  Interpreter interp;
+  EXPECT_EQ(interp.CallGlobal("nope", {}).status().code(), Code::kNotFound);
+}
+
+TEST(StdlibTest, PrintCapturesOutput) {
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("print('hello', 42, true)").ok());
+  ASSERT_EQ(interp.print_output().size(), 1u);
+  EXPECT_EQ(interp.print_output()[0], "hello\t42\ttrue");
+}
+
+TEST(StdlibTest, TypeAndConversion) {
+  EXPECT_EQ(RunAndGet("result = type({})").as_string(), "table");
+  EXPECT_EQ(RunAndGet("result = type(print)").as_string(), "function");
+  EXPECT_DOUBLE_EQ(RunAndGet("result = tonumber('42')").as_number(), 42);
+  EXPECT_TRUE(RunAndGet("result = tonumber('4x2')").is_nil());
+  EXPECT_EQ(RunAndGet("result = tostring(nil)").as_string(), "nil");
+}
+
+TEST(StdlibTest, MathFunctions) {
+  EXPECT_DOUBLE_EQ(EvalNumber("math.floor(2.7)"), 2);
+  EXPECT_DOUBLE_EQ(EvalNumber("math.ceil(2.1)"), 3);
+  EXPECT_DOUBLE_EQ(EvalNumber("math.abs(-5)"), 5);
+  EXPECT_DOUBLE_EQ(EvalNumber("math.max(1, 9, 4)"), 9);
+  EXPECT_DOUBLE_EQ(EvalNumber("math.min(3, -2, 8)"), -2);
+  EXPECT_DOUBLE_EQ(EvalNumber("math.sqrt(16)"), 4);
+}
+
+TEST(StdlibTest, StringFunctions) {
+  EXPECT_DOUBLE_EQ(EvalNumber("string.len('hello')"), 5);
+  EXPECT_EQ(RunAndGet("result = string.sub('hello', 2, 4)").as_string(), "ell");
+  EXPECT_EQ(RunAndGet("result = string.sub('hello', -3)").as_string(), "llo");
+  EXPECT_DOUBLE_EQ(EvalNumber("string.find('hello', 'll')"), 3);
+  EXPECT_TRUE(RunAndGet("result = string.find('hello', 'xyz')").is_nil());
+  EXPECT_EQ(RunAndGet("result = string.rep('ab', 3)").as_string(), "ababab");
+  EXPECT_EQ(RunAndGet("result = string.upper('aBc')").as_string(), "ABC");
+}
+
+TEST(StdlibTest, TableInsertRemove) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    t = {}
+    table.insert(t, 'a')
+    table.insert(t, 'b')
+    table.insert(t, 'c')
+    table.remove(t, 1)
+    result = #t
+  )").as_number(), 2);
+  EXPECT_EQ(RunAndGet(R"(
+    t = {'a', 'b'}
+    result = table.remove(t)
+  )").as_string(), "b");
+}
+
+TEST(StdlibTest, AssertRaises) {
+  Interpreter interp;
+  EXPECT_EQ(interp.RunSource("assert(false, 'broken')").code(), Code::kAborted);
+  EXPECT_TRUE(interp.RunSource("assert(1 == 1)").ok());
+}
+
+// The exact balancer snippet from the paper (Section 6.2.2):
+//   targets[whoami+1] = mds[whoami]["load"]/2
+TEST(InterpreterTest, PaperMantleSnippetWorks) {
+  Interpreter interp;
+  auto mds = Table::Make();
+  auto server0 = Table::Make();
+  server0->Set(TableKey("load"), Value(200.0));
+  mds->Set(TableKey(0.0), Value(server0));
+  interp.SetGlobal("mds", Value(mds));
+  interp.SetGlobal("whoami", Value(0.0));
+  auto targets = Table::Make();
+  interp.SetGlobal("targets", Value(targets));
+
+  ASSERT_TRUE(interp.RunSource("targets[whoami+1] = mds[whoami][\"load\"]/2").ok());
+  EXPECT_DOUBLE_EQ(targets->Get(TableKey(1.0)).as_number(), 100.0);
+}
+
+TEST(InterpreterTest, DivisionByZeroFollowsIeee) {
+  // Like Lua: x/0 is inf (or nan for 0/0), not an error.
+  Value v = RunAndGet("result = 1 / 0");
+  ASSERT_TRUE(v.is_number());
+  EXPECT_TRUE(std::isinf(v.as_number()));
+  Value nan = RunAndGet("result = 0 / 0");
+  ASSERT_TRUE(nan.is_number());
+  EXPECT_TRUE(std::isnan(nan.as_number()));
+}
+
+TEST(InterpreterTest, DeepNestingWithinBudget) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    result = 0
+    for i = 1, 10 do
+      for j = 1, 10 do
+        for k = 1, 10 do
+          result = result + 1
+        end
+      end
+    end
+  )").as_number(), 1000);
+}
+
+TEST(InterpreterTest, TableLengthStopsAtFirstHole) {
+  EXPECT_DOUBLE_EQ(RunAndGet("t = {1, 2, 3}; t[5] = 9; result = #t").as_number(), 3);
+}
+
+TEST(InterpreterTest, FunctionsAreFirstClassValues) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    ops = {}
+    ops.double = function(x) return x * 2 end
+    ops.square = function(x) return x * x end
+    result = ops.double(3) + ops.square(4)
+  )").as_number(), 22);
+}
+
+TEST(InterpreterTest, HigherOrderFunctions) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    function apply_twice(f, x) return f(f(x)) end
+    result = apply_twice(function(n) return n + 5 end, 1)
+  )").as_number(), 11);
+}
+
+TEST(InterpreterTest, BreakOnlyExitsInnermostLoop) {
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    result = 0
+    for i = 1, 3 do
+      for j = 1, 10 do
+        if j == 2 then break end
+        result = result + 1
+      end
+      result = result + 10
+    end
+  )").as_number(), 33);
+}
+
+TEST(InterpreterTest, StringComparisonIsLexicographic) {
+  EXPECT_TRUE(RunAndGet("result = 'apple' < 'banana'").as_bool());
+  EXPECT_FALSE(RunAndGet("result = 'b' < 'antelope'").as_bool());
+  // Comparing across types is an error (not silently false).
+  Interpreter interp;
+  EXPECT_FALSE(interp.RunSource("x = 1 < 'two'").ok());
+}
+
+// Property-style sweep: interpreter arithmetic agrees with C++ for many
+// randomized expressions of the form (a op b) op c.
+class ArithmeticPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithmeticPropertyTest, MatchesNativeEvaluation) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // Simple deterministic PRN without pulling in Rng (keeps this test
+  // independent of src/common).
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((seed >> 33) % 1000) - 500.0;
+  };
+  double a = next();
+  double b = next();
+  double c = next() + 1;  // avoid /0 in the division case
+  const char* ops[] = {"+", "-", "*"};
+  const char* op1 = ops[static_cast<size_t>(GetParam()) % 3];
+  const char* op2 = ops[static_cast<size_t>(GetParam() / 3) % 3];
+  std::string expr = "result = (" + std::to_string(a) + " " + op1 + " " + std::to_string(b) +
+                     ") " + op2 + " " + std::to_string(c);
+  auto apply = [](double x, const char* op, double y) {
+    if (op[0] == '+') {
+      return x + y;
+    }
+    if (op[0] == '-') {
+      return x - y;
+    }
+    return x * y;
+  };
+  double expected = apply(apply(a, op1, b), op2, c);
+  EXPECT_NEAR(RunAndGet(expr).as_number(), expected, std::abs(expected) * 1e-9 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedExpressions, ArithmeticPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mal::script

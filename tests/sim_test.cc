@@ -1,0 +1,378 @@
+// Unit tests for the discrete-event simulator, network, and actor layers.
+#include <gtest/gtest.h>
+
+#include "src/sim/actor.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace mal::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(30, [&] { order.push_back(3); });
+  simulator.Schedule(10, [&] { order.push_back(1); });
+  simulator.Schedule(20, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.Schedule(7, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(5, [&] {
+    ++fired;
+    simulator.Schedule(5, [&] { ++fired; });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.Now(), 10u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  EventId id = simulator.Schedule(5, [&] { ran = true; });
+  simulator.Cancel(id);
+  simulator.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator simulator;
+  int count = 0;
+  simulator.Schedule(100, [&] { ++count; });
+  simulator.Schedule(500, [&] { ++count; });
+  simulator.RunUntil(200);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(simulator.Now(), 200u);
+  simulator.RunUntil(1000);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(simulator.Now(), 1000u);
+}
+
+class RecordingSink : public MessageSink {
+ public:
+  void Deliver(Envelope envelope) override { received.push_back(std::move(envelope)); }
+  std::vector<Envelope> received;
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink;
+  network.Attach(EntityName::Osd(1), &sink);
+
+  Envelope envelope;
+  envelope.from = EntityName::Client(0);
+  envelope.to = EntityName::Osd(1);
+  envelope.type = 42;
+  envelope.payload = mal::Buffer::FromString("hi");
+  network.Send(envelope);
+
+  EXPECT_TRUE(sink.received.empty());
+  simulator.Run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].type, 42u);
+  EXPECT_EQ(sink.received[0].payload.ToString(), "hi");
+  EXPECT_GT(simulator.Now(), 0u);  // latency was charged
+}
+
+TEST(NetworkTest, CrashedNodeDropsMessages) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink;
+  network.Attach(EntityName::Osd(1), &sink);
+  network.SetCrashed(EntityName::Osd(1), true);
+
+  Envelope envelope;
+  envelope.from = EntityName::Client(0);
+  envelope.to = EntityName::Osd(1);
+  network.Send(envelope);
+  simulator.Run();
+  EXPECT_TRUE(sink.received.empty());
+
+  network.SetCrashed(EntityName::Osd(1), false);
+  network.Send(envelope);
+  simulator.Run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST(NetworkTest, CrashWhileInFlightDropsMessage) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink;
+  network.Attach(EntityName::Osd(1), &sink);
+
+  Envelope envelope;
+  envelope.from = EntityName::Client(0);
+  envelope.to = EntityName::Osd(1);
+  network.Send(envelope);
+  network.SetCrashed(EntityName::Osd(1), true);  // after send, before delivery
+  simulator.Run();
+  EXPECT_TRUE(sink.received.empty());
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirections) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink a;
+  RecordingSink b;
+  network.Attach(EntityName::Mon(0), &a);
+  network.Attach(EntityName::Mon(1), &b);
+  network.SetPartitioned(EntityName::Mon(0), EntityName::Mon(1), true);
+
+  Envelope ab;
+  ab.from = EntityName::Mon(0);
+  ab.to = EntityName::Mon(1);
+  network.Send(ab);
+  Envelope ba;
+  ba.from = EntityName::Mon(1);
+  ba.to = EntityName::Mon(0);
+  network.Send(ba);
+  simulator.Run();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+
+  network.SetPartitioned(EntityName::Mon(0), EntityName::Mon(1), false);
+  network.Send(ab);
+  simulator.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, LargerMessagesTakeLonger) {
+  Simulator sim_small;
+  Simulator sim_large;
+  NetworkConfig config;
+  config.jitter_sigma = 0.0;
+  config.per_byte_ns = 10.0;
+  Network net_small(&sim_small, config);
+  Network net_large(&sim_large, config);
+  RecordingSink sink_small;
+  RecordingSink sink_large;
+  net_small.Attach(EntityName::Osd(0), &sink_small);
+  net_large.Attach(EntityName::Osd(0), &sink_large);
+
+  Envelope small;
+  small.from = EntityName::Client(0);
+  small.to = EntityName::Osd(0);
+  Envelope large = small;
+  large.payload = mal::Buffer::FromString(std::string(100000, 'x'));
+  net_small.Send(small);
+  net_large.Send(large);
+  sim_small.Run();
+  sim_large.Run();
+  EXPECT_GT(sim_large.Now(), sim_small.Now());
+}
+
+// Test actor: echoes requests after a configurable CPU cost.
+class EchoActor : public Actor {
+ public:
+  EchoActor(Simulator* simulator, Network* network, EntityName name, Time cpu_cost = 0)
+      : Actor(simulator, network, name), cpu_cost_(cpu_cost) {}
+
+  int requests_handled = 0;
+
+ protected:
+  void HandleRequest(const Envelope& request) override {
+    ++requests_handled;
+    if (cpu_cost_ == 0) {
+      Reply(request, request.payload);
+      return;
+    }
+    mal::Buffer payload = request.payload;
+    Envelope req_copy = request;
+    AfterCpu(cpu_cost_, [this, req_copy, payload] { Reply(req_copy, payload); });
+  }
+
+ private:
+  Time cpu_cost_;
+};
+
+class ClientActor : public Actor {
+ public:
+  using Actor::Actor;
+  using Actor::SendRequest;
+
+ protected:
+  void HandleRequest(const Envelope&) override {}
+};
+
+TEST(ActorTest, RequestReplyRoundTrip) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor server(&simulator, &network, EntityName::Osd(0));
+  ClientActor client(&simulator, &network, EntityName::Client(0));
+
+  mal::Status got_status = mal::Status::Internal("not called");
+  std::string got_payload;
+  client.SendRequest(EntityName::Osd(0), 7, mal::Buffer::FromString("ping"),
+                     [&](mal::Status s, const Envelope& reply) {
+                       got_status = s;
+                       got_payload = reply.payload.ToString();
+                     });
+  simulator.Run();
+  EXPECT_TRUE(got_status.ok()) << got_status;
+  EXPECT_EQ(got_payload, "ping");
+  EXPECT_EQ(server.requests_handled, 1);
+}
+
+TEST(ActorTest, RequestToCrashedServerTimesOut) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor server(&simulator, &network, EntityName::Osd(0));
+  ClientActor client(&simulator, &network, EntityName::Client(0));
+  server.Crash();
+
+  mal::Status got_status;
+  client.SendRequest(EntityName::Osd(0), 7, mal::Buffer(),
+                     [&](mal::Status s, const Envelope&) { got_status = s; },
+                     /*timeout=*/1 * kSecond);
+  simulator.Run();
+  EXPECT_EQ(got_status.code(), mal::Code::kTimedOut);
+  EXPECT_EQ(simulator.Now(), 1 * kSecond);
+}
+
+TEST(ActorTest, ReplyAfterTimeoutIsDropped) {
+  Simulator simulator;
+  Network network(&simulator);
+  // Server takes 2s of CPU; client timeout is 1s.
+  EchoActor server(&simulator, &network, EntityName::Osd(0), 2 * kSecond);
+  ClientActor client(&simulator, &network, EntityName::Client(0));
+
+  int calls = 0;
+  mal::Status got_status;
+  client.SendRequest(EntityName::Osd(0), 7, mal::Buffer(),
+                     [&](mal::Status s, const Envelope&) {
+                       ++calls;
+                       got_status = s;
+                     },
+                     /*timeout=*/1 * kSecond);
+  simulator.Run();
+  EXPECT_EQ(calls, 1);  // exactly once, even though the late reply arrived
+  EXPECT_EQ(got_status.code(), mal::Code::kTimedOut);
+}
+
+TEST(ActorTest, CpuSerializesWork) {
+  Simulator simulator;
+  Network network(&simulator);
+  NetworkConfig config;  // default latencies fine
+  EchoActor server(&simulator, &network, EntityName::Osd(0), 100 * kMillisecond);
+  ClientActor client(&simulator, &network, EntityName::Client(0));
+
+  std::vector<Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    client.SendRequest(EntityName::Osd(0), 7, mal::Buffer(),
+                       [&](mal::Status s, const Envelope&) {
+                         ASSERT_TRUE(s.ok());
+                         completions.push_back(simulator.Now());
+                       });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  // Each reply ~100ms after the previous: serialized CPU, not parallel.
+  EXPECT_GE(completions[1] - completions[0], 90 * kMillisecond);
+  EXPECT_GE(completions[2] - completions[1], 90 * kMillisecond);
+}
+
+TEST(ActorTest, CpuUtilizationReflectsLoad) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor busy(&simulator, &network, EntityName::Mds(0));
+  busy.ReserveCpu(800 * kMillisecond);
+  simulator.RunUntil(1 * kSecond);
+  double util = busy.CpuUtilization(1 * kSecond);
+  EXPECT_NEAR(util, 0.8, 0.01);
+
+  EchoActor idle(&simulator, &network, EntityName::Mds(1));
+  EXPECT_NEAR(idle.CpuUtilization(1 * kSecond), 0.0, 1e-9);
+}
+
+TEST(ActorTest, PeriodicTimerStopsOnCrash) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor actor(&simulator, &network, EntityName::Mds(0));
+  int ticks = 0;
+  actor.StartPeriodic(100 * kMillisecond, [&] { ++ticks; });
+  simulator.RunUntil(550 * kMillisecond);
+  EXPECT_EQ(ticks, 5);
+  actor.Crash();
+  simulator.RunUntil(2 * kSecond);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(ActorTest, CrashFailsPendingLocalRpcs) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor server(&simulator, &network, EntityName::Osd(0), 1 * kSecond);
+  ClientActor client(&simulator, &network, EntityName::Client(0));
+
+  mal::Status got_status;
+  client.SendRequest(EntityName::Osd(0), 7, mal::Buffer(),
+                     [&](mal::Status s, const Envelope&) { got_status = s; });
+  simulator.RunUntil(10 * kMillisecond);
+  client.Crash();
+  EXPECT_EQ(got_status.code(), mal::Code::kUnavailable);
+}
+
+TEST(ActorTest, DispatchLaneDoesNotQueueBehindCpuWork) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor actor(&simulator, &network, EntityName::Mds(0));
+  // Saturate the work queue for a full second.
+  actor.ReserveCpu(1 * kSecond);
+  // Dispatch-lane work completes promptly regardless.
+  sim::Time dispatched_at = 0;
+  actor.AfterDispatch(5 * kMillisecond, [&] { dispatched_at = simulator.Now(); });
+  sim::Time cpu_done_at = 0;
+  actor.AfterCpu(5 * kMillisecond, [&] { cpu_done_at = simulator.Now(); });
+  simulator.Run();
+  EXPECT_EQ(dispatched_at, 5 * kMillisecond);
+  EXPECT_GE(cpu_done_at, 1 * kSecond);  // queued behind the reserved second
+}
+
+TEST(ActorTest, DispatchLaneSerializesItsOwnWork) {
+  Simulator simulator;
+  Network network(&simulator);
+  EchoActor actor(&simulator, &network, EntityName::Mds(0));
+  std::vector<sim::Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    actor.AfterDispatch(10 * kMillisecond, [&] { completions.push_back(simulator.Now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 10 * kMillisecond);
+  EXPECT_EQ(completions[1], 20 * kMillisecond);
+  EXPECT_EQ(completions[2], 30 * kMillisecond);
+}
+
+TEST(ActorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator simulator;
+    Network network(&simulator);
+    EchoActor server(&simulator, &network, EntityName::Osd(0), 3 * kMillisecond);
+    ClientActor client(&simulator, &network, EntityName::Client(0));
+    for (int i = 0; i < 50; ++i) {
+      client.SendRequest(EntityName::Osd(0), 1, mal::Buffer::FromString("x"),
+                         [](mal::Status, const Envelope&) {});
+    }
+    simulator.Run();
+    return simulator.Now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mal::sim
