@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backoff_aggressiveness.dir/backoff_aggressiveness.cc.o"
+  "CMakeFiles/backoff_aggressiveness.dir/backoff_aggressiveness.cc.o.d"
+  "backoff_aggressiveness"
+  "backoff_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backoff_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

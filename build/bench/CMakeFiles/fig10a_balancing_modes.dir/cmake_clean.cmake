@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_balancing_modes.dir/fig10a_balancing_modes.cc.o"
+  "CMakeFiles/fig10a_balancing_modes.dir/fig10a_balancing_modes.cc.o.d"
+  "fig10a_balancing_modes"
+  "fig10a_balancing_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_balancing_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_migration_units.dir/fig10b_migration_units.cc.o"
+  "CMakeFiles/fig10b_migration_units.dir/fig10b_migration_units.cc.o.d"
+  "fig10b_migration_units"
+  "fig10b_migration_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_migration_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

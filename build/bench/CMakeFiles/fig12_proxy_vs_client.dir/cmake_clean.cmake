@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_proxy_vs_client.dir/fig12_proxy_vs_client.cc.o"
+  "CMakeFiles/fig12_proxy_vs_client.dir/fig12_proxy_vs_client.cc.o.d"
+  "fig12_proxy_vs_client"
+  "fig12_proxy_vs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_proxy_vs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interface_growth.dir/fig2_interface_growth.cc.o"
+  "CMakeFiles/fig2_interface_growth.dir/fig2_interface_growth.cc.o.d"
+  "fig2_interface_growth"
+  "fig2_interface_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interface_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cap_interleaving.dir/fig5_cap_interleaving.cc.o"
+  "CMakeFiles/fig5_cap_interleaving.dir/fig5_cap_interleaving.cc.o.d"
+  "fig5_cap_interleaving"
+  "fig5_cap_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cap_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_seq_throughput.dir/fig6_seq_throughput.cc.o"
+  "CMakeFiles/fig6_seq_throughput.dir/fig6_seq_throughput.cc.o.d"
+  "fig6_seq_throughput"
+  "fig6_seq_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_seq_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interface_propagation.dir/fig8_interface_propagation.cc.o"
+  "CMakeFiles/fig8_interface_propagation.dir/fig8_interface_propagation.cc.o.d"
+  "fig8_interface_propagation"
+  "fig8_interface_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interface_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_class_census.dir/table1_class_census.cc.o"
+  "CMakeFiles/table1_class_census.dir/table1_class_census.cc.o.d"
+  "table1_class_census"
+  "table1_class_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_class_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_device.dir/block_device.cpp.o"
+  "CMakeFiles/block_device.dir/block_device.cpp.o.d"
+  "block_device"
+  "block_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_evolution.dir/interface_evolution.cpp.o"
+  "CMakeFiles/interface_evolution.dir/interface_evolution.cpp.o.d"
+  "interface_evolution"
+  "interface_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

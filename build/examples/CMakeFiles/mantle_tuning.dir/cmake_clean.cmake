@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_tuning.dir/mantle_tuning.cpp.o"
+  "CMakeFiles/mantle_tuning.dir/mantle_tuning.cpp.o.d"
+  "mantle_tuning"
+  "mantle_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_pushdown.dir/query_pushdown.cpp.o"
+  "CMakeFiles/query_pushdown.dir/query_pushdown.cpp.o.d"
+  "query_pushdown"
+  "query_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

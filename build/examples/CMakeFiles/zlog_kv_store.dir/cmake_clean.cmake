@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlog_kv_store.dir/zlog_kv_store.cpp.o"
+  "CMakeFiles/zlog_kv_store.dir/zlog_kv_store.cpp.o.d"
+  "zlog_kv_store"
+  "zlog_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlog_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

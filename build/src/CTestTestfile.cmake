@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("script")
+subdirs("sim")
+subdirs("consensus")
+subdirs("mon")
+subdirs("osd")
+subdirs("cls")
+subdirs("rados")
+subdirs("mds")
+subdirs("mantle")
+subdirs("zlog")
+subdirs("cluster")
+subdirs("rbd")
+subdirs("cephfs")
+subdirs("ec")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_cephfs.dir/file_client.cc.o"
+  "CMakeFiles/mal_cephfs.dir/file_client.cc.o.d"
+  "libmal_cephfs.a"
+  "libmal_cephfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_cephfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_cls.dir/builtin.cc.o"
+  "CMakeFiles/mal_cls.dir/builtin.cc.o.d"
+  "CMakeFiles/mal_cls.dir/context.cc.o"
+  "CMakeFiles/mal_cls.dir/context.cc.o.d"
+  "CMakeFiles/mal_cls.dir/registry.cc.o"
+  "CMakeFiles/mal_cls.dir/registry.cc.o.d"
+  "libmal_cls.a"
+  "libmal_cls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_cls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_cluster.dir/cluster.cc.o"
+  "CMakeFiles/mal_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/mal_cluster.dir/workload.cc.o"
+  "CMakeFiles/mal_cluster.dir/workload.cc.o.d"
+  "libmal_cluster.a"
+  "libmal_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

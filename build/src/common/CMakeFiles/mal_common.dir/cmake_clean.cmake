@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_common.dir/buffer.cc.o"
+  "CMakeFiles/mal_common.dir/buffer.cc.o.d"
+  "CMakeFiles/mal_common.dir/log.cc.o"
+  "CMakeFiles/mal_common.dir/log.cc.o.d"
+  "CMakeFiles/mal_common.dir/rng.cc.o"
+  "CMakeFiles/mal_common.dir/rng.cc.o.d"
+  "CMakeFiles/mal_common.dir/stats.cc.o"
+  "CMakeFiles/mal_common.dir/stats.cc.o.d"
+  "CMakeFiles/mal_common.dir/status.cc.o"
+  "CMakeFiles/mal_common.dir/status.cc.o.d"
+  "libmal_common.a"
+  "libmal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

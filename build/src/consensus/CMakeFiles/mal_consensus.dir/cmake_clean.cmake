@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_consensus.dir/paxos.cc.o"
+  "CMakeFiles/mal_consensus.dir/paxos.cc.o.d"
+  "libmal_consensus.a"
+  "libmal_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_ec.dir/codec.cc.o"
+  "CMakeFiles/mal_ec.dir/codec.cc.o.d"
+  "libmal_ec.a"
+  "libmal_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_mantle.dir/mantle.cc.o"
+  "CMakeFiles/mal_mantle.dir/mantle.cc.o.d"
+  "libmal_mantle.a"
+  "libmal_mantle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_mantle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

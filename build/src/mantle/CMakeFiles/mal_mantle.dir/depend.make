@@ -1,0 +1,2 @@
+# Empty dependencies file for mal_mantle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_mds.dir/balancer.cc.o"
+  "CMakeFiles/mal_mds.dir/balancer.cc.o.d"
+  "CMakeFiles/mal_mds.dir/mds.cc.o"
+  "CMakeFiles/mal_mds.dir/mds.cc.o.d"
+  "CMakeFiles/mal_mds.dir/mds_client.cc.o"
+  "CMakeFiles/mal_mds.dir/mds_client.cc.o.d"
+  "libmal_mds.a"
+  "libmal_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_mon.dir/maps.cc.o"
+  "CMakeFiles/mal_mon.dir/maps.cc.o.d"
+  "CMakeFiles/mal_mon.dir/monitor.cc.o"
+  "CMakeFiles/mal_mon.dir/monitor.cc.o.d"
+  "libmal_mon.a"
+  "libmal_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

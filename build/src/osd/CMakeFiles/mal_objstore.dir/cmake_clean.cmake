@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_objstore.dir/object_store.cc.o"
+  "CMakeFiles/mal_objstore.dir/object_store.cc.o.d"
+  "CMakeFiles/mal_objstore.dir/placement.cc.o"
+  "CMakeFiles/mal_objstore.dir/placement.cc.o.d"
+  "libmal_objstore.a"
+  "libmal_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_osd.dir/osd.cc.o"
+  "CMakeFiles/mal_osd.dir/osd.cc.o.d"
+  "libmal_osd.a"
+  "libmal_osd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_osd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

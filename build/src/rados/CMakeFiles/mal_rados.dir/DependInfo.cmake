@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rados/client.cc" "src/rados/CMakeFiles/mal_rados.dir/client.cc.o" "gcc" "src/rados/CMakeFiles/mal_rados.dir/client.cc.o.d"
+  "/root/repo/src/rados/striper.cc" "src/rados/CMakeFiles/mal_rados.dir/striper.cc.o" "gcc" "src/rados/CMakeFiles/mal_rados.dir/striper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osd/CMakeFiles/mal_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/mal_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/mal_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

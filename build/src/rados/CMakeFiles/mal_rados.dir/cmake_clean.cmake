@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_rados.dir/client.cc.o"
+  "CMakeFiles/mal_rados.dir/client.cc.o.d"
+  "CMakeFiles/mal_rados.dir/striper.cc.o"
+  "CMakeFiles/mal_rados.dir/striper.cc.o.d"
+  "libmal_rados.a"
+  "libmal_rados.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_rados.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_rbd.dir/image.cc.o"
+  "CMakeFiles/mal_rbd.dir/image.cc.o.d"
+  "libmal_rbd.a"
+  "libmal_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

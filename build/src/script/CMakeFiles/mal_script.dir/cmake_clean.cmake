@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_script.dir/interpreter.cc.o"
+  "CMakeFiles/mal_script.dir/interpreter.cc.o.d"
+  "CMakeFiles/mal_script.dir/lexer.cc.o"
+  "CMakeFiles/mal_script.dir/lexer.cc.o.d"
+  "CMakeFiles/mal_script.dir/parser.cc.o"
+  "CMakeFiles/mal_script.dir/parser.cc.o.d"
+  "CMakeFiles/mal_script.dir/stdlib.cc.o"
+  "CMakeFiles/mal_script.dir/stdlib.cc.o.d"
+  "CMakeFiles/mal_script.dir/value.cc.o"
+  "CMakeFiles/mal_script.dir/value.cc.o.d"
+  "libmal_script.a"
+  "libmal_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_sim.dir/actor.cc.o"
+  "CMakeFiles/mal_sim.dir/actor.cc.o.d"
+  "CMakeFiles/mal_sim.dir/network.cc.o"
+  "CMakeFiles/mal_sim.dir/network.cc.o.d"
+  "CMakeFiles/mal_sim.dir/simulator.cc.o"
+  "CMakeFiles/mal_sim.dir/simulator.cc.o.d"
+  "libmal_sim.a"
+  "libmal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_zlog.dir/log.cc.o"
+  "CMakeFiles/mal_zlog.dir/log.cc.o.d"
+  "libmal_zlog.a"
+  "libmal_zlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_zlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_layers_test.cc" "tests/CMakeFiles/api_layers_test.dir/api_layers_test.cc.o" "gcc" "tests/CMakeFiles/api_layers_test.dir/api_layers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mal_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/mal_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cephfs/CMakeFiles/mal_cephfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/osd/CMakeFiles/mal_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/zlog/CMakeFiles/mal_zlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cls/CMakeFiles/mal_cls.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/mal_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/mal_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/rados/CMakeFiles/mal_rados.dir/DependInfo.cmake"
+  "/root/repo/build/src/osd/CMakeFiles/mal_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/mal_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/mal_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_test.dir/mantle_test.cc.o"
+  "CMakeFiles/mantle_test.dir/mantle_test.cc.o.d"
+  "mantle_test"
+  "mantle_test.pdb"
+  "mantle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlog_test.dir/zlog_test.cc.o"
+  "CMakeFiles/zlog_test.dir/zlog_test.cc.o.d"
+  "zlog_test"
+  "zlog_test.pdb"
+  "zlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

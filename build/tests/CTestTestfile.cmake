@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_test[1]_include.cmake")
+include("/root/repo/build/tests/mon_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/cls_test[1]_include.cmake")
+include("/root/repo/build/tests/osd_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/zlog_test[1]_include.cmake")
+include("/root/repo/build/tests/mantle_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/api_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/ec_test[1]_include.cmake")
