@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -43,6 +44,77 @@ inline void PrintQuantiles(const std::string& label, const Histogram& histogram)
               histogram.Quantile(0.90), histogram.Quantile(0.99),
               histogram.Quantile(0.999), histogram.max());
 }
+
+// Machine-readable results: accumulates one record per configuration and
+// writes a BENCH_<name>.json file so the perf trajectory of a bench can be
+// tracked across PRs (and diffed in CI) without scraping stdout.
+//
+//   JsonReporter json("zlog");
+//   json.Add("batched(b=16,w=4)", {{"appends_per_sec", 1.2e5}, ...});
+//   json.Write();   // -> BENCH_zlog.json
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& config,
+           std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back({config, std::move(metrics)});
+  }
+
+  // Convenience: the standard latency block (mean + percentiles, in the
+  // histogram's native unit) merged into a record's metrics.
+  static void AppendLatency(std::vector<std::pair<std::string, double>>* metrics,
+                            const Histogram& histogram, const std::string& prefix) {
+    metrics->emplace_back(prefix + "_mean", histogram.mean());
+    metrics->emplace_back(prefix + "_p50", histogram.Quantile(0.50));
+    metrics->emplace_back(prefix + "_p90", histogram.Quantile(0.90));
+    metrics->emplace_back(prefix + "_p99", histogram.Quantile(0.99));
+    metrics->emplace_back(prefix + "_max", histogram.max());
+  }
+
+  // Writes BENCH_<name>.json in the working directory; returns false (and
+  // warns on stderr) if the file cannot be created.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"configs\": [\n", name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\"", Escape(records_[i].config).c_str());
+      for (const auto& [key, value] : records_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", Escape(key).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  struct Record {
+    std::string config;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace mal::bench
 

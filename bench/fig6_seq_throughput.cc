@@ -19,11 +19,16 @@ int main() {
               "single-client ceiling and best-effort floor. 10 s per config.");
   PrintColumns({"config", "ops_per_sec", "avg_latency_us", "cap_exchanges"});
 
-  auto report = [](const CapExperimentConfig& config) {
+  JsonReporter json("fig6_seq_throughput");
+  auto report = [&json](const CapExperimentConfig& config) {
     CapExperimentResult result = RunCapExperiment(config);
     std::printf("%s\t%.0f\t%.2f\t%llu\n", result.name.c_str(), result.total_ops_per_sec,
                 result.mean_latency_us,
                 static_cast<unsigned long long>(result.cap_exchanges));
+    json.Add(result.name,
+             {{"ops_per_sec", result.total_ops_per_sec},
+              {"mean_latency_us", result.mean_latency_us},
+              {"cap_exchanges", static_cast<double>(result.cap_exchanges)}});
   };
 
   // Exclusive: one client, nobody competes, cap never revoked.
@@ -50,5 +55,6 @@ int main() {
   best_effort.name = "best-effort";
   best_effort.mode = LeaseMode::kBestEffort;
   report(best_effort);
+  json.Write();
   return 0;
 }

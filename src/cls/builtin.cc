@@ -1,5 +1,6 @@
 #include "src/cls/builtin.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -113,6 +114,58 @@ mal::Result<mal::Buffer> ZlogWrite(ClsContext& ctx, const mal::Buffer& input) {
     }
   }
   return mal::Buffer();
+}
+
+mal::Result<mal::Buffer> ZlogWriteBatch(ClsContext& ctx, const mal::Buffer& input) {
+  mal::Decoder dec(input);
+  uint64_t epoch = dec.GetU64();
+  uint64_t count = dec.GetVarU64();
+  if (!dec.ok()) {
+    return mal::Status::InvalidArgument("bad write_batch input");
+  }
+  auto stored = CheckEpoch(ctx, epoch);
+  if (!stored.ok()) {
+    return stored.status();
+  }
+  mal::Status s = ctx.Create(false);
+  if (!s.ok()) {
+    return s;
+  }
+  mal::Buffer out;
+  mal::Encoder enc(&out);
+  enc.PutVarU64(count);
+  uint64_t max_pos = MaxPos(ctx);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t pos = dec.GetU64();
+    mal::Buffer data = dec.GetBuffer();
+    if (!dec.ok()) {
+      return mal::Status::InvalidArgument("truncated write_batch entry");
+    }
+    std::string key = ZlogOps::EntryKey(pos);
+    if (ctx.OmapGet(key).ok()) {
+      // Write-once collision invalidates only this slot; the rest of the
+      // batch commits (per-entry retry happens client-side).
+      enc.PutU32(static_cast<uint32_t>(mal::Code::kReadOnly));
+      continue;
+    }
+    std::string record;
+    record.reserve(1 + data.size());
+    record.push_back(static_cast<char>(ZlogEntryState::kWritten));
+    record.append(data.data(), data.size());
+    s = ctx.OmapSet(key, record);
+    if (!s.ok()) {
+      return s;
+    }
+    max_pos = std::max(max_pos, pos + 1);
+    enc.PutU32(static_cast<uint32_t>(mal::Code::kOk));
+  }
+  if (max_pos > MaxPos(ctx)) {
+    s = ctx.XattrSet(kZlogMaxPosXattr, U64ToString(max_pos));
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return out;
 }
 
 mal::Result<mal::Buffer> ZlogRead(ClsContext& ctx, const mal::Buffer& input) {
@@ -466,6 +519,39 @@ mal::Buffer ZlogOps::MakeWrite(uint64_t epoch, uint64_t pos, const mal::Buffer& 
   return b;
 }
 
+mal::Buffer ZlogOps::MakeWriteBatch(uint64_t epoch, const std::vector<BatchEntry>& entries) {
+  mal::Buffer b;
+  // One reservation up front: batched payloads would otherwise reallocate
+  // repeatedly while appending entry after entry.
+  size_t total = 8 + mal::Encoder::kMaxVarU64Bytes;
+  for (const BatchEntry& entry : entries) {
+    total += 8 + mal::Encoder::kMaxVarU64Bytes + entry.data.size();
+  }
+  b.Reserve(total);
+  mal::Encoder enc(&b);
+  enc.PutU64(epoch);
+  enc.PutVarU64(entries.size());
+  for (const BatchEntry& entry : entries) {
+    enc.PutU64(entry.pos);
+    enc.PutBuffer(entry.data);
+  }
+  return b;
+}
+
+mal::Result<std::vector<mal::Code>> ZlogOps::ParseWriteBatchResult(const mal::Buffer& out) {
+  mal::Decoder dec(out);
+  uint64_t count = dec.GetVarU64();
+  std::vector<mal::Code> codes;
+  codes.reserve(count);
+  for (uint64_t i = 0; i < count && dec.ok(); ++i) {
+    codes.push_back(static_cast<mal::Code>(dec.GetU32()));
+  }
+  if (!dec.ok()) {
+    return mal::Status::Corruption("bad write_batch result");
+  }
+  return codes;
+}
+
 mal::Buffer ZlogOps::MakeRead(uint64_t epoch, uint64_t pos) {
   mal::Buffer b;
   mal::Encoder enc(&b);
@@ -487,6 +573,7 @@ std::string ZlogOps::EntryKey(uint64_t pos) {
 void RegisterBuiltinClasses(ClassRegistry* registry) {
   registry->RegisterNative("zlog", "seal", Category::kLogging, ZlogSeal);
   registry->RegisterNative("zlog", "write", Category::kLogging, ZlogWrite);
+  registry->RegisterNative("zlog", "write_batch", Category::kLogging, ZlogWriteBatch);
   registry->RegisterNative("zlog", "read", Category::kLogging, ZlogRead);
   registry->RegisterNative("zlog", "fill", Category::kLogging, ZlogFill);
   registry->RegisterNative("zlog", "trim", Category::kLogging, ZlogTrim);

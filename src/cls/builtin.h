@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/cls/registry.h"
 
@@ -32,20 +33,39 @@ void RegisterBuiltinClasses(ClassRegistry* registry);
 enum class ZlogEntryState : uint8_t { kWritten = 1, kFilled = 2, kTrimmed = 3 };
 
 // Input encodings (all little-endian via mal::Encoder):
-//   seal:    u64 epoch                 -> out: u64 max_pos (log tail)
-//   write:   u64 epoch, u64 pos, buf   -> out: empty
-//   read:    u64 epoch, u64 pos        -> out: u8 state, buf data
-//   fill:    u64 epoch, u64 pos        -> out: empty
-//   trim:    u64 epoch, u64 pos        -> out: empty
-//   max_pos: u64 epoch                 -> out: u64 max_pos
+//   seal:        u64 epoch                 -> out: u64 max_pos (log tail)
+//   write:       u64 epoch, u64 pos, buf   -> out: empty
+//   write_batch: u64 epoch, varuint n,
+//                n x (u64 pos, buf)        -> out: varuint n, n x u32 code
+//   read:        u64 epoch, u64 pos        -> out: u8 state, buf data
+//   fill:        u64 epoch, u64 pos        -> out: empty
+//   trim:        u64 epoch, u64 pos        -> out: empty
+//   max_pos:     u64 epoch                 -> out: u64 max_pos
 // Any request with epoch < stored epoch fails with kStaleEpoch.
+//
+// write_batch applies every entry of a batched append in ONE transaction
+// on this object. Write-once is preserved per entry: positions already
+// occupied report kReadOnly in their result slot while the rest commit, so
+// one collision never invalidates the whole stripe transaction (no
+// head-of-line blocking for the batched append pipeline). A stale epoch
+// still rejects the entire op — sealing must fence every entry at once.
 struct ZlogOps {
+  // One entry of a batched write: a reserved position and its payload.
+  struct BatchEntry {
+    uint64_t pos = 0;
+    mal::Buffer data;
+  };
+
   static mal::Buffer MakeSeal(uint64_t epoch);
   static mal::Buffer MakeWrite(uint64_t epoch, uint64_t pos, const mal::Buffer& data);
+  static mal::Buffer MakeWriteBatch(uint64_t epoch, const std::vector<BatchEntry>& entries);
   static mal::Buffer MakeRead(uint64_t epoch, uint64_t pos);
   static mal::Buffer MakeFill(uint64_t epoch, uint64_t pos);
   static mal::Buffer MakeTrim(uint64_t epoch, uint64_t pos);
   static mal::Buffer MakeMaxPos(uint64_t epoch);
+
+  // Decodes a write_batch output into per-entry codes (entry order).
+  static mal::Result<std::vector<mal::Code>> ParseWriteBatchResult(const mal::Buffer& out);
 
   // Key layout inside the log object's omap (zero-padded for ordering).
   static std::string EntryKey(uint64_t pos);

@@ -43,6 +43,12 @@ class Buffer {
   // Zero-fill or truncate to exactly n bytes.
   void Resize(size_t n) { data_.resize(n, '\0'); }
 
+  // Pre-allocate capacity for at least n total bytes. Batched payloads
+  // (multi-entry transactions, large encoded requests) call this once up
+  // front instead of growing through repeated reallocation.
+  void Reserve(size_t n) { data_.reserve(n); }
+  size_t capacity() const { return data_.capacity(); }
+
   // Overwrite [offset, offset+n) growing the buffer (zero-padded) if needed.
   void Write(size_t offset, const void* p, size_t n);
 
@@ -61,6 +67,9 @@ class Buffer {
 // Appends wire-encoded values to a Buffer.
 class Encoder {
  public:
+  // Upper bound on the encoded size of a varuint (LEB128 of a u64).
+  static constexpr size_t kMaxVarU64Bytes = 10;
+
   explicit Encoder(Buffer* out) : out_(out) {}
 
   void PutU8(uint8_t v) { out_->Append(&v, 1); }
@@ -79,10 +88,12 @@ class Encoder {
   void PutVarU64(uint64_t v);
 
   void PutString(std::string_view s) {
+    out_->Reserve(out_->size() + kMaxVarU64Bytes + s.size());
     PutVarU64(s.size());
     out_->Append(s);
   }
   void PutBuffer(const Buffer& b) {
+    out_->Reserve(out_->size() + kMaxVarU64Bytes + b.size());
     PutVarU64(b.size());
     out_->Append(b);
   }

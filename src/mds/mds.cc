@@ -201,7 +201,8 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, bool forwarded
     cost += config_.coherence_self_cost;
     SendOneWay(sim::EntityName::Mds(config_.root_rank), kMsgCoherence, mal::Buffer());
   }
-  if (req.op == MdsOp::kSeqNext || req.op == MdsOp::kSeqRead) {
+  if (req.op == MdsOp::kSeqNext || req.op == MdsOp::kSeqRead ||
+      req.op == MdsOp::kSeqNextBatch) {
     cost += config_.tail_cost;
   }
   if (req.op == MdsOp::kAcquireCap || req.op == MdsOp::kReleaseCap) {
@@ -273,7 +274,8 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       return;
     }
     case MdsOp::kSeqNext:
-    case MdsOp::kSeqRead: {
+    case MdsOp::kSeqRead:
+    case MdsOp::kSeqNextBatch: {
       if (it == inodes_.end()) {
         ReplyError(request, mal::Status::NotFound(req.path));
         return;
@@ -297,6 +299,16 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       MdsReply reply;
       if (req.op == MdsOp::kSeqNext) {
         reply.seq_value = hosted.inode.seq_tail++;
+      } else if (req.op == MdsOp::kSeqNextBatch) {
+        // Reserve req.seq_value contiguous positions in one round-trip.
+        // The advanced tail is durable in the inode, so recovery seals at
+        // or past every granted position; granted-but-unwritten positions
+        // surface as holes, never as data.
+        uint64_t count = std::max<uint64_t>(req.seq_value, 1);
+        reply.seq_value = hosted.inode.seq_tail;
+        hosted.inode.seq_tail += count;
+        hosted.inode.params["last_grant"] =
+            std::to_string(reply.seq_value) + "+" + std::to_string(count);
       } else {
         reply.seq_value = hosted.inode.seq_tail;
       }

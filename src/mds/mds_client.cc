@@ -104,6 +104,17 @@ void MdsClient::SeqNext(const std::string& path,
   });
 }
 
+void MdsClient::SeqNextBatch(const std::string& path, uint64_t count,
+                             std::function<void(mal::Status, uint64_t)> on_first) {
+  ClientRequest req;
+  req.op = MdsOp::kSeqNextBatch;
+  req.path = path;
+  req.seq_value = count;
+  Request(req, [on_first = std::move(on_first)](mal::Status s, const MdsReply& reply) {
+    on_first(s, reply.seq_value);
+  });
+}
+
 void MdsClient::SeqRead(const std::string& path,
                         std::function<void(mal::Status, uint64_t)> on_pos) {
   ClientRequest req;
@@ -143,20 +154,25 @@ void MdsClient::AcquireCap(const std::string& path, DoneHandler on_granted) {
 }
 
 mal::Result<uint64_t> MdsClient::LocalNext(const std::string& path) {
+  return LocalNextBatch(path, 1);
+}
+
+mal::Result<uint64_t> MdsClient::LocalNextBatch(const std::string& path, uint64_t count) {
   auto it = caps_.find(path);
   if (it == caps_.end() || it->second.releasing) {
     return mal::Status::Unavailable("cap not held for " + path);
   }
   HeldCap& cap = it->second;
-  uint64_t value = cap.next_value++;
-  ++cap.ops_since_grant;
+  uint64_t first = cap.next_value;
+  cap.next_value += count;
+  cap.ops_since_grant += count;
   // Quota terms: once a revoke is pending and we have used our quota, give
   // the cap back (the "quota" curve of Fig 5c).
   if (cap.revoke_pending && cap.terms.mode == LeaseMode::kQuota &&
       cap.ops_since_grant >= cap.terms.quota) {
     ReleaseNow(path);
   }
-  return value;
+  return first;
 }
 
 bool MdsClient::OnMessage(const sim::Envelope& envelope) {

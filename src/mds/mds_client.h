@@ -49,6 +49,11 @@ class MdsClient {
   // -- sequencer: round-trip mode -----------------------------------------------
   void SeqNext(const std::string& path, std::function<void(mal::Status, uint64_t)> on_pos);
   void SeqRead(const std::string& path, std::function<void(mal::Status, uint64_t)> on_pos);
+  // Reserves `count` contiguous positions in one round-trip; yields the
+  // first. The MDS records the advanced tail in the inode, so sequencer
+  // recovery seals at or past every granted position.
+  void SeqNextBatch(const std::string& path, uint64_t count,
+                    std::function<void(mal::Status, uint64_t)> on_first);
 
   // -- sequencer: cached (capability) mode ----------------------------------------
   // Requests the exclusive cap; on grant the client increments locally via
@@ -58,6 +63,9 @@ class MdsClient {
   // Next position from the locally cached tail. Fails kUnavailable if the
   // cap is not held. Honoring quota terms may trigger a release afterwards.
   mal::Result<uint64_t> LocalNext(const std::string& path);
+  // Reserves `count` contiguous positions from the cached tail (returns the
+  // first). The whole batch counts against quota terms at once.
+  mal::Result<uint64_t> LocalNextBatch(const std::string& path, uint64_t count);
   // Voluntarily give the cap back now.
   void ReleaseCap(const std::string& path, DoneHandler on_done);
 

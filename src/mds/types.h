@@ -99,6 +99,7 @@ enum class MdsOp : uint8_t {
   kReleaseCap = 8,  // return the cap (carries updated tail)
   kSetSeqState = 9, // recovery: install recovered tail + params (e.g. epoch)
   kSetSize = 10,    // file layer: record a file inode's logical size
+  kSeqNextBatch = 11, // round-trip: reserve seq_value contiguous positions
 };
 
 struct ClientRequest {

@@ -225,6 +225,68 @@ void RadosClient::Exec(const std::string& oid, const std::string& cls,
   });
 }
 
+osd::Op RadosClient::MakeExecOp(const std::string& cls, const std::string& method,
+                                mal::Buffer input) {
+  osd::Op op;
+  op.type = osd::Op::Type::kExec;
+  op.cls_name = cls;
+  op.method = method;
+  op.data = std::move(input);
+  return op;
+}
+
+void RadosClient::ExecuteTargeted(std::vector<TargetedOp> ops, TargetedHandler on_done) {
+  if (ops.empty()) {
+    on_done({});
+    return;
+  }
+  // Group op indices by target, preserving input order within each target.
+  std::map<std::string, std::vector<size_t>> by_target;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    by_target[ops[i].oid].push_back(i);
+  }
+  auto results = std::make_shared<std::vector<osd::OpResult>>(ops.size());
+  auto pending = std::make_shared<size_t>(by_target.size());
+  auto done = std::make_shared<TargetedHandler>(std::move(on_done));
+  for (auto& [oid, indices] : by_target) {
+    std::vector<osd::Op> txn;
+    txn.reserve(indices.size());
+    for (size_t i : indices) {
+      txn.push_back(std::move(ops[i].op));
+    }
+    Execute(oid, std::move(txn),
+            [results, pending, done, indices](mal::Status status,
+                                              const osd::OsdOpReply& reply) {
+              bool aborted = !status.ok();
+              for (size_t slot = 0; slot < indices.size(); ++slot) {
+                osd::OpResult& r = (*results)[indices[slot]];
+                if (!status.ok()) {
+                  r.status = status;  // transport-level failure: whole target
+                } else if (slot < reply.results.size()) {
+                  r = reply.results[slot];
+                  aborted = aborted || !r.status.ok();
+                } else {
+                  r.status = mal::Status::Internal("missing op result");
+                  aborted = true;
+                }
+              }
+              if (aborted && status.ok()) {
+                // The target transaction is atomic: ops that individually
+                // reported OK did not commit if a sibling op failed.
+                for (size_t slot = 0; slot < indices.size(); ++slot) {
+                  osd::OpResult& r = (*results)[indices[slot]];
+                  if (r.status.ok()) {
+                    r.status = mal::Status::Aborted("transaction aborted by sibling op");
+                  }
+                }
+              }
+              if (--*pending == 0) {
+                (*done)(std::move(*results));
+              }
+            });
+  }
+}
+
 void RadosClient::Watch(const std::string& oid, NotifyHandler on_notify,
                         DoneHandler on_done) {
   std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);

@@ -61,6 +61,27 @@ class RadosClient {
   void Exec(const std::string& oid, const std::string& cls, const std::string& method,
             mal::Buffer input, DataHandler on_out);
 
+  // -- multi-target transactions --------------------------------------------------
+  // One op of a batch, destined for a specific object.
+  struct TargetedOp {
+    std::string oid;
+    osd::Op op;
+  };
+  using TargetedHandler = std::function<void(std::vector<osd::OpResult>)>;
+  // Assembles one transaction per target object — every op bound for the
+  // same oid rides in a single OsdOpRequest, in input order — and executes
+  // all targets in parallel. Results come back in the input order of `ops`.
+  // Failures stay per-target: a transport error or transaction abort on one
+  // object is reported in that object's result slots only, so one slow or
+  // conflicted target never discards the rest of the batch. Because a
+  // target's transaction applies atomically, when any op in it fails the
+  // sibling ops that reported success are rewritten as kAborted.
+  void ExecuteTargeted(std::vector<TargetedOp> ops, TargetedHandler on_done);
+
+  // Convenience builder for a class-exec op (pairs with ExecuteTargeted).
+  static osd::Op MakeExecOp(const std::string& cls, const std::string& method,
+                            mal::Buffer input);
+
   // Registers interest in an object: `on_notify` fires every time a
   // mutating transaction commits on it (RADOS watch/notify).
   using NotifyHandler = std::function<void(const std::string& oid, uint64_t version)>;

@@ -1,5 +1,8 @@
 #include "src/zlog/log.h"
 
+#include <algorithm>
+#include <map>
+
 namespace mal::zlog {
 
 using cls::ZlogOps;
@@ -155,8 +158,181 @@ void Log::GetPosition(PositionHandler on_position) {
                    });
 }
 
+void Log::GetPositionBatch(uint64_t count, PositionHandler on_first) {
+  if (options_.sequencer_mode == SequencerMode::kRoundTrip) {
+    mds_->SeqNextBatch(sequencer_path_, count, std::move(on_first));
+    return;
+  }
+  if (mds_->HasCap(sequencer_path_)) {
+    auto first = mds_->LocalNextBatch(sequencer_path_, count);
+    if (first.ok()) {
+      on_first(mal::Status::Ok(), first.value());
+      return;
+    }
+    // Cap slipped away between the check and the increment; fall through.
+  }
+  mds_->AcquireCap(sequencer_path_,
+                   [this, count, on_first = std::move(on_first)](mal::Status status) {
+                     if (!status.ok()) {
+                       on_first(status, 0);
+                       return;
+                     }
+                     auto first = mds_->LocalNextBatch(sequencer_path_, count);
+                     if (!first.ok()) {
+                       on_first(first.status(), 0);
+                       return;
+                     }
+                     on_first(mal::Status::Ok(), first.value());
+                   });
+}
+
 void Log::Append(mal::Buffer data, PositionHandler on_done) {
   AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(on_done), 0);
+}
+
+// -- batched, pipelined append ---------------------------------------------------
+
+struct Log::Batch {
+  std::vector<mal::Buffer> entries;
+  std::vector<uint64_t> positions;  // parallel to entries; valid on success
+  BatchHandler on_done;
+};
+
+void Log::AppendBatch(std::vector<mal::Buffer> entries, BatchHandler on_done) {
+  if (entries.empty()) {
+    on_done(mal::Status::Ok(), {});
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->entries = std::move(entries);
+  batch->positions.resize(batch->entries.size(), 0);
+  batch->on_done = std::move(on_done);
+  batch_queue_.push_back(std::move(batch));
+  PumpBatchQueue();
+}
+
+void Log::PumpBatchQueue() {
+  while (inflight_ < std::max<uint32_t>(options_.max_inflight, 1) &&
+         !batch_queue_.empty()) {
+    std::shared_ptr<Batch> batch = batch_queue_.front();
+    batch_queue_.pop_front();
+    ++inflight_;
+    std::vector<size_t> indices(batch->entries.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      indices[i] = i;
+    }
+    BatchAttempt(std::move(batch), std::move(indices), 0);
+  }
+}
+
+void Log::FinishBatch(std::shared_ptr<Batch> batch, mal::Status status) {
+  --inflight_;
+  batch->on_done(status, batch->positions);
+  PumpBatchQueue();
+}
+
+void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices,
+                       int attempt) {
+  if (attempt >= options_.max_append_retries) {
+    FinishBatch(std::move(batch), mal::Status::Unavailable("append retries exhausted"));
+    return;
+  }
+  // Take the count before the lambda capture moves `indices` (argument
+  // evaluation order is unspecified).
+  const uint64_t count = indices.size();
+  GetPositionBatch(
+      count,
+      [this, batch, indices = std::move(indices), attempt](mal::Status status,
+                                                           uint64_t first) {
+        if (status.code() == mal::Code::kAborted) {
+          // Sequencer lost its state: run CORFU recovery, then retry these
+          // entries under the new epoch (fresh positions).
+          Recover([this, batch, indices, attempt](mal::Status recover_status, uint64_t) {
+            if (!recover_status.ok()) {
+              FinishBatch(batch, recover_status);
+              return;
+            }
+            BatchAttempt(batch, indices, attempt + 1);
+          });
+          return;
+        }
+        if (!status.ok()) {
+          FinishBatch(batch, status);
+          return;
+        }
+        // Assign the grant [first, first+n) and group entries by stripe
+        // object: each OSD receives ONE transaction carrying all of its
+        // entries for this batch.
+        std::map<std::string, std::vector<cls::ZlogOps::BatchEntry>> per_object;
+        std::map<std::string, std::vector<size_t>> object_indices;
+        for (size_t i = 0; i < indices.size(); ++i) {
+          uint64_t pos = first + i;
+          batch->positions[indices[i]] = pos;
+          std::string oid = ObjectFor(pos);
+          per_object[oid].push_back({pos, batch->entries[indices[i]]});
+          object_indices[oid].push_back(indices[i]);
+        }
+        std::vector<rados::RadosClient::TargetedOp> ops;
+        std::vector<std::vector<size_t>> op_entries;  // parallel to ops
+        ops.reserve(per_object.size());
+        for (auto& [oid, batch_entries] : per_object) {
+          ops.push_back({oid, rados::RadosClient::MakeExecOp(
+                                  "zlog", "write_batch",
+                                  cls::ZlogOps::MakeWriteBatch(epoch_, batch_entries))});
+          op_entries.push_back(object_indices[oid]);
+        }
+        rados_->ExecuteTargeted(
+            std::move(ops),
+            [this, batch, attempt, op_entries = std::move(op_entries)](
+                std::vector<osd::OpResult> results) {
+              // Collect entries that failed and must retry with fresh
+              // positions: whole targets that were fenced (stale epoch) or
+              // unreachable, and individual write-once collisions.
+              std::vector<size_t> retry;
+              bool fenced = false;
+              for (size_t j = 0; j < results.size(); ++j) {
+                const osd::OpResult& r = results[j];
+                if (!r.status.ok()) {
+                  // Whole-target failure: fenced by a newer epoch, or the
+                  // target was unreachable/aborted. Every entry retries.
+                  fenced = fenced || r.status.code() == mal::Code::kStaleEpoch;
+                  retry.insert(retry.end(), op_entries[j].begin(), op_entries[j].end());
+                  continue;
+                }
+                auto codes = cls::ZlogOps::ParseWriteBatchResult(r.out);
+                if (!codes.ok() || codes.value().size() != op_entries[j].size()) {
+                  retry.insert(retry.end(), op_entries[j].begin(), op_entries[j].end());
+                  continue;
+                }
+                for (size_t k = 0; k < codes.value().size(); ++k) {
+                  // Per-entry invalidation: a collision (position consumed
+                  // by recovery) retries alone; committed siblings stand.
+                  if (codes.value()[k] != mal::Code::kOk) {
+                    retry.push_back(op_entries[j][k]);
+                  }
+                }
+              }
+              if (retry.empty()) {
+                FinishBatch(batch, mal::Status::Ok());
+                return;
+              }
+              std::sort(retry.begin(), retry.end());
+              if (fenced) {
+                // We were sealed mid-batch: learn the new epoch, then retry
+                // the invalidated entries with fresh positions.
+                RefreshEpoch([this, batch, retry = std::move(retry),
+                              attempt](mal::Status refresh_status) {
+                  if (!refresh_status.ok()) {
+                    FinishBatch(batch, refresh_status);
+                    return;
+                  }
+                  BatchAttempt(batch, retry, attempt + 1);
+                });
+                return;
+              }
+              BatchAttempt(batch, std::move(retry), attempt + 1);
+            });
+      });
 }
 
 void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,

@@ -14,6 +14,7 @@
 #ifndef MALACOLOGY_ZLOG_LOG_H_
 #define MALACOLOGY_ZLOG_LOG_H_
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -48,6 +49,10 @@ struct LogOptions {
   // Lease terms for kCached mode (the Fig 5/6/7 knobs).
   mds::LeasePolicy lease;
   int max_append_retries = 4;
+  // Windowed pipeline: how many AppendBatch() calls may be on the wire at
+  // once. Batches beyond the window queue; independent batches overlap so
+  // the append path is bandwidth-bound instead of per-RPC-latency-bound.
+  uint32_t max_inflight = 4;
 };
 
 // Read results distinguish real data from junk (filled) and trimmed holes.
@@ -61,6 +66,7 @@ class Log {
   using PositionHandler = std::function<void(mal::Status, uint64_t)>;
   using ReadHandler = std::function<void(mal::Status, EntryState, const mal::Buffer&)>;
   using DoneHandler = std::function<void(mal::Status)>;
+  using BatchHandler = std::function<void(mal::Status, const std::vector<uint64_t>&)>;
 
   // Creates the sequencer inode (idempotent) and learns the current epoch.
   void Open(DoneHandler on_done);
@@ -69,6 +75,19 @@ class Log {
   // writes it through the zlog object class. Retries through epoch
   // refreshes and (after sequencer recovery) position conflicts.
   void Append(mal::Buffer data, PositionHandler on_done);
+
+  // Batched, pipelined append: reserves entries.size() contiguous positions
+  // in ONE sequencer round-trip, groups the entries by stripe object, and
+  // ships each object a single write_batch transaction carrying all of its
+  // entries. Up to LogOptions::max_inflight batches ride the wire
+  // concurrently; excess batches queue. Per-entry failures (epoch fencing,
+  // write-once collisions after recovery) are retried with fresh positions
+  // without stalling the other entries or the rest of the window. On
+  // success, positions[i] is where entries[i] landed.
+  void AppendBatch(std::vector<mal::Buffer> entries, BatchHandler on_done);
+
+  // Batches currently on the wire (diagnostics/bench).
+  uint32_t inflight_batches() const { return inflight_; }
 
   // Random read of a position; never blocks on the sequencer.
   void Read(uint64_t position, ReadHandler on_data);
@@ -99,9 +118,21 @@ class Log {
   std::string ObjectFor(uint64_t position) const;
 
  private:
+  struct Batch;  // in-flight AppendBatch state (defined in log.cc)
+
   void GetPosition(PositionHandler on_position);
+  // Reserves `count` contiguous positions (one round-trip or one local
+  // increment) and yields the first.
+  void GetPositionBatch(uint64_t count, PositionHandler on_first);
   void AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,
                      int attempt);
+  // Launches queued batches while the in-flight window has room.
+  void PumpBatchQueue();
+  // Writes the batch entries named by `indices` (fresh positions each
+  // attempt), retrying per-entry failures until the retry budget runs out.
+  void BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices,
+                    int attempt);
+  void FinishBatch(std::shared_ptr<Batch> batch, mal::Status status);
   void RefreshEpoch(DoneHandler on_done);
   // Every object of every view (the set recovery must seal).
   std::vector<std::string> AllObjects() const;
@@ -119,6 +150,9 @@ class Log {
   std::string sequencer_path_;
   uint64_t epoch_ = 0;
   std::vector<View> views_;  // sorted by base_pos; views_[0].base_pos == 0
+  // Windowed pipeline state.
+  std::deque<std::shared_ptr<Batch>> batch_queue_;
+  uint32_t inflight_ = 0;
 };
 
 }  // namespace mal::zlog

@@ -397,10 +397,10 @@ TEST(RegistryCensusTest, CountsClassesAndMethods) {
   RegisterBuiltinClasses(&registry);
   EXPECT_EQ(registry.NumClasses(), 6u);
   auto methods = registry.ListMethods();
-  EXPECT_EQ(methods.size(), 17u);
+  EXPECT_EQ(methods.size(), 18u);
 
   auto by_category = registry.MethodCountByCategory();
-  EXPECT_EQ(by_category[Category::kLogging], 8u);   // zlog(6) + log(2)
+  EXPECT_EQ(by_category[Category::kLogging], 9u);   // zlog(7) + log(2)
   EXPECT_EQ(by_category[Category::kLocking], 3u);
   EXPECT_EQ(by_category[Category::kMetadata], 2u);
   EXPECT_EQ(by_category[Category::kManagement], 1u);

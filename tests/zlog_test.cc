@@ -3,6 +3,8 @@
 // CORFU sequencer-recovery protocol after a client crash.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/cluster/cluster.h"
 
 namespace mal::zlog {
@@ -58,6 +60,35 @@ class ZlogFixture : public ::testing::Test {
     });
     EXPECT_TRUE(cluster->RunUntil([&] { return result.has_value(); }));
     return result.value_or(ReadResult{Status::TimedOut("read")});
+  }
+
+  struct BatchResult {
+    Status status;
+    std::vector<uint64_t> positions;
+  };
+
+  BatchResult AppendBatch(Log* log, const std::vector<std::string>& payloads,
+                          sim::Time timeout = 30 * sim::kSecond) {
+    std::vector<Buffer> entries;
+    entries.reserve(payloads.size());
+    for (const std::string& p : payloads) {
+      entries.push_back(Buffer::FromString(p));
+    }
+    std::optional<BatchResult> result;
+    log->AppendBatch(std::move(entries),
+                     [&](Status s, const std::vector<uint64_t>& positions) {
+                       result = BatchResult{s, positions};
+                     });
+    EXPECT_TRUE(cluster->RunUntil([&] { return result.has_value(); }, timeout));
+    return result.value_or(BatchResult{Status::TimedOut("append batch")});
+  }
+
+  std::vector<std::string> Payloads(const std::string& prefix, int n) {
+    std::vector<std::string> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(prefix + std::to_string(i));
+    }
+    return out;
   }
 
   std::unique_ptr<Cluster> cluster;
@@ -462,6 +493,273 @@ TEST_F(ZlogFixture, StressAppendsAcrossReconfigurationNoEntryLost) {
       EXPECT_EQ(r.data, it->second) << "pos " << pos;
     } else {
       EXPECT_EQ(r.status.code(), Code::kNotWritten) << "pos " << pos;
+    }
+  }
+}
+
+TEST_F(ZlogFixture, AppendBatchAssignsContiguousPositionsAndReadsBack) {
+  Start();
+  auto* client = cluster->NewClient();
+  auto log = OpenLog(client);
+  auto payloads = Payloads("batch-", 10);
+  BatchResult r = AppendBatch(log.get(), payloads);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_EQ(r.positions.size(), 10u);
+  // One sequencer grant: positions are 0..9 in entry order.
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.positions[i], i);
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    ReadResult read = Read(log.get(), r.positions[i]);
+    ASSERT_TRUE(read.status.ok()) << read.status;
+    EXPECT_EQ(read.state, EntryState::kData);
+    EXPECT_EQ(read.data, payloads[i]);
+  }
+  // The batch striped across objects starting at the first stripe member.
+  EXPECT_EQ(log->ObjectFor(r.positions[0]), "log.0");
+}
+
+TEST_F(ZlogFixture, AppendBatchInterleavesWithSingleAppends) {
+  Start();
+  auto* client = cluster->NewClient();
+  auto log = OpenLog(client);
+  auto first = Append(log.get(), "single-0");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first.value(), 0u);
+  BatchResult r = AppendBatch(log.get(), Payloads("mid-", 5));
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_EQ(r.positions.size(), 5u);
+  EXPECT_EQ(r.positions.front(), 1u);
+  EXPECT_EQ(r.positions.back(), 5u);
+  auto second = Append(log.get(), "single-1");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value(), 6u);
+  EXPECT_EQ(Read(log.get(), 3).data, "mid-2");
+}
+
+TEST_F(ZlogFixture, AppendBatchPipelinesUpToWindow) {
+  Start();
+  auto* client = cluster->NewClient();
+  LogOptions options;
+  options.name = "windowed";
+  options.max_inflight = 4;
+  auto log = OpenLog(client, options);
+
+  // Launch 8 batches back to back; the window should keep several on the
+  // wire at once while the rest queue, and all must complete correctly.
+  constexpr int kBatches = 8;
+  constexpr int kBatchSize = 4;
+  int completed = 0;
+  std::vector<BatchResult> results(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<Buffer> entries;
+    for (int i = 0; i < kBatchSize; ++i) {
+      entries.push_back(Buffer::FromString("w" + std::to_string(b * kBatchSize + i)));
+    }
+    log->AppendBatch(std::move(entries),
+                     [&, b](Status s, const std::vector<uint64_t>& positions) {
+                       results[b] = BatchResult{s, positions};
+                       ++completed;
+                     });
+  }
+  uint32_t max_inflight_seen = 0;
+  ASSERT_TRUE(cluster->RunUntil([&] {
+    max_inflight_seen = std::max(max_inflight_seen, log->inflight_batches());
+    return completed == kBatches;
+  }));
+  EXPECT_GT(max_inflight_seen, 1u) << "window never overlapped batches";
+  EXPECT_LE(max_inflight_seen, 4u) << "window limit exceeded";
+
+  // Every position 0..31 granted exactly once, every payload intact.
+  std::set<uint64_t> all_positions;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(results[b].status.ok()) << results[b].status;
+    for (uint64_t pos : results[b].positions) {
+      EXPECT_TRUE(all_positions.insert(pos).second) << "duplicate position " << pos;
+    }
+  }
+  EXPECT_EQ(all_positions.size(), static_cast<size_t>(kBatches * kBatchSize));
+  EXPECT_EQ(*all_positions.rbegin(), static_cast<uint64_t>(kBatches * kBatchSize - 1));
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < kBatchSize; ++i) {
+      EXPECT_EQ(Read(log.get(), results[b].positions[i]).data,
+                "w" + std::to_string(b * kBatchSize + i));
+    }
+  }
+}
+
+TEST_F(ZlogFixture, AppendBatchCachedSequencerGrantsLocally) {
+  Start();
+  auto* client = cluster->NewClient();
+  LogOptions options;
+  options.name = "cachedbatch";
+  options.sequencer_mode = SequencerMode::kCached;
+  options.lease.mode = mds::LeaseMode::kDelay;
+  options.lease.max_hold_ns = 10 * sim::kSecond;
+  auto log = OpenLog(client, options);
+  BatchResult first = AppendBatch(log.get(), Payloads("a-", 6));
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  BatchResult second = AppendBatch(log.get(), Payloads("b-", 6));
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_EQ(first.positions.front(), 0u);
+  EXPECT_EQ(second.positions.front(), 6u);
+  EXPECT_TRUE(client->mds.HasCap(log->sequencer_path()));
+}
+
+TEST_F(ZlogFixture, AppendRetriesExhaustedReportsUnavailable) {
+  // Seal every stripe object at a far-future epoch directly, without
+  // installing it in the sequencer inode: the client's refresh can never
+  // catch up, so both append paths must burn their retry budget and
+  // surface Unavailable instead of spinning forever.
+  Start();
+  auto* client = cluster->NewClient();
+  LogOptions options;
+  options.name = "sealed";
+  options.max_append_retries = 3;
+  auto log = OpenLog(client, options);
+  ASSERT_TRUE(Append(log.get(), "pre").ok());
+
+  int sealed = 0;
+  for (uint64_t pos = 0; pos < options.stripe_width; ++pos) {
+    client->rados.Exec(log->ObjectFor(pos), "zlog", "seal",
+                       cls::ZlogOps::MakeSeal(1000),
+                       [&](Status s, const Buffer&) {
+                         EXPECT_TRUE(s.ok()) << s;
+                         ++sealed;
+                       });
+  }
+  ASSERT_TRUE(cluster->RunUntil(
+      [&] { return sealed == static_cast<int>(options.stripe_width); }));
+
+  auto pos = Append(log.get(), "stuck");
+  ASSERT_FALSE(pos.ok());
+  EXPECT_EQ(pos.status().code(), Code::kUnavailable) << pos.status();
+
+  BatchResult batch = AppendBatch(log.get(), Payloads("stuck-", 8));
+  ASSERT_FALSE(batch.status.ok());
+  EXPECT_EQ(batch.status.code(), Code::kUnavailable) << batch.status;
+}
+
+TEST_F(ZlogFixture, SealRaceMidBatchInvalidatesPerEntryAndRetries) {
+  // Client B seals the log (sequencer recovery) while client A's batch is
+  // in flight: A's write_batch transactions are fenced with kStaleEpoch,
+  // and A must refresh + retry with fresh positions — per entry, without
+  // corrupting anything that already landed.
+  Start();
+  auto* client_a = cluster->NewClient();
+  auto* client_b = cluster->NewClient();
+  auto log_a = OpenLog(client_a);
+  auto log_b = OpenLog(client_b);
+  ASSERT_TRUE(Append(log_a.get(), "pre").ok());
+
+  auto payloads = Payloads("race-", 16);
+  std::vector<Buffer> entries;
+  for (const auto& p : payloads) {
+    entries.push_back(Buffer::FromString(p));
+  }
+  std::optional<BatchResult> batch;
+  log_a->AppendBatch(std::move(entries),
+                     [&](Status s, const std::vector<uint64_t>& positions) {
+                       batch = BatchResult{s, positions};
+                     });
+  // Recovery launched in the same event round — the seal lands while A's
+  // batch is on the wire.
+  std::optional<Status> recovered;
+  log_b->Recover([&](Status s, uint64_t) { recovered = s; });
+  ASSERT_TRUE(cluster->RunUntil(
+      [&] { return batch.has_value() && recovered.has_value(); },
+      120 * sim::kSecond));
+  ASSERT_TRUE(recovered->ok()) << *recovered;
+  ASSERT_TRUE(batch->status.ok()) << batch->status;
+  EXPECT_GE(log_a->epoch(), 1u);
+
+  // Audit: every reported position holds exactly its payload; no duplicate
+  // grants; nothing below the tail reads as garbage.
+  std::set<uint64_t> seen;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    ASSERT_TRUE(seen.insert(batch->positions[i]).second)
+        << "duplicate position " << batch->positions[i];
+    ReadResult r = Read(log_b.get(), batch->positions[i]);
+    ASSERT_TRUE(r.status.ok()) << "pos " << batch->positions[i] << ": " << r.status;
+    EXPECT_EQ(r.data, payloads[i]) << "pos " << batch->positions[i];
+  }
+  uint64_t tail = *seen.rbegin() + 1;
+  for (uint64_t pos = 0; pos < tail; ++pos) {
+    ReadResult r = Read(log_b.get(), pos);
+    if (pos == 0) {
+      EXPECT_EQ(r.data, "pre");
+    } else if (seen.count(pos) == 0) {
+      // Positions leaked by fencing are holes, never data.
+      EXPECT_EQ(r.status.code(), Code::kNotWritten) << "pos " << pos;
+    }
+  }
+}
+
+TEST_F(ZlogFixture, RecoveryWithInFlightBatchesLeaksHolesNotData) {
+  // Acceptance: sequencer recovery racing a windowed batched append never
+  // hands a reader a granted-but-unwritten position as data.
+  Start();
+  auto* writer = cluster->NewClient();
+  LogOptions options;
+  options.name = "recbatch";
+  options.max_inflight = 4;
+  options.max_append_retries = 8;
+  auto log_w = OpenLog(writer, options);
+
+  constexpr int kBatches = 4;
+  constexpr int kBatchSize = 8;
+  int completed = 0;
+  std::vector<BatchResult> results(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<Buffer> entries;
+    for (int i = 0; i < kBatchSize; ++i) {
+      entries.push_back(
+          Buffer::FromString("rb" + std::to_string(b * kBatchSize + i)));
+    }
+    log_w->AppendBatch(std::move(entries),
+                       [&, b](Status s, const std::vector<uint64_t>& positions) {
+                         results[b] = BatchResult{s, positions};
+                         ++completed;
+                       });
+  }
+  // Recovery fires while all four batches are in flight.
+  auto* recoverer = cluster->NewClient();
+  auto log_r = OpenLog(recoverer, options);
+  std::optional<Status> recovered;
+  log_r->Recover([&](Status s, uint64_t) { recovered = s; });
+  ASSERT_TRUE(cluster->RunUntil(
+      [&] { return completed == kBatches && recovered.has_value(); },
+      120 * sim::kSecond));
+  ASSERT_TRUE(recovered->ok()) << *recovered;
+
+  std::map<uint64_t, std::string> committed;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(results[b].status.ok()) << results[b].status;
+    for (int i = 0; i < kBatchSize; ++i) {
+      auto [it, inserted] = committed.emplace(
+          results[b].positions[i], "rb" + std::to_string(b * kBatchSize + i));
+      ASSERT_TRUE(inserted) << "duplicate position " << results[b].positions[i];
+    }
+  }
+  // Every position up to the final tail: committed data reads back exactly,
+  // everything else (grants invalidated by the seal) is a hole.
+  std::optional<uint64_t> tail;
+  log_r->CheckTail([&](Status s, uint64_t t) {
+    ASSERT_TRUE(s.ok()) << s;
+    tail = t;
+  });
+  ASSERT_TRUE(cluster->RunUntil([&] { return tail.has_value(); }));
+  EXPECT_GE(*tail, committed.rbegin()->first + 1);
+  for (uint64_t pos = 0; pos < *tail; ++pos) {
+    ReadResult r = Read(log_r.get(), pos);
+    auto it = committed.find(pos);
+    if (it != committed.end()) {
+      ASSERT_TRUE(r.status.ok()) << "pos " << pos << ": " << r.status;
+      ASSERT_EQ(r.state, EntryState::kData) << "pos " << pos;
+      EXPECT_EQ(r.data, it->second) << "pos " << pos;
+    } else {
+      EXPECT_NE(r.state == EntryState::kData && r.status.ok(), true)
+          << "phantom data at pos " << pos << ": " << r.data;
     }
   }
 }
