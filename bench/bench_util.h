@@ -4,12 +4,14 @@
 #ifndef MALACOLOGY_BENCH_BENCH_UTIL_H_
 #define MALACOLOGY_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 
 namespace mal::bench {
 
@@ -43,6 +45,76 @@ inline void PrintQuantiles(const std::string& label, const Histogram& histogram)
               label.c_str(), histogram.count(), histogram.Quantile(0.50),
               histogram.Quantile(0.90), histogram.Quantile(0.99),
               histogram.Quantile(0.999), histogram.max());
+}
+
+// Trace-derived per-hop latency breakdown. For every finished root span
+// named `root_name` in the collector, its extent is split into:
+//   - client queueing: root start -> first child RPC issue (time a batch
+//     waited in the in-flight window before anything hit the wire);
+//   - sequencer wait: summed duration of the mds-bound RPC spans;
+//   - OSD commit: extent (min start -> max end) of the osd-bound RPC
+//     spans, i.e. the wall-clock of the parallel write phase.
+// All values are simulator-clock microseconds.
+struct HopBreakdown {
+  Histogram queue_us;
+  Histogram seq_us;
+  Histogram osd_us;
+  size_t traces = 0;
+};
+
+inline HopBreakdown BreakdownRoots(const trace::TraceCollector& collector,
+                                   const std::string& root_name) {
+  HopBreakdown out;
+  for (const trace::Span& span : collector.spans()) {
+    if (span.name != root_name || span.open) {
+      continue;
+    }
+    uint64_t first_child = UINT64_MAX;
+    double seq_ns = 0;
+    uint64_t osd_start = UINT64_MAX;
+    uint64_t osd_end = 0;
+    for (const trace::Span* child : collector.ChildrenOf(span.span_id)) {
+      if (child->open) {
+        continue;
+      }
+      first_child = std::min(first_child, child->start_ns);
+      if (child->name.find(":mds.") != std::string::npos) {
+        seq_ns += static_cast<double>(child->end_ns - child->start_ns);
+      } else if (child->name.find(":osd.") != std::string::npos) {
+        osd_start = std::min(osd_start, child->start_ns);
+        osd_end = std::max(osd_end, child->end_ns);
+      }
+    }
+    if (first_child == UINT64_MAX) {
+      continue;  // no finished children: nothing to attribute
+    }
+    ++out.traces;
+    out.queue_us.Add(static_cast<double>(first_child - span.start_ns) / 1e3);
+    out.seq_us.Add(seq_ns / 1e3);
+    if (osd_start != UINT64_MAX) {
+      out.osd_us.Add(static_cast<double>(osd_end - osd_start) / 1e3);
+    }
+  }
+  return out;
+}
+
+// Merges the breakdown into a JsonReporter record's metrics and prints a
+// one-line summary.
+inline void AppendBreakdown(std::vector<std::pair<std::string, double>>* metrics,
+                            const HopBreakdown& breakdown) {
+  metrics->emplace_back("trace_count", static_cast<double>(breakdown.traces));
+  metrics->emplace_back("client_queue_us_mean", breakdown.queue_us.mean());
+  metrics->emplace_back("client_queue_us_p99", breakdown.queue_us.Quantile(0.99));
+  metrics->emplace_back("seq_wait_us_mean", breakdown.seq_us.mean());
+  metrics->emplace_back("seq_wait_us_p99", breakdown.seq_us.Quantile(0.99));
+  metrics->emplace_back("osd_commit_us_mean", breakdown.osd_us.mean());
+  metrics->emplace_back("osd_commit_us_p99", breakdown.osd_us.Quantile(0.99));
+}
+
+inline void PrintBreakdown(const std::string& label, const HopBreakdown& breakdown) {
+  std::printf("%s\ttraces=%zu\tqueue_us=%.1f\tseq_wait_us=%.1f\tosd_commit_us=%.1f\n",
+              label.c_str(), breakdown.traces, breakdown.queue_us.mean(),
+              breakdown.seq_us.mean(), breakdown.osd_us.mean());
 }
 
 // Machine-readable results: accumulates one record per configuration and

@@ -8,8 +8,56 @@
 //
 // Expected shape: exclusive >> large quota > small quota > best-effort in
 // throughput; latency falls as quota grows.
+#include <functional>
+
 #include "bench/bench_util.h"
 #include "bench/cap_experiment.h"
+#include "src/cluster/cluster.h"
+
+namespace {
+
+// Where does a sequenced append actually spend its time? The cap sweep
+// above measures the sequencer resource alone; this traced run drives full
+// round-trip-mode appends (seq RPC + striped OSD write per op) through the
+// tracing layer and splits each root span into client queueing, sequencer
+// wait, and OSD commit.
+mal::bench::HopBreakdown TracedAppendBreakdown(int total_appends) {
+  using namespace mal;
+  cluster::ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 3;
+  options.num_mds = 1;
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 500 * sim::kMillisecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+  zlog::LogOptions log_options;
+  log_options.name = "fig6trace";
+  auto log = client->OpenLog(log_options);
+  bool opened = false;
+  log->Open([&](Status) { opened = true; });
+  cluster.RunUntil([&] { return opened; });
+
+  trace::TraceCollector collector;
+  trace::ScopedCollector scoped(&collector);
+  Buffer payload = Buffer::FromString(std::string(64, 'x'));
+  int done = 0;
+  std::function<void()> next = [&] {
+    if (done >= total_appends) {
+      return;
+    }
+    log->Append(payload, [&](Status, uint64_t) {
+      ++done;
+      next();
+    });
+  };
+  next();
+  cluster.RunUntil([&] { return done >= total_appends; }, 600 * sim::kSecond);
+  return bench::BreakdownRoots(collector, "zlog.Append");
+}
+
+}  // namespace
 
 int main() {
   using namespace mal::bench;
@@ -55,6 +103,14 @@ int main() {
   best_effort.name = "best-effort";
   best_effort.mode = LeaseMode::kBestEffort;
   report(best_effort);
+
+  PrintSection("per-hop breakdown (traced round-trip appends)");
+  HopBreakdown hops = TracedAppendBreakdown(256);
+  PrintBreakdown("round-trip-append", hops);
+  std::vector<std::pair<std::string, double>> hop_metrics;
+  AppendBreakdown(&hop_metrics, hops);
+  json.Add("round-trip-append(breakdown)", std::move(hop_metrics));
+
   json.Write();
   return 0;
 }

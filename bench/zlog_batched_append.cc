@@ -35,6 +35,7 @@ cluster::ClusterOptions BenchCluster() {
 struct RunResult {
   double appends_per_sec = 0;
   Histogram latency_us;  // per-append (seed) or per-batch (batched)
+  HopBreakdown hops;     // trace-derived: queue vs sequencer vs OSD commit
 };
 
 // Seed path: one Append at a time, each a full sequencer RPC + a
@@ -51,6 +52,10 @@ RunResult RunPerAppend(int total) {
   cluster.RunUntil([&] { return opened; });
 
   RunResult result;
+  // Trace every append; contexts are excluded from the wire-size model, so
+  // the measured run is identical to an untraced one.
+  trace::TraceCollector collector;
+  trace::ScopedCollector scoped(&collector);
   Buffer payload = Buffer::FromString(std::string(kPayloadBytes, 'x'));
   int done = 0;
   sim::Time begin = cluster.simulator().Now();
@@ -73,6 +78,7 @@ RunResult RunPerAppend(int total) {
   double elapsed_sec =
       static_cast<double>(cluster.simulator().Now() - begin) / 1e9;
   result.appends_per_sec = elapsed_sec > 0 ? total / elapsed_sec : 0;
+  result.hops = BreakdownRoots(collector, "zlog.Append");
   return result;
 }
 
@@ -91,6 +97,8 @@ RunResult RunBatched(int total, int batch_size, uint32_t window) {
   cluster.RunUntil([&] { return opened; });
 
   RunResult result;
+  trace::TraceCollector collector;
+  trace::ScopedCollector scoped(&collector);
   Buffer payload = Buffer::FromString(std::string(kPayloadBytes, 'x'));
   int batches = (total + batch_size - 1) / batch_size;
   int completed = 0;
@@ -113,6 +121,7 @@ RunResult RunBatched(int total, int batch_size, uint32_t window) {
       static_cast<double>(cluster.simulator().Now() - begin) / 1e9;
   result.appends_per_sec =
       elapsed_sec > 0 ? static_cast<double>(batches * batch_size) / elapsed_sec : 0;
+  result.hops = BreakdownRoots(collector, "zlog.AppendBatch");
   return result;
 }
 
@@ -123,13 +132,16 @@ int main() {
               "Per-append seed path vs AppendBatch (sequencer batching, "
               "per-stripe write_batch transactions, in-flight window). "
               "Identical cluster/network parameters; 2048 appends each.");
-  PrintColumns({"config", "appends_per_sec", "lat_p50_us", "lat_p99_us"});
+  PrintColumns({"config", "appends_per_sec", "lat_p50_us", "lat_p99_us",
+                "queue_us", "seq_wait_us", "osd_commit_us"});
 
   JsonReporter json("zlog");
   auto report = [&json](const std::string& name, const RunResult& r,
                         double batch_size, double window) {
-    std::printf("%s\t%.0f\t%.1f\t%.1f\n", name.c_str(), r.appends_per_sec,
-                r.latency_us.Quantile(0.50), r.latency_us.Quantile(0.99));
+    std::printf("%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n", name.c_str(),
+                r.appends_per_sec, r.latency_us.Quantile(0.50),
+                r.latency_us.Quantile(0.99), r.hops.queue_us.mean(),
+                r.hops.seq_us.mean(), r.hops.osd_us.mean());
     std::vector<std::pair<std::string, double>> metrics = {
         {"appends_per_sec", r.appends_per_sec},
         {"batch_size", batch_size},
@@ -137,6 +149,7 @@ int main() {
         {"entries", kTotalEntries},
     };
     JsonReporter::AppendLatency(&metrics, r.latency_us, "latency_us");
+    AppendBreakdown(&metrics, r.hops);
     json.Add(name, std::move(metrics));
   };
 

@@ -21,10 +21,25 @@ Client::Client(sim::Simulator* simulator, sim::Network* network, uint32_t id,
                std::vector<uint32_t> mons, mds::MdsClientConfig mds_config)
     : Actor(simulator, network, sim::EntityName::Client(id)),
       rados(this, mons),
-      mds(this, mds_config) {}
+      mds(this, mds_config) {
+  rados.set_perf(&perf);
+}
 
 std::unique_ptr<zlog::Log> Client::OpenLog(zlog::LogOptions options) {
-  return std::make_unique<zlog::Log>(this, &rados, &mds, std::move(options));
+  auto log = std::make_unique<zlog::Log>(this, &rados, &mds, std::move(options));
+  log->set_perf(&perf);
+  return log;
+}
+
+void Client::StartPerfReports(sim::Time interval) {
+  if (interval == 0) {
+    return;
+  }
+  StartPeriodic(interval, [this] {
+    if (!perf.empty()) {
+      rados.mon_client().ReportPerf(perf.Snapshot(name().ToString(), Now()));
+    }
+  });
 }
 
 void Client::HandleRequest(const sim::Envelope& request) {

@@ -42,9 +42,17 @@ class Client : public sim::Actor {
 
   rados::RadosClient rados;
   mds::MdsClient mds;
+  // Client-side counters (rados.*, zlog.*). Wired into `rados` and every
+  // log returned by OpenLog().
+  mal::PerfRegistry perf;
 
   // Creates a ZLog handle bound to this client's libraries.
   std::unique_ptr<zlog::Log> OpenLog(zlog::LogOptions options = {});
+
+  // Starts pushing this client's counter snapshot to the monitor every
+  // `interval`. Off by default so closed-loop experiments keep their exact
+  // message schedules; benches/tests opt in.
+  void StartPerfReports(sim::Time interval);
 
  protected:
   void HandleRequest(const sim::Envelope& request) override;

@@ -1,11 +1,17 @@
 #include "src/common/log.h"
 
 #include <cstdio>
+#include <map>
 
 namespace mal {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::map<std::string, LogLevel>* g_component_levels = nullptr;
+
+bool g_context_set = false;
+uint64_t g_context_time_ns = 0;
+std::string g_context_node;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,18 +29,68 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Threshold for a component: exact override, then daemon-type prefix
+// ("osd.3" -> "osd"), then the global level.
+LogLevel Threshold(const std::string& component) {
+  if (g_component_levels != nullptr) {
+    auto it = g_component_levels->find(component);
+    if (it != g_component_levels->end()) {
+      return it->second;
+    }
+    size_t dot = component.find('.');
+    if (dot != std::string::npos) {
+      it = g_component_levels->find(component.substr(0, dot));
+      if (it != g_component_levels->end()) {
+        return it->second;
+      }
+    }
+  }
+  return g_level;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+void SetComponentLogLevel(const std::string& component, LogLevel level) {
+  if (g_component_levels == nullptr) {
+    g_component_levels = new std::map<std::string, LogLevel>();
+  }
+  (*g_component_levels)[component] = level;
+}
+
+void ClearComponentLogLevels() {
+  if (g_component_levels != nullptr) {
+    g_component_levels->clear();
+  }
+}
+
+void SetLogContext(uint64_t time_ns, const std::string& node) {
+  g_context_set = true;
+  g_context_time_ns = time_ns;
+  g_context_node = node;
+}
+
+void ClearLogContext() {
+  g_context_set = false;
+  g_context_node.clear();
+}
+
 namespace log_internal {
 
 void Emit(LogLevel level, const std::string& component, const std::string& message) {
-  if (level < g_level) {
+  if (level < Threshold(component)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(), message.c_str());
+  if (g_context_set) {
+    std::fprintf(stderr, "[%s] [%.6fs %s] %s: %s\n", LevelName(level),
+                 static_cast<double>(g_context_time_ns) / 1e9,
+                 g_context_node.c_str(), component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
+                 message.c_str());
+  }
 }
 
 }  // namespace log_internal

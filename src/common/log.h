@@ -16,6 +16,31 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Per-component threshold override, consulted before the global level. The
+// key matches either the full component string ("osd.3") or its daemon-type
+// prefix ("osd"), so one daemon — or one daemon class — can be debugged at
+// kDebug without flooding. Pass the override level per component.
+void SetComponentLogLevel(const std::string& component, LogLevel level);
+void ClearComponentLogLevels();
+
+// Ambient context stamped onto every log line: the simulated clock and the
+// node whose event is executing. The actor event loop sets this around each
+// delivery/callback (see src/sim/actor.cc); lines emitted outside any actor
+// context carry no stamp.
+void SetLogContext(uint64_t time_ns, const std::string& node);
+void ClearLogContext();
+
+class ScopedLogContext {
+ public:
+  ScopedLogContext(uint64_t time_ns, const std::string& node) {
+    SetLogContext(time_ns, node);
+  }
+  ~ScopedLogContext() { ClearLogContext(); }
+
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+};
+
 namespace log_internal {
 void Emit(LogLevel level, const std::string& component, const std::string& message);
 

@@ -1,0 +1,216 @@
+#include "src/common/perf.h"
+
+#include <sstream>
+
+namespace mal {
+
+void BoundedHistogram::Observe(double v) {
+  ++observed_;
+  if ((observed_ - 1) % stride_ != 0) {
+    return;
+  }
+  if (samples_.size() >= cap_) {
+    // Drop every other retained sample and keep only every (2*stride)-th
+    // observation from here on. Deterministic, and the survivors remain an
+    // evenly-spaced subsequence of the observation stream.
+    std::vector<double> kept;
+    kept.reserve(samples_.size() / 2 + 1);
+    for (size_t i = 0; i < samples_.size(); i += 2) {
+      kept.push_back(samples_[i]);
+    }
+    samples_ = std::move(kept);
+    stride_ *= 2;
+    if ((observed_ - 1) % stride_ != 0) {
+      return;
+    }
+  }
+  samples_.push_back(v);
+}
+
+void BoundedHistogram::MergeSamples(const std::vector<double>& samples,
+                                    uint64_t observed) {
+  observed_ += observed;
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  // The merged buffer may exceed cap_; that is fine for monitor-side
+  // aggregates, which are rebuilt from scratch on every dump.
+}
+
+Histogram BoundedHistogram::ToHistogram() const {
+  Histogram h;
+  for (double v : samples_) {
+    h.Add(v);
+  }
+  return h;
+}
+
+PerfSnapshot PerfRegistry::Snapshot(const std::string& entity,
+                                    uint64_t time_ns) const {
+  PerfSnapshot snap;
+  snap.entity = entity;
+  snap.time_ns = time_ns;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = PerfSnapshot::Hist{hist.samples(), hist.observed()};
+  }
+  return snap;
+}
+
+void PerfSnapshot::Encode(Buffer* out) const {
+  Encoder enc(out);
+  enc.PutString(entity);
+  enc.PutU64(time_ns);
+  enc.PutVarU64(counters.size());
+  for (const auto& [name, value] : counters) {
+    enc.PutString(name);
+    enc.PutU64(value);
+  }
+  enc.PutVarU64(gauges.size());
+  for (const auto& [name, value] : gauges) {
+    enc.PutString(name);
+    enc.PutF64(value);
+  }
+  enc.PutVarU64(histograms.size());
+  for (const auto& [name, hist] : histograms) {
+    enc.PutString(name);
+    enc.PutU64(hist.observed);
+    enc.PutVarU64(hist.samples.size());
+    for (double v : hist.samples) {
+      enc.PutF64(v);
+    }
+  }
+}
+
+Status PerfSnapshot::Decode(const Buffer& in, PerfSnapshot* out) {
+  Decoder dec(in);
+  out->entity = dec.GetString();
+  out->time_ns = dec.GetU64();
+  uint64_t n = dec.GetVarU64();
+  for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+    std::string name = dec.GetString();
+    out->counters[name] = dec.GetU64();
+  }
+  n = dec.GetVarU64();
+  for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+    std::string name = dec.GetString();
+    out->gauges[name] = dec.GetF64();
+  }
+  n = dec.GetVarU64();
+  for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+    std::string name = dec.GetString();
+    Hist hist;
+    hist.observed = dec.GetU64();
+    uint64_t samples = dec.GetVarU64();
+    hist.samples.reserve(dec.ok() ? samples : 0);
+    for (uint64_t j = 0; j < samples && dec.ok(); ++j) {
+      hist.samples.push_back(dec.GetF64());
+    }
+    out->histograms[name] = std::move(hist);
+  }
+  return dec.Finish();
+}
+
+PerfSnapshot AggregateSnapshots(const std::vector<PerfSnapshot>& snapshots) {
+  PerfSnapshot out;
+  out.entity = "cluster";
+  for (const PerfSnapshot& snap : snapshots) {
+    out.time_ns = std::max(out.time_ns, snap.time_ns);
+    for (const auto& [name, value] : snap.counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      PerfSnapshot::Hist& agg = out.histograms[name];
+      agg.observed += hist.observed;
+      agg.samples.insert(agg.samples.end(), hist.samples.begin(),
+                         hist.samples.end());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      default:
+        *out << c;
+    }
+  }
+  *out << '"';
+}
+
+void AppendSnapshotJson(std::ostringstream* out, const PerfSnapshot& snap,
+                        int indent) {
+  std::string pad(indent, ' ');
+  std::string pad2(indent + 2, ' ');
+  *out << pad << "{\n";
+  *out << pad2 << "\"entity\": ";
+  AppendJsonString(out, snap.entity);
+  *out << ",\n" << pad2 << "\"time_ns\": " << snap.time_ns << ",\n";
+  *out << pad2 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    *out << (first ? "" : ",") << "\n" << pad2 << "  ";
+    AppendJsonString(out, name);
+    *out << ": " << value;
+    first = false;
+  }
+  *out << (first ? "" : "\n" + pad2) << "},\n";
+  *out << pad2 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    *out << (first ? "" : ",") << "\n" << pad2 << "  ";
+    AppendJsonString(out, name);
+    *out << ": " << FormatDouble(value, 3);
+    first = false;
+  }
+  *out << (first ? "" : "\n" + pad2) << "},\n";
+  *out << pad2 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    Histogram h;
+    for (double v : hist.samples) {
+      h.Add(v);
+    }
+    *out << (first ? "" : ",") << "\n" << pad2 << "  ";
+    AppendJsonString(out, name);
+    *out << ": {\"count\": " << hist.observed
+         << ", \"mean\": " << FormatDouble(h.mean(), 3)
+         << ", \"p50\": " << FormatDouble(h.Quantile(0.5), 3)
+         << ", \"p90\": " << FormatDouble(h.Quantile(0.9), 3)
+         << ", \"p99\": " << FormatDouble(h.Quantile(0.99), 3)
+         << ", \"max\": " << FormatDouble(h.max(), 3) << "}";
+    first = false;
+  }
+  *out << (first ? "" : "\n" + pad2) << "}\n";
+  *out << pad << "}";
+}
+
+}  // namespace
+
+std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
+                           uint64_t now_ns) {
+  std::ostringstream out;
+  out << "{\n  \"time_ns\": " << now_ns << ",\n  \"entities\": [\n";
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    AppendSnapshotJson(&out, snapshots[i], 4);
+    out << (i + 1 < snapshots.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"cluster\": \n";
+  AppendSnapshotJson(&out, AggregateSnapshots(snapshots), 2);
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace mal

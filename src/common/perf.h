@@ -1,0 +1,121 @@
+// Ceph-style per-daemon performance counters. Every daemon owns a
+// PerfRegistry (counters, gauges, bounded latency histograms) and
+// periodically pushes an encoded PerfSnapshot to the monitor over the
+// message bus (kMsgPerfReport); the monitor keeps the latest snapshot per
+// entity and serves a cluster-wide JSON dump (kMsgGetPerfDump).
+//
+// Naming scheme (see docs/observability.md): dot-separated
+// "<daemon>.<subsystem>.<metric>", e.g. "osd.op.write.count",
+// "mds.cap.grants.quota", "zlog.epoch_refreshes". Histogram values are
+// microseconds unless the name says otherwise.
+#ifndef MALACOLOGY_COMMON_PERF_H_
+#define MALACOLOGY_COMMON_PERF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/stats.h"
+
+namespace mal {
+
+// A latency histogram with a deterministic bound on retained samples.
+// Daemon registries live for the whole run, so unbounded raw-sample
+// histograms would grow with op count; this keeps every stride-th
+// observation and doubles the stride when the buffer fills. No RNG —
+// reservoir sampling would perturb the simulator's deterministic streams.
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(size_t cap = 1024) : cap_(cap < 2 ? 2 : cap) {}
+
+  void Observe(double v);
+
+  // True number of observations (>= samples().size() once decimating).
+  uint64_t observed() const { return observed_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  // Fold in samples recorded elsewhere (monitor-side aggregation).
+  void MergeSamples(const std::vector<double>& samples, uint64_t observed);
+
+  // Quantiles/mean over the retained samples.
+  Histogram ToHistogram() const;
+
+ private:
+  size_t cap_;
+  uint64_t stride_ = 1;
+  uint64_t observed_ = 0;
+  std::vector<double> samples_;
+};
+
+// Wire-encodable copy of one registry at one instant.
+struct PerfSnapshot {
+  struct Hist {
+    std::vector<double> samples;
+    uint64_t observed = 0;
+  };
+
+  std::string entity;  // e.g. "osd.2", "mon.0", "client.1"
+  uint64_t time_ns = 0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  void Encode(Buffer* out) const;
+  static Status Decode(const Buffer& in, PerfSnapshot* out);
+};
+
+// The per-daemon metric registry. Single-threaded (simulator), so no locks.
+class PerfRegistry {
+ public:
+  void Inc(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  void Set(const std::string& name, double value) { gauges_[name] = value; }
+  void Observe(const std::string& name, double value) {
+    histograms_[name].Observe(value);
+  }
+
+  uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+  const BoundedHistogram* histogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  PerfSnapshot Snapshot(const std::string& entity, uint64_t time_ns) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, BoundedHistogram> histograms_;
+};
+
+// Sums counters and merges histogram samples across snapshots. Gauges are
+// point-in-time per entity and are intentionally dropped from the aggregate
+// (a sum of map epochs means nothing); read them per entity instead.
+PerfSnapshot AggregateSnapshots(const std::vector<PerfSnapshot>& snapshots);
+
+// Renders the monitor's view — one section per entity plus a "cluster"
+// aggregate — as JSON. Histograms are summarized (count/mean/p50/p90/p99/max).
+std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
+                           uint64_t now_ns);
+
+}  // namespace mal
+
+#endif  // MALACOLOGY_COMMON_PERF_H_

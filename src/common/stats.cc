@@ -97,12 +97,19 @@ void ThroughputSeries::Record(uint64_t time_ns, uint64_t count) {
   last_ns_ = std::max(last_ns_, time_ns);
 }
 
+void ThroughputSeries::ExtendTo(uint64_t time_ns) {
+  last_ns_ = std::max(last_ns_, time_ns);
+}
+
 std::vector<std::pair<double, double>> ThroughputSeries::Series() const {
   std::vector<std::pair<double, double>> out;
-  if (windows_.empty()) {
+  if (windows_.empty() && last_ns_ == 0) {
     return out;
   }
-  uint64_t last_window = windows_.rbegin()->first;
+  uint64_t last_window = last_ns_ / window_ns_;
+  if (!windows_.empty()) {
+    last_window = std::max(last_window, windows_.rbegin()->first);
+  }
   double window_sec = static_cast<double>(window_ns_) / 1e9;
   for (uint64_t w = 0; w <= last_window; ++w) {
     auto it = windows_.find(w);

@@ -47,7 +47,15 @@ class ThroughputSeries {
 
   void Record(uint64_t time_ns, uint64_t count = 1);
 
-  // (window start seconds, ops/sec) for every window up to the last event.
+  // Extends the series' time horizon without recording an event, so a stall
+  // at the tail of a run shows up as explicit zero-rate windows instead of
+  // the series silently ending at the last op. Benches call this with the
+  // end-of-run clock before plotting.
+  void ExtendTo(uint64_t time_ns);
+
+  // (window start seconds, ops/sec) for every window from 0 through the
+  // later of the last event and the ExtendTo() horizon; windows with no
+  // events — stalls — are emitted with an explicit zero rate.
   std::vector<std::pair<double, double>> Series() const;
 
   uint64_t total() const { return total_; }

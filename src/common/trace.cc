@@ -1,0 +1,166 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mal::trace {
+namespace {
+
+TraceCollector* g_collector = nullptr;
+TraceContext g_current;
+
+std::unordered_map<uint16_t, std::string>& MessageNames() {
+  static std::unordered_map<uint16_t, std::string> names;
+  return names;
+}
+
+}  // namespace
+
+TraceCollector* Collector() { return g_collector; }
+void SetCollector(TraceCollector* collector) { g_collector = collector; }
+
+const TraceContext& Current() { return g_current; }
+void SetCurrent(const TraceContext& ctx) { g_current = ctx; }
+
+void RegisterMessageName(uint16_t type, const char* name) {
+  MessageNames()[type] = name;
+}
+
+std::string MessageName(uint16_t type) {
+  auto& names = MessageNames();
+  auto it = names.find(type);
+  if (it != names.end()) {
+    return it->second;
+  }
+  return "msg." + std::to_string(type);
+}
+
+TraceContext TraceCollector::StartSpan(const std::string& name,
+                                       const std::string& entity,
+                                       uint64_t now_ns,
+                                       const TraceContext& parent) {
+  Span span;
+  span.span_id = next_id_++;
+  if (parent.valid()) {
+    span.trace_id = parent.trace_id;
+    span.parent_span_id = parent.span_id;
+  } else {
+    span.trace_id = next_id_++;
+  }
+  span.name = name;
+  span.entity = entity;
+  span.start_ns = now_ns;
+  span.end_ns = now_ns;
+  index_[span.span_id] = spans_.size();
+  spans_.push_back(span);
+  return TraceContext{span.trace_id, span.span_id, span.parent_span_id};
+}
+
+void TraceCollector::EndSpan(const TraceContext& ctx, uint64_t now_ns,
+                             const std::string& status) {
+  auto it = index_.find(ctx.span_id);
+  if (it == index_.end()) {
+    return;
+  }
+  Span& span = spans_[it->second];
+  if (!span.open) {
+    return;  // idempotent: late duplicate ends (e.g. timeout vs reply) are dropped
+  }
+  span.end_ns = now_ns;
+  span.open = false;
+  span.status = status;
+}
+
+const Span* TraceCollector::Find(uint64_t span_id) const {
+  auto it = index_.find(span_id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+std::vector<const Span*> TraceCollector::TraceSpans(uint64_t trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.trace_id == trace_id) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> TraceCollector::Roots(uint64_t trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.trace_id != trace_id) {
+      continue;
+    }
+    // A root is a span whose parent is unknown to this collector (either no
+    // parent at all, or the parent span was never recorded).
+    if (span.parent_span_id == 0 || index_.count(span.parent_span_id) == 0) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> TraceCollector::ChildrenOf(uint64_t span_id) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.parent_span_id == span_id && span.span_id != span_id) {
+      out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void RenderSpan(const TraceCollector& collector, const Span& span, int depth,
+                std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) {
+    *out << "  ";
+  }
+  *out << span.name << " [" << span.entity << "] "
+       << static_cast<double>(span.end_ns - span.start_ns) / 1e3 << "us"
+       << " @" << static_cast<double>(span.start_ns) / 1e3 << "us";
+  if (span.open) {
+    *out << " (open)";
+  } else if (span.status != "ok") {
+    *out << " (" << span.status << ")";
+  }
+  *out << "\n";
+  for (const Span* child : collector.ChildrenOf(span.span_id)) {
+    RenderSpan(collector, *child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::RenderTree(uint64_t trace_id) const {
+  std::ostringstream out;
+  for (const Span* root : Roots(trace_id)) {
+    RenderSpan(*this, *root, 0, &out);
+  }
+  return out.str();
+}
+
+std::map<std::string, HopStat> TraceCollector::HopStats(uint64_t trace_id) const {
+  std::map<std::string, HopStat> out;
+  for (const Span& span : spans_) {
+    if (span.open) {
+      continue;
+    }
+    if (trace_id != 0 && span.trace_id != trace_id) {
+      continue;
+    }
+    HopStat& stat = out[span.name];
+    stat.count += 1;
+    stat.total_ns += span.end_ns - span.start_ns;
+  }
+  return out;
+}
+
+void TraceCollector::Clear() {
+  spans_.clear();
+  index_.clear();
+}
+
+}  // namespace mal::trace

@@ -1,0 +1,140 @@
+// Dapper-style distributed tracing for the simulated cluster. A TraceContext
+// (trace id, span id, parent span id) rides in every sim::Envelope and is
+// captured/restored by the simulator's event loop, so causality follows the
+// request across actors without any per-call-site plumbing: whoever schedules
+// work while a context is ambient propagates that context into the work.
+//
+// Spans are recorded into a process-global TraceCollector (the simulator is
+// single-threaded) with *simulator-clock* timestamps, so a span tree is an
+// exact latency breakdown of one request: client append -> sequencer
+// round-trip -> per-target OSD transactions. Tests and benches install a
+// collector with trace::ScopedCollector; when none is installed, tracing is
+// disabled and costs one branch per call site.
+#ifndef MALACOLOGY_COMMON_TRACE_H_
+#define MALACOLOGY_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mal::trace {
+
+// Propagated half of a span: enough to parent remote work. trace_id == 0
+// means "not traced" and propagates as a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// One timed unit of work. start/end are simulator-clock nanoseconds.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;    // e.g. "zlog.AppendBatch", "rpc:mds.0:mds.client_request"
+  std::string entity;  // node that ran the span, e.g. "client.0"
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  bool open = true;
+  std::string status = "ok";
+
+  double duration_us() const {
+    return static_cast<double>(end_ns - start_ns) / 1e3;
+  }
+};
+
+// Per-span-name aggregate across a set of finished spans.
+struct HopStat {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+class TraceCollector {
+ public:
+  // Opens a span. When `parent` is valid the new span joins its trace;
+  // otherwise a fresh trace id is allocated (a root span).
+  TraceContext StartSpan(const std::string& name, const std::string& entity,
+                         uint64_t now_ns, const TraceContext& parent = {});
+  void EndSpan(const TraceContext& ctx, uint64_t now_ns,
+               const std::string& status = "ok");
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* Find(uint64_t span_id) const;
+  std::vector<const Span*> TraceSpans(uint64_t trace_id) const;
+  std::vector<const Span*> Roots(uint64_t trace_id) const;
+  std::vector<const Span*> ChildrenOf(uint64_t span_id) const;
+
+  // Human-readable indented span tree with per-span durations.
+  std::string RenderTree(uint64_t trace_id) const;
+
+  // Aggregate duration per span name, over every finished span in the
+  // collector (trace_id == 0) or one trace. Benches turn this into the
+  // "sequencer wait vs OSD commit vs client queueing" breakdown.
+  std::map<std::string, HopStat> HopStats(uint64_t trace_id = 0) const;
+
+  void Clear();
+
+ private:
+  uint64_t next_id_ = 1;
+  std::vector<Span> spans_;
+  std::unordered_map<uint64_t, size_t> index_;  // span_id -> spans_ slot
+};
+
+// Process-global collector. Null (the default) disables tracing.
+TraceCollector* Collector();
+void SetCollector(TraceCollector* collector);
+
+// Ambient context of the currently-executing event. The simulator's event
+// loop saves/restores it around every event so it follows scheduled work.
+const TraceContext& Current();
+void SetCurrent(const TraceContext& ctx);
+
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(TraceCollector* collector) : prev_(Collector()) {
+    SetCollector(collector);
+  }
+  ~ScopedCollector() { SetCollector(prev_); }
+
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+ private:
+  TraceCollector* prev_;
+};
+
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx) : prev_(Current()) {
+    SetCurrent(ctx);
+  }
+  ~ScopedContext() { SetCurrent(prev_); }
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// Message-type -> human name registry so rpc span names read
+// "rpc:osd.1:osd.op" instead of "rpc:osd.1:msg.200". Modules register their
+// types via static MessageNameRegistrar instances; unknown types render as
+// "msg.<N>".
+void RegisterMessageName(uint16_t type, const char* name);
+std::string MessageName(uint16_t type);
+
+struct MessageNameRegistrar {
+  MessageNameRegistrar(uint16_t type, const char* name) {
+    RegisterMessageName(type, name);
+  }
+};
+
+}  // namespace mal::trace
+
+#endif  // MALACOLOGY_COMMON_TRACE_H_

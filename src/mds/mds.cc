@@ -3,12 +3,37 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/common/trace.h"
 
 namespace mal::mds {
 
 namespace {
 
 constexpr uint32_t kMsgCoherence = 306;  // one-way scatter-gather strain
+
+const trace::MessageNameRegistrar kNames[] = {
+    {kMsgClientRequest, "mds.client_request"},
+    {kMsgCapRevoke, "mds.cap_revoke"},
+    {kMsgMigrate, "mds.migrate"},
+    {kMsgAuthorityUpdate, "mds.authority_update"},
+    {kMsgLoadReport, "mds.load_report"},
+    {kMsgForward, "mds.forward"},
+    {static_cast<uint16_t>(kMsgCoherence), "mds.coherence"},
+};
+
+const char* LeaseModeName(LeaseMode mode) {
+  switch (mode) {
+    case LeaseMode::kBestEffort:
+      return "best_effort";
+    case LeaseMode::kDelay:
+      return "delay";
+    case LeaseMode::kQuota:
+      return "quota";
+    case LeaseMode::kRoundTrip:
+      return "round_trip";
+  }
+  return "unknown";
+}
 
 std::string ParentPath(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -52,6 +77,14 @@ void MdsDaemon::Boot() {
       BalanceTick();
     }
   });
+  rados_.set_perf(&perf_);
+  if (config_.perf_report_interval > 0) {
+    StartPeriodic(config_.perf_report_interval, [this] {
+      if (!perf_.empty()) {
+        mon_client_.ReportPerf(perf_.Snapshot(name().ToString(), Now()));
+      }
+    });
+  }
 }
 
 void MdsDaemon::SetBalancerPolicy(std::shared_ptr<BalancerPolicy> policy) {
@@ -172,6 +205,7 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, bool forwarded
       // Proxy: the relay happens on the dispatch (messenger) lane so it
       // does not queue behind local tail-finding work, but each proxied
       // request still steals admin capacity from the work queue.
+      perf_.Inc("mds.proxied");
       ReserveCpu(config_.proxy_admin_cost);
       sim::Envelope original = request;
       AfterDispatch(config_.handle_cost + config_.forward_cost, [this, original, authority] {
@@ -209,7 +243,10 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, bool forwarded
     cost += config_.cap_process_cost;
   }
   sim::Envelope req_envelope = request;
-  AfterCpu(cost, [this, req_envelope, req, forwarded] {
+  sim::Time arrival = Now();
+  AfterCpu(cost, [this, req_envelope, req, forwarded, arrival] {
+    // Work-queue time (queueing + service) for requests we serve ourselves.
+    perf_.Observe("mds.queue_us", static_cast<double>(Now() - arrival) / 1e3);
     ExecuteRequest(req_envelope, req, forwarded);
   });
 }
@@ -298,6 +335,7 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       }
       MdsReply reply;
       if (req.op == MdsOp::kSeqNext) {
+        perf_.Inc("mds.seq.next");
         reply.seq_value = hosted.inode.seq_tail++;
       } else if (req.op == MdsOp::kSeqNextBatch) {
         // Reserve req.seq_value contiguous positions in one round-trip.
@@ -305,6 +343,8 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
         // or past every granted position; granted-but-unwritten positions
         // surface as holes, never as data.
         uint64_t count = std::max<uint64_t>(req.seq_value, 1);
+        perf_.Inc("mds.seq.batch_grants");
+        perf_.Inc("mds.seq.positions_granted", count);
         reply.seq_value = hosted.inode.seq_tail;
         hosted.inode.seq_tail += count;
         hosted.inode.params["last_grant"] =
@@ -395,6 +435,8 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
 
 void MdsDaemon::GrantCap(const std::string& path, HostedInode& hosted,
                          const sim::Envelope& to) {
+  perf_.Inc(std::string("mds.cap.grants.") +
+            LeaseModeName(hosted.inode.lease_policy.mode));
   hosted.cap.held = true;
   hosted.cap.holder = to.from;
   hosted.cap.grant_time_ns = Now();
@@ -417,6 +459,7 @@ void MdsDaemon::MaybeRevoke(const std::string& path, HostedInode& hosted) {
     return;
   }
   hosted.cap.revoke_sent = true;
+  perf_.Inc("mds.cap.revokes");
   mal::Buffer payload;
   mal::Encoder enc(&payload);
   enc.PutString(path);
@@ -440,6 +483,7 @@ void MdsDaemon::MaybeRevoke(const std::string& path, HostedInode& hosted) {
     current.cap.held = false;
     current.cap.revoke_sent = false;
     current.inode.params["needs_recovery"] = "1";
+    perf_.Inc("mds.cap.reclaims");
     mon_client_.Log("WARN", "reclaimed cap on " + path + " from dead client " +
                                 holder.ToString());
     // Fail queued waiters so they initiate recovery.
@@ -498,6 +542,7 @@ void MdsDaemon::Migrate(const std::string& path, uint32_t target,
                       SendOneWay(sim::EntityName::Mds(peer), kMsgAuthorityUpdate, update);
                     }
                   }
+                  perf_.Inc("mds.migrations");
                   if (on_migration) {
                     on_migration(path, target);
                   }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/perf.h"
 #include "src/common/rng.h"
 #include "src/mds/balancer.h"
 #include "src/mds/types.h"
@@ -73,6 +74,9 @@ struct MdsConfig {
   sim::Time load_report_interval = 5 * sim::kSecond;
   sim::Time load_window = 10 * sim::kSecond;  // rate averaging window
   bool balancing_enabled = false;
+  // How often the MDS pushes its perf-counter snapshot to the monitor
+  // (0 = disabled).
+  sim::Time perf_report_interval = 1 * sim::kSecond;
 };
 
 class MdsDaemon : public sim::Actor {
@@ -103,6 +107,7 @@ class MdsDaemon : public sim::Actor {
   const mon::MdsMap& mds_map() const { return mds_map_; }
   mon::MonClient& mon_client() { return mon_client_; }
   rados::RadosClient& rados_client() { return rados_; }
+  mal::PerfRegistry& perf() { return perf_; }
   const MdsConfig& config() const { return config_; }
   // Exposed so Mantle can tune aggressiveness knobs at runtime.
   MdsConfig& mutable_config() { return config_; }
@@ -153,6 +158,7 @@ class MdsDaemon : public sim::Actor {
   mon::MonClient mon_client_;
   rados::RadosClient rados_;
   mon::MdsMap mds_map_;
+  mal::PerfRegistry perf_;
 
   // Inodes this MDS is authoritative for, by absolute path.
   std::map<std::string, HostedInode> inodes_;

@@ -21,6 +21,8 @@ enum MsgType : uint32_t {
   kMsgMapUpdate = 104,    // monitor -> subscriber push (one-way)
   kMsgLogEntry = 105,     // daemon -> monitor centralized cluster log
   kMsgGetClusterLog = 106,
+  kMsgPerfReport = 107,   // daemon -> monitor perf-counter snapshot (one-way)
+  kMsgGetPerfDump = 108,  // fetch the cluster-wide perf dump (JSON)
 };
 
 // A transaction applied to monitor state through Paxos. One MonCommand

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/perf.h"
 #include "src/mon/messages.h"
 #include "src/sim/actor.h"
 
@@ -89,6 +90,24 @@ class MonClient {
     entry.Encode(&enc);
     owner_->SendOneWay(sim::EntityName::Mon(mons_[pick_ % mons_.size()]), kMsgLogEntry,
                        std::move(payload));
+  }
+
+  // Pushes a perf-counter snapshot to one monitor (fire-and-forget; the next
+  // periodic report supersedes a lost one).
+  void ReportPerf(const mal::PerfSnapshot& snapshot) {
+    mal::Buffer payload;
+    snapshot.Encode(&payload);
+    owner_->SendOneWay(sim::EntityName::Mon(mons_[pick_ % mons_.size()]), kMsgPerfReport,
+                       std::move(payload));
+  }
+
+  // Fetches the cluster-wide perf dump (JSON) from the monitor.
+  void GetPerfDump(std::function<void(mal::Status, std::string)> on_dump) {
+    SendWithRetry(kMsgGetPerfDump, mal::Buffer(), 0,
+                  [on_dump = std::move(on_dump)](mal::Status status,
+                                                 const sim::Envelope& reply) {
+                    on_dump(status, reply.payload.ToString());
+                  });
   }
 
   const std::vector<uint32_t>& mons() const { return mons_; }

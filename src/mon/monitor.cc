@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/common/trace.h"
 
 namespace mal::mon {
+namespace {
+
+const trace::MessageNameRegistrar kNames[] = {
+    {kMsgPaxos, "mon.paxos"},
+    {kMsgMonCommand, "mon.command"},
+    {kMsgGetMap, "mon.get_map"},
+    {kMsgSubscribe, "mon.subscribe"},
+    {kMsgMapUpdate, "mon.map_update"},
+    {kMsgLogEntry, "mon.log_entry"},
+    {kMsgGetClusterLog, "mon.get_cluster_log"},
+    {kMsgPerfReport, "mon.perf_report"},
+    {kMsgGetPerfDump, "mon.get_perf_dump"},
+};
+
+}  // namespace
 
 void Transaction::Encode(mal::Encoder* enc) const {
   enc->PutU8(static_cast<uint8_t>(op));
@@ -108,6 +124,12 @@ void Monitor::HandleRequest(const sim::Envelope& request) {
     case kMsgGetClusterLog:
       HandleGetClusterLog(request);
       break;
+    case kMsgPerfReport:
+      HandlePerfReport(request);
+      break;
+    case kMsgGetPerfDump:
+      HandleGetPerfDump(request);
+      break;
     default:
       ReplyError(request, mal::Status::Unimplemented("unknown monitor message"));
   }
@@ -188,6 +210,8 @@ void Monitor::ProposeBatch() {
   enc.PutU64(next_batch_id_);
   enc.PutU32(name().id);
   Transaction::EncodeBatch(&enc, pending_batch_);
+  perf_.Inc("mon.paxos.proposals");
+  perf_.Inc("mon.paxos.proposed_txns", pending_batch_.size());
   pending_batch_.clear();
   ++next_batch_id_;
 
@@ -205,6 +229,7 @@ void Monitor::ApplyCommitted(const mal::Buffer& value) {
   uint32_t proposer = dec.GetU32();
   std::vector<Transaction> batch = Transaction::DecodeBatch(&dec);
   ++applied_batches_;
+  perf_.Inc("mon.paxos.commits");
 
   bool osd_dirty = false;
   bool mds_dirty = false;
@@ -219,6 +244,8 @@ void Monitor::ApplyCommitted(const mal::Buffer& value) {
     ++mds_map_.epoch;
     PushMap(MapKind::kMdsMap);
   }
+  perf_.Set("mon.osdmap_epoch", static_cast<double>(osd_map_.epoch));
+  perf_.Set("mon.mdsmap_epoch", static_cast<double>(mds_map_.epoch));
   if (on_apply) {
     on_apply(batch);
   }
@@ -342,6 +369,7 @@ void Monitor::HandleLogEntry(const sim::Envelope& request) {
                                        std::tie(b.time_ns, b.source, b.seq);
                               });
   cluster_log_.insert(pos, entry);
+  perf_.Inc("mon.cluster_log_entries");
   // Fan out so every monitor holds the log (centralized view, replicated).
   for (uint32_t peer : quorum_) {
     if (peer != name().id && request.from.type != sim::EntityType::kMon) {
@@ -361,6 +389,34 @@ void Monitor::HandleGetClusterLog(const sim::Envelope& request) {
     entry.Encode(&enc);
   }
   Reply(request, std::move(payload));
+}
+
+void Monitor::HandlePerfReport(const sim::Envelope& request) {
+  mal::PerfSnapshot snap;
+  if (!mal::PerfSnapshot::Decode(request.payload, &snap).ok()) {
+    MAL_WARN(name().ToString()) << "bad perf report from " << request.from.ToString();
+    return;
+  }
+  perf_.Inc("mon.perf_reports");
+  // Keep only the latest snapshot per entity: reports carry cumulative
+  // counters, so the newest one supersedes everything before it.
+  perf_reports_[snap.entity] = std::move(snap);
+}
+
+std::string Monitor::PerfDumpJson() const {
+  std::vector<mal::PerfSnapshot> snapshots;
+  snapshots.reserve(perf_reports_.size() + 1);
+  snapshots.push_back(perf_.Snapshot(name().ToString(), Now()));
+  for (const auto& [entity, snap] : perf_reports_) {
+    if (entity != name().ToString()) {
+      snapshots.push_back(snap);
+    }
+  }
+  return mal::PerfDumpToJson(snapshots, Now());
+}
+
+void Monitor::HandleGetPerfDump(const sim::Envelope& request) {
+  Reply(request, mal::Buffer::FromString(PerfDumpJson()));
 }
 
 }  // namespace mal::mon

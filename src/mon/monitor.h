@@ -13,10 +13,13 @@
 #define MALACOLOGY_MON_MONITOR_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "src/common/perf.h"
 #include "src/consensus/paxos.h"
 #include "src/mon/maps.h"
 #include "src/mon/messages.h"
@@ -47,6 +50,15 @@ class Monitor : public sim::Actor {
   const MdsMap& mds_map() const { return mds_map_; }
   const std::vector<ClusterLogEntry>& cluster_log() const { return cluster_log_; }
 
+  // Cluster-wide perf view: this monitor's own registry plus the latest
+  // snapshot pushed by each daemon/client (kMsgPerfReport). Also served over
+  // the wire via kMsgGetPerfDump.
+  std::string PerfDumpJson() const;
+  mal::PerfRegistry& perf() { return perf_; }
+  const std::map<std::string, mal::PerfSnapshot>& perf_reports() const {
+    return perf_reports_;
+  }
+
   // Observer hook for experiments: fired when a committed transaction batch
   // has been applied (after map epochs bump).
   std::function<void(const std::vector<Transaction>&)> on_apply;
@@ -64,6 +76,8 @@ class Monitor : public sim::Actor {
   void HandleSubscribe(const sim::Envelope& request);
   void HandleLogEntry(const sim::Envelope& request);
   void HandleGetClusterLog(const sim::Envelope& request);
+  void HandlePerfReport(const sim::Envelope& request);
+  void HandleGetPerfDump(const sim::Envelope& request);
 
   void ProposeBatch();
   void ApplyCommitted(const mal::Buffer& value);
@@ -79,6 +93,8 @@ class Monitor : public sim::Actor {
   OsdMap osd_map_;
   MdsMap mds_map_;
   std::vector<ClusterLogEntry> cluster_log_;
+  mal::PerfRegistry perf_;
+  std::map<std::string, mal::PerfSnapshot> perf_reports_;  // entity -> latest
 
   std::vector<Transaction> pending_batch_;
   // Requests waiting for their transaction to commit: batch sequence ->

@@ -4,8 +4,63 @@
 #include <memory>
 
 #include "src/common/log.h"
+#include "src/common/trace.h"
 
 namespace mal::osd {
+namespace {
+
+const trace::MessageNameRegistrar kNames[] = {
+    {kMsgOsdOp, "osd.op"},           {kMsgRepOp, "osd.repop"},
+    {kMsgGossipMap, "osd.gossip"},   {kMsgPullObject, "osd.pull"},
+    {kMsgScrub, "osd.scrub"},        {kMsgWatch, "osd.watch"},
+    {kMsgNotify, "osd.notify"},      {kMsgPushObject, "osd.push"},
+};
+
+const char* OpTypeName(Op::Type type) {
+  switch (type) {
+    case Op::Type::kCreate:
+      return "create";
+    case Op::Type::kRemove:
+      return "remove";
+    case Op::Type::kRead:
+      return "read";
+    case Op::Type::kWrite:
+      return "write";
+    case Op::Type::kWriteFull:
+      return "write_full";
+    case Op::Type::kAppend:
+      return "append";
+    case Op::Type::kTruncate:
+      return "truncate";
+    case Op::Type::kStat:
+      return "stat";
+    case Op::Type::kOmapGet:
+      return "omap_get";
+    case Op::Type::kOmapSet:
+      return "omap_set";
+    case Op::Type::kOmapDel:
+      return "omap_del";
+    case Op::Type::kOmapList:
+      return "omap_list";
+    case Op::Type::kXattrGet:
+      return "xattr_get";
+    case Op::Type::kXattrSet:
+      return "xattr_set";
+    case Op::Type::kCmpXattr:
+      return "cmp_xattr";
+    case Op::Type::kExec:
+      return "exec";
+    case Op::Type::kSnapCreate:
+      return "snap_create";
+    case Op::Type::kSnapRead:
+      return "snap_read";
+    case Op::Type::kSnapRemove:
+      return "snap_remove";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Osd::Osd(sim::Simulator* simulator, sim::Network* network, uint32_t id,
          std::vector<uint32_t> mons, OsdConfig config)
@@ -42,6 +97,13 @@ void Osd::Boot() {
   }
   if (config_.scrub_interval > 0) {
     StartPeriodic(config_.scrub_interval, [this] { ScrubTick(); });
+  }
+  if (config_.perf_report_interval > 0) {
+    StartPeriodic(config_.perf_report_interval, [this] {
+      if (!perf_.empty()) {
+        mon_client_.ReportPerf(perf_.Snapshot(name().ToString(), Now()));
+      }
+    });
   }
   StartPeriodic(config_.gossip_interval, [this] {
     // Anti-entropy: push our map to one random up peer.
@@ -147,6 +209,15 @@ mal::Status Osd::ExpandTransaction(const OsdOpRequest& req, std::vector<OpResult
       std::vector<Op> effects;
       cls::ClsContext ctx(req.oid, &staged, &effects);
       auto out = registry_.Execute(op.cls_name, op.method, ctx, op.data);
+      perf_.Inc("osd.cls." + op.cls_name + "." + op.method + ".count");
+      // Charged execution cost of this method call (the CPU-model share
+      // attributable to it: per-byte decode plus script surcharge).
+      perf_.Observe("osd.cls." + op.cls_name + "." + op.method + ".exec_us",
+                    (config_.per_byte_cpu_ns * static_cast<double>(op.data.size()) +
+                     (registry_.ScriptVersion(op.cls_name) != ""
+                          ? static_cast<double>(config_.script_exec_cost)
+                          : 0.0)) /
+                        1e3);
       if (!out.ok()) {
         result.status = out.status();
         return result.status;
@@ -278,13 +349,26 @@ void Osd::PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
 void Osd::ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req_in,
                        const std::vector<uint32_t>& acting) {
   sim::Envelope req_envelope = request;
-  AfterCpu(OpCost(req_in), [this, req = req_in, req_envelope, acting] {
+  sim::Time arrival = Now();
+  AfterCpu(OpCost(req_in), [this, req = req_in, req_envelope, acting, arrival] {
     ++ops_served_;
+    // Count the transaction under its first op's type (how Ceph labels a
+    // multi-op MOSDOp), and every constituent op individually.
+    std::string op_type = req.ops.empty() ? "empty" : OpTypeName(req.ops[0].type);
+    for (const Op& op : req.ops) {
+      perf_.Inc(std::string("osd.op.") + OpTypeName(op.type) + ".count");
+    }
     auto results = std::make_shared<std::vector<OpResult>>();
     std::vector<Op> expanded;
     mal::Status status = ExpandTransaction(req, results.get(), &expanded);
+    if (!status.ok()) {
+      perf_.Inc(status.code() == mal::Code::kAborted ? "osd.txn_aborts"
+                                                     : "osd.txn_failures");
+    }
 
-    auto send_reply = [this, req_envelope, results] {
+    auto send_reply = [this, req_envelope, results, arrival, op_type] {
+      perf_.Observe("osd.op." + op_type + ".latency_us",
+                    static_cast<double>(Now() - arrival) / 1e3);
       OsdOpReply reply;
       reply.map_epoch = osd_map_.epoch;
       reply.results = *results;
@@ -356,6 +440,7 @@ void Osd::HandleRepOp(const sim::Envelope& request) {
   }
   sim::Envelope req_envelope = request;
   AfterCpu(OpCost(req), [this, req = std::move(req), req_envelope] {
+    perf_.Inc("osd.repop.count");
     std::vector<OpResult> results;
     mal::Status s = store_.ApplyTransaction(req.oid, req.ops, &results);
     if (!s.ok()) {

@@ -24,6 +24,7 @@
 
 #include "src/cls/builtin.h"
 #include "src/cls/registry.h"
+#include "src/common/perf.h"
 #include "src/common/rng.h"
 #include "src/mon/mon_client.h"
 #include "src/osd/messages.h"
@@ -61,6 +62,9 @@ struct OsdConfig {
   // object compares versions with its replicas and repairs divergence by
   // pushing its authoritative copy (0 = disabled).
   sim::Time scrub_interval = 0;
+  // How often the OSD pushes its perf-counter snapshot to the monitor
+  // (0 = disabled).
+  sim::Time perf_report_interval = 1 * sim::kSecond;
   uint64_t seed = 1;
 };
 
@@ -95,6 +99,7 @@ class Osd : public sim::Actor {
 
   uint64_t ops_served() const { return ops_served_; }
   uint64_t scrub_repairs() const { return scrub_repairs_; }
+  mal::PerfRegistry& perf() { return perf_; }
 
  protected:
   void HandleRequest(const sim::Envelope& request) override;
@@ -132,6 +137,7 @@ class Osd : public sim::Actor {
   ObjectStore store_;
   cls::ClassRegistry registry_;
   mal::Rng rng_;
+  mal::PerfRegistry perf_;
   uint64_t ops_served_ = 0;
   uint64_t scrub_repairs_ = 0;
   // Watchers per object (client entity names); notified on every commit.

@@ -8,6 +8,9 @@ void RadosClient::Connect(DoneHandler on_done) {
 }
 
 void RadosClient::RefreshMap(DoneHandler on_done) {
+  if (perf_ != nullptr) {
+    perf_->Inc("rados.map_refreshes");
+  }
   mon_client_.GetMap(mon::MapKind::kOsdMap,
                      [this, on_done = std::move(on_done)](mal::Status status,
                                                           const mon::MapUpdate& update) {
@@ -47,6 +50,9 @@ bool RadosClient::OnMapUpdate(const sim::Envelope& envelope) {
 
 void RadosClient::Execute(const std::string& oid, std::vector<osd::Op> ops,
                           OpHandler on_reply) {
+  if (perf_ != nullptr) {
+    perf_->Inc("rados.ops");
+  }
   auto shared_ops = std::make_shared<std::vector<osd::Op>>(std::move(ops));
   ExecuteAttempt(oid, std::move(shared_ops), std::move(on_reply), 0);
 }
@@ -58,6 +64,9 @@ void RadosClient::ExecuteAttempt(const std::string& oid,
     on_reply(mal::Status::Unavailable("no reachable primary for " + oid),
              osd::OsdOpReply{});
     return;
+  }
+  if (attempt > 0 && perf_ != nullptr) {
+    perf_->Inc("rados.retries");
   }
   std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
   if (acting.empty()) {

@@ -40,6 +40,11 @@ class RadosClient {
   const mon::OsdMap& osd_map() const { return osd_map_; }
   mon::MonClient& mon_client() { return mon_client_; }
 
+  // Optional counter sink owned by the embedding daemon/client. When set,
+  // the client records rados.ops / rados.retries / rados.map_refreshes.
+  void set_perf(mal::PerfRegistry* perf) { perf_ = perf; }
+  mal::PerfRegistry* perf() { return perf_; }
+
   // Routes a push update from the monitor; returns true if consumed.
   bool OnMapUpdate(const sim::Envelope& envelope);
 
@@ -105,6 +110,7 @@ class RadosClient {
 
   sim::Actor* owner_;
   mon::MonClient mon_client_;
+  mal::PerfRegistry* perf_ = nullptr;
   uint32_t replicas_;
   mon::OsdMap osd_map_;
   std::map<std::string, NotifyHandler> notify_handlers_;

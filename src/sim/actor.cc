@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/log.h"
+#include "src/common/trace.h"
+
 namespace mal::sim {
 
 Actor::Actor(Simulator* simulator, Network* network, EntityName name)
@@ -19,11 +22,17 @@ void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
     if (it == pending_rpcs_.end()) {
       return;
     }
-    ReplyHandler handler = std::move(it->second.handler);
+    PendingRpc rpc = std::move(it->second);
     pending_rpcs_.erase(it);
-    handler(mal::Status::TimedOut(), Envelope{});
+    FinishRpc(std::move(rpc), mal::Status::TimedOut(), Envelope{});
   });
-  pending_rpcs_[rpc_id] = PendingRpc{std::move(on_reply), timeout_event};
+
+  PendingRpc rpc{std::move(on_reply), timeout_event, {}, trace::Current()};
+  if (trace::Collector() != nullptr && rpc.caller.valid()) {
+    rpc.span = trace::Collector()->StartSpan(
+        "rpc:" + to.ToString() + ":" + trace::MessageName(static_cast<uint16_t>(type)),
+        name_.ToString(), Now(), rpc.caller);
+  }
 
   Envelope envelope;
   envelope.from = name_;
@@ -31,7 +40,20 @@ void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
   envelope.type = type;
   envelope.rpc_id = rpc_id;
   envelope.payload = std::move(payload);
+  envelope.trace = rpc.span.valid() ? rpc.span : rpc.caller;
+  pending_rpcs_[rpc_id] = std::move(rpc);
   network_->Send(std::move(envelope));
+}
+
+void Actor::FinishRpc(PendingRpc rpc, const mal::Status& status, const Envelope& reply) {
+  if (rpc.span.valid() && trace::Collector() != nullptr) {
+    trace::Collector()->EndSpan(rpc.span, Now(),
+                                status.ok() ? "ok" : status.message().empty()
+                                                         ? "error"
+                                                         : status.message());
+  }
+  trace::ScopedContext scope(rpc.caller);
+  rpc.handler(status, reply);
 }
 
 void Actor::SendOneWay(EntityName to, uint32_t type, mal::Buffer payload) {
@@ -40,10 +62,18 @@ void Actor::SendOneWay(EntityName to, uint32_t type, mal::Buffer payload) {
   envelope.to = to;
   envelope.type = type;
   envelope.payload = std::move(payload);
+  envelope.trace = trace::Current();
   network_->Send(std::move(envelope));
 }
 
 void Actor::Reply(const Envelope& request, mal::Buffer payload) {
+  auto span_it = server_spans_.find({request.from, request.rpc_id});
+  if (span_it != server_spans_.end()) {
+    if (trace::Collector() != nullptr) {
+      trace::Collector()->EndSpan(span_it->second, Now());
+    }
+    server_spans_.erase(span_it);
+  }
   Envelope envelope;
   envelope.from = name_;
   envelope.to = request.from;
@@ -55,6 +85,13 @@ void Actor::Reply(const Envelope& request, mal::Buffer payload) {
 }
 
 void Actor::ReplyError(const Envelope& request, const mal::Status& status) {
+  auto span_it = server_spans_.find({request.from, request.rpc_id});
+  if (span_it != server_spans_.end()) {
+    if (trace::Collector() != nullptr) {
+      trace::Collector()->EndSpan(span_it->second, Now(), status.message());
+    }
+    server_spans_.erase(span_it);
+  }
   Envelope envelope;
   envelope.from = name_;
   envelope.to = request.from;
@@ -82,6 +119,7 @@ void Actor::AfterCpu(Time cost, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
   simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
     if (alive_ && incarnation_ == incarnation) {
+      mal::ScopedLogContext log_scope(Now(), name_.ToString());
       fn();
     }
   });
@@ -98,6 +136,7 @@ void Actor::AfterDispatch(Time cost, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
   simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
     if (alive_ && incarnation_ == incarnation) {
+      mal::ScopedLogContext log_scope(Now(), name_.ToString());
       fn();
     }
   });
@@ -122,10 +161,14 @@ double Actor::CpuUtilization(Time window) const {
 
 void Actor::StartPeriodic(Time period, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
+  // Periodic maintenance is not causally part of whatever request happens to
+  // be executing when the timer is armed; schedule it untraced.
+  trace::ScopedContext untraced(trace::TraceContext{});
   simulator_->Schedule(period, [this, period, incarnation, fn = std::move(fn)]() {
     if (!alive_ || incarnation_ != incarnation) {
       return;
     }
+    mal::ScopedLogContext log_scope(Now(), name_.ToString());
     fn();
     StartPeriodic(period, fn);
   });
@@ -140,8 +183,9 @@ void Actor::Crash() {
   pending_rpcs_.clear();
   for (auto& [id, rpc] : pending) {
     simulator_->Cancel(rpc.timeout_event);
-    rpc.handler(mal::Status::Unavailable("local daemon crashed"), Envelope{});
+    FinishRpc(std::move(rpc), mal::Status::Unavailable("local daemon crashed"), Envelope{});
   }
+  server_spans_.clear();
   cpu_busy_until_ = 0;
   dispatch_busy_until_ = 0;
   busy_log_.clear();
@@ -157,22 +201,42 @@ void Actor::Deliver(Envelope envelope) {
   if (!alive_) {
     return;
   }
+  mal::ScopedLogContext log_scope(Now(), name_.ToString());
   if (envelope.is_reply) {
     auto it = pending_rpcs_.find(envelope.rpc_id);
     if (it == pending_rpcs_.end()) {
       return;  // reply raced with its timeout; drop
     }
-    ReplyHandler handler = std::move(it->second.handler);
-    simulator_->Cancel(it->second.timeout_event);
+    PendingRpc rpc = std::move(it->second);
+    simulator_->Cancel(rpc.timeout_event);
     pending_rpcs_.erase(it);
     mal::Status status = envelope.error_code == 0
                              ? mal::Status::Ok()
                              : mal::Status(static_cast<mal::Code>(envelope.error_code),
                                            envelope.payload.ToString());
-    handler(status, envelope);
+    FinishRpc(std::move(rpc), status, envelope);
     return;
   }
-  HandleRequest(envelope);
+  // Server side: open a handling span parented on the carried context. For
+  // rpc requests it closes when the matching Reply/ReplyError goes out; for
+  // one-way messages it covers the synchronous part of the handler.
+  trace::TraceContext server_ctx = envelope.trace;
+  if (trace::Collector() != nullptr && envelope.trace.valid()) {
+    server_ctx = trace::Collector()->StartSpan(
+        "handle:" + trace::MessageName(static_cast<uint16_t>(envelope.type)),
+        name_.ToString(), Now(), envelope.trace);
+    if (envelope.rpc_id != 0) {
+      server_spans_[{envelope.from, envelope.rpc_id}] = server_ctx;
+    }
+  }
+  {
+    trace::ScopedContext scope(server_ctx);
+    HandleRequest(envelope);
+  }
+  if (envelope.rpc_id == 0 && server_ctx.valid() && server_ctx.span_id != envelope.trace.span_id &&
+      trace::Collector() != nullptr) {
+    trace::Collector()->EndSpan(server_ctx, Now());
+  }
 }
 
 }  // namespace mal::sim

@@ -91,7 +91,13 @@ class Actor : public MessageSink {
   struct PendingRpc {
     ReplyHandler handler;
     EventId timeout_event;
+    trace::TraceContext span;    // client rpc span (invalid when untraced)
+    trace::TraceContext caller;  // ambient context at SendRequest time
   };
+
+  // Ends the rpc span (if any) and runs the handler under the caller's
+  // trace context, so continuation work stays attributed to the request.
+  void FinishRpc(PendingRpc rpc, const mal::Status& status, const Envelope& reply);
 
   Simulator* simulator_;
   Network* network_;
@@ -100,6 +106,9 @@ class Actor : public MessageSink {
   uint64_t next_rpc_id_ = 1;
   uint64_t incarnation_ = 0;  // bumped on crash; stale timers check it
   std::map<uint64_t, PendingRpc> pending_rpcs_;
+  // Open server-side handling spans, keyed by (requester, rpc_id); closed
+  // when the matching Reply/ReplyError is sent.
+  std::map<std::pair<EntityName, uint64_t>, trace::TraceContext> server_spans_;
   Time cpu_busy_until_ = 0;
   Time dispatch_busy_until_ = 0;
   // Busy-time accounting for utilization: (interval_end, busy_in_interval).

@@ -15,6 +15,7 @@
 
 #include "src/common/buffer.h"
 #include "src/common/rng.h"
+#include "src/common/trace.h"
 #include "src/sim/simulator.h"
 
 namespace mal::sim {
@@ -51,6 +52,10 @@ struct Envelope {
   bool is_reply = false;
   uint32_t error_code = 0;  // mal::Code for replies
   mal::Buffer payload;
+  // Trace context propagated with the message (Dapper's in-band baggage).
+  // Deliberately excluded from WireSize: tracing must not perturb the
+  // latency model or the jitter RNG stream of an untraced run.
+  trace::TraceContext trace;
 
   size_t WireSize() const { return payload.size() + 32; }  // 32-byte header
 };

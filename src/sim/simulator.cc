@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/trace.h"
+
 namespace mal::sim {
 
 EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
@@ -12,6 +14,16 @@ EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
 EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
   EventId id = next_id_++;
+  // Dapper-style propagation through the event loop: work scheduled while a
+  // trace context is ambient runs under that context, so causality follows
+  // continuations (CPU completions, message deliveries, retries) without
+  // per-call-site plumbing.
+  if (trace::Current().valid()) {
+    fn = [ctx = trace::Current(), inner = std::move(fn)]() {
+      trace::ScopedContext scope(ctx);
+      inner();
+    };
+  }
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
   return id;
 }
@@ -33,7 +45,11 @@ bool Simulator::Step() {
     }
     now_ = ev.when;
     ++events_processed_;
+    // Events not scheduled under a trace run untraced; the wrapper installed
+    // by ScheduleAt restores the captured context for those that were.
+    trace::SetCurrent(trace::TraceContext{});
     ev.fn();
+    trace::SetCurrent(trace::TraceContext{});
     return true;
   }
   return false;

@@ -112,6 +112,9 @@ void Log::Open(DoneHandler on_done) {
 }
 
 void Log::RefreshEpoch(DoneHandler on_done) {
+  if (perf_ != nullptr) {
+    perf_->Inc("zlog.epoch_refreshes");
+  }
   mds_->Lookup(sequencer_path_,
                [this, on_done = std::move(on_done)](mal::Status status,
                                                     const mds::MdsReply& reply) {
@@ -187,7 +190,27 @@ void Log::GetPositionBatch(uint64_t count, PositionHandler on_first) {
 }
 
 void Log::Append(mal::Buffer data, PositionHandler on_done) {
-  AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(on_done), 0);
+  if (perf_ != nullptr) {
+    perf_->Inc("zlog.appends");
+  }
+  // Root span for the whole append: the sequencer round-trip and the OSD
+  // write become children via the ambient-context propagation in the
+  // actor/RPC layer.
+  trace::TraceContext span;
+  if (trace::Collector() != nullptr) {
+    span = trace::Collector()->StartSpan("zlog.Append", owner_->name().ToString(),
+                                         owner_->Now(), trace::Current());
+  }
+  auto wrapped = [this, span, on_done = std::move(on_done)](mal::Status status,
+                                                            uint64_t position) {
+    if (span.valid() && trace::Collector() != nullptr) {
+      trace::Collector()->EndSpan(span, owner_->Now(),
+                                  status.ok() ? "ok" : status.message());
+    }
+    on_done(status, position);
+  };
+  trace::ScopedContext scope(span.valid() ? span : trace::Current());
+  AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(wrapped), 0);
 }
 
 // -- batched, pipelined append ---------------------------------------------------
@@ -196,6 +219,8 @@ struct Log::Batch {
   std::vector<mal::Buffer> entries;
   std::vector<uint64_t> positions;  // parallel to entries; valid on success
   BatchHandler on_done;
+  trace::TraceContext span;  // root span covering queue + seq + OSD writes
+  sim::Time start_ns = 0;
 };
 
 void Log::AppendBatch(std::vector<mal::Buffer> entries, BatchHandler on_done) {
@@ -203,10 +228,19 @@ void Log::AppendBatch(std::vector<mal::Buffer> entries, BatchHandler on_done) {
     on_done(mal::Status::Ok(), {});
     return;
   }
+  if (perf_ != nullptr) {
+    perf_->Inc("zlog.batches");
+    perf_->Inc("zlog.entries", entries.size());
+  }
   auto batch = std::make_shared<Batch>();
   batch->entries = std::move(entries);
   batch->positions.resize(batch->entries.size(), 0);
   batch->on_done = std::move(on_done);
+  batch->start_ns = owner_->Now();
+  if (trace::Collector() != nullptr) {
+    batch->span = trace::Collector()->StartSpan(
+        "zlog.AppendBatch", owner_->name().ToString(), owner_->Now(), trace::Current());
+  }
   batch_queue_.push_back(std::move(batch));
   PumpBatchQueue();
 }
@@ -217,6 +251,9 @@ void Log::PumpBatchQueue() {
     std::shared_ptr<Batch> batch = batch_queue_.front();
     batch_queue_.pop_front();
     ++inflight_;
+    if (perf_ != nullptr) {
+      perf_->Set("zlog.inflight", inflight_);
+    }
     std::vector<size_t> indices(batch->entries.size());
     for (size_t i = 0; i < indices.size(); ++i) {
       indices[i] = i;
@@ -227,12 +264,29 @@ void Log::PumpBatchQueue() {
 
 void Log::FinishBatch(std::shared_ptr<Batch> batch, mal::Status status) {
   --inflight_;
+  if (perf_ != nullptr) {
+    perf_->Set("zlog.inflight", inflight_);
+    perf_->Observe("zlog.batch_us",
+                   static_cast<double>(owner_->Now() - batch->start_ns) / 1e3);
+  }
+  if (batch->span.valid() && trace::Collector() != nullptr) {
+    trace::Collector()->EndSpan(batch->span, owner_->Now(),
+                                status.ok() ? "ok" : status.message());
+  }
   batch->on_done(status, batch->positions);
   PumpBatchQueue();
 }
 
 void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices,
                        int attempt) {
+  // Every hop of this batch — sequencer grant, per-object OSD transactions,
+  // recovery — attributes to the batch's root span. PumpBatchQueue may call
+  // us from another batch's completion context, so pin (or clear) the
+  // ambient context explicitly.
+  trace::ScopedContext scope(batch->span);
+  if (attempt > 0 && perf_ != nullptr) {
+    perf_->Inc("zlog.batch_retries");
+  }
   if (attempt >= options_.max_append_retries) {
     FinishBatch(std::move(batch), mal::Status::Unavailable("append retries exhausted"));
     return;

@@ -22,6 +22,8 @@
 #include <string>
 
 #include "src/cls/builtin.h"
+#include "src/common/perf.h"
+#include "src/common/trace.h"
 #include "src/mds/mds_client.h"
 #include "src/rados/client.h"
 
@@ -89,6 +91,12 @@ class Log {
   // Batches currently on the wire (diagnostics/bench).
   uint32_t inflight_batches() const { return inflight_; }
 
+  // Optional counter sink owned by the embedding client. When set, the log
+  // records zlog.appends / zlog.batches / zlog.entries /
+  // zlog.epoch_refreshes / zlog.batch_retries plus the zlog.inflight gauge
+  // and a zlog.batch_us latency histogram.
+  void set_perf(mal::PerfRegistry* perf) { perf_ = perf; }
+
   // Random read of a position; never blocks on the sequencer.
   void Read(uint64_t position, ReadHandler on_data);
 
@@ -146,6 +154,7 @@ class Log {
   sim::Actor* owner_;
   rados::RadosClient* rados_;
   mds::MdsClient* mds_;
+  mal::PerfRegistry* perf_ = nullptr;
   LogOptions options_;
   std::string sequencer_path_;
   uint64_t epoch_ = 0;

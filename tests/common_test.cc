@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "src/common/buffer.h"
+#include "src/common/log.h"
+#include "src/common/perf.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 
 namespace mal {
 namespace {
@@ -270,6 +273,262 @@ TEST(ThroughputSeriesTest, GapsAreZero) {
   ASSERT_EQ(series.size(), 4u);
   EXPECT_DOUBLE_EQ(series[1].second, 0.0);
   EXPECT_DOUBLE_EQ(series[2].second, 0.0);
+}
+
+TEST(ThroughputSeriesTest, ExtendToEmitsTrailingZeroWindows) {
+  ThroughputSeries ts(1'000'000'000);
+  ts.Record(500'000'000);  // one op at t=0.5s
+  // Without extension the series ends at the last event's window.
+  ASSERT_EQ(ts.Series().size(), 1u);
+  // The run actually lasted 4.2s with a trailing stall: the stall must show
+  // up as explicit zero-rate windows, not a silently truncated series.
+  ts.ExtendTo(4'200'000'000);
+  auto series = ts.Series();
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series[0].second, 1.0);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].second, 0.0);
+  }
+  // Extending backwards is a no-op.
+  ts.ExtendTo(1'000'000'000);
+  EXPECT_EQ(ts.Series().size(), 5u);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+
+  Histogram single;
+  single.Add(42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.stddev(), 0.0);
+
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) {
+    h.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 10.0);
+}
+
+TEST(HistogramTest, MergeEdgeCases) {
+  Histogram a;
+  Histogram empty;
+  a.Add(5);
+  a.Add(1);
+  a.Merge(empty);  // merging empty: no-op
+  EXPECT_EQ(a.count(), 2u);
+  empty.Merge(a);  // merging into empty: copies
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  Histogram b;
+  b.Add(3);
+  a.Merge(b);
+  // Quantiles re-sort even though b's sample lands between a's.
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 5.0);
+}
+
+TEST(BoundedHistogramTest, DecimatesDeterministicallyAtCap) {
+  BoundedHistogram h(64);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Observe(i);
+  }
+  EXPECT_EQ(h.observed(), 10'000u);
+  EXPECT_LE(h.samples().size(), 64u);
+  EXPECT_GE(h.samples().size(), 16u);
+  // No RNG: an identical observation stream yields identical survivors.
+  BoundedHistogram h2(64);
+  for (int i = 0; i < 10'000; ++i) {
+    h2.Observe(i);
+  }
+  EXPECT_EQ(h.samples(), h2.samples());
+  // Survivors stay an evenly spaced subsequence, so summary statistics of
+  // the uniform stream survive decimation.
+  Histogram summary = h.ToHistogram();
+  EXPECT_NEAR(summary.mean(), 5'000.0, 800.0);
+  EXPECT_NEAR(summary.Quantile(0.5), 5'000.0, 800.0);
+}
+
+TEST(BoundedHistogramTest, BelowCapKeepsEverySample) {
+  BoundedHistogram h(1024);
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(i);
+  }
+  EXPECT_EQ(h.observed(), 100u);
+  EXPECT_EQ(h.samples().size(), 100u);
+}
+
+TEST(PerfRegistryTest, CountersGaugesHistograms) {
+  PerfRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.Inc("ops");
+  reg.Inc("ops", 4);
+  reg.Set("depth", 3.5);
+  reg.Observe("lat_us", 10);
+  reg.Observe("lat_us", 30);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.counter("ops"), 5u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth"), 3.5);
+  ASSERT_NE(reg.histogram("lat_us"), nullptr);
+  EXPECT_EQ(reg.histogram("lat_us")->observed(), 2u);
+  EXPECT_EQ(reg.histogram("missing"), nullptr);
+
+  PerfSnapshot snap = reg.Snapshot("osd.0", 123);
+  EXPECT_EQ(snap.entity, "osd.0");
+  EXPECT_EQ(snap.time_ns, 123u);
+  EXPECT_EQ(snap.counters.at("ops"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 3.5);
+  ASSERT_EQ(snap.histograms.at("lat_us").samples.size(), 2u);
+}
+
+TEST(PerfSnapshotTest, EncodeDecodeRoundTrip) {
+  PerfRegistry reg;
+  reg.Inc("mon.paxos.commits", 7);
+  reg.Set("mon.osdmap_epoch", 4);
+  reg.Observe("queue_us", 1.5);
+  reg.Observe("queue_us", 2.5);
+  PerfSnapshot snap = reg.Snapshot("mon.0", 42);
+
+  Buffer wire;
+  snap.Encode(&wire);
+  PerfSnapshot decoded;
+  ASSERT_TRUE(PerfSnapshot::Decode(wire, &decoded).ok());
+  EXPECT_EQ(decoded.entity, "mon.0");
+  EXPECT_EQ(decoded.time_ns, 42u);
+  EXPECT_EQ(decoded.counters, snap.counters);
+  EXPECT_EQ(decoded.gauges, snap.gauges);
+  ASSERT_EQ(decoded.histograms.at("queue_us").samples.size(), 2u);
+  EXPECT_EQ(decoded.histograms.at("queue_us").observed, 2u);
+
+  // Truncated wire data fails cleanly instead of reading junk.
+  Buffer truncated = Buffer::FromString(wire.ToString().substr(0, wire.size() / 2));
+  PerfSnapshot bad;
+  EXPECT_FALSE(PerfSnapshot::Decode(truncated, &bad).ok());
+}
+
+TEST(PerfSnapshotTest, AggregateSumsCountersMergesHistsDropsGauges) {
+  PerfRegistry a;
+  a.Inc("ops", 2);
+  a.Set("epoch", 3);
+  a.Observe("lat", 1);
+  PerfRegistry b;
+  b.Inc("ops", 5);
+  b.Inc("aborts", 1);
+  b.Set("epoch", 4);
+  b.Observe("lat", 9);
+
+  PerfSnapshot agg =
+      AggregateSnapshots({a.Snapshot("osd.0", 10), b.Snapshot("osd.1", 20)});
+  EXPECT_EQ(agg.entity, "cluster");
+  EXPECT_EQ(agg.time_ns, 20u);
+  EXPECT_EQ(agg.counters.at("ops"), 7u);
+  EXPECT_EQ(agg.counters.at("aborts"), 1u);
+  // Gauges are point-in-time per entity; a cross-entity sum is meaningless.
+  EXPECT_TRUE(agg.gauges.empty());
+  EXPECT_EQ(agg.histograms.at("lat").samples.size(), 2u);
+  EXPECT_EQ(agg.histograms.at("lat").observed, 2u);
+}
+
+TEST(PerfDumpTest, JsonContainsEntitiesAndClusterAggregate) {
+  PerfRegistry reg;
+  reg.Inc("osd.op.write.count", 3);
+  std::string json = PerfDumpToJson({reg.Snapshot("osd.0", 5)}, 9);
+  EXPECT_NE(json.find("\"time_ns\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"osd.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"osd.op.write.count\": 3"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, SpanTreeAndHopStats) {
+  trace::TraceCollector collector;
+  trace::TraceContext root = collector.StartSpan("zlog.AppendBatch", "client.0", 100);
+  EXPECT_TRUE(root.valid());
+  trace::TraceContext seq =
+      collector.StartSpan("rpc:mds.0:mds.seq_next", "client.0", 200, root);
+  EXPECT_EQ(seq.trace_id, root.trace_id);
+  EXPECT_EQ(seq.parent_span_id, root.span_id);
+  collector.EndSpan(seq, 700);
+  trace::TraceContext osd =
+      collector.StartSpan("rpc:osd.1:osd.op", "client.0", 700, root);
+  collector.EndSpan(osd, 1'900);
+  collector.EndSpan(root, 1'900);
+
+  auto roots = collector.Roots(root.trace_id);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0]->name, "zlog.AppendBatch");
+  auto children = collector.ChildrenOf(root.span_id);
+  ASSERT_EQ(children.size(), 2u);
+
+  // EndSpan is idempotent: a late duplicate close keeps the first end time.
+  collector.EndSpan(seq, 5'000);
+  EXPECT_EQ(collector.Find(seq.span_id)->end_ns, 700u);
+
+  auto hops = collector.HopStats(root.trace_id);
+  EXPECT_EQ(hops.at("rpc:mds.0:mds.seq_next").count, 1u);
+  EXPECT_EQ(hops.at("rpc:mds.0:mds.seq_next").total_ns, 500u);
+  EXPECT_EQ(hops.at("rpc:osd.1:osd.op").total_ns, 1'200u);
+
+  std::string tree = collector.RenderTree(root.trace_id);
+  EXPECT_NE(tree.find("zlog.AppendBatch"), std::string::npos);
+  EXPECT_NE(tree.find("rpc:osd.1:osd.op"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, FreshTraceWhenParentInvalid) {
+  trace::TraceCollector collector;
+  trace::TraceContext a = collector.StartSpan("a", "x", 0);
+  trace::TraceContext b = collector.StartSpan("b", "x", 0);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(collector.Roots(a.trace_id).size(), 1u);
+  EXPECT_EQ(collector.Roots(b.trace_id).size(), 1u);
+}
+
+TEST(LogLevelTest, ComponentOverridesAndContextStamp) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+
+  // Exact component override wins over the global threshold.
+  SetComponentLogLevel("osd.3", LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  MAL_DEBUG("osd.3") << "debug line";
+  MAL_DEBUG("osd.4") << "suppressed";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("debug line"), std::string::npos);
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+
+  // Daemon-type prefix ("mds") covers every rank without an exact entry.
+  SetComponentLogLevel("mds", LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  MAL_ERROR("mds.7") << "silenced error";
+  out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("silenced error"), std::string::npos);
+
+  // Ambient context stamps the simulated clock and node onto the line.
+  {
+    ScopedLogContext ctx(1'500'000'000, "osd.3");
+    testing::internal::CaptureStderr();
+    MAL_DEBUG("osd.3") << "stamped";
+    out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("[1.500000s osd.3]"), std::string::npos);
+  }
+  testing::internal::CaptureStderr();
+  MAL_WARN("osd.3") << "unstamped";
+  out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("1.500000s"), std::string::npos);
+
+  ClearComponentLogLevels();
+  SetLogLevel(saved);
 }
 
 }  // namespace
