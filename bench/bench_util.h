@@ -4,7 +4,10 @@
 #ifndef MALACOLOGY_BENCH_BENCH_UTIL_H_
 #define MALACOLOGY_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -14,6 +17,33 @@
 #include "src/common/trace.h"
 
 namespace mal::bench {
+
+// Process peak resident set size in MiB (0 if the platform query fails).
+// Sampled into every BENCH_*.json record: COW aliasing trades memory for
+// speed (a live slice pins its whole arena), so the benches that prove the
+// wall-clock win also expose its memory cost.
+inline double PeakRssMb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KiB on Linux
+}
+
+// Host wall-clock timer (monotonic). The simulated clock measures modeled
+// latency; this measures what the substrate actually costs to run.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void PrintHeader(const std::string& figure, const std::string& description) {
   std::printf("==============================================================\n");
@@ -121,15 +151,32 @@ inline void PrintBreakdown(const std::string& label, const HopBreakdown& breakdo
 // writes a BENCH_<name>.json file so the perf trajectory of a bench can be
 // tracked across PRs (and diffed in CI) without scraping stdout.
 //
+// Every record is automatically stamped with host-side cost fields:
+//   - wall_seconds: wall-clock since the previous Add (or construction),
+//     i.e. what this configuration cost to run on the host;
+//   - peak_rss_mb:  process peak RSS at Add time;
+//   - events_per_sec: events / wall_seconds, when Add is given an event
+//     count.
+// Simulated metrics (throughput/latency in virtual time) are the caller's;
+// they must be bit-identical across substrate optimizations — the wall
+// fields are where an optimization is allowed to show up.
+//
 //   JsonReporter json("zlog");
-//   json.Add("batched(b=16,w=4)", {{"appends_per_sec", 1.2e5}, ...});
+//   json.Add("batched(b=16,w=4)", {{"appends_per_sec", 1.2e5}, ...}, 2048);
 //   json.Write();   // -> BENCH_zlog.json
 class JsonReporter {
  public:
   explicit JsonReporter(std::string name) : name_(std::move(name)) {}
 
   void Add(const std::string& config,
-           std::vector<std::pair<std::string, double>> metrics) {
+           std::vector<std::pair<std::string, double>> metrics, double events = 0) {
+    double wall = timer_.Seconds();
+    timer_.Reset();
+    metrics.emplace_back("wall_seconds", wall);
+    if (events > 0 && wall > 0) {
+      metrics.emplace_back("events_per_sec", events / wall);
+    }
+    metrics.emplace_back("peak_rss_mb", PeakRssMb());
     records_.push_back({config, std::move(metrics)});
   }
 
@@ -186,7 +233,16 @@ class JsonReporter {
   };
   std::string name_;
   std::vector<Record> records_;
+  WallTimer timer_;  // marks the start of the in-progress configuration
 };
+
+// Standard pass/fail line for invariants a bench asserts about its own
+// results ("per-append cost flat across object sizes"). CI greps for
+// "shape check" lines and fails the build when any says FAIL.
+inline bool ShapeCheck(const std::string& what, bool pass) {
+  std::printf("shape check: %s ... %s\n", what.c_str(), pass ? "PASS" : "FAIL");
+  return pass;
+}
 
 }  // namespace mal::bench
 

@@ -82,7 +82,7 @@ BENCHMARK(BM_ObjectStoreWriteRead);
 void BM_ZlogClassWrite(benchmark::State& state) {
   mal::cls::ClassRegistry registry;
   mal::cls::RegisterBuiltinClasses(&registry);
-  std::optional<mal::osd::Object> staged;
+  mal::osd::TxnObject staged(nullptr);
   uint64_t pos = 0;
   mal::Buffer entry = mal::Buffer::FromString(std::string(256, 'e'));
   for (auto _ : state) {

@@ -3,72 +3,60 @@
 namespace mal::cls {
 
 mal::Result<mal::Buffer> ClsContext::Read(uint64_t offset, uint64_t length) const {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  uint64_t len = length == 0 ? (*staged_)->data.size() : length;
-  return (*staged_)->data.Read(offset, len);
+  uint64_t len = length == 0 ? staged_->data().size() : length;
+  return staged_->data().Read(offset, len);  // O(1) aliased slice
 }
 
 mal::Result<uint64_t> ClsContext::Size() const {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  return static_cast<uint64_t>((*staged_)->data.size());
+  return static_cast<uint64_t>(staged_->data().size());
 }
 
 mal::Result<std::string> ClsContext::OmapGet(const std::string& key) const {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  auto it = (*staged_)->omap.find(key);
-  if (it == (*staged_)->omap.end()) {
+  const std::string* value = staged_->OmapFind(key);
+  if (value == nullptr) {
     return mal::Status::NotFound("omap key " + key);
   }
-  return it->second;
+  return *value;
 }
 
 mal::Result<std::map<std::string, std::string>> ClsContext::OmapList(
     const std::string& prefix) const {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  std::map<std::string, std::string> matched;
-  for (const auto& [k, v] : (*staged_)->omap) {
-    if (k.rfind(prefix, 0) == 0) {
-      matched[k] = v;
-    }
-  }
-  return matched;
+  return staged_->OmapList(prefix);
 }
 
 mal::Result<std::string> ClsContext::XattrGet(const std::string& key) const {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  auto it = (*staged_)->xattrs.find(key);
-  if (it == (*staged_)->xattrs.end()) {
+  const std::string* value = staged_->XattrFind(key);
+  if (value == nullptr) {
     return mal::Status::NotFound("xattr " + key);
   }
-  return it->second;
-}
-
-void ClsContext::Materialize() {
-  if (!staged_->has_value()) {
-    staged_->emplace();
-  }
+  return *value;
 }
 
 void ClsContext::RecordAndApply(osd::Op op) { effects_->push_back(std::move(op)); }
 
 mal::Status ClsContext::Create(bool excl) {
-  if (staged_->has_value()) {
+  if (staged_->exists()) {
     if (excl) {
       return mal::Status::AlreadyExists("object " + oid_);
     }
     return mal::Status::Ok();
   }
-  Materialize();
+  staged_->Create();
   osd::Op op;
   op.type = osd::Op::Type::kCreate;
   op.excl = false;  // staged check already enforced exclusivity
@@ -77,8 +65,8 @@ mal::Status ClsContext::Create(bool excl) {
 }
 
 mal::Status ClsContext::Write(uint64_t offset, const mal::Buffer& data) {
-  Materialize();
-  (*staged_)->data.Write(offset, data.data(), data.size());
+  staged_->Create();
+  staged_->MutableData()->Write(offset, data.data(), data.size());
   osd::Op op;
   op.type = osd::Op::Type::kWrite;
   op.offset = offset;
@@ -88,8 +76,8 @@ mal::Status ClsContext::Write(uint64_t offset, const mal::Buffer& data) {
 }
 
 mal::Status ClsContext::WriteFull(const mal::Buffer& data) {
-  Materialize();
-  (*staged_)->data = data;
+  staged_->Create();
+  *staged_->MutableData() = data;
   osd::Op op;
   op.type = osd::Op::Type::kWriteFull;
   op.data = data;
@@ -98,8 +86,8 @@ mal::Status ClsContext::WriteFull(const mal::Buffer& data) {
 }
 
 mal::Status ClsContext::Append(const mal::Buffer& data) {
-  Materialize();
-  (*staged_)->data.Append(data);
+  staged_->Create();
+  staged_->MutableData()->Append(data);
   osd::Op op;
   op.type = osd::Op::Type::kAppend;
   op.data = data;
@@ -108,8 +96,8 @@ mal::Status ClsContext::Append(const mal::Buffer& data) {
 }
 
 mal::Status ClsContext::OmapSet(const std::string& key, const std::string& value) {
-  Materialize();
-  (*staged_)->omap[key] = value;
+  staged_->Create();
+  staged_->OmapSet(key, value);
   osd::Op op;
   op.type = osd::Op::Type::kOmapSet;
   op.key = key;
@@ -119,10 +107,10 @@ mal::Status ClsContext::OmapSet(const std::string& key, const std::string& value
 }
 
 mal::Status ClsContext::OmapDel(const std::string& key) {
-  if (!staged_->has_value()) {
+  if (!staged_->exists()) {
     return mal::Status::NotFound("object " + oid_);
   }
-  (*staged_)->omap.erase(key);
+  staged_->OmapDel(key);
   osd::Op op;
   op.type = osd::Op::Type::kOmapDel;
   op.key = key;
@@ -131,8 +119,8 @@ mal::Status ClsContext::OmapDel(const std::string& key) {
 }
 
 mal::Status ClsContext::XattrSet(const std::string& key, const std::string& value) {
-  Materialize();
-  (*staged_)->xattrs[key] = value;
+  staged_->Create();
+  staged_->XattrSet(key, value);
   osd::Op op;
   op.type = osd::Op::Type::kXattrSet;
   op.key = key;

@@ -9,7 +9,6 @@
 #ifndef MALACOLOGY_CLS_CONTEXT_H_
 #define MALACOLOGY_CLS_CONTEXT_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,14 +20,14 @@ namespace mal::cls {
 
 class ClsContext {
  public:
-  // `staged` is the transaction's working copy of the object (nullopt if it
-  // does not exist); `effects` accumulates replicated primitive ops.
-  ClsContext(std::string oid, std::optional<osd::Object>* staged,
-             std::vector<osd::Op>* effects)
+  // `staged` is the transaction's delta view of the object (see
+  // osd::TxnObject — the committed object is never touched until commit);
+  // `effects` accumulates replicated primitive ops.
+  ClsContext(std::string oid, osd::TxnObject* staged, std::vector<osd::Op>* effects)
       : oid_(std::move(oid)), staged_(staged), effects_(effects) {}
 
   const std::string& oid() const { return oid_; }
-  bool Exists() const { return staged_->has_value(); }
+  bool Exists() const { return staged_->exists(); }
 
   // -- reads (staged view) ---------------------------------------------------
   mal::Result<mal::Buffer> Read(uint64_t offset, uint64_t length) const;
@@ -47,11 +46,10 @@ class ClsContext {
   mal::Status XattrSet(const std::string& key, const std::string& value);
 
  private:
-  void Materialize();
   void RecordAndApply(osd::Op op);
 
   std::string oid_;
-  std::optional<osd::Object>* staged_;
+  osd::TxnObject* staged_;
   std::vector<osd::Op>* effects_;
 };
 

@@ -229,7 +229,7 @@ mal::Status ClassRegistry::InstallScript(const std::string& cls, const std::stri
   }
   // Discover methods: run the chunk in a scratch interpreter with a dummy
   // context and record which globals became callable.
-  std::optional<osd::Object> staged;
+  osd::TxnObject staged(nullptr);
   std::vector<osd::Op> effects;
   ClsContext scratch_ctx("scratch", &staged, &effects);
   Interpreter scratch;

@@ -4,19 +4,125 @@
 
 namespace mal {
 
-void Buffer::Write(size_t offset, const void* p, size_t n) {
-  if (offset + n > data_.size()) {
-    data_.resize(offset + n, '\0');
+std::string* Buffer::Detach(size_t reserve_total) {
+  auto fresh = std::make_shared<std::string>();
+  fresh->reserve(std::max(reserve_total, length_));
+  if (length_ > 0) {
+    fresh->assign(storage_->data() + offset_, length_);
   }
-  std::memcpy(data_.data() + offset, p, n);
+  storage_ = std::move(fresh);
+  offset_ = 0;
+  length_ = storage_->size();
+  return storage_.get();
+}
+
+void Buffer::Append(const void* p, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (storage_ == nullptr) {
+    storage_ = std::make_shared<std::string>();
+    storage_->reserve(n);
+  } else if (UniqueFullSpan()) {
+    // Sole owner of the whole storage: append in place, reallocation is
+    // allowed because no other view can be dangled by it.
+  } else if (AtTail() && storage_->size() + n <= storage_->capacity()) {
+    // Shared storage, but this view ends at the storage tail and there is
+    // spare capacity: the new bytes land past every existing view without
+    // reallocating, so aliases (and decoders) stay valid. This is what
+    // keeps repeated appends to a snapshotted/shipped buffer O(1) amortized.
+  } else {
+    // Shared and either not at the tail or out of capacity: take a private
+    // copy with geometric growth so append chains stay amortized O(1).
+    Detach(std::max(length_ + n, 2 * length_));
+  }
+  storage_->append(static_cast<const char*>(p), n);
+  length_ += n;
+}
+
+void Buffer::Append(const Buffer& other) {
+  if (other.length_ == 0) {
+    return;
+  }
+  if (storage_ == nullptr) {
+    *this = other;  // O(1): alias the source; COW protects both sides
+    return;
+  }
+  if (other.storage_ == storage_) {
+    // Self-alias: materialize the source first so appending (which may
+    // extend our shared storage in place) cannot shift it under us.
+    std::string tmp(other.View());
+    Append(tmp.data(), tmp.size());
+    return;
+  }
+  Append(other.data(), other.length_);
+}
+
+void Buffer::Resize(size_t n) {
+  if (n == length_) {
+    return;
+  }
+  if (n < length_) {
+    length_ = n;  // O(1) truncate: the view shrinks, storage is untouched
+    return;
+  }
+  if (storage_ == nullptr) {
+    storage_ = std::make_shared<std::string>(n, '\0');
+    length_ = n;
+    return;
+  }
+  size_t extra = n - length_;
+  if (UniqueFullSpan()) {
+    storage_->resize(n, '\0');
+  } else if (AtTail() && storage_->size() + extra <= storage_->capacity()) {
+    storage_->resize(storage_->size() + extra, '\0');
+  } else {
+    Detach(std::max(n, 2 * length_));
+    storage_->resize(n, '\0');
+  }
+  length_ = n;
+}
+
+void Buffer::Reserve(size_t n) {
+  if (n <= length_) {
+    return;
+  }
+  if (storage_ == nullptr) {
+    storage_ = std::make_shared<std::string>();
+    storage_->reserve(n);
+    return;
+  }
+  if (UniqueFullSpan()) {
+    storage_->reserve(n);
+    return;
+  }
+  if (AtTail() && storage_->size() + (n - length_) <= storage_->capacity()) {
+    return;  // future appends up to n total bytes fit in place
+  }
+  Detach(n);
+}
+
+void Buffer::Write(size_t offset, const void* p, size_t n) {
+  size_t end = offset + n;
+  if (!UniqueFullSpan()) {
+    // Overwrites bytes other views may alias: copy-on-write.
+    Detach(std::max(end, length_));
+  }
+  if (end > storage_->size()) {
+    storage_->resize(end, '\0');
+  }
+  if (n > 0) {
+    std::memcpy(storage_->data() + offset, p, n);
+  }
+  length_ = storage_->size();
 }
 
 Buffer Buffer::Read(size_t offset, size_t n) const {
-  if (offset >= data_.size()) {
+  if (offset >= length_) {
     return Buffer();
   }
-  size_t take = std::min(n, data_.size() - offset);
-  return Buffer(data_.substr(offset, take));
+  size_t take = std::min(n, length_ - offset);
+  return Buffer(storage_, offset_ + offset, take);
 }
 
 void Encoder::PutVarU64(uint64_t v) {
@@ -78,6 +184,29 @@ std::string Decoder::GetString() {
   std::string s(data_.substr(pos_, n));
   pos_ += n;
   return s;
+}
+
+Buffer Decoder::GetBuffer() {
+  uint64_t n = GetVarU64();
+  if (!ok_ || pos_ + n > data_.size()) {
+    Fail();
+    return Buffer();
+  }
+  Buffer out;
+  if (n > 0) {
+    std::string_view backing = buffer_.View();
+    if (backing.data() == data_.data() && backing.size() == data_.size()) {
+      // Buffer-backed decode: alias the input instead of copying. The slice
+      // keeps the whole arena alive, which is the memory-for-speed tradeoff
+      // documented in docs/data_plane.md.
+      out = buffer_.Read(pos_, static_cast<size_t>(n));
+    } else {
+      // View-backed decode: nothing refcounted to alias, copy out.
+      out = Buffer(std::string(data_.substr(pos_, n)));
+    }
+  }
+  pos_ += n;
+  return out;
 }
 
 void EncodeStringMap(Encoder* enc, const std::map<std::string, std::string>& m) {

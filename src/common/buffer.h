@@ -3,6 +3,18 @@
 // and every object payload persisted by the object store round-trips through
 // this encoding, so the whole stack continuously exercises it.
 //
+// Buffer is a refcounted copy-on-write slice (shared storage + offset/length
+// view), like Ceph's bufferptr over a raw_buffer. Copying a Buffer, slicing
+// one with Read(), and handing payloads across the simulated wire are all
+// O(1) refcount bumps; mutation detaches a private copy only when the bytes
+// are actually shared. Two invariants make aliasing safe:
+//   1. Bytes inside any live view are never overwritten through a different
+//      Buffer — mutation of shared bytes detaches first.
+//   2. Shared storage is never reallocated: appends extend shared storage in
+//      place only while spare capacity lasts (new bytes land past every
+//      existing view), so raw pointers from data()/View() stay valid until
+//      the Buffer they came from is itself mutated.
+//
 // Wire format:
 //   - fixed-width integers: little-endian
 //   - varuint: LEB128
@@ -14,6 +26,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -23,45 +36,79 @@
 
 namespace mal {
 
-// An owned, contiguous byte buffer. Contiguity keeps the simulator fast and
-// the decoding logic simple; a production system would use iovec chains.
+// A refcounted, contiguous byte buffer with copy-on-write sharing.
+// Contiguity keeps the simulator fast and the decoding logic simple; a
+// production system would use iovec chains.
 class Buffer {
  public:
   Buffer() = default;
-  explicit Buffer(std::string data) : data_(std::move(data)) {}
+  explicit Buffer(std::string data)
+      : storage_(std::make_shared<std::string>(std::move(data))),
+        length_(storage_->size()) {}
   static Buffer FromString(std::string s) { return Buffer(std::move(s)); }
 
-  const char* data() const { return data_.data(); }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
-  void clear() { data_.clear(); }
+  const char* data() const { return storage_ ? storage_->data() + offset_ : ""; }
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  void clear() {
+    storage_.reset();
+    offset_ = 0;
+    length_ = 0;
+  }
 
-  void Append(const void* p, size_t n) { data_.append(static_cast<const char*>(p), n); }
-  void Append(const Buffer& other) { data_.append(other.data_); }
-  void Append(std::string_view sv) { data_.append(sv); }
+  void Append(const void* p, size_t n);
+  void Append(const Buffer& other);
+  void Append(std::string_view sv) { Append(sv.data(), sv.size()); }
 
-  // Zero-fill or truncate to exactly n bytes.
-  void Resize(size_t n) { data_.resize(n, '\0'); }
+  // Zero-fill or truncate to exactly n bytes. Truncating a shared buffer is
+  // O(1): the view shrinks, the storage is untouched.
+  void Resize(size_t n);
 
   // Pre-allocate capacity for at least n total bytes. Batched payloads
   // (multi-entry transactions, large encoded requests) call this once up
   // front instead of growing through repeated reallocation.
-  void Reserve(size_t n) { data_.reserve(n); }
-  size_t capacity() const { return data_.capacity(); }
+  void Reserve(size_t n);
+  size_t capacity() const { return storage_ ? storage_->capacity() - offset_ : 0; }
 
   // Overwrite [offset, offset+n) growing the buffer (zero-padded) if needed.
   void Write(size_t offset, const void* p, size_t n);
 
-  // Copy out [offset, offset+n), clamped to the buffer end.
+  // Alias [offset, offset+n), clamped to the buffer end: O(1), shares
+  // storage. Mutating either buffer afterwards copies-on-write.
   Buffer Read(size_t offset, size_t n) const;
 
-  std::string ToString() const { return data_; }
-  std::string_view View() const { return data_; }
+  std::string ToString() const { return std::string(View()); }
+  std::string_view View() const {
+    return storage_ ? std::string_view(storage_->data() + offset_, length_)
+                    : std::string_view();
+  }
 
-  bool operator==(const Buffer& other) const { return data_ == other.data_; }
+  bool operator==(const Buffer& other) const { return View() == other.View(); }
+
+  // True if both buffers alias the same underlying storage (regardless of
+  // the slice each views). Exposed for COW-semantics tests and asserts.
+  bool SharesStorageWith(const Buffer& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
 
  private:
-  std::string data_;
+  Buffer(std::shared_ptr<std::string> storage, size_t offset, size_t length)
+      : storage_(std::move(storage)), offset_(offset), length_(length) {}
+
+  bool UniqueFullSpan() const {
+    return storage_ && storage_.use_count() == 1 && offset_ == 0 &&
+           length_ == storage_->size();
+  }
+  bool AtTail() const { return storage_ && offset_ + length_ == storage_->size(); }
+
+  // Replaces shared storage with a private copy of the viewed slice,
+  // reserving `reserve_total` bytes (clamped up to the current length).
+  // Returns the private string; afterwards the buffer is unique+full-span.
+  std::string* Detach(size_t reserve_total);
+
+  std::shared_ptr<std::string> storage_;  // null = empty buffer
+  size_t offset_ = 0;
+  size_t length_ = 0;
 };
 
 // Appends wire-encoded values to a Buffer.
@@ -122,9 +169,14 @@ class Encoder {
 // Reads wire-encoded values from a Buffer. All getters are checked: reading
 // past the end flips the decoder into a failed state, and subsequent reads
 // return zero values. Callers check `ok()` once at the end.
+//
+// A decoder constructed from a Buffer shares its storage (keeping it alive
+// for the decoder's lifetime), and GetBuffer() returns an aliased O(1)
+// slice of the input instead of a copy. A decoder over a bare string_view
+// cannot alias and falls back to copying.
 class Decoder {
  public:
-  explicit Decoder(const Buffer& in) : data_(in.View()) {}
+  explicit Decoder(const Buffer& in) : buffer_(in), data_(buffer_.View()) {}
   explicit Decoder(std::string_view in) : data_(in) {}
 
   bool ok() const { return ok_; }
@@ -146,7 +198,7 @@ class Decoder {
   uint64_t GetVarU64();
 
   std::string GetString();
-  Buffer GetBuffer() { return Buffer(GetString()); }
+  Buffer GetBuffer();
 
   Status Finish() const {
     if (!ok_) {
@@ -159,6 +211,7 @@ class Decoder {
   uint64_t GetFixed(size_t width);
   void Fail() { ok_ = false; }
 
+  Buffer buffer_;  // shares the input's storage; empty when view-constructed
   std::string_view data_;
   size_t pos_ = 0;
   bool ok_ = true;

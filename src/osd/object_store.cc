@@ -54,12 +54,172 @@ Op Op::Decode(mal::Decoder* dec) {
   return op;
 }
 
+TxnObject::TxnObject(const Object* base) : base_(base) {
+  if (base_ != nullptr) {
+    exists_ = true;
+    data_ = base_->data;  // O(1) COW alias; writes detach privately
+    version_ = base_->version;
+  }
+}
+
+void TxnObject::Create() {
+  if (!exists_) {
+    exists_ = true;
+  }
+}
+
+void TxnObject::Remove() {
+  exists_ = false;
+  base_visible_ = false;
+  data_.clear();
+  version_ = 0;
+  omap_.clear();
+  xattrs_.clear();
+  snaps_.clear();
+}
+
+const std::string* TxnObject::OmapFind(const std::string& key) const {
+  if (auto it = omap_.find(key); it != omap_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  if (base_visible()) {
+    if (auto it = base_->omap.find(key); it != base_->omap.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+const std::string* TxnObject::XattrFind(const std::string& key) const {
+  if (auto it = xattrs_.find(key); it != xattrs_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  if (base_visible()) {
+    if (auto it = base_->xattrs.find(key); it != base_->xattrs.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+const mal::Buffer* TxnObject::SnapFind(const std::string& name) const {
+  if (auto it = snaps_.find(name); it != snaps_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  if (base_visible()) {
+    if (auto it = base_->snapshots.find(name); it != base_->snapshots.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+std::map<std::string, std::string> TxnObject::OmapList(const std::string& prefix) const {
+  std::map<std::string, std::string> matched;
+  if (base_visible()) {
+    // Keys sharing a prefix are contiguous in a sorted map.
+    for (auto it = base_->omap.lower_bound(prefix); it != base_->omap.end(); ++it) {
+      if (it->first.rfind(prefix, 0) != 0) {
+        break;
+      }
+      matched[it->first] = it->second;
+    }
+  }
+  for (auto it = omap_.lower_bound(prefix); it != omap_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) {
+      break;
+    }
+    if (it->second) {
+      matched[it->first] = *it->second;
+    } else {
+      matched.erase(it->first);
+    }
+  }
+  return matched;
+}
+
+void TxnObject::OmapSet(const std::string& key, std::string value) {
+  omap_[key] = std::move(value);
+}
+
+void TxnObject::OmapDel(const std::string& key) { omap_[key] = std::nullopt; }
+
+void TxnObject::XattrSet(const std::string& key, std::string value) {
+  xattrs_[key] = std::move(value);
+}
+
+void TxnObject::SnapSet(const std::string& name, mal::Buffer snap) {
+  snaps_[name] = std::move(snap);
+}
+
+bool TxnObject::SnapRemove(const std::string& name) {
+  if (SnapFind(name) == nullptr) {
+    return false;
+  }
+  snaps_[name] = std::nullopt;
+  return true;
+}
+
+std::optional<Object> TxnObject::Materialize() const {
+  if (!exists_) {
+    return std::nullopt;
+  }
+  Object out;
+  out.data = data_;
+  out.version = version_;
+  if (base_visible()) {
+    out.omap = base_->omap;
+    out.xattrs = base_->xattrs;
+    out.snapshots = base_->snapshots;
+  }
+  for (const auto& [k, v] : omap_) {
+    if (v) {
+      out.omap[k] = *v;
+    } else {
+      out.omap.erase(k);
+    }
+  }
+  for (const auto& [k, v] : xattrs_) {
+    if (v) {
+      out.xattrs[k] = *v;
+    } else {
+      out.xattrs.erase(k);
+    }
+  }
+  for (const auto& [k, v] : snaps_) {
+    if (v) {
+      out.snapshots[k] = *v;
+    } else {
+      out.snapshots.erase(k);
+    }
+  }
+  return out;
+}
+
 mal::Result<const Object*> ObjectStore::Get(const std::string& oid) const {
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
     return mal::Status::NotFound("object " + oid);
   }
   return &it->second;
+}
+
+void ObjectStore::Put(const std::string& oid, Object object) {
+  auto it = objects_.find(oid);
+  if (it != objects_.end()) {
+    bytes_used_ -= Footprint(it->second);
+  }
+  bytes_used_ += Footprint(object);
+  objects_[oid] = std::move(object);
+}
+
+void ObjectStore::Remove(const std::string& oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return;
+  }
+  bytes_used_ -= Footprint(it->second);
+  objects_.erase(it);
 }
 
 std::vector<std::string> ObjectStore::List() const {
@@ -71,15 +231,56 @@ std::vector<std::string> ObjectStore::List() const {
   return names;
 }
 
-uint64_t ObjectStore::bytes_used() const {
-  uint64_t total = 0;
-  for (const auto& [oid, object] : objects_) {
-    total += object.data.size();
-    for (const auto& [k, v] : object.omap) {
-      total += k.size() + v.size();
-    }
+uint64_t ObjectStore::Footprint(const Object& object) {
+  uint64_t total = object.data.size();
+  for (const auto& [k, v] : object.omap) {
+    total += k.size() + v.size();
   }
   return total;
+}
+
+uint64_t ObjectStore::RecomputeBytesUsed() const {
+  uint64_t total = 0;
+  for (const auto& [oid, object] : objects_) {
+    total += Footprint(object);
+  }
+  return total;
+}
+
+void ObjectStore::CommitInPlace(Object* object, const TxnObject& staged) {
+  bytes_used_ += staged.data().size();
+  bytes_used_ -= object->data.size();
+  object->data = staged.data();  // O(1): COW assignment
+  for (const auto& [k, v] : staged.omap_overlay()) {
+    auto it = object->omap.find(k);
+    if (it != object->omap.end()) {
+      bytes_used_ -= k.size() + it->second.size();
+      if (v) {
+        bytes_used_ += k.size() + v->size();
+        it->second = *v;
+      } else {
+        object->omap.erase(it);
+      }
+    } else if (v) {
+      bytes_used_ += k.size() + v->size();
+      object->omap.emplace(k, *v);
+    }
+  }
+  for (const auto& [k, v] : staged.xattr_overlay()) {
+    if (v) {
+      object->xattrs[k] = *v;
+    } else {
+      object->xattrs.erase(k);
+    }
+  }
+  for (const auto& [k, v] : staged.snap_overlay()) {
+    if (v) {
+      object->snapshots[k] = *v;
+    } else {
+      object->snapshots.erase(k);
+    }
+  }
+  ++object->version;
 }
 
 mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vector<Op>& ops,
@@ -87,14 +288,13 @@ mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vec
   results->clear();
   results->resize(ops.size());
 
-  // Stage: copy-on-write of the single target object. All ops execute
-  // against the staged copy; commit swaps it in only if every op succeeded.
-  std::optional<Object> staged;
-  bool existed = false;
-  if (auto it = objects_.find(oid); it != objects_.end()) {
-    staged = it->second;
-    existed = true;
-  }
+  // Stage: a delta view over the single target object. All ops execute
+  // against the staged deltas; commit folds them in only if every op
+  // succeeded. The committed object is never touched before commit, so an
+  // abort is simply "return" — all-or-nothing without a full-object clone.
+  auto target = objects_.find(oid);
+  const bool existed = target != objects_.end();
+  TxnObject staged(existed ? &target->second : nullptr);
   bool removed = false;
 
   for (size_t i = 0; i < ops.size(); ++i) {
@@ -105,11 +305,11 @@ mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vec
       return (*results)[i].status;
     }
     if (op.type == Op::Type::kRemove) {
-      if (!staged.has_value()) {
+      if (!staged.exists()) {
         (*results)[i].status = mal::Status::NotFound("object " + oid);
         return (*results)[i].status;
       }
-      staged.reset();
+      staged.Remove();
       removed = true;
       (*results)[i].status = mal::Status::Ok();
       continue;
@@ -122,11 +322,14 @@ mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vec
   }
 
   // Commit.
-  if (removed && !staged.has_value()) {
-    objects_.erase(oid);
+  if (removed && !staged.exists()) {
+    if (existed) {
+      bytes_used_ -= Footprint(target->second);
+      objects_.erase(target);
+    }
     return mal::Status::Ok();
   }
-  if (staged.has_value()) {
+  if (staged.exists()) {
     bool mutated = !existed;
     for (const Op& op : ops) {
       switch (op.type) {
@@ -147,33 +350,38 @@ mal::Status ObjectStore::ApplyTransaction(const std::string& oid, const std::vec
       }
     }
     if (mutated) {
-      ++staged->version;
-      objects_[oid] = std::move(*staged);
+      if (existed && staged.base_visible()) {
+        CommitInPlace(&target->second, staged);
+      } else {
+        // New object, or removed-and-recreated within the transaction:
+        // the overlays hold the entire state.
+        std::optional<Object> built = staged.Materialize();
+        ++built->version;
+        if (existed) {
+          bytes_used_ -= Footprint(target->second);
+        }
+        bytes_used_ += Footprint(*built);
+        objects_[oid] = std::move(*built);
+      }
     }
   }
   return mal::Status::Ok();
 }
 
-mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
-                                 OpResult* result) {
+mal::Status ObjectStore::ApplyOp(const Op& op, TxnObject* object, OpResult* result) {
   auto require = [&]() -> mal::Status {
-    if (!object->has_value()) {
+    if (!object->exists()) {
       return mal::Status::NotFound("object does not exist");
     }
     return mal::Status::Ok();
   };
-  auto materialize = [&]() {
-    if (!object->has_value()) {
-      object->emplace();
-    }
-  };
 
   switch (op.type) {
     case Op::Type::kCreate:
-      if (object->has_value()) {
+      if (object->exists()) {
         return op.excl ? mal::Status::AlreadyExists() : mal::Status::Ok();
       }
-      materialize();
+      object->Create();
       return mal::Status::Ok();
 
     case Op::Type::kRead: {
@@ -181,24 +389,24 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      uint64_t len = op.length == 0 ? (*object)->data.size() : op.length;
-      result->out = (*object)->data.Read(op.offset, len);
+      uint64_t len = op.length == 0 ? object->data().size() : op.length;
+      result->out = object->data().Read(op.offset, len);
       return mal::Status::Ok();
     }
 
     case Op::Type::kWrite:
-      materialize();
-      (*object)->data.Write(op.offset, op.data.data(), op.data.size());
+      object->Create();
+      object->MutableData()->Write(op.offset, op.data.data(), op.data.size());
       return mal::Status::Ok();
 
     case Op::Type::kWriteFull:
-      materialize();
-      (*object)->data = op.data;
+      object->Create();
+      *object->MutableData() = op.data;
       return mal::Status::Ok();
 
     case Op::Type::kAppend:
-      materialize();
-      (*object)->data.Append(op.data);
+      object->Create();
+      object->MutableData()->Append(op.data);
       return mal::Status::Ok();
 
     case Op::Type::kTruncate: {
@@ -206,7 +414,7 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      (*object)->data.Resize(op.offset);
+      object->MutableData()->Resize(op.offset);
       return mal::Status::Ok();
     }
 
@@ -216,8 +424,8 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
         return s;
       }
       mal::Encoder enc(&result->out);
-      enc.PutU64((*object)->data.size());
-      enc.PutU64((*object)->version);
+      enc.PutU64(object->data().size());
+      enc.PutU64(object->version());
       return mal::Status::Ok();
     }
 
@@ -226,17 +434,17 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      auto it = (*object)->omap.find(op.key);
-      if (it == (*object)->omap.end()) {
+      const std::string* value = object->OmapFind(op.key);
+      if (value == nullptr) {
         return mal::Status::NotFound("omap key " + op.key);
       }
-      result->out = mal::Buffer::FromString(it->second);
+      result->out = mal::Buffer::FromString(*value);
       return mal::Status::Ok();
     }
 
     case Op::Type::kOmapSet:
-      materialize();
-      (*object)->omap[op.key] = op.value;
+      object->Create();
+      object->OmapSet(op.key, op.value);
       return mal::Status::Ok();
 
     case Op::Type::kOmapDel: {
@@ -244,7 +452,7 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      (*object)->omap.erase(op.key);
+      object->OmapDel(op.key);
       return mal::Status::Ok();
     }
 
@@ -253,12 +461,7 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      std::map<std::string, std::string> matched;
-      for (const auto& [k, v] : (*object)->omap) {
-        if (k.rfind(op.key, 0) == 0) {  // prefix match
-          matched[k] = v;
-        }
-      }
+      std::map<std::string, std::string> matched = object->OmapList(op.key);
       mal::Encoder enc(&result->out);
       EncodeStringMap(&enc, matched);
       return mal::Status::Ok();
@@ -269,17 +472,17 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      auto it = (*object)->xattrs.find(op.key);
-      if (it == (*object)->xattrs.end()) {
+      const std::string* value = object->XattrFind(op.key);
+      if (value == nullptr) {
         return mal::Status::NotFound("xattr " + op.key);
       }
-      result->out = mal::Buffer::FromString(it->second);
+      result->out = mal::Buffer::FromString(*value);
       return mal::Status::Ok();
     }
 
     case Op::Type::kXattrSet:
-      materialize();
-      (*object)->xattrs[op.key] = op.value;
+      object->Create();
+      object->XattrSet(op.key, op.value);
       return mal::Status::Ok();
 
     case Op::Type::kCmpXattr: {
@@ -287,8 +490,8 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      auto it = (*object)->xattrs.find(op.key);
-      if (it == (*object)->xattrs.end() || it->second != op.value) {
+      const std::string* value = object->XattrFind(op.key);
+      if (value == nullptr || *value != op.value) {
         return mal::Status::Aborted("cmpxattr mismatch on " + op.key);
       }
       return mal::Status::Ok();
@@ -299,10 +502,10 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      if ((*object)->snapshots.count(op.key) != 0) {
+      if (object->SnapFind(op.key) != nullptr) {
         return mal::Status::AlreadyExists("snapshot " + op.key);
       }
-      (*object)->snapshots[op.key] = (*object)->data;
+      object->SnapSet(op.key, object->data());  // O(1) COW alias
       return mal::Status::Ok();
     }
 
@@ -311,11 +514,11 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      auto it = (*object)->snapshots.find(op.key);
-      if (it == (*object)->snapshots.end()) {
+      const mal::Buffer* snap = object->SnapFind(op.key);
+      if (snap == nullptr) {
         return mal::Status::NotFound("snapshot " + op.key);
       }
-      result->out = it->second;
+      result->out = *snap;
       return mal::Status::Ok();
     }
 
@@ -324,7 +527,7 @@ mal::Status ObjectStore::ApplyOp(const Op& op, std::optional<Object>* object,
       if (!s.ok()) {
         return s;
       }
-      if ((*object)->snapshots.erase(op.key) == 0) {
+      if (!object->SnapRemove(op.key)) {
         return mal::Status::NotFound("snapshot " + op.key);
       }
       return mal::Status::Ok();

@@ -9,6 +9,13 @@
 // untouched. This transactional composition is what lets object classes
 // build semantically rich interfaces (e.g. "atomically update a matrix in
 // the bytestream and its index in the key-value database").
+//
+// Transactions stage per-field deltas (TxnObject) instead of cloning the
+// whole object: the bytestream is a COW Buffer alias, the omap / xattr /
+// snapshot maps are sparse overlays over the committed object, and commit
+// replays just the deltas. A transaction therefore costs O(bytes it
+// touches), not O(object size) — the difference between O(1) and O(n)
+// per append on a CORFU-style stripe object that only grows.
 #ifndef MALACOLOGY_OSD_OBJECT_STORE_H_
 #define MALACOLOGY_OSD_OBJECT_STORE_H_
 
@@ -29,6 +36,8 @@ struct Object {
   std::map<std::string, std::string> xattrs;
   // Named point-in-time copies of the bytestream ("controlling object
   // snapshots and clones" is one of the native interfaces of §4.2).
+  // A snapshot is a COW alias of the bytestream at creation time: O(1) to
+  // take, and later appends to `data` never disturb it.
   std::map<std::string, mal::Buffer> snapshots;
   uint64_t version = 0;  // bumped on every mutating transaction
 
@@ -79,6 +88,69 @@ struct OpResult {
   mal::Buffer out;
 };
 
+// A transaction's staged view of one object: a COW alias of the bytestream
+// plus sparse overlays (key -> value, or key -> tombstone) over the
+// committed object's maps. Reads merge overlay-over-base; writes touch only
+// the overlay, so the committed object is untouched until commit and an
+// abort simply drops the TxnObject. `base` must outlive the TxnObject and
+// is never mutated through it; pass nullptr for a not-yet-existing object.
+class TxnObject {
+ public:
+  explicit TxnObject(const Object* base);
+
+  bool exists() const { return exists_; }
+  uint64_t version() const { return version_; }
+
+  // Materializes an empty object if absent (no-op when it exists).
+  void Create();
+  // Deletes the object: overlays are cleared and the base stops being
+  // visible, so a subsequent Create() starts from scratch.
+  void Remove();
+
+  const mal::Buffer& data() const { return data_; }
+  mal::Buffer* MutableData() { return &data_; }
+
+  // Merged overlay-over-base lookups. Pointers are valid until the next
+  // mutation of this TxnObject.
+  const std::string* OmapFind(const std::string& key) const;
+  const std::string* XattrFind(const std::string& key) const;
+  const mal::Buffer* SnapFind(const std::string& name) const;
+  std::map<std::string, std::string> OmapList(const std::string& prefix) const;
+
+  void OmapSet(const std::string& key, std::string value);
+  void OmapDel(const std::string& key);
+  void XattrSet(const std::string& key, std::string value);
+  void SnapSet(const std::string& name, mal::Buffer snap);
+  // Returns false if the snapshot does not exist (merged view).
+  bool SnapRemove(const std::string& name);
+
+  // Full object with overlays folded in (nullopt if the object does not
+  // exist). O(base size); used by commit-on-recreate, the cls scratch
+  // harness, and tests — the hot commit path applies deltas in place.
+  std::optional<Object> Materialize() const;
+
+  // True while reads still see the committed base object underneath the
+  // overlays (i.e. the object was not removed during the transaction).
+  bool base_visible() const { return base_visible_ && base_ != nullptr; }
+
+  // Commit support: the sparse overlays (value = staged, nullopt = deleted).
+  using StringOverlay = std::map<std::string, std::optional<std::string>>;
+  using BufferOverlay = std::map<std::string, std::optional<mal::Buffer>>;
+  const StringOverlay& omap_overlay() const { return omap_; }
+  const StringOverlay& xattr_overlay() const { return xattrs_; }
+  const BufferOverlay& snap_overlay() const { return snaps_; }
+
+ private:
+  const Object* base_ = nullptr;
+  bool base_visible_ = true;
+  bool exists_ = false;
+  mal::Buffer data_;       // COW alias of base->data until first mutation
+  uint64_t version_ = 0;
+  StringOverlay omap_;
+  StringOverlay xattrs_;
+  BufferOverlay snaps_;
+};
+
 // The whole-store interface. Thread-free: the simulated OSD serializes all
 // access through its CPU model.
 class ObjectStore {
@@ -96,21 +168,33 @@ class ObjectStore {
   mal::Result<const Object*> Get(const std::string& oid) const;
 
   // Direct object install (recovery path: replica push).
-  void Put(const std::string& oid, Object object) { objects_[oid] = std::move(object); }
-  void Remove(const std::string& oid) { objects_.erase(oid); }
+  void Put(const std::string& oid, Object object);
+  void Remove(const std::string& oid);
 
   std::vector<std::string> List() const;
   size_t size() const { return objects_.size(); }
 
-  uint64_t bytes_used() const;
+  // Maintained incrementally on commit/Put/Remove (it is cheap enough to
+  // sample from a perf loop); RecomputeBytesUsed is the O(store) recount
+  // that tests assert agreement against.
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t RecomputeBytesUsed() const;
 
-  // Applies one op against a staged object (nullopt = does not exist yet).
-  // Public and static so the OSD's class runtime can expand kExec ops
-  // against a staged copy before committing.
-  static mal::Status ApplyOp(const Op& op, std::optional<Object>* object, OpResult* result);
+  // Applies one op against a transaction's staged object view. Public and
+  // static so the OSD's class runtime can expand kExec ops against the
+  // staged state before committing. kRemove and kExec are handled by the
+  // caller (their error messages name the oid, which TxnObject lacks).
+  static mal::Status ApplyOp(const Op& op, TxnObject* object, OpResult* result);
 
  private:
+  // Folds the transaction's deltas into the committed object and bumps its
+  // version, keeping bytes_used_ in sync.
+  void CommitInPlace(Object* object, const TxnObject& staged);
+  // data + omap footprint, the definition bytes_used() has always used.
+  static uint64_t Footprint(const Object& object);
+
   std::map<std::string, Object> objects_;
+  uint64_t bytes_used_ = 0;
 };
 
 }  // namespace mal::osd

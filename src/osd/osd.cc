@@ -196,10 +196,14 @@ mal::Status Osd::ExpandTransaction(const OsdOpRequest& req, std::vector<OpResult
   results->resize(req.ops.size());
   expanded->clear();
 
-  std::optional<Object> staged;
+  // Delta view over the committed object: expanding a transaction (class
+  // method execution included) never clones the object, only overlays the
+  // bytes it touches.
+  const Object* base = nullptr;
   if (auto existing = store_.Get(req.oid); existing.ok()) {
-    staged = *existing.value();
+    base = existing.value();
   }
+  TxnObject staged(base);
   bool removed = false;
 
   for (size_t i = 0; i < req.ops.size(); ++i) {
@@ -228,11 +232,11 @@ mal::Status Osd::ExpandTransaction(const OsdOpRequest& req, std::vector<OpResult
       continue;
     }
     if (op.type == Op::Type::kRemove) {
-      if (!staged.has_value()) {
+      if (!staged.exists()) {
         result.status = mal::Status::NotFound("object " + req.oid);
         return result.status;
       }
-      staged.reset();
+      staged.Remove();
       removed = true;
       result.status = mal::Status::Ok();
       expanded->push_back(op);
@@ -407,6 +411,9 @@ void Osd::ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req_in,
       send_reply();
       return;
     }
+    // Encode the replicated transaction once; each SendRequest below takes
+    // a COW alias of the same bytes, so fan-out is O(replicas), not
+    // O(replicas * payload).
     OsdOpRequest rep;
     rep.oid = req.oid;
     rep.ops = expanded;
@@ -481,9 +488,15 @@ void Osd::AdoptMapNow(const mon::OsdMap& map, bool gossip) {
         peers.push_back(id);
       }
     }
+    // Encode the map once; every fanout target shares the same bytes.
+    mal::Buffer encoded_map;
+    if (!peers.empty() && config_.gossip_fanout > 0) {
+      mal::Encoder enc(&encoded_map);
+      osd_map_.Encode(&enc);
+    }
     for (uint32_t i = 0; i < config_.gossip_fanout && !peers.empty(); ++i) {
       size_t pick = rng_.NextBelow(peers.size());
-      GossipTo(peers[pick]);
+      GossipTo(peers[pick], encoded_map);
       peers.erase(peers.begin() + static_cast<ptrdiff_t>(pick));
     }
   }
@@ -521,7 +534,11 @@ void Osd::GossipTo(uint32_t peer) {
   mal::Buffer payload;
   mal::Encoder enc(&payload);
   osd_map_.Encode(&enc);
-  SendOneWay(sim::EntityName::Osd(peer), kMsgGossipMap, std::move(payload));
+  GossipTo(peer, payload);
+}
+
+void Osd::GossipTo(uint32_t peer, const mal::Buffer& encoded_map) {
+  SendOneWay(sim::EntityName::Osd(peer), kMsgGossipMap, encoded_map);
 }
 
 void Osd::HandleGossip(const sim::Envelope& request) {

@@ -124,6 +124,9 @@ class Osd : public sim::Actor {
   void AdoptMapNow(const mon::OsdMap& map, bool gossip);
   void InstallScriptInterfaces();
   void GossipTo(uint32_t peer);
+  // Fanout variant: the map is encoded once by the caller and shared
+  // (COW, O(1) per peer) across every gossip target.
+  void GossipTo(uint32_t peer, const mal::Buffer& encoded_map);
   sim::Time OpCost(const OsdOpRequest& req) const;
 
   // Expands kExec ops and validates the whole transaction against a staged

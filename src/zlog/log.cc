@@ -447,7 +447,7 @@ void Log::Read(uint64_t position, ReadHandler on_data) {
                  }
                  mal::Decoder dec(out);
                  auto state = static_cast<EntryState>(dec.GetU8());
-                 mal::Buffer data = mal::Buffer::FromString(dec.GetString());
+                 mal::Buffer data = dec.GetBuffer();  // aliases the reply payload
                  on_data(mal::Status::Ok(), state, data);
                });
 }

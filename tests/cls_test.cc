@@ -10,19 +10,19 @@ namespace mal::cls {
 namespace {
 
 // Harness: executes a class method against an in-memory object the way the
-// OSD does — staged copy, recorded effects, commit on success.
+// OSD does — staged delta view, recorded effects, commit on success.
 class ClsHarness {
  public:
   ClsHarness() { RegisterBuiltinClasses(&registry); }
 
   mal::Result<mal::Buffer> Call(const std::string& cls, const std::string& method,
                                 const mal::Buffer& input) {
-    std::optional<osd::Object> staged = object;
+    osd::TxnObject staged(object.has_value() ? &*object : nullptr);
     std::vector<osd::Op> effects;
     ClsContext ctx("test-obj", &staged, &effects);
     auto out = registry.Execute(cls, method, ctx, input);
     if (out.ok()) {
-      object = staged;  // commit
+      object = staged.Materialize();  // commit
       last_effects = std::move(effects);
     }
     return out;
@@ -253,11 +253,12 @@ TEST(ClsContextTest, EffectsMirrorMutations) {
       h.Call("zlog", "write", ZlogOps::MakeWrite(0, 0, mal::Buffer::FromString("e"))).ok());
   // Effects are primitive ops replayable on a replica.
   ASSERT_FALSE(h.last_effects.empty());
-  std::optional<osd::Object> replica;
+  osd::TxnObject staged(nullptr);
   for (const osd::Op& op : h.last_effects) {
     osd::OpResult result;
-    ASSERT_TRUE(osd::ObjectStore::ApplyOp(op, &replica, &result).ok());
+    ASSERT_TRUE(osd::ObjectStore::ApplyOp(op, &staged, &result).ok());
   }
+  std::optional<osd::Object> replica = staged.Materialize();
   ASSERT_TRUE(replica.has_value());
   EXPECT_EQ(replica->omap, h.object->omap);
   EXPECT_EQ(replica->xattrs, h.object->xattrs);

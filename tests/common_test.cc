@@ -80,6 +80,126 @@ TEST(BufferTest, WriteOverlapsExisting) {
   EXPECT_EQ(b.ToString(), "abXYef");
 }
 
+TEST(BufferCowTest, ReadAliasesUntilMutation) {
+  Buffer b(std::string("hello world"));
+  Buffer slice = b.Read(6, 5);
+  EXPECT_TRUE(slice.SharesStorageWith(b));  // O(1) alias, no copy
+  EXPECT_EQ(slice.ToString(), "world");
+
+  // Appending to the slice may extend shared storage in place (the slice
+  // ends at the storage tail, so new bytes land past every other view) or
+  // detach; either way no other view's bytes change.
+  slice.Append("!", 1);
+  EXPECT_EQ(slice.ToString(), "world!");
+  EXPECT_EQ(b.ToString(), "hello world");
+
+  // Overwriting bytes inside a shared view always detaches first.
+  Buffer alias = b;
+  ASSERT_TRUE(alias.SharesStorageWith(b));
+  alias.Write(0, "H", 1);
+  EXPECT_FALSE(alias.SharesStorageWith(b));
+  EXPECT_EQ(alias.ToString(), "Hello world");
+  EXPECT_EQ(b.ToString(), "hello world");
+}
+
+TEST(BufferCowTest, CopyIsSharedAndWriteDetaches) {
+  Buffer b(std::string("abcdef"));
+  Buffer c = b;
+  EXPECT_TRUE(c.SharesStorageWith(b));
+  c.Write(0, "XY", 2);
+  EXPECT_FALSE(c.SharesStorageWith(b));
+  EXPECT_EQ(c.ToString(), "XYcdef");
+  EXPECT_EQ(b.ToString(), "abcdef");
+}
+
+TEST(BufferCowTest, AppendNeverDisturbsLiveViews) {
+  Buffer b(std::string("snapshot"));
+  Buffer snap = b;                       // e.g. kSnapCreate: O(1) alias
+  const char* snap_bytes = snap.data();  // raw pointer into shared storage
+  // Later appends to the origin — whether they extend storage in place or
+  // detach — must leave every existing view's bytes intact (invariant 2:
+  // shared storage is never reallocated).
+  for (int i = 0; i < 64; ++i) {
+    b.Append(std::string_view("xxxxxxxxxxxxxxxx"));
+  }
+  EXPECT_EQ(snap.ToString(), "snapshot");
+  EXPECT_EQ(snap.data(), snap_bytes);
+  EXPECT_EQ(b.size(), 8u + 64 * 16);
+}
+
+TEST(BufferCowTest, SelfAppendIsSafe) {
+  Buffer b(std::string("ab"));
+  Buffer tail = b.Read(1, 1);
+  b.Append(tail);  // appending a slice of our own storage
+  EXPECT_EQ(b.ToString(), "abb");
+  b.Append(b);
+  EXPECT_EQ(b.ToString(), "abbabb");
+}
+
+TEST(BufferCowTest, ResizeShrinkIsViewTruncation) {
+  Buffer b(std::string("abcdef"));
+  Buffer c = b;
+  c.Resize(3);  // O(1): shrinks the view, storage still shared
+  EXPECT_TRUE(c.SharesStorageWith(b));
+  EXPECT_EQ(c.ToString(), "abc");
+  EXPECT_EQ(b.ToString(), "abcdef");
+  c.Resize(5);  // growing shared storage detaches (zero fill)
+  EXPECT_FALSE(c.SharesStorageWith(b));
+  EXPECT_EQ(c.ToString(), std::string("abc\0\0", 5));
+}
+
+TEST(BufferCowTest, AppendEmptyBufferAliases) {
+  Buffer src(std::string("payload"));
+  Buffer dst;
+  dst.Append(src);  // append into empty buffer = O(1) alias
+  EXPECT_TRUE(dst.SharesStorageWith(src));
+  EXPECT_EQ(dst.ToString(), "payload");
+}
+
+TEST(DecoderCowTest, GetBufferAliasesInput) {
+  Buffer wire;
+  Encoder enc(&wire);
+  enc.PutU32(7);
+  enc.PutBuffer(Buffer::FromString("entry-payload"));
+  enc.PutString("trailer");
+
+  Decoder dec(wire);
+  EXPECT_EQ(dec.GetU32(), 7u);
+  Buffer payload = dec.GetBuffer();
+  EXPECT_EQ(payload.ToString(), "entry-payload");
+  EXPECT_TRUE(payload.SharesStorageWith(wire));  // zero-copy decode
+  EXPECT_EQ(dec.GetString(), "trailer");
+  EXPECT_TRUE(dec.Finish().ok());
+}
+
+TEST(DecoderCowTest, DecodedPayloadSurvivesArenaReuse) {
+  Buffer wire;
+  Encoder enc(&wire);
+  enc.PutBuffer(Buffer::FromString("first"));
+
+  Decoder dec(wire);
+  Buffer payload = dec.GetBuffer();
+  ASSERT_TRUE(payload.SharesStorageWith(wire));
+
+  // The producer clears and reuses its arena; the decoded slice holds a
+  // reference to the old storage and must keep its bytes.
+  wire.clear();
+  Encoder enc2(&wire);
+  enc2.PutBuffer(Buffer::FromString("second-................................"));
+  EXPECT_EQ(payload.ToString(), "first");
+  EXPECT_FALSE(payload.SharesStorageWith(wire));
+}
+
+TEST(DecoderCowTest, ViewDecoderFallsBackToCopy) {
+  Buffer wire;
+  Encoder enc(&wire);
+  enc.PutBuffer(Buffer::FromString("data"));
+  Decoder dec(wire.View());  // no Buffer to alias
+  Buffer payload = dec.GetBuffer();
+  EXPECT_EQ(payload.ToString(), "data");
+  EXPECT_FALSE(payload.SharesStorageWith(wire));
+}
+
 TEST(EncodingTest, FixedWidthRoundTrip) {
   Buffer b;
   Encoder enc(&b);
