@@ -11,11 +11,16 @@
 #include "src/mds/mds_client.h"
 #include "src/rados/client.h"
 #include "src/rados/striper.h"
+#include "src/svc/deadline.h"
 
 namespace mal::cephfs {
 
 struct FileClientOptions {
   uint64_t object_size = 64 * 1024;  // file data stripe unit
+  // End-to-end budget for each public operation (0 = none). The deadline
+  // rides every hop the op fans out into — MDS lookups, striped OSD
+  // writes, retries — shrinking as simulated time passes; see svc/.
+  sim::Time op_deadline = 0;
 };
 
 class FileClient {
@@ -29,6 +34,7 @@ class FileClient {
       : mds_(mds), rados_(rados), options_(options) {}
 
   void Mkdir(const std::string& path, DoneHandler on_done) {
+    svc::ScopedOpDeadline budget(rados_->owner(), options_.op_deadline);
     mds_->Mkdir(path, std::move(on_done));
   }
 

@@ -1,0 +1,14 @@
+#include "src/common/deadline.h"
+
+namespace mal {
+namespace {
+
+// The simulator is single-threaded; a plain global mirrors trace.cc.
+uint64_t g_deadline_ns = 0;
+
+}  // namespace
+
+uint64_t CurrentDeadline() { return g_deadline_ns; }
+void SetCurrentDeadline(uint64_t deadline_ns) { g_deadline_ns = deadline_ns; }
+
+}  // namespace mal

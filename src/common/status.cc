@@ -34,6 +34,10 @@ const char* CodeName(Code code) {
       return "UNIMPLEMENTED";
     case Code::kInternal:
       return "INTERNAL";
+    case Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Code::kBusy:
+      return "BUSY";
   }
   return "UNKNOWN";
 }

@@ -36,6 +36,8 @@ enum class Code {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,  // the request's end-to-end deadline budget ran out
+  kBusy,              // server shed the request at admission (bounded inbox full)
 };
 
 const char* CodeName(Code code);
@@ -83,6 +85,10 @@ class Status {
   static Status Internal(std::string m = "internal error") {
     return {Code::kInternal, std::move(m)};
   }
+  static Status DeadlineExceeded(std::string m = "deadline exceeded") {
+    return {Code::kDeadlineExceeded, std::move(m)};
+  }
+  static Status Busy(std::string m = "server busy") { return {Code::kBusy, std::move(m)}; }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

@@ -14,6 +14,40 @@ std::unordered_map<uint16_t, std::string>& MessageNames() {
   return names;
 }
 
+// Builtin wire-enum names. Kept central (rather than per-module registrar
+// arrays) so span names and log lines are consistent no matter which modules
+// a binary links. Values mirror src/mon/messages.h, src/osd/messages.h, and
+// src/mds/types.h.
+const char* BuiltinMessageName(uint32_t type) {
+  switch (type) {
+    case 100: return "mon.paxos";
+    case 101: return "mon.command";
+    case 102: return "mon.get_map";
+    case 103: return "mon.subscribe";
+    case 104: return "mon.map_update";
+    case 105: return "mon.log_entry";
+    case 106: return "mon.get_cluster_log";
+    case 107: return "mon.perf_report";
+    case 108: return "mon.get_perf_dump";
+    case 200: return "osd.op";
+    case 201: return "osd.repop";
+    case 202: return "osd.gossip";
+    case 203: return "osd.pull";
+    case 204: return "osd.scrub";
+    case 205: return "osd.watch";
+    case 206: return "osd.notify";
+    case 207: return "osd.push";
+    case 300: return "mds.client_request";
+    case 301: return "mds.cap_revoke";
+    case 302: return "mds.migrate";
+    case 303: return "mds.authority_update";
+    case 304: return "mds.load_report";
+    case 305: return "mds.forward";
+    case 306: return "mds.coherence";
+    default: return nullptr;
+  }
+}
+
 }  // namespace
 
 TraceCollector* Collector() { return g_collector; }
@@ -26,14 +60,21 @@ void RegisterMessageName(uint16_t type, const char* name) {
   MessageNames()[type] = name;
 }
 
-std::string MessageName(uint16_t type) {
-  auto& names = MessageNames();
-  auto it = names.find(type);
-  if (it != names.end()) {
-    return it->second;
+std::string MessageTypeName(uint32_t type) {
+  if (type <= UINT16_MAX) {
+    auto& names = MessageNames();
+    auto it = names.find(static_cast<uint16_t>(type));
+    if (it != names.end()) {
+      return it->second;  // registered overrides win over the builtin table
+    }
+  }
+  if (const char* builtin = BuiltinMessageName(type)) {
+    return builtin;
   }
   return "msg." + std::to_string(type);
 }
+
+std::string MessageName(uint16_t type) { return MessageTypeName(type); }
 
 TraceContext TraceCollector::StartSpan(const std::string& name,
                                        const std::string& entity,

@@ -122,12 +122,15 @@ class ScopedContext {
   TraceContext prev_;
 };
 
-// Message-type -> human name registry so rpc span names read
-// "rpc:osd.1:osd.op" instead of "rpc:osd.1:msg.200". Modules register their
-// types via static MessageNameRegistrar instances; unknown types render as
-// "msg.<N>".
+// Message-type -> human name registry so rpc span names and MAL_LOG lines
+// read "rpc:osd.1:osd.op" instead of "rpc:osd.1:msg.200". A central builtin
+// table covers every wire enum in the tree (mon 1xx, osd 2xx, mds 3xx);
+// modules may still override or extend it via RegisterMessageName / static
+// MessageNameRegistrar instances. Unknown types render as "msg.<N>".
+std::string MessageTypeName(uint32_t type);
+
 void RegisterMessageName(uint16_t type, const char* name);
-std::string MessageName(uint16_t type);
+std::string MessageName(uint16_t type);  // delegates to MessageTypeName
 
 struct MessageNameRegistrar {
   MessageNameRegistrar(uint16_t type, const char* name) {

@@ -9,18 +9,6 @@ namespace mal::mds {
 
 namespace {
 
-constexpr uint32_t kMsgCoherence = 306;  // one-way scatter-gather strain
-
-const trace::MessageNameRegistrar kNames[] = {
-    {kMsgClientRequest, "mds.client_request"},
-    {kMsgCapRevoke, "mds.cap_revoke"},
-    {kMsgMigrate, "mds.migrate"},
-    {kMsgAuthorityUpdate, "mds.authority_update"},
-    {kMsgLoadReport, "mds.load_report"},
-    {kMsgForward, "mds.forward"},
-    {static_cast<uint16_t>(kMsgCoherence), "mds.coherence"},
-};
-
 const char* LeaseModeName(LeaseMode mode) {
   switch (mode) {
     case LeaseMode::kBestEffort:
@@ -52,6 +40,33 @@ MdsDaemon::MdsDaemon(sim::Simulator* simulator, sim::Network* network, uint32_t 
       mon_client_(this, mons),
       rados_(this, mons) {
   rng_.Seed(config.seed * 0x9e3779b97f4a7c15ULL + id + 1);
+  RegisterHandlers();
+  SetInboxLimit(config_.inbox_depth);
+  SetServicePerf(&perf_);
+}
+
+void MdsDaemon::RegisterHandlers() {
+  // kMsgClientRequest and kMsgForward carry the same typed payload and
+  // differ only in the `forwarded` flag the handler receives.
+  dispatcher_.OnTyped<ClientRequest>(
+      kMsgClientRequest, [this](const sim::Envelope& env, ClientRequest req) {
+        HandleClientRequest(env, std::move(req), /*forwarded=*/false);
+      });
+  dispatcher_.OnTyped<ClientRequest>(
+      kMsgForward, [this](const sim::Envelope& env, ClientRequest req) {
+        HandleClientRequest(env, std::move(req), /*forwarded=*/true);
+      });
+  dispatcher_.On(kMsgMigrate, [this](const sim::Envelope& env) { HandleMigrateIn(env); });
+  dispatcher_.On(kMsgAuthorityUpdate,
+                 [this](const sim::Envelope& env) { HandleAuthorityUpdate(env); });
+  dispatcher_.On(kMsgLoadReport,
+                 [this](const sim::Envelope& env) { HandleLoadReport(env); });
+  dispatcher_.On(kMsgCoherence, [this](const sim::Envelope&) {
+    // Scatter-gather participation: pure CPU strain at the root.
+    ReserveCpu(config_.coherence_peer_cost);
+  });
+  dispatcher_.On(mon::kMsgMapUpdate,
+                 [this](const sim::Envelope& env) { HandleMapUpdate(env); });
 }
 
 MdsDaemon::~MdsDaemon() = default;
@@ -144,53 +159,26 @@ std::vector<SubtreeLoad> MdsDaemon::HostedSubtrees() const {
 }
 
 void MdsDaemon::HandleRequest(const sim::Envelope& request) {
-  switch (request.type) {
-    case kMsgClientRequest:
-      HandleClientRequest(request, /*forwarded=*/false);
-      break;
-    case kMsgForward:
-      HandleClientRequest(request, /*forwarded=*/true);
-      break;
-    case kMsgMigrate:
-      HandleMigrateIn(request);
-      break;
-    case kMsgAuthorityUpdate:
-      HandleAuthorityUpdate(request);
-      break;
-    case kMsgLoadReport:
-      HandleLoadReport(request);
-      break;
-    case kMsgCoherence:
-      // Scatter-gather participation: pure CPU strain at the root.
-      ReserveCpu(config_.coherence_peer_cost);
-      break;
-    case mon::kMsgMapUpdate: {
-      if (rados_.OnMapUpdate(request)) {
-        return;
-      }
-      mal::Decoder dec(request.payload);
-      mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
-      if (update.kind == mon::MapKind::kMdsMap) {
-        mal::Decoder map_dec(update.map_payload);
-        auto map = mon::MdsMap::Decode(&map_dec);
-        if (map.ok() && map.value().epoch > mds_map_.epoch) {
-          mds_map_ = std::move(map).value();
-        }
-      }
-      break;
+  dispatcher_.Dispatch(request);
+}
+
+void MdsDaemon::HandleMapUpdate(const sim::Envelope& request) {
+  if (rados_.OnMapUpdate(request)) {
+    return;
+  }
+  mal::Decoder dec(request.payload);
+  mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
+  if (update.kind == mon::MapKind::kMdsMap) {
+    mal::Decoder map_dec(update.map_payload);
+    auto map = mon::MdsMap::Decode(&map_dec);
+    if (map.ok() && map.value().epoch > mds_map_.epoch) {
+      mds_map_ = std::move(map).value();
     }
-    default:
-      ReplyError(request, mal::Status::Unimplemented("unknown MDS message"));
   }
 }
 
-void MdsDaemon::HandleClientRequest(const sim::Envelope& request, bool forwarded) {
-  mal::Decoder dec(request.payload);
-  ClientRequest req = ClientRequest::Decode(&dec);
-  if (!dec.ok()) {
-    ReplyError(request, mal::Status::Corruption("bad mds request"));
-    return;
-  }
+void MdsDaemon::HandleClientRequest(const sim::Envelope& request, ClientRequest req,
+                                    bool forwarded) {
   ++requests_handled_;
   ++window_requests_;
 

@@ -35,6 +35,7 @@
 #include "src/mon/mon_client.h"
 #include "src/rados/client.h"
 #include "src/sim/actor.h"
+#include "src/svc/dispatch.h"
 
 namespace mal::mds {
 
@@ -77,6 +78,8 @@ struct MdsConfig {
   // How often the MDS pushes its perf-counter snapshot to the monitor
   // (0 = disabled).
   sim::Time perf_report_interval = 1 * sim::kSecond;
+  // Bounded inbox depth for admission control; 0 disables (see svc/).
+  size_t inbox_depth = 0;
 };
 
 class MdsDaemon : public sim::Actor {
@@ -134,12 +137,16 @@ class MdsDaemon : public sim::Actor {
     double rate = 0;
   };
 
-  void HandleClientRequest(const sim::Envelope& request, bool forwarded);
+  void RegisterHandlers();
+
+  void HandleClientRequest(const sim::Envelope& request, ClientRequest req,
+                           bool forwarded);
   void ExecuteRequest(const sim::Envelope& request, const ClientRequest& req,
                       bool forwarded);
   void HandleMigrateIn(const sim::Envelope& request);
   void HandleAuthorityUpdate(const sim::Envelope& request);
   void HandleLoadReport(const sim::Envelope& request);
+  void HandleMapUpdate(const sim::Envelope& request);
 
   void GrantCap(const std::string& path, HostedInode& hosted, const sim::Envelope& to);
   void MaybeRevoke(const std::string& path, HostedInode& hosted);
@@ -155,6 +162,7 @@ class MdsDaemon : public sim::Actor {
   std::vector<uint32_t> PeerRanks() const;
 
   MdsConfig config_;
+  svc::ServiceDispatcher dispatcher_{this};
   mon::MonClient mon_client_;
   rados::RadosClient rados_;
   mon::MdsMap mds_map_;

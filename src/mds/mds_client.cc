@@ -23,12 +23,12 @@ uint32_t MdsClient::TargetFor(const std::string& path) const {
 }
 
 void MdsClient::Request(const ClientRequest& request, ReplyHandler on_reply) {
-  RequestAttempt(request, std::move(on_reply), 0);
+  RequestAttempt(request, std::move(on_reply), svc::Backoff(config_.retry));
 }
 
 void MdsClient::RequestAttempt(const ClientRequest& request, ReplyHandler on_reply,
-                               int attempt) {
-  if (attempt >= 4) {
+                               svc::Backoff backoff) {
+  if (backoff.Exhausted()) {
     on_reply(mal::Status::Unavailable("mds unreachable"), MdsReply{});
     return;
   }
@@ -37,12 +37,27 @@ void MdsClient::RequestAttempt(const ClientRequest& request, ReplyHandler on_rep
   request.Encode(&enc);
   owner_->SendRequest(
       sim::EntityName::Mds(TargetFor(request.path)), kMsgClientRequest, std::move(payload),
-      [this, request, on_reply = std::move(on_reply), attempt](
-          mal::Status status, const sim::Envelope& reply) {
+      [this, request, on_reply = std::move(on_reply), backoff](
+          mal::Status status, const sim::Envelope& reply) mutable {
+        auto retry = [this, request, on_reply, backoff]() mutable {
+          // Consume the attempt before building the continuation so the
+          // lambda captures the advanced backoff.
+          sim::Time delay = backoff.NextDelay(&retry_rng_);
+          svc::RunAfter(owner_->simulator(), delay,
+                        [this, request, on_reply, backoff] {
+                          RequestAttempt(request, on_reply, backoff);
+                        });
+        };
         uint32_t redirect_rank = 0;
         if (ParseRedirect(status, &redirect_rank)) {
           authority_cache_[request.path] = redirect_rank;
-          RequestAttempt(request, on_reply, attempt + 1);
+          retry();
+          return;
+        }
+        if (status.code() == mal::Code::kBusy) {
+          // The MDS shed us at admission: back off and resend to the same
+          // authority (placement did not change).
+          retry();
           return;
         }
         if (!status.ok()) {

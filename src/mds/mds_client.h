@@ -15,20 +15,29 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/mds/types.h"
 #include "src/sim/actor.h"
+#include "src/svc/retry.h"
 
 namespace mal::mds {
 
 struct MdsClientConfig {
   uint32_t home_mds = 0;                      // session server
   sim::Time rpc_timeout = 60 * sim::kSecond;  // cap grants can take a while
+  // Retry schedule shared by redirect chasing and kBusy backoff. The
+  // default (4 attempts, zero base delay) reproduces the legacy
+  // redirect-immediately loop byte for byte.
+  svc::RetryPolicy retry{.max_attempts = 4};
 };
 
 class MdsClient {
  public:
   MdsClient(sim::Actor* owner, MdsClientConfig config = {})
-      : owner_(owner), config_(config) {}
+      : owner_(owner),
+        config_(config),
+        retry_rng_(0x6d6473ULL * 0x9e3779b97f4a7c15ULL +
+                   (static_cast<uint64_t>(owner->name().type) << 32) + owner->name().id) {}
 
   using ReplyHandler = std::function<void(mal::Status, const MdsReply&)>;
   using DoneHandler = std::function<void(mal::Status)>;
@@ -85,13 +94,15 @@ class MdsClient {
     sim::EventId hold_timer = 0;
   };
 
-  void RequestAttempt(const ClientRequest& request, ReplyHandler on_reply, int attempt);
+  void RequestAttempt(const ClientRequest& request, ReplyHandler on_reply,
+                      svc::Backoff backoff);
   uint32_t TargetFor(const std::string& path) const;
   void HandleRevoke(const std::string& path);
   void ReleaseNow(const std::string& path);
 
   sim::Actor* owner_;
   MdsClientConfig config_;
+  mal::Rng retry_rng_;
   std::map<std::string, uint32_t> authority_cache_;
   std::map<std::string, HeldCap> caps_;
   uint64_t caps_released_ = 0;

@@ -23,6 +23,7 @@ enum MsgType : uint32_t {
   kMsgAuthorityUpdate = 303, // mds -> mds broadcast (one-way)
   kMsgLoadReport = 304,      // mds -> mds broadcast (one-way)
   kMsgForward = 305,         // proxy: mds -> authoritative mds
+  kMsgCoherence = 306,       // one-way scatter-gather strain at the root
 };
 
 // Inode types. kSequencer is the domain-specific type ZLog defines through

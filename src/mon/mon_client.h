@@ -10,15 +10,25 @@
 #include <vector>
 
 #include "src/common/perf.h"
+#include "src/common/rng.h"
 #include "src/mon/messages.h"
 #include "src/sim/actor.h"
+#include "src/svc/retry.h"
 
 namespace mal::mon {
 
 class MonClient {
  public:
   MonClient(sim::Actor* owner, std::vector<uint32_t> mons)
-      : owner_(owner), mons_(std::move(mons)) {}
+      : owner_(owner),
+        mons_(std::move(mons)),
+        retry_rng_(0x6d6f6eULL * 0x9e3779b97f4a7c15ULL +
+                   (static_cast<uint64_t>(owner->name().type) << 32) + owner->name().id) {}
+
+  // Backoff base/cap for quorum retries. The attempt budget is fixed at
+  // twice the quorum size (two full rotations); the default zero base
+  // delay reproduces the legacy retry-next-mon-immediately loop.
+  void set_retry_policy(const svc::RetryPolicy& policy) { retry_ = policy; }
 
   using AckHandler = std::function<void(mal::Status)>;
   using MapHandler = std::function<void(mal::Status, const MapUpdate&)>;
@@ -29,7 +39,7 @@ class MonClient {
     mal::Buffer payload;
     mal::Encoder enc(&payload);
     txn.Encode(&enc);
-    SendWithRetry(kMsgMonCommand, std::move(payload), 0,
+    SendWithRetry(kMsgMonCommand, std::move(payload), MakeBackoff(),
                   [on_done = std::move(on_done)](mal::Status status, const sim::Envelope&) {
                     on_done(status);
                   });
@@ -52,7 +62,7 @@ class MonClient {
     mal::Buffer payload;
     mal::Encoder enc(&payload);
     req.Encode(&enc);
-    SendWithRetry(kMsgGetMap, std::move(payload), 0,
+    SendWithRetry(kMsgGetMap, std::move(payload), MakeBackoff(),
                   [on_map = std::move(on_map)](mal::Status status,
                                                const sim::Envelope& reply) {
                     if (!status.ok()) {
@@ -73,7 +83,7 @@ class MonClient {
     mal::Buffer payload;
     mal::Encoder enc(&payload);
     req.Encode(&enc);
-    SendWithRetry(kMsgSubscribe, std::move(payload), 0,
+    SendWithRetry(kMsgSubscribe, std::move(payload), MakeBackoff(),
                   [](mal::Status, const sim::Envelope&) {});
   }
 
@@ -103,7 +113,7 @@ class MonClient {
 
   // Fetches the cluster-wide perf dump (JSON) from the monitor.
   void GetPerfDump(std::function<void(mal::Status, std::string)> on_dump) {
-    SendWithRetry(kMsgGetPerfDump, mal::Buffer(), 0,
+    SendWithRetry(kMsgGetPerfDump, mal::Buffer(), MakeBackoff(),
                   [on_dump = std::move(on_dump)](mal::Status status,
                                                  const sim::Envelope& reply) {
                     on_dump(status, reply.payload.ToString());
@@ -113,20 +123,37 @@ class MonClient {
   const std::vector<uint32_t>& mons() const { return mons_; }
 
  private:
-  void SendWithRetry(uint32_t type, mal::Buffer payload, size_t attempt,
+  // Attempt budget: two full rotations through the quorum, so a single
+  // down monitor never exhausts the retry allowance.
+  svc::Backoff MakeBackoff() const {
+    svc::RetryPolicy policy = retry_;
+    policy.max_attempts = static_cast<int>(mons_.size() * 2);
+    return svc::Backoff(policy);
+  }
+
+  void SendWithRetry(uint32_t type, mal::Buffer payload, svc::Backoff backoff,
                      sim::Actor::ReplyHandler handler) {
-    if (attempt >= mons_.size() * 2) {
+    if (backoff.Exhausted()) {
       handler(mal::Status::Unavailable("monitor quorum unreachable"), sim::Envelope{});
       return;
     }
-    uint32_t mon = mons_[(pick_ + attempt) % mons_.size()];
+    // Rotate through the quorum: attempt N lands on the Nth mon after the
+    // preferred one, so a retry never re-asks the peer that just failed us.
+    uint32_t mon = mons_[(pick_ + static_cast<size_t>(backoff.attempt())) % mons_.size()];
     owner_->SendRequest(
         sim::EntityName::Mon(mon), type, payload,
-        [this, type, payload, attempt, handler = std::move(handler)](
-            mal::Status status, const sim::Envelope& reply) {
+        [this, type, payload, backoff, handler = std::move(handler)](
+            mal::Status status, const sim::Envelope& reply) mutable {
           if (status.code() == mal::Code::kTimedOut ||
-              status.code() == mal::Code::kUnavailable) {
-            SendWithRetry(type, payload, attempt + 1, handler);
+              status.code() == mal::Code::kUnavailable ||
+              status.code() == mal::Code::kBusy) {
+            // Consume the attempt before building the continuation so the
+            // lambda captures the advanced backoff.
+            sim::Time delay = backoff.NextDelay(&retry_rng_);
+            svc::RunAfter(owner_->simulator(), delay,
+                          [this, type, payload, backoff, handler = std::move(handler)] {
+                            SendWithRetry(type, payload, backoff, handler);
+                          });
             return;
           }
           handler(status, reply);
@@ -135,6 +162,8 @@ class MonClient {
 
   sim::Actor* owner_;
   std::vector<uint32_t> mons_;
+  svc::RetryPolicy retry_{};
+  mal::Rng retry_rng_;
   size_t pick_ = 0;
   uint64_t log_seq_ = 0;
 };

@@ -6,21 +6,6 @@
 #include "src/common/trace.h"
 
 namespace mal::mon {
-namespace {
-
-const trace::MessageNameRegistrar kNames[] = {
-    {kMsgPaxos, "mon.paxos"},
-    {kMsgMonCommand, "mon.command"},
-    {kMsgGetMap, "mon.get_map"},
-    {kMsgSubscribe, "mon.subscribe"},
-    {kMsgMapUpdate, "mon.map_update"},
-    {kMsgLogEntry, "mon.log_entry"},
-    {kMsgGetClusterLog, "mon.get_cluster_log"},
-    {kMsgPerfReport, "mon.perf_report"},
-    {kMsgGetPerfDump, "mon.get_perf_dump"},
-};
-
-}  // namespace
 
 void Transaction::Encode(mal::Encoder* enc) const {
   enc->PutU8(static_cast<uint8_t>(op));
@@ -70,6 +55,35 @@ Monitor::Monitor(sim::Simulator* simulator, sim::Network* network, uint32_t id,
         SendOneWay(sim::EntityName::Mon(peer), kMsgPaxos, std::move(payload));
       },
       [this](uint64_t /*instance*/, const mal::Buffer& value) { ApplyCommitted(value); });
+  RegisterHandlers();
+  SetInboxLimit(config_.inbox_depth);
+  SetServicePerf(&perf_);
+}
+
+void Monitor::RegisterHandlers() {
+  // Raw handlers keep their bespoke decode conventions: paxos uses a
+  // Result-returning decoder, commands are forwarded undecoded by
+  // non-leaders, and the last three carry no / non-standard payloads.
+  dispatcher_.On(kMsgPaxos, [this](const sim::Envelope& env) { HandlePaxos(env); });
+  dispatcher_.On(kMsgMonCommand, [this](const sim::Envelope& env) { HandleCommand(env); });
+  dispatcher_.OnTyped<GetMapRequest>(
+      kMsgGetMap, [this](const sim::Envelope& env, GetMapRequest req) {
+        HandleGetMap(env, std::move(req));
+      });
+  dispatcher_.OnTyped<SubscribeRequest>(
+      kMsgSubscribe, [this](const sim::Envelope& env, SubscribeRequest req) {
+        HandleSubscribe(env, std::move(req));
+      });
+  dispatcher_.OnTyped<ClusterLogEntry>(
+      kMsgLogEntry, [this](const sim::Envelope& env, ClusterLogEntry entry) {
+        HandleLogEntry(env, std::move(entry));
+      });
+  dispatcher_.On(kMsgGetClusterLog,
+                 [this](const sim::Envelope& env) { HandleGetClusterLog(env); });
+  dispatcher_.On(kMsgPerfReport,
+                 [this](const sim::Envelope& env) { HandlePerfReport(env); });
+  dispatcher_.On(kMsgGetPerfDump,
+                 [this](const sim::Envelope& env) { HandleGetPerfDump(env); });
 }
 
 void Monitor::Boot() {
@@ -105,34 +119,7 @@ void Monitor::Recover() {
 }
 
 void Monitor::HandleRequest(const sim::Envelope& request) {
-  switch (request.type) {
-    case kMsgPaxos:
-      HandlePaxos(request);
-      break;
-    case kMsgMonCommand:
-      HandleCommand(request);
-      break;
-    case kMsgGetMap:
-      HandleGetMap(request);
-      break;
-    case kMsgSubscribe:
-      HandleSubscribe(request);
-      break;
-    case kMsgLogEntry:
-      HandleLogEntry(request);
-      break;
-    case kMsgGetClusterLog:
-      HandleGetClusterLog(request);
-      break;
-    case kMsgPerfReport:
-      HandlePerfReport(request);
-      break;
-    case kMsgGetPerfDump:
-      HandleGetPerfDump(request);
-      break;
-    default:
-      ReplyError(request, mal::Status::Unimplemented("unknown monitor message"));
-  }
+  dispatcher_.Dispatch(request);
 }
 
 void Monitor::HandlePaxos(const sim::Envelope& request) {
@@ -333,15 +320,11 @@ void Monitor::PushMap(MapKind kind) {
   }
 }
 
-void Monitor::HandleGetMap(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  GetMapRequest req = GetMapRequest::Decode(&dec);
+void Monitor::HandleGetMap(const sim::Envelope& request, GetMapRequest req) {
   Reply(request, EncodeMap(req.kind));
 }
 
-void Monitor::HandleSubscribe(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  SubscribeRequest req = SubscribeRequest::Decode(&dec);
+void Monitor::HandleSubscribe(const sim::Envelope& request, SubscribeRequest req) {
   if (req.kind == MapKind::kOsdMap) {
     osd_subscribers_.insert(req.subscriber);
   } else {
@@ -354,13 +337,7 @@ void Monitor::HandleSubscribe(const sim::Envelope& request) {
   Reply(request, mal::Buffer());
 }
 
-void Monitor::HandleLogEntry(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  ClusterLogEntry entry = ClusterLogEntry::Decode(&dec);
-  if (!dec.ok()) {
-    ReplyError(request, mal::Status::Corruption("bad log entry"));
-    return;
-  }
+void Monitor::HandleLogEntry(const sim::Envelope& request, ClusterLogEntry entry) {
   // Entries can arrive out of order (one-way sends race); keep the log
   // ordered by the source timestamp so operators see causal order.
   auto pos = std::upper_bound(cluster_log_.begin(), cluster_log_.end(), entry,

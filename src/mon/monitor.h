@@ -24,6 +24,7 @@
 #include "src/mon/maps.h"
 #include "src/mon/messages.h"
 #include "src/sim/actor.h"
+#include "src/svc/dispatch.h"
 
 namespace mal::mon {
 
@@ -35,6 +36,8 @@ struct MonitorConfig {
   sim::Time store_commit_latency = 0;
   sim::Time retransmit_interval = 500 * sim::kMillisecond;
   sim::Time election_timeout = 2 * sim::kSecond;
+  // Bounded inbox depth for admission control; 0 disables (see svc/).
+  size_t inbox_depth = 0;
 };
 
 class Monitor : public sim::Actor {
@@ -70,11 +73,13 @@ class Monitor : public sim::Actor {
   void HandleRequest(const sim::Envelope& request) override;
 
  private:
+  void RegisterHandlers();
+
   void HandlePaxos(const sim::Envelope& request);
   void HandleCommand(const sim::Envelope& request);
-  void HandleGetMap(const sim::Envelope& request);
-  void HandleSubscribe(const sim::Envelope& request);
-  void HandleLogEntry(const sim::Envelope& request);
+  void HandleGetMap(const sim::Envelope& request, GetMapRequest req);
+  void HandleSubscribe(const sim::Envelope& request, SubscribeRequest req);
+  void HandleLogEntry(const sim::Envelope& request, ClusterLogEntry entry);
   void HandleGetClusterLog(const sim::Envelope& request);
   void HandlePerfReport(const sim::Envelope& request);
   void HandleGetPerfDump(const sim::Envelope& request);
@@ -88,6 +93,7 @@ class Monitor : public sim::Actor {
 
   MonitorConfig config_;
   std::vector<uint32_t> quorum_;
+  svc::ServiceDispatcher dispatcher_{this};
   std::unique_ptr<consensus::PaxosNode> paxos_;
 
   OsdMap osd_map_;

@@ -9,13 +9,6 @@
 namespace mal::osd {
 namespace {
 
-const trace::MessageNameRegistrar kNames[] = {
-    {kMsgOsdOp, "osd.op"},           {kMsgRepOp, "osd.repop"},
-    {kMsgGossipMap, "osd.gossip"},   {kMsgPullObject, "osd.pull"},
-    {kMsgScrub, "osd.scrub"},        {kMsgWatch, "osd.watch"},
-    {kMsgNotify, "osd.notify"},      {kMsgPushObject, "osd.push"},
-};
-
 const char* OpTypeName(Op::Type type) {
   switch (type) {
     case Op::Type::kCreate:
@@ -69,6 +62,38 @@ Osd::Osd(sim::Simulator* simulator, sim::Network* network, uint32_t id,
       mon_client_(this, std::move(mons)),
       rng_(config.seed * 0x9e3779b97f4a7c15ULL + id) {
   cls::RegisterBuiltinClasses(&registry_);
+  RegisterHandlers();
+  SetInboxLimit(config_.inbox_depth);
+  SetServicePerf(&perf_);
+}
+
+void Osd::RegisterHandlers() {
+  dispatcher_.OnTyped<OsdOpRequest>(
+      kMsgOsdOp, [this](const sim::Envelope& env, OsdOpRequest req) {
+        HandleOsdOp(env, std::move(req));
+      });
+  dispatcher_.OnTyped<OsdOpRequest>(
+      kMsgRepOp, [this](const sim::Envelope& env, OsdOpRequest req) {
+        HandleRepOp(env, std::move(req));
+      });
+  dispatcher_.OnTyped<PullObjectRequest>(
+      kMsgPullObject, [this](const sim::Envelope& env, PullObjectRequest req) {
+        HandlePull(env, std::move(req));
+      });
+  dispatcher_.OnTyped<ScrubRequest>(
+      kMsgScrub, [this](const sim::Envelope& env, ScrubRequest req) {
+        HandleScrub(env, std::move(req));
+      });
+  dispatcher_.OnTyped<WatchRequest>(
+      kMsgWatch, [this](const sim::Envelope& env, WatchRequest req) {
+        HandleWatch(env, std::move(req));
+      });
+  // Raw handlers: gossip uses a Result-returning map decoder, push and map
+  // updates carry nested payloads with their own freshness checks.
+  dispatcher_.On(kMsgGossipMap, [this](const sim::Envelope& env) { HandleGossip(env); });
+  dispatcher_.On(kMsgPushObject, [this](const sim::Envelope& env) { HandlePush(env); });
+  dispatcher_.On(mon::kMsgMapUpdate,
+                 [this](const sim::Envelope& env) { HandleMapUpdate(env); });
 }
 
 void Osd::Boot() {
@@ -128,53 +153,32 @@ void Osd::Recover() {
 }
 
 void Osd::HandleRequest(const sim::Envelope& request) {
-  switch (request.type) {
-    case kMsgOsdOp:
-      HandleOsdOp(request);
-      break;
-    case kMsgRepOp:
-      HandleRepOp(request);
-      break;
-    case kMsgGossipMap:
-      HandleGossip(request);
-      break;
-    case kMsgPullObject:
-      HandlePull(request);
-      break;
-    case kMsgScrub:
-      HandleScrub(request);
-      break;
-    case kMsgWatch:
-      HandleWatch(request);
-      break;
-    case kMsgPushObject: {
-      // Scrub repair: install the primary's authoritative copy.
-      mal::Decoder dec(request.payload);
-      std::string oid = dec.GetString();
-      Object object = Object::Decode(&dec);
-      if (dec.ok()) {
-        store_.Put(oid, std::move(object));
-        Reply(request, mal::Buffer());
-      } else {
-        ReplyError(request, mal::Status::Corruption("bad push payload"));
-      }
-      break;
-    }
-    case mon::kMsgMapUpdate: {
-      mal::Decoder dec(request.payload);
-      mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
-      if (update.kind != mon::MapKind::kOsdMap) {
-        return;
-      }
-      mal::Decoder map_dec(update.map_payload);
-      auto map = mon::OsdMap::Decode(&map_dec);
-      if (map.ok()) {
-        AdoptMap(map.value(), /*gossip=*/true);
-      }
-      break;
-    }
-    default:
-      ReplyError(request, mal::Status::Unimplemented("unknown OSD message"));
+  dispatcher_.Dispatch(request);
+}
+
+void Osd::HandlePush(const sim::Envelope& request) {
+  // Scrub repair: install the primary's authoritative copy.
+  mal::Decoder dec(request.payload);
+  std::string oid = dec.GetString();
+  Object object = Object::Decode(&dec);
+  if (dec.ok()) {
+    store_.Put(oid, std::move(object));
+    Reply(request, mal::Buffer());
+  } else {
+    ReplyError(request, mal::Status::Corruption("bad push payload"));
+  }
+}
+
+void Osd::HandleMapUpdate(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  mon::MapUpdate update = mon::MapUpdate::Decode(&dec);
+  if (update.kind != mon::MapKind::kOsdMap) {
+    return;
+  }
+  mal::Decoder map_dec(update.map_payload);
+  auto map = mon::OsdMap::Decode(&map_dec);
+  if (map.ok()) {
+    AdoptMap(map.value(), /*gossip=*/true);
   }
 }
 
@@ -275,13 +279,7 @@ bool IsMutating(const Op& op) {
 
 }  // namespace
 
-void Osd::HandleOsdOp(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  OsdOpRequest req = OsdOpRequest::Decode(&dec);
-  if (!dec.ok()) {
-    ReplyError(request, mal::Status::Corruption("bad osd op"));
-    return;
-  }
+void Osd::HandleOsdOp(const sim::Envelope& request, OsdOpRequest req) {
   // Primary check against our map view.
   std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
   if (acting.empty() || acting[0] != name().id) {
@@ -438,13 +436,7 @@ void Osd::ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req_in,
   });
 }
 
-void Osd::HandleRepOp(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  OsdOpRequest req = OsdOpRequest::Decode(&dec);
-  if (!dec.ok()) {
-    ReplyError(request, mal::Status::Corruption("bad rep op"));
-    return;
-  }
+void Osd::HandleRepOp(const sim::Envelope& request, OsdOpRequest req) {
   sim::Envelope req_envelope = request;
   AfterCpu(OpCost(req), [this, req = std::move(req), req_envelope] {
     perf_.Inc("osd.repop.count");
@@ -554,9 +546,7 @@ void Osd::HandleGossip(const sim::Envelope& request) {
   }
 }
 
-void Osd::HandlePull(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  PullObjectRequest req = PullObjectRequest::Decode(&dec);
+void Osd::HandlePull(const sim::Envelope& request, PullObjectRequest req) {
   auto object = store_.Get(req.oid);
   if (!object.ok()) {
     ReplyError(request, object.status());
@@ -587,13 +577,7 @@ void Osd::RecoverObject(uint32_t from_osd, const std::string& oid,
               });
 }
 
-void Osd::HandleWatch(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  WatchRequest req = WatchRequest::Decode(&dec);
-  if (!dec.ok()) {
-    ReplyError(request, mal::Status::Corruption("bad watch request"));
-    return;
-  }
+void Osd::HandleWatch(const sim::Envelope& request, WatchRequest req) {
   if (req.unwatch) {
     auto it = watchers_.find(req.oid);
     if (it != watchers_.end()) {
@@ -666,9 +650,7 @@ void Osd::ScrubTick() {
   }
 }
 
-void Osd::HandleScrub(const sim::Envelope& request) {
-  mal::Decoder dec(request.payload);
-  ScrubRequest req = ScrubRequest::Decode(&dec);
+void Osd::HandleScrub(const sim::Envelope& request, ScrubRequest req) {
   uint64_t version = 0;
   if (auto object = store_.Get(req.oid); object.ok()) {
     version = object.value()->version;

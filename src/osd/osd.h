@@ -31,6 +31,7 @@
 #include "src/osd/object_store.h"
 #include "src/osd/placement.h"
 #include "src/sim/actor.h"
+#include "src/svc/dispatch.h"
 
 namespace mal::osd {
 
@@ -65,6 +66,8 @@ struct OsdConfig {
   // How often the OSD pushes its perf-counter snapshot to the monitor
   // (0 = disabled).
   sim::Time perf_report_interval = 1 * sim::kSecond;
+  // Bounded inbox depth for admission control; 0 disables (see svc/).
+  size_t inbox_depth = 0;
   uint64_t seed = 1;
 };
 
@@ -105,20 +108,24 @@ class Osd : public sim::Actor {
   void HandleRequest(const sim::Envelope& request) override;
 
  private:
-  void HandleOsdOp(const sim::Envelope& request);
+  void RegisterHandlers();
+
+  void HandleOsdOp(const sim::Envelope& request, OsdOpRequest req);
   void ExecuteOsdOp(const sim::Envelope& request, const OsdOpRequest& req,
                     const std::vector<uint32_t>& acting);
   // Tries peers[index..] for a copy of req.oid, then executes the op.
   void PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
                        const std::vector<uint32_t>& acting, size_t index);
-  void HandleRepOp(const sim::Envelope& request);
+  void HandleRepOp(const sim::Envelope& request, OsdOpRequest req);
   void HandleGossip(const sim::Envelope& request);
-  void HandleWatch(const sim::Envelope& request);
+  void HandleWatch(const sim::Envelope& request, WatchRequest req);
   void NotifyWatchers(const std::string& oid);
   void ScrubTick();
   void PushObjectTo(uint32_t peer, const std::string& oid);
-  void HandlePull(const sim::Envelope& request);
-  void HandleScrub(const sim::Envelope& request);
+  void HandlePull(const sim::Envelope& request, PullObjectRequest req);
+  void HandleScrub(const sim::Envelope& request, ScrubRequest req);
+  void HandlePush(const sim::Envelope& request);
+  void HandleMapUpdate(const sim::Envelope& request);
 
   void AdoptMap(const mon::OsdMap& map, bool gossip);
   void AdoptMapNow(const mon::OsdMap& map, bool gossip);
@@ -135,6 +142,7 @@ class Osd : public sim::Actor {
                                 std::vector<Op>* expanded);
 
   OsdConfig config_;
+  svc::ServiceDispatcher dispatcher_{this};
   mon::MonClient mon_client_;
   mon::OsdMap osd_map_;
   ObjectStore store_;

@@ -54,29 +54,42 @@ void RadosClient::Execute(const std::string& oid, std::vector<osd::Op> ops,
     perf_->Inc("rados.ops");
   }
   auto shared_ops = std::make_shared<std::vector<osd::Op>>(std::move(ops));
-  ExecuteAttempt(oid, std::move(shared_ops), std::move(on_reply), 0);
+  ExecuteAttempt(oid, std::move(shared_ops), std::move(on_reply),
+                 svc::Backoff(retry_policy_));
 }
 
 void RadosClient::ExecuteAttempt(const std::string& oid,
                                  std::shared_ptr<std::vector<osd::Op>> ops,
-                                 OpHandler on_reply, int attempt) {
-  if (attempt >= 5) {
+                                 OpHandler on_reply, svc::Backoff backoff) {
+  if (backoff.Exhausted()) {
     on_reply(mal::Status::Unavailable("no reachable primary for " + oid),
              osd::OsdOpReply{});
     return;
   }
-  if (attempt > 0 && perf_ != nullptr) {
+  if (backoff.attempt() > 0 && perf_ != nullptr) {
     perf_->Inc("rados.retries");
   }
+  // Shared retry continuation: consumes one attempt from the backoff
+  // schedule, waits out its (zero, at the default policy) delay, and
+  // re-enters. At base_delay == 0 this is a synchronous tail call.
+  auto retry = [this, oid, ops, on_reply, backoff]() mutable {
+    // Consume the attempt before building the continuation: the lambda must
+    // capture the advanced backoff (argument evaluation order would
+    // otherwise leave it at the current attempt forever).
+    sim::Time delay = backoff.NextDelay(&retry_rng_);
+    svc::RunAfter(owner_->simulator(), delay, [this, oid, ops, on_reply, backoff] {
+      ExecuteAttempt(oid, ops, on_reply, backoff);
+    });
+  };
   std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
   if (acting.empty()) {
     // No map yet (or no OSD up): refresh and retry.
-    RefreshMap([this, oid, ops, on_reply, attempt](mal::Status status) {
+    RefreshMap([on_reply, retry](mal::Status status) mutable {
       if (!status.ok()) {
         on_reply(status, osd::OsdOpReply{});
         return;
       }
-      ExecuteAttempt(oid, ops, on_reply, attempt + 1);
+      retry();
     });
     return;
   }
@@ -88,20 +101,31 @@ void RadosClient::ExecuteAttempt(const std::string& oid,
   req.Encode(&enc);
   owner_->SendRequest(
       sim::EntityName::Osd(acting[0]), osd::kMsgOsdOp, std::move(payload),
-      [this, oid, ops, on_reply, attempt](mal::Status status, const sim::Envelope& reply) {
+      [this, on_reply, retry](mal::Status status, const sim::Envelope& reply) mutable {
         if (status.code() == mal::Code::kUnavailable ||
             status.code() == mal::Code::kTimedOut) {
           // Stale placement or dead primary: refresh the map and retry.
-          RefreshMap([this, oid, ops, on_reply, attempt](mal::Status refresh_status) {
+          RefreshMap([on_reply, retry](mal::Status refresh_status) mutable {
             if (!refresh_status.ok()) {
               on_reply(refresh_status, osd::OsdOpReply{});
               return;
             }
-            ExecuteAttempt(oid, ops, on_reply, attempt + 1);
+            retry();
           });
           return;
         }
+        if (status.code() == mal::Code::kBusy) {
+          // The primary shed us at admission: our placement was right, so
+          // skip the map refresh and just back off before resending.
+          if (perf_ != nullptr) {
+            perf_->Inc("rados.busy_rejections");
+          }
+          retry();
+          return;
+        }
         if (!status.ok()) {
+          // kDeadlineExceeded and transaction-level errors are terminal:
+          // retrying a spent budget only wastes server CPU.
           on_reply(status, osd::OsdOpReply{});
           return;
         }

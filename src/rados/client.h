@@ -18,17 +18,23 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/mon/mon_client.h"
 #include "src/osd/messages.h"
 #include "src/osd/placement.h"
 #include "src/sim/actor.h"
+#include "src/svc/retry.h"
 
 namespace mal::rados {
 
 class RadosClient {
  public:
   RadosClient(sim::Actor* owner, std::vector<uint32_t> mons, uint32_t replicas = 3)
-      : owner_(owner), mon_client_(owner, std::move(mons)), replicas_(replicas) {}
+      : owner_(owner),
+        mon_client_(owner, std::move(mons)),
+        replicas_(replicas),
+        retry_rng_(0x7261646f73ULL * 0x9e3779b97f4a7c15ULL +
+                   (static_cast<uint64_t>(owner->name().type) << 32) + owner->name().id) {}
 
   using OpHandler = std::function<void(mal::Status, const osd::OsdOpReply&)>;
   using DataHandler = std::function<void(mal::Status, const mal::Buffer&)>;
@@ -39,6 +45,14 @@ class RadosClient {
 
   const mon::OsdMap& osd_map() const { return osd_map_; }
   mon::MonClient& mon_client() { return mon_client_; }
+  sim::Actor* owner() { return owner_; }
+
+  // Retry schedule for Execute (attempt budget, backoff base/cap). The
+  // default — 5 attempts, zero base delay — matches the legacy immediate
+  // retry loop exactly; set a nonzero base_delay to enable decorrelated-
+  // jitter backoff (e.g. against kBusy admission sheds).
+  void set_retry_policy(const svc::RetryPolicy& policy) { retry_policy_ = policy; }
+  const svc::RetryPolicy& retry_policy() const { return retry_policy_; }
 
   // Optional counter sink owned by the embedding daemon/client. When set,
   // the client records rados.ops / rados.retries / rados.map_refreshes.
@@ -105,7 +119,7 @@ class RadosClient {
 
  private:
   void ExecuteAttempt(const std::string& oid, std::shared_ptr<std::vector<osd::Op>> ops,
-                      OpHandler on_reply, int attempt);
+                      OpHandler on_reply, svc::Backoff backoff);
   void RefreshMap(DoneHandler on_done);
 
   sim::Actor* owner_;
@@ -113,6 +127,8 @@ class RadosClient {
   mal::PerfRegistry* perf_ = nullptr;
   uint32_t replicas_;
   mon::OsdMap osd_map_;
+  svc::RetryPolicy retry_policy_{};
+  mal::Rng retry_rng_;
   std::map<std::string, NotifyHandler> notify_handlers_;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/deadline.h"
 #include "src/common/log.h"
+#include "src/common/perf.h"
 #include "src/common/trace.h"
 
 namespace mal::sim {
@@ -16,21 +18,46 @@ Actor::~Actor() { network_->Detach(name_); }
 
 void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
                         ReplyHandler on_reply, Time timeout) {
+  const uint64_t deadline = mal::CurrentDeadline();
+  if (deadline != 0 && Now() >= deadline) {
+    // Budget already exhausted: fail locally without a network send. Deferred
+    // one event so `on_reply` never runs re-entrantly inside the caller.
+    uint64_t incarnation = incarnation_;
+    simulator_->Schedule(0, [this, incarnation, on_reply = std::move(on_reply)]() {
+      if (incarnation_ != incarnation) {
+        return;
+      }
+      mal::ScopedLogContext log_scope(Now(), name_.ToString());
+      on_reply(mal::Status::DeadlineExceeded("budget exhausted before send"), Envelope{});
+    });
+    return;
+  }
+  // Per-hop timeout derives from the remaining end-to-end budget: a hop that
+  // would outlive the deadline is clamped, and its expiry reports
+  // kDeadlineExceeded (the budget ran out) rather than kTimedOut (the peer
+  // did not answer within its allotted slice).
+  bool clamped = false;
+  if (deadline != 0 && deadline - Now() < timeout) {
+    timeout = deadline - Now();
+    clamped = true;
+  }
   uint64_t rpc_id = next_rpc_id_++;
-  EventId timeout_event = simulator_->Schedule(timeout, [this, rpc_id]() {
+  EventId timeout_event = simulator_->Schedule(timeout, [this, rpc_id, clamped]() {
     auto it = pending_rpcs_.find(rpc_id);
     if (it == pending_rpcs_.end()) {
       return;
     }
     PendingRpc rpc = std::move(it->second);
     pending_rpcs_.erase(it);
-    FinishRpc(std::move(rpc), mal::Status::TimedOut(), Envelope{});
+    FinishRpc(std::move(rpc),
+              clamped ? mal::Status::DeadlineExceeded() : mal::Status::TimedOut(),
+              Envelope{});
   });
 
-  PendingRpc rpc{std::move(on_reply), timeout_event, {}, trace::Current()};
+  PendingRpc rpc{std::move(on_reply), timeout_event, {}, trace::Current(), deadline};
   if (trace::Collector() != nullptr && rpc.caller.valid()) {
     rpc.span = trace::Collector()->StartSpan(
-        "rpc:" + to.ToString() + ":" + trace::MessageName(static_cast<uint16_t>(type)),
+        "rpc:" + to.ToString() + ":" + trace::MessageTypeName(type),
         name_.ToString(), Now(), rpc.caller);
   }
 
@@ -41,6 +68,7 @@ void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
   envelope.rpc_id = rpc_id;
   envelope.payload = std::move(payload);
   envelope.trace = rpc.span.valid() ? rpc.span : rpc.caller;
+  envelope.deadline_ns = deadline;
   pending_rpcs_[rpc_id] = std::move(rpc);
   network_->Send(std::move(envelope));
 }
@@ -53,6 +81,7 @@ void Actor::FinishRpc(PendingRpc rpc, const mal::Status& status, const Envelope&
                                                          : status.message());
   }
   trace::ScopedContext scope(rpc.caller);
+  mal::ScopedDeadline budget(rpc.caller_deadline);
   rpc.handler(status, reply);
 }
 
@@ -63,10 +92,18 @@ void Actor::SendOneWay(EntityName to, uint32_t type, mal::Buffer payload) {
   envelope.type = type;
   envelope.payload = std::move(payload);
   envelope.trace = trace::Current();
+  envelope.deadline_ns = mal::CurrentDeadline();
   network_->Send(std::move(envelope));
 }
 
+void Actor::ReleaseAdmission(const Envelope& request) {
+  if (admitted_.erase({request.from, request.rpc_id}) != 0 && svc_perf_ != nullptr) {
+    svc_perf_->Set("svc.queue_depth", static_cast<double>(admitted_.size()));
+  }
+}
+
 void Actor::Reply(const Envelope& request, mal::Buffer payload) {
+  ReleaseAdmission(request);
   auto span_it = server_spans_.find({request.from, request.rpc_id});
   if (span_it != server_spans_.end()) {
     if (trace::Collector() != nullptr) {
@@ -85,6 +122,7 @@ void Actor::Reply(const Envelope& request, mal::Buffer payload) {
 }
 
 void Actor::ReplyError(const Envelope& request, const mal::Status& status) {
+  ReleaseAdmission(request);
   auto span_it = server_spans_.find({request.from, request.rpc_id});
   if (span_it != server_spans_.end()) {
     if (trace::Collector() != nullptr) {
@@ -162,8 +200,10 @@ double Actor::CpuUtilization(Time window) const {
 void Actor::StartPeriodic(Time period, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
   // Periodic maintenance is not causally part of whatever request happens to
-  // be executing when the timer is armed; schedule it untraced.
+  // be executing when the timer is armed; schedule it untraced and with no
+  // inherited deadline.
   trace::ScopedContext untraced(trace::TraceContext{});
+  mal::ScopedDeadline no_budget(0);
   simulator_->Schedule(period, [this, period, incarnation, fn = std::move(fn)]() {
     if (!alive_ || incarnation_ != incarnation) {
       return;
@@ -186,6 +226,7 @@ void Actor::Crash() {
     FinishRpc(std::move(rpc), mal::Status::Unavailable("local daemon crashed"), Envelope{});
   }
   server_spans_.clear();
+  admitted_.clear();
   cpu_busy_until_ = 0;
   dispatch_busy_until_ = 0;
   busy_log_.clear();
@@ -217,13 +258,51 @@ void Actor::Deliver(Envelope envelope) {
     FinishRpc(std::move(rpc), status, envelope);
     return;
   }
+  // Service-layer gates run before any CPU is reserved or span opened.
+  //
+  // (1) Expired work is dropped: executing it would waste server CPU on a
+  // result the caller has already given up on.
+  if (envelope.deadline_ns != 0 && Now() >= envelope.deadline_ns) {
+    ++deadline_drops_;
+    if (svc_perf_ != nullptr) {
+      svc_perf_->Inc("svc.deadline_drops");
+    }
+    MAL_DEBUG(name_.ToString())
+        << "dropping expired " << trace::MessageTypeName(envelope.type) << " from "
+        << envelope.from.ToString() << " (deadline " << envelope.deadline_ns << " <= now "
+        << Now() << ")";
+    if (envelope.rpc_id != 0) {
+      ReplyError(envelope, mal::Status::DeadlineExceeded("expired before service"));
+    }
+    return;
+  }
+  // (2) Admission control: a full bounded inbox sheds the request with kBusy
+  // instead of queueing it behind work it cannot overtake.
+  if (envelope.rpc_id != 0 && inbox_limit_ > 0) {
+    if (admitted_.size() >= inbox_limit_) {
+      ++shed_total_;
+      if (svc_perf_ != nullptr) {
+        svc_perf_->Inc("svc.shed_total");
+      }
+      MAL_DEBUG(name_.ToString())
+          << "shedding " << trace::MessageTypeName(envelope.type) << " from "
+          << envelope.from.ToString() << " (inbox " << admitted_.size() << "/"
+          << inbox_limit_ << ")";
+      ReplyError(envelope, mal::Status::Busy());
+      return;
+    }
+    admitted_.insert({envelope.from, envelope.rpc_id});
+    if (svc_perf_ != nullptr) {
+      svc_perf_->Set("svc.queue_depth", static_cast<double>(admitted_.size()));
+    }
+  }
   // Server side: open a handling span parented on the carried context. For
   // rpc requests it closes when the matching Reply/ReplyError goes out; for
   // one-way messages it covers the synchronous part of the handler.
   trace::TraceContext server_ctx = envelope.trace;
   if (trace::Collector() != nullptr && envelope.trace.valid()) {
     server_ctx = trace::Collector()->StartSpan(
-        "handle:" + trace::MessageName(static_cast<uint16_t>(envelope.type)),
+        "handle:" + trace::MessageTypeName(envelope.type),
         name_.ToString(), Now(), envelope.trace);
     if (envelope.rpc_id != 0) {
       server_spans_[{envelope.from, envelope.rpc_id}] = server_ctx;
@@ -231,6 +310,9 @@ void Actor::Deliver(Envelope envelope) {
   }
   {
     trace::ScopedContext scope(server_ctx);
+    // The carried deadline becomes ambient for the handler, so downstream
+    // hops (replication fan-out, proxy forwards) inherit the shrinking budget.
+    mal::ScopedDeadline budget(envelope.deadline_ns);
     HandleRequest(envelope);
   }
   if (envelope.rpc_id == 0 && server_ctx.valid() && server_ctx.span_id != envelope.trace.span_id &&

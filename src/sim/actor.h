@@ -10,12 +10,17 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "src/common/buffer.h"
 #include "src/common/status.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+
+namespace mal {
+class PerfRegistry;
+}  // namespace mal
 
 namespace mal::sim {
 
@@ -38,6 +43,13 @@ class Actor : public MessageSink {
 
   // Sends a request; `on_reply` fires exactly once: with the reply, or with
   // kTimedOut after `timeout`, or kUnavailable if this actor crashed.
+  //
+  // Deadline propagation: when an ambient deadline is set (mal::CurrentDeadline,
+  // usually via svc::ScopedOpDeadline at the operation edge), the per-hop
+  // timeout is clamped to the remaining budget — a clamped hop that expires
+  // fails with kDeadlineExceeded rather than kTimedOut — the deadline is
+  // stamped into the envelope so the server can drop expired work, and an
+  // already-exhausted budget fails the call locally without a network send.
   void SendRequest(EntityName to, uint32_t type, mal::Buffer payload, ReplyHandler on_reply,
                    Time timeout = 5 * kSecond);
 
@@ -67,6 +79,25 @@ class Actor : public MessageSink {
   // metric exported to the balancer.
   double CpuUtilization(Time window) const;
 
+  // -- Service layer (admission control; see src/svc/ and docs/service_layer.md)
+
+  // Bounded inbox: when `limit` > 0, at most `limit` rpc requests may be in
+  // service on this actor at once (admitted at Deliver, released by the
+  // matching Reply/ReplyError). Excess requests are shed at admission with a
+  // kBusy reply, before any CPU is reserved. 0 (the default) disables
+  // admission control entirely.
+  void SetInboxLimit(size_t limit) { inbox_limit_ = limit; }
+  size_t inbox_limit() const { return inbox_limit_; }
+  size_t queue_depth() const { return admitted_.size(); }
+  uint64_t shed_total() const { return shed_total_; }
+  uint64_t deadline_drops() const { return deadline_drops_; }
+
+  // Registry that receives svc.queue_depth / svc.shed_total / svc.deadline_drops.
+  // May be null (metrics still available via the accessors above). Metrics are
+  // only touched when the corresponding knob fires, so a defaults-off run's
+  // perf snapshots are byte-identical.
+  void SetServicePerf(mal::PerfRegistry* perf) { svc_perf_ = perf; }
+
   // -- Timers ---------------------------------------------------------------
 
   // Calls `fn` every `period`, starting one period from now, while alive.
@@ -91,13 +122,18 @@ class Actor : public MessageSink {
   struct PendingRpc {
     ReplyHandler handler;
     EventId timeout_event;
-    trace::TraceContext span;    // client rpc span (invalid when untraced)
-    trace::TraceContext caller;  // ambient context at SendRequest time
+    trace::TraceContext span;     // client rpc span (invalid when untraced)
+    trace::TraceContext caller;   // ambient context at SendRequest time
+    uint64_t caller_deadline = 0;  // ambient deadline at SendRequest time
   };
 
   // Ends the rpc span (if any) and runs the handler under the caller's
-  // trace context, so continuation work stays attributed to the request.
+  // trace context and deadline, so continuation work stays attributed to the
+  // request and keeps its time budget.
   void FinishRpc(PendingRpc rpc, const mal::Status& status, const Envelope& reply);
+
+  // Frees the admission slot held by `request` (no-op when none is held).
+  void ReleaseAdmission(const Envelope& request);
 
   Simulator* simulator_;
   Network* network_;
@@ -109,6 +145,13 @@ class Actor : public MessageSink {
   // Open server-side handling spans, keyed by (requester, rpc_id); closed
   // when the matching Reply/ReplyError is sent.
   std::map<std::pair<EntityName, uint64_t>, trace::TraceContext> server_spans_;
+  // Admission control (active when inbox_limit_ > 0): rpc requests currently
+  // in service, admitted at Deliver and released by Reply/ReplyError.
+  size_t inbox_limit_ = 0;
+  std::set<std::pair<EntityName, uint64_t>> admitted_;
+  uint64_t shed_total_ = 0;
+  uint64_t deadline_drops_ = 0;
+  mal::PerfRegistry* svc_perf_ = nullptr;
   Time cpu_busy_until_ = 0;
   Time dispatch_busy_until_ = 0;
   // Busy-time accounting for utilization: (interval_end, busy_in_interval).

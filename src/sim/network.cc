@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "src/common/log.h"
+
 namespace mal::sim {
+namespace {
+
+void LogDrop(const Envelope& envelope, const char* reason) {
+  MAL_DEBUG("net") << "drop [" << reason << "] " << envelope.from.ToString() << " -> "
+                   << envelope.to.ToString() << " "
+                   << trace::MessageTypeName(envelope.type)
+                   << (envelope.is_reply ? " (reply)" : "") << " " << envelope.WireSize()
+                   << "B";
+}
+
+}  // namespace
 
 std::string EntityName::ToString() const {
   const char* prefix = "?";
@@ -54,10 +67,14 @@ void Network::Send(Envelope envelope) {
   ++messages_sent_;
   bytes_sent_ += envelope.WireSize();
   if (crashed_.count(envelope.from) != 0 || crashed_.count(envelope.to) != 0) {
+    ++dropped_crashed_;
+    LogDrop(envelope, "crashed");
     return;
   }
   auto key = std::minmax(envelope.from, envelope.to);
   if (partitions_.count({key.first, key.second}) != 0) {
+    ++dropped_partitioned_;
+    LogDrop(envelope, "partitioned");
     return;
   }
   Time latency = ComputeLatency(envelope);
@@ -65,10 +82,14 @@ void Network::Send(Envelope envelope) {
     // Re-check failure state at delivery time: a crash that happened while
     // the message was in flight still loses it.
     if (crashed_.count(envelope.to) != 0) {
+      ++dropped_crashed_inflight_;
+      LogDrop(envelope, "crashed_inflight");
       return;
     }
     auto it = sinks_.find(envelope.to);
     if (it == sinks_.end()) {
+      ++dropped_unattached_;
+      LogDrop(envelope, "unattached");
       return;
     }
     ++messages_delivered_;

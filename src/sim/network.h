@@ -56,6 +56,10 @@ struct Envelope {
   // Deliberately excluded from WireSize: tracing must not perturb the
   // latency model or the jitter RNG stream of an untraced run.
   trace::TraceContext trace;
+  // Absolute sim-ns deadline for the request (0 = none). Like `trace`,
+  // excluded from WireSize so deadline propagation is latency- and
+  // RNG-neutral for runs that never set a deadline.
+  uint64_t deadline_ns = 0;
 
   size_t WireSize() const { return payload.size() + 32; }  // 32-byte header
 };
@@ -84,8 +88,10 @@ class Network {
   void Detach(EntityName name);
 
   // Sends an envelope; delivery is scheduled on the simulator. Messages to
-  // crashed/partitioned/unattached entities are silently dropped (like UDP;
-  // RPC timeouts provide the failure signal, as in a real cluster).
+  // crashed/partitioned/unattached entities are dropped (like UDP; RPC
+  // timeouts provide the failure signal, as in a real cluster) — each drop
+  // is counted per reason and logged at debug level so partitions are
+  // debuggable.
   void Send(Envelope envelope);
 
   // Failure injection.
@@ -96,6 +102,18 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Drop counters by reason ("net.dropped_*" in dumps): endpoint crashed at
+  // send time, link partitioned, destination crashed while the message was
+  // in flight, destination never attached / already detached.
+  uint64_t dropped_crashed() const { return dropped_crashed_; }
+  uint64_t dropped_partitioned() const { return dropped_partitioned_; }
+  uint64_t dropped_crashed_inflight() const { return dropped_crashed_inflight_; }
+  uint64_t dropped_unattached() const { return dropped_unattached_; }
+  uint64_t dropped_total() const {
+    return dropped_crashed_ + dropped_partitioned_ + dropped_crashed_inflight_ +
+           dropped_unattached_;
+  }
 
   Simulator* simulator() { return simulator_; }
 
@@ -111,6 +129,10 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t dropped_crashed_ = 0;
+  uint64_t dropped_partitioned_ = 0;
+  uint64_t dropped_crashed_inflight_ = 0;
+  uint64_t dropped_unattached_ = 0;
 };
 
 }  // namespace mal::sim

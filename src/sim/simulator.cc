@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/deadline.h"
 #include "src/common/trace.h"
 
 namespace mal::sim {
@@ -15,12 +16,14 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
   EventId id = next_id_++;
   // Dapper-style propagation through the event loop: work scheduled while a
-  // trace context is ambient runs under that context, so causality follows
-  // continuations (CPU completions, message deliveries, retries) without
-  // per-call-site plumbing.
-  if (trace::Current().valid()) {
-    fn = [ctx = trace::Current(), inner = std::move(fn)]() {
+  // trace context or a deadline is ambient runs under it, so causality and
+  // time budgets follow continuations (CPU completions, message deliveries,
+  // retries) without per-call-site plumbing.
+  if (trace::Current().valid() || mal::CurrentDeadline() != 0) {
+    fn = [ctx = trace::Current(), deadline = mal::CurrentDeadline(),
+          inner = std::move(fn)]() {
       trace::ScopedContext scope(ctx);
+      mal::ScopedDeadline budget(deadline);
       inner();
     };
   }
@@ -45,11 +48,13 @@ bool Simulator::Step() {
     }
     now_ = ev.when;
     ++events_processed_;
-    // Events not scheduled under a trace run untraced; the wrapper installed
-    // by ScheduleAt restores the captured context for those that were.
+    // Events not scheduled under a trace or deadline run bare; the wrapper
+    // installed by ScheduleAt restores the captured state for those that were.
     trace::SetCurrent(trace::TraceContext{});
+    mal::SetCurrentDeadline(0);
     ev.fn();
     trace::SetCurrent(trace::TraceContext{});
+    mal::SetCurrentDeadline(0);
     return true;
   }
   return false;

@@ -1,0 +1,39 @@
+// ScopedOpDeadline: sets the ambient deadline at an operation's edge.
+//
+// Install one at the top of a client-visible operation (a cephfs call, a
+// bench loop body) with a *relative* budget; every RPC hop issued while the
+// scope is live inherits the shrinking absolute deadline via the simulator's
+// ambient-state propagation (src/common/deadline.h). Tightening-only: if an
+// outer scope already imposes an earlier deadline, it wins. A zero budget is
+// a no-op, so defaulted-off configs cost nothing.
+#ifndef MALACOLOGY_SVC_DEADLINE_H_
+#define MALACOLOGY_SVC_DEADLINE_H_
+
+#include <algorithm>
+
+#include "src/common/deadline.h"
+#include "src/sim/actor.h"
+
+namespace mal::svc {
+
+class ScopedOpDeadline {
+ public:
+  ScopedOpDeadline(sim::Actor* actor, sim::Time budget)
+      : inner_(Resolve(actor, budget)) {}
+
+ private:
+  static uint64_t Resolve(sim::Actor* actor, sim::Time budget) {
+    uint64_t ambient = mal::CurrentDeadline();
+    if (budget == 0) {
+      return ambient;  // no local budget: keep whatever is already in force
+    }
+    uint64_t mine = actor->Now() + budget;
+    return ambient == 0 ? mine : std::min(ambient, mine);
+  }
+
+  mal::ScopedDeadline inner_;
+};
+
+}  // namespace mal::svc
+
+#endif  // MALACOLOGY_SVC_DEADLINE_H_

@@ -1,0 +1,41 @@
+#include "src/svc/dispatch.h"
+
+#include "src/common/log.h"
+#include "src/common/trace.h"
+
+namespace mal::svc {
+
+void ServiceDispatcher::On(uint32_t type, RawHandler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void ServiceDispatcher::Dispatch(const sim::Envelope& request) {
+  auto it = handlers_.find(request.type);
+  if (it == handlers_.end()) {
+    if (request.rpc_id != 0) {
+      owner_->ReplyError(request, mal::Status::Unimplemented(
+                                      "no handler for " +
+                                      trace::MessageTypeName(request.type)));
+    } else {
+      MAL_DEBUG(owner_->name().ToString())
+          << "dropping unhandled " << trace::MessageTypeName(request.type) << " from "
+          << request.from.ToString();
+    }
+    return;
+  }
+  it->second(request);
+}
+
+void ServiceDispatcher::RejectMalformed(const sim::Envelope& env) {
+  if (env.rpc_id != 0) {
+    owner_->ReplyError(
+        env, mal::Status::Corruption("bad " + trace::MessageTypeName(env.type) +
+                                     " payload"));
+  } else {
+    MAL_WARN(owner_->name().ToString())
+        << "dropping malformed " << trace::MessageTypeName(env.type) << " from "
+        << env.from.ToString();
+  }
+}
+
+}  // namespace mal::svc

@@ -1,0 +1,65 @@
+// RetryPolicy / Backoff: the one retry implementation for every client.
+//
+// RadosClient, zlog::Log, MdsClient, and MonClient each used to carry their
+// own attempt counter and retry immediately (or after a fixed sleep) on
+// kUnavailable / kTimedOut / kStaleEpoch. This module replaces those loops
+// with exponential backoff + decorrelated jitter (the AWS scheme:
+// sleep_n = min(cap, Uniform(base, 3 * sleep_{n-1}))), deterministic because
+// the jitter draws from a mal::Rng the caller seeds.
+//
+// The default policy has base_delay == 0, which makes NextDelay return 0
+// without consuming a random draw — so a defaults-off run retries on the
+// same event-ordering, RNG stream, and clock as the legacy immediate-retry
+// code (the determinism oracle relies on this).
+#ifndef MALACOLOGY_SVC_RETRY_H_
+#define MALACOLOGY_SVC_RETRY_H_
+
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace mal::svc {
+
+struct RetryPolicy {
+  int max_attempts = 5;                      // total tries, including the first
+  sim::Time base_delay = 0;                  // 0 = retry immediately, draw no jitter
+  sim::Time max_delay = 2 * sim::kSecond;    // cap on any single backoff sleep
+};
+
+// Per-operation backoff state. Copyable by design: clients thread it by
+// value through their async retry chains (capture in the next attempt's
+// callback) instead of sharing mutable state across in-flight operations.
+class Backoff {
+ public:
+  Backoff() = default;
+  explicit Backoff(const RetryPolicy& policy) : policy_(policy) {}
+
+  // True once the attempt budget is spent; callers check this on entry and
+  // surface the last error when it trips.
+  bool Exhausted() const { return attempt_ >= policy_.max_attempts; }
+
+  // Attempts started so far (0 before the first NextDelay call).
+  int attempt() const { return attempt_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  // Consumes one attempt and returns how long to wait before it. The first
+  // attempt and every attempt under a zero base_delay start immediately.
+  sim::Time NextDelay(mal::Rng* rng);
+
+ private:
+  RetryPolicy policy_;
+  int attempt_ = 0;
+  sim::Time prev_delay_ = 0;
+};
+
+// Runs `fn` after `delay`. A zero delay invokes `fn` synchronously rather
+// than scheduling a zero-delay event: the legacy retry loops re-entered
+// synchronously, and preserving that keeps defaults-off event ordering
+// byte-identical.
+void RunAfter(sim::Simulator* simulator, sim::Time delay, std::function<void()> fn);
+
+}  // namespace mal::svc
+
+#endif  // MALACOLOGY_SVC_RETRY_H_

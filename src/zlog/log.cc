@@ -21,7 +21,13 @@ Log::Log(sim::Actor* owner, rados::RadosClient* rados, mds::MdsClient* mds,
       rados_(rados),
       mds_(mds),
       options_(std::move(options)),
+      retry_policy_(options_.retry),
+      retry_rng_(0x7a6c6f67ULL * 0x9e3779b97f4a7c15ULL +
+                 (static_cast<uint64_t>(owner->name().type) << 32) + owner->name().id),
       sequencer_path_("/zlog/" + options_.name) {
+  // max_append_retries predates RetryPolicy and stays authoritative for the
+  // attempt budget (several tests and benches tune it directly).
+  retry_policy_.max_attempts = options_.max_append_retries;
   views_.push_back(View{0, options_.stripe_width, 0});
 }
 
@@ -210,7 +216,8 @@ void Log::Append(mal::Buffer data, PositionHandler on_done) {
     on_done(status, position);
   };
   trace::ScopedContext scope(span.valid() ? span : trace::Current());
-  AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(wrapped), 0);
+  AppendAttempt(std::make_shared<mal::Buffer>(std::move(data)), std::move(wrapped),
+                svc::Backoff(retry_policy_));
 }
 
 // -- batched, pipelined append ---------------------------------------------------
@@ -258,7 +265,7 @@ void Log::PumpBatchQueue() {
     for (size_t i = 0; i < indices.size(); ++i) {
       indices[i] = i;
     }
-    BatchAttempt(std::move(batch), std::move(indices), 0);
+    BatchAttempt(std::move(batch), std::move(indices), svc::Backoff(retry_policy_));
   }
 }
 
@@ -278,35 +285,48 @@ void Log::FinishBatch(std::shared_ptr<Batch> batch, mal::Status status) {
 }
 
 void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices,
-                       int attempt) {
+                       svc::Backoff backoff) {
   // Every hop of this batch — sequencer grant, per-object OSD transactions,
   // recovery — attributes to the batch's root span. PumpBatchQueue may call
   // us from another batch's completion context, so pin (or clear) the
   // ambient context explicitly.
   trace::ScopedContext scope(batch->span);
-  if (attempt > 0 && perf_ != nullptr) {
+  if (backoff.attempt() > 0 && perf_ != nullptr) {
     perf_->Inc("zlog.batch_retries");
   }
-  if (attempt >= options_.max_append_retries) {
+  if (backoff.Exhausted()) {
     FinishBatch(std::move(batch), mal::Status::Unavailable("append retries exhausted"));
     return;
   }
+  // Retry continuation: consumes one attempt from the backoff schedule,
+  // waits out its (zero, at the default policy) delay, and re-enters with
+  // fresh positions for the named entries.
+  auto reattempt = [this, batch, backoff](std::vector<size_t> which) mutable {
+    // Consume the attempt before building the continuation so the lambda
+    // captures the advanced backoff.
+    sim::Time delay = backoff.NextDelay(&retry_rng_);
+    svc::RunAfter(owner_->simulator(), delay,
+                  [this, batch, backoff, which = std::move(which)] {
+                    BatchAttempt(batch, which, backoff);
+                  });
+  };
   // Take the count before the lambda capture moves `indices` (argument
   // evaluation order is unspecified).
   const uint64_t count = indices.size();
   GetPositionBatch(
       count,
-      [this, batch, indices = std::move(indices), attempt](mal::Status status,
-                                                           uint64_t first) {
+      [this, batch, indices = std::move(indices), reattempt](mal::Status status,
+                                                             uint64_t first) {
         if (status.code() == mal::Code::kAborted) {
           // Sequencer lost its state: run CORFU recovery, then retry these
           // entries under the new epoch (fresh positions).
-          Recover([this, batch, indices, attempt](mal::Status recover_status, uint64_t) {
+          Recover([this, batch, indices, reattempt](mal::Status recover_status,
+                                                    uint64_t) mutable {
             if (!recover_status.ok()) {
               FinishBatch(batch, recover_status);
               return;
             }
-            BatchAttempt(batch, indices, attempt + 1);
+            reattempt(indices);
           });
           return;
         }
@@ -337,8 +357,8 @@ void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices
         }
         rados_->ExecuteTargeted(
             std::move(ops),
-            [this, batch, attempt, op_entries = std::move(op_entries)](
-                std::vector<osd::OpResult> results) {
+            [this, batch, reattempt, op_entries = std::move(op_entries)](
+                std::vector<osd::OpResult> results) mutable {
               // Collect entries that failed and must retry with fresh
               // positions: whole targets that were fenced (stale epoch) or
               // unreachable, and individual write-once collisions.
@@ -375,36 +395,47 @@ void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices
                 // We were sealed mid-batch: learn the new epoch, then retry
                 // the invalidated entries with fresh positions.
                 RefreshEpoch([this, batch, retry = std::move(retry),
-                              attempt](mal::Status refresh_status) {
+                              reattempt](mal::Status refresh_status) mutable {
                   if (!refresh_status.ok()) {
                     FinishBatch(batch, refresh_status);
                     return;
                   }
-                  BatchAttempt(batch, retry, attempt + 1);
+                  reattempt(retry);
                 });
                 return;
               }
-              BatchAttempt(batch, std::move(retry), attempt + 1);
+              reattempt(std::move(retry));
             });
       });
 }
 
 void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,
-                        int attempt) {
-  if (attempt >= options_.max_append_retries) {
+                        svc::Backoff backoff) {
+  if (backoff.Exhausted()) {
     on_done(mal::Status::Unavailable("append retries exhausted"), 0);
     return;
   }
-  GetPosition([this, data, on_done, attempt](mal::Status status, uint64_t position) {
+  // Retry continuation: consumes one attempt from the backoff schedule and
+  // re-enters after its (zero, at the default policy) delay.
+  auto reattempt = [this, data, on_done, backoff]() mutable {
+    // Consume the attempt before building the continuation so the lambda
+    // captures the advanced backoff.
+    sim::Time delay = backoff.NextDelay(&retry_rng_);
+    svc::RunAfter(owner_->simulator(), delay, [this, data, on_done, backoff] {
+      AppendAttempt(data, on_done, backoff);
+    });
+  };
+  GetPosition([this, data, on_done, reattempt](mal::Status status,
+                                               uint64_t position) mutable {
     if (status.code() == mal::Code::kAborted) {
       // The sequencer lost its state (holder died): run CORFU recovery,
       // then retry the append under the new epoch.
-      Recover([this, data, on_done, attempt](mal::Status recover_status, uint64_t) {
+      Recover([on_done, reattempt](mal::Status recover_status, uint64_t) mutable {
         if (!recover_status.ok()) {
           on_done(recover_status, 0);
           return;
         }
-        AppendAttempt(data, on_done, attempt + 1);
+        reattempt();
       });
       return;
     }
@@ -414,23 +445,23 @@ void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_do
     }
     rados_->Exec(
         ObjectFor(position), "zlog", "write", ZlogOps::MakeWrite(epoch_, position, *data),
-        [this, data, on_done, attempt, position](mal::Status write_status,
-                                                 const mal::Buffer&) {
+        [this, on_done, reattempt, position](mal::Status write_status,
+                                             const mal::Buffer&) mutable {
           if (write_status.code() == mal::Code::kStaleEpoch) {
             // We were fenced: learn the new epoch and retry with a fresh
             // position (ours may have been consumed by recovery).
-            RefreshEpoch([this, data, on_done, attempt](mal::Status refresh_status) {
+            RefreshEpoch([on_done, reattempt](mal::Status refresh_status) mutable {
               if (!refresh_status.ok()) {
                 on_done(refresh_status, 0);
                 return;
               }
-              AppendAttempt(data, on_done, attempt + 1);
+              reattempt();
             });
             return;
           }
           if (write_status.code() == mal::Code::kReadOnly) {
             // Position collision (post-recovery sequencer reset): retry.
-            AppendAttempt(data, on_done, attempt + 1);
+            reattempt();
             return;
           }
           on_done(write_status, position);

@@ -23,9 +23,11 @@
 
 #include "src/cls/builtin.h"
 #include "src/common/perf.h"
+#include "src/common/rng.h"
 #include "src/common/trace.h"
 #include "src/mds/mds_client.h"
 #include "src/rados/client.h"
+#include "src/svc/retry.h"
 
 namespace mal::zlog {
 
@@ -51,6 +53,11 @@ struct LogOptions {
   // Lease terms for kCached mode (the Fig 5/6/7 knobs).
   mds::LeasePolicy lease;
   int max_append_retries = 4;
+  // Backoff base/cap between append retries (epoch fences, position
+  // collisions, sequencer recovery). The attempt budget stays
+  // max_append_retries; the default zero base delay keeps the legacy
+  // retry-immediately behavior.
+  svc::RetryPolicy retry{};
   // Windowed pipeline: how many AppendBatch() calls may be on the wire at
   // once. Batches beyond the window queue; independent batches overlap so
   // the append path is bandwidth-bound instead of per-RPC-latency-bound.
@@ -133,13 +140,13 @@ class Log {
   // increment) and yields the first.
   void GetPositionBatch(uint64_t count, PositionHandler on_first);
   void AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_done,
-                     int attempt);
+                     svc::Backoff backoff);
   // Launches queued batches while the in-flight window has room.
   void PumpBatchQueue();
   // Writes the batch entries named by `indices` (fresh positions each
   // attempt), retrying per-entry failures until the retry budget runs out.
   void BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices,
-                    int attempt);
+                    svc::Backoff backoff);
   void FinishBatch(std::shared_ptr<Batch> batch, mal::Status status);
   void RefreshEpoch(DoneHandler on_done);
   // Every object of every view (the set recovery must seal).
@@ -156,6 +163,8 @@ class Log {
   mds::MdsClient* mds_;
   mal::PerfRegistry* perf_ = nullptr;
   LogOptions options_;
+  svc::RetryPolicy retry_policy_;  // options_.retry with max_append_retries applied
+  mal::Rng retry_rng_;
   std::string sequencer_path_;
   uint64_t epoch_ = 0;
   std::vector<View> views_;  // sorted by base_pos; views_[0].base_pos == 0

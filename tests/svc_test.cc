@@ -1,0 +1,446 @@
+// Service-layer tests: RetryPolicy/Backoff determinism, typed dispatch
+// error mapping, deadline propagation (client clamp, server-side drop,
+// shrinking multi-hop budgets), bounded-inbox admission control under
+// overload, the message-type name registry, and per-reason network drop
+// counters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/deadline.h"
+#include "src/common/rng.h"
+#include "src/common/trace.h"
+#include "src/svc/deadline.h"
+#include "src/svc/dispatch.h"
+#include "src/svc/retry.h"
+
+namespace mal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backoff / RetryPolicy
+
+TEST(BackoffTest, DefaultPolicyDrawsNothingAndSleepsNothing) {
+  // The defaults-off oracle: base_delay == 0 must return 0 delays AND leave
+  // the RNG stream untouched, so enabling the service layer in a binary
+  // that never configures it cannot perturb a deterministic run.
+  mal::Rng used(42);
+  mal::Rng untouched(42);
+  svc::Backoff backoff(svc::RetryPolicy{});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(backoff.NextDelay(&used), 0u);
+  }
+  EXPECT_EQ(used.Next(), untouched.Next());
+}
+
+TEST(BackoffTest, AttemptBudgetMatchesLegacyCounters) {
+  svc::RetryPolicy policy;
+  policy.max_attempts = 3;
+  svc::Backoff backoff(policy);
+  mal::Rng rng(1);
+  EXPECT_FALSE(backoff.Exhausted());
+  EXPECT_EQ(backoff.attempt(), 0);
+  backoff.NextDelay(&rng);  // attempt 0 -> 1
+  EXPECT_EQ(backoff.attempt(), 1);
+  EXPECT_FALSE(backoff.Exhausted());
+  backoff.NextDelay(&rng);
+  backoff.NextDelay(&rng);
+  EXPECT_EQ(backoff.attempt(), 3);
+  EXPECT_TRUE(backoff.Exhausted());
+}
+
+TEST(BackoffTest, DecorrelatedJitterStaysInBoundsAndIsDeterministic) {
+  svc::RetryPolicy policy;
+  policy.max_attempts = 32;
+  policy.base_delay = 1 * sim::kMillisecond;
+  policy.max_delay = 8 * sim::kMillisecond;
+
+  mal::Rng rng_a(7);
+  mal::Rng rng_b(7);
+  svc::Backoff a(policy);
+  svc::Backoff b(policy);
+
+  // First attempt is the initial try: no sleep.
+  EXPECT_EQ(a.NextDelay(&rng_a), 0u);
+  EXPECT_EQ(b.NextDelay(&rng_b), 0u);
+
+  sim::Time prev = policy.base_delay;
+  for (int i = 1; i < 32; ++i) {
+    sim::Time da = a.NextDelay(&rng_a);
+    sim::Time db = b.NextDelay(&rng_b);
+    EXPECT_EQ(da, db) << "same seed must give the same schedule";
+    EXPECT_GE(da, policy.base_delay);
+    EXPECT_LE(da, policy.max_delay);
+    // Decorrelated jitter: each sleep is drawn from [base, 3 * prev_sleep].
+    EXPECT_LE(da, std::max<sim::Time>(policy.base_delay, 3 * prev));
+    prev = da;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Toy actors for dispatcher / deadline / drop-counter tests.
+
+constexpr uint32_t kMsgPing = 4242;
+
+struct PingReq {
+  uint64_t value = 0;
+  void Encode(mal::Encoder* enc) const { enc->PutU64(value); }
+  static PingReq Decode(mal::Decoder* dec) {
+    PingReq req;
+    req.value = dec->GetU64();
+    return req;
+  }
+};
+
+class PingServer : public sim::Actor {
+ public:
+  PingServer(sim::Simulator* simulator, sim::Network* network, uint32_t id)
+      : Actor(simulator, network, sim::EntityName::Osd(id)) {
+    dispatcher_.OnTyped<PingReq>(
+        kMsgPing, [this](const sim::Envelope& env, PingReq req) {
+          ++pings_;
+          mal::Buffer out;
+          mal::Encoder enc(&out);
+          enc.PutU64(req.value + 1);
+          Reply(env, std::move(out));
+        });
+  }
+
+  uint64_t pings() const { return pings_; }
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override {
+    dispatcher_.Dispatch(request);
+  }
+
+ private:
+  svc::ServiceDispatcher dispatcher_{this};
+  uint64_t pings_ = 0;
+};
+
+// Accepts every request and never answers: the shape of a hung server.
+class SilentServer : public sim::Actor {
+ public:
+  SilentServer(sim::Simulator* simulator, sim::Network* network, uint32_t id)
+      : Actor(simulator, network, sim::EntityName::Mds(id)) {}
+  uint64_t seen = 0;
+
+ protected:
+  void HandleRequest(const sim::Envelope&) override { ++seen; }
+};
+
+// Proxies every request to a backend (the MDS-forwarding shape); the hop
+// it issues inherits the shrinking deadline ambiently.
+class ProxyServer : public sim::Actor {
+ public:
+  ProxyServer(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+              sim::EntityName backend)
+      : Actor(simulator, network, sim::EntityName::Mds(id)), backend_(backend) {}
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override {
+    sim::Envelope pinned = request;
+    SendRequest(backend_, request.type, request.payload,
+                [this, pinned](mal::Status status, const sim::Envelope& reply) {
+                  if (!status.ok()) {
+                    ReplyError(pinned, status);
+                    return;
+                  }
+                  Reply(pinned, reply.payload);
+                });
+  }
+
+ private:
+  sim::EntityName backend_;
+};
+
+class TestClient : public sim::Actor {
+ public:
+  TestClient(sim::Simulator* simulator, sim::Network* network, uint32_t id)
+      : Actor(simulator, network, sim::EntityName::Client(id)) {}
+
+ protected:
+  void HandleRequest(const sim::Envelope&) override {}
+};
+
+mal::Buffer EncodePing(uint64_t value) {
+  PingReq req{value};
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  req.Encode(&enc);
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceDispatcher error mapping
+
+TEST(ServiceDispatcherTest, TypedHandlerDecodesAndReplies) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  mal::Status status;
+  uint64_t answer = 0;
+  client.SendRequest(server.name(), kMsgPing, EncodePing(41),
+                     [&](mal::Status s, const sim::Envelope& reply) {
+                       status = s;
+                       if (s.ok()) {
+                         mal::Decoder dec(reply.payload);
+                         answer = dec.GetU64();
+                       }
+                     });
+  simulator.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(answer, 42u);
+  EXPECT_EQ(server.pings(), 1u);
+}
+
+TEST(ServiceDispatcherTest, UnknownTypeMapsToUnimplemented) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  mal::Status status;
+  client.SendRequest(server.name(), /*type=*/999, mal::Buffer(),
+                     [&](mal::Status s, const sim::Envelope&) { status = s; });
+  simulator.Run();
+  EXPECT_EQ(status.code(), mal::Code::kUnimplemented) << status.ToString();
+  EXPECT_EQ(server.pings(), 0u);
+}
+
+TEST(ServiceDispatcherTest, MalformedPayloadMapsToCorruption) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  mal::Buffer truncated;
+  mal::Encoder enc(&truncated);
+  enc.PutU8(1);  // PingReq wants a u64
+  mal::Status status;
+  client.SendRequest(server.name(), kMsgPing, std::move(truncated),
+                     [&](mal::Status s, const sim::Envelope&) { status = s; });
+  simulator.Run();
+  EXPECT_EQ(status.code(), mal::Code::kCorruption) << status.ToString();
+  EXPECT_EQ(server.pings(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline propagation
+
+TEST(DeadlineTest, ClampedHopFailsWithDeadlineExceededNotTimedOut) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  SilentServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  // Without a deadline the hung server costs the full 5 s rpc timeout.
+  mal::Status no_budget;
+  client.SendRequest(server.name(), kMsgPing, EncodePing(1),
+                     [&](mal::Status s, const sim::Envelope&) { no_budget = s; });
+  // With a 2 s budget the same hop is clamped and fails earlier, with the
+  // budget-specific code.
+  mal::Status with_budget;
+  sim::Time budget_failed_at = 0;
+  {
+    svc::ScopedOpDeadline budget(&client, 2 * sim::kSecond);
+    client.SendRequest(server.name(), kMsgPing, EncodePing(2),
+                       [&](mal::Status s, const sim::Envelope&) {
+                         with_budget = s;
+                         budget_failed_at = simulator.Now();
+                       });
+  }
+  simulator.Run();
+  EXPECT_EQ(no_budget.code(), mal::Code::kTimedOut) << no_budget.ToString();
+  EXPECT_EQ(with_budget.code(), mal::Code::kDeadlineExceeded) << with_budget.ToString();
+  EXPECT_EQ(budget_failed_at, 2 * sim::kSecond);
+  EXPECT_EQ(server.seen, 2u);  // neither request expired before arrival
+}
+
+TEST(DeadlineTest, ExpiredWorkIsDroppedBeforeExecutionServerSide) {
+  sim::Simulator simulator;
+  sim::NetworkConfig net_config;
+  net_config.base_latency = 100 * sim::kMicrosecond;
+  sim::Network network(&simulator, net_config);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  // The budget is shorter than one network hop: the request is already
+  // expired when it reaches the server, which must drop it before doing
+  // any work.
+  mal::Status status;
+  {
+    svc::ScopedOpDeadline budget(&client, 20 * sim::kMicrosecond);
+    client.SendRequest(server.name(), kMsgPing, EncodePing(7),
+                       [&](mal::Status s, const sim::Envelope&) { status = s; });
+  }
+  simulator.Run();
+  EXPECT_EQ(status.code(), mal::Code::kDeadlineExceeded) << status.ToString();
+  EXPECT_EQ(server.pings(), 0u) << "expired request must never execute";
+  EXPECT_EQ(server.deadline_drops(), 1u);
+}
+
+TEST(DeadlineTest, ExhaustedBudgetFailsLocallyWithoutSending) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  mal::Status status;
+  simulator.Schedule(1 * sim::kSecond, [&] {
+    // An already-expired ambient deadline: the rpc must fail locally, with
+    // no bytes put on the wire.
+    mal::ScopedDeadline spent(simulator.Now());
+    client.SendRequest(server.name(), kMsgPing, EncodePing(9),
+                       [&](mal::Status s, const sim::Envelope&) { status = s; });
+  });
+  simulator.Run();
+  EXPECT_EQ(status.code(), mal::Code::kDeadlineExceeded) << status.ToString();
+  EXPECT_EQ(network.messages_sent(), 0u);
+}
+
+TEST(DeadlineTest, BudgetShrinksAcrossProxyHops) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  SilentServer backend(&simulator, &network, 2);
+  ProxyServer proxy(&simulator, &network, 1, backend.name());
+  TestClient client(&simulator, &network, 1);
+
+  mal::Status status;
+  sim::Time failed_at = 0;
+  {
+    svc::ScopedOpDeadline budget(&client, 1 * sim::kSecond);
+    client.SendRequest(proxy.name(), kMsgPing, EncodePing(3),
+                       [&](mal::Status s, const sim::Envelope&) {
+                         status = s;
+                         failed_at = simulator.Now();
+                       });
+  }
+  simulator.Run();
+  // The proxy's hop to the hung backend inherited the remaining budget, so
+  // the whole chain fails at the 1 s deadline instead of a 5 s timeout
+  // (let alone two stacked ones).
+  EXPECT_EQ(status.code(), mal::Code::kDeadlineExceeded) << status.ToString();
+  EXPECT_EQ(failed_at, 1 * sim::kSecond);
+  EXPECT_EQ(backend.seen, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Message-type names
+
+TEST(MessageTypeNameTest, CoversEveryDaemonNamespaceAndFallsBack) {
+  EXPECT_EQ(trace::MessageTypeName(100), "mon.paxos");
+  EXPECT_EQ(trace::MessageTypeName(101), "mon.command");
+  EXPECT_EQ(trace::MessageTypeName(200), "osd.op");
+  EXPECT_EQ(trace::MessageTypeName(201), "osd.repop");
+  EXPECT_EQ(trace::MessageTypeName(300), "mds.client_request");
+  EXPECT_EQ(trace::MessageTypeName(306), "mds.coherence");
+  EXPECT_EQ(trace::MessageTypeName(999999), "msg.999999");
+}
+
+// ---------------------------------------------------------------------------
+// Network drop counters
+
+TEST(NetworkDropTest, CountsDropsPerReason) {
+  sim::Simulator simulator;
+  sim::Network network(&simulator);
+  PingServer server(&simulator, &network, 1);
+  TestClient client(&simulator, &network, 1);
+
+  // Destination crashed at send time.
+  network.SetCrashed(server.name(), true);
+  client.SendOneWay(server.name(), kMsgPing, EncodePing(1));
+  EXPECT_EQ(network.dropped_crashed(), 1u);
+  network.SetCrashed(server.name(), false);
+
+  // Link partitioned.
+  network.SetPartitioned(client.name(), server.name(), true);
+  client.SendOneWay(server.name(), kMsgPing, EncodePing(2));
+  EXPECT_EQ(network.dropped_partitioned(), 1u);
+  network.SetPartitioned(client.name(), server.name(), false);
+
+  // Destination crashes while the message is in flight.
+  client.SendOneWay(server.name(), kMsgPing, EncodePing(3));
+  network.SetCrashed(server.name(), true);
+  simulator.Run();
+  EXPECT_EQ(network.dropped_crashed_inflight(), 1u);
+  network.SetCrashed(server.name(), false);
+
+  // Destination never attached.
+  client.SendOneWay(sim::EntityName::Osd(77), kMsgPing, EncodePing(4));
+  simulator.Run();
+  EXPECT_EQ(network.dropped_unattached(), 1u);
+
+  EXPECT_EQ(network.dropped_total(), 4u);
+  EXPECT_EQ(server.pings(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control under overload (cluster-level)
+
+TEST(AdmissionControlTest, OverloadedOsdShedsAndBackoffConverges) {
+  cluster::ClusterOptions options;
+  options.num_mons = 1;
+  options.num_osds = 1;
+  options.num_mds = 1;
+  options.osd.replicas = 1;
+  options.osd.inbox_depth = 4;  // tiny bounded inbox
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  // Clients back off with decorrelated jitter instead of hammering the
+  // shedding server.
+  svc::RetryPolicy retry;
+  retry.max_attempts = 30;
+  retry.base_delay = 200 * sim::kMicrosecond;
+  retry.max_delay = 10 * sim::kMillisecond;
+  client->rados.set_retry_policy(retry);
+
+  constexpr int kOps = 24;
+  int succeeded = 0;
+  int failed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    client->rados.WriteFull("burst" + std::to_string(i), Buffer::FromString("v"),
+                            [&](Status s) { s.ok() ? ++succeeded : ++failed; });
+  }
+  ASSERT_TRUE(cluster.RunUntil([&] { return succeeded + failed == kOps; },
+                               60 * sim::kSecond));
+
+  EXPECT_EQ(failed, 0) << "backoff must converge: every shed op eventually lands";
+  EXPECT_EQ(succeeded, kOps);
+  // The burst overran the 4-deep inbox, so the OSD must have shed, and the
+  // client must have observed kBusy and retried.
+  EXPECT_GT(cluster.osd(0).shed_total(), 0u);
+  EXPECT_GT(client->perf.counter("rados.busy_rejections"), 0u);
+  // Every admission slot was released on reply.
+  EXPECT_EQ(cluster.osd(0).queue_depth(), 0u);
+  // The shed accounting is exported through the perf registry.
+  EXPECT_EQ(cluster.osd(0).perf().counter("svc.shed_total"),
+            cluster.osd(0).shed_total());
+}
+
+TEST(AdmissionControlTest, DisabledByDefault) {
+  cluster::ClusterOptions options;
+  options.num_osds = 1;
+  options.osd.replicas = 1;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+
+  int succeeded = 0;
+  for (int i = 0; i < 16; ++i) {
+    client->rados.WriteFull("open" + std::to_string(i), Buffer::FromString("v"),
+                            [&](Status s) { succeeded += s.ok() ? 1 : 0; });
+  }
+  ASSERT_TRUE(cluster.RunUntil([&] { return succeeded == 16; }));
+  EXPECT_EQ(cluster.osd(0).shed_total(), 0u);
+  EXPECT_EQ(cluster.osd(0).inbox_limit(), 0u);
+}
+
+}  // namespace
+}  // namespace mal
