@@ -1,0 +1,197 @@
+// Deterministic chaos engine: seeded fault schedules against a live
+// cluster, plus cluster-wide invariant checkers.
+//
+// The contract is reproducibility: a FaultPlan seed fully determines the
+// fault schedule (which daemon crashes when, partition endpoints, burst
+// windows), and because the simulator itself is deterministic, the same
+// seed replays the exact same event trace — Runner::TraceString() is the
+// artifact to diff. Fault injection draws only from the Runner's own Rng
+// and the Network's dedicated fault stream, so a plan with everything
+// disabled perturbs nothing (bench output stays byte-identical).
+//
+// Checkers assert the safety properties the paper's designs rely on:
+// CORFU write-once/no-ack-loss (§4.4.2), monotonic map epochs and a
+// single Paxos leader per ballot (§4.1), exclusive write capabilities
+// (§4.3.1), and a never-regressing sequencer counter (§4.3.2).
+#ifndef MALACOLOGY_CHAOS_CHAOS_H_
+#define MALACOLOGY_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+
+namespace mal::chaos {
+
+// One entry of the reproducible fault/heal trace.
+struct ChaosEvent {
+  sim::Time time = 0;
+  std::string kind;    // "osd_crash", "mon_recover", "burst_start", ...
+  std::string detail;  // entity / endpoints / parameters
+  std::string ToString() const;
+};
+
+// Seeded description of a chaos run. Weights select among fault classes
+// that are currently feasible (quorum-preserving: at most a minority of
+// monitors down or isolated at once).
+struct FaultPlan {
+  uint64_t seed = 1;
+  sim::Time duration = 30 * sim::kSecond;     // injection window
+  sim::Time mean_interval = 2 * sim::kSecond;  // exponential inter-fault gap
+  sim::Time min_downtime = 500 * sim::kMillisecond;
+  sim::Time max_downtime = 4 * sim::kSecond;
+  sim::Time min_burst = 200 * sim::kMillisecond;
+  sim::Time max_burst = 2 * sim::kSecond;
+  // Loss/dup/reorder rates applied cluster-wide during a burst.
+  sim::FaultSpec burst{0.05, 0.05, 0.10, 2 * sim::kMillisecond};
+
+  double w_osd_crash = 1.0;
+  double w_mds_crash = 1.0;
+  double w_mon_crash = 1.0;
+  double w_leader_crash = 1.0;  // crash specifically the Paxos leader
+  double w_partition = 1.0;     // isolate one daemon from all other daemons
+  double w_burst = 1.0;
+
+  uint32_t max_down_osds = 1;
+  uint32_t max_down_mds = 1;
+};
+
+// Injects the plan's faults into a booted cluster. Every fault schedules
+// its own heal; after `plan.duration` no new faults start and HealAll()
+// restores a fault-free cluster, so `quiescent()` eventually holds.
+class Runner {
+ public:
+  Runner(cluster::Cluster* cluster, FaultPlan plan);
+
+  // Starts the schedule (call once, after Cluster::Boot).
+  void Arm();
+
+  // Force-heals everything immediately: recovers crashed daemons, lifts
+  // partitions and bursts. Called automatically at the end of the plan.
+  void HealAll();
+
+  // True when no injected fault is still outstanding.
+  bool quiescent() const;
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  // Canonical trace for the seed-reproducibility contract: identical
+  // across runs with the same plan against the same cluster options.
+  std::string TraceString() const;
+
+  // Heal-to-recovered latency samples (ns), per fault class. Recovery is
+  // observed at: OSD map catch-up complete, a monitor holding leadership
+  // again, MDS process restart; partitions/bursts recover instantly.
+  const std::map<std::string, std::vector<sim::Time>>& recovery_ns() const {
+    return recovery_ns_;
+  }
+
+ private:
+  void ScheduleNext();
+  void Inject();
+  void Record(const char* kind, std::string detail);
+  sim::Time Uniform(sim::Time lo, sim::Time hi);
+  // Polls `recovered` (no RNG, fixed 50 ms cadence) and records the
+  // heal-to-recovered latency for `cls` when it first holds.
+  void TrackRecovery(std::string cls, std::function<bool()> recovered);
+  void PollRecovery(std::string cls, std::shared_ptr<std::function<bool()>> recovered,
+                    sim::Time start, int polls);
+
+  void InjectOsdCrash();
+  void InjectMdsCrash();
+  void InjectMonCrash(bool target_leader);
+  void InjectPartition();
+  void InjectBurst();
+
+  // Heal primitives; each is a no-op if the fault is no longer active, so
+  // the per-fault scheduled heal and HealAll() compose safely.
+  void RecoverOsd(uint32_t id);
+  void RecoverMds(uint32_t id);
+  void RecoverMon(uint32_t id, std::string cls);
+  void LiftPartition();
+  void LiftBurst();
+
+  // Live monitor currently believing itself leader, or -1.
+  int LeaderIndex() const;
+  uint32_t PickUp(uint32_t count, const std::set<uint32_t>& down);
+
+  cluster::Cluster* cluster_;
+  FaultPlan plan_;
+  mal::Rng rng_;
+  sim::Time end_time_ = 0;
+  bool armed_ = false;
+  bool done_injecting_ = false;
+
+  std::set<uint32_t> down_osds_;
+  std::set<uint32_t> down_mds_;
+  std::set<uint32_t> down_mons_;
+  // Active partition edges (empty when none).
+  std::vector<std::pair<sim::EntityName, sim::EntityName>> partition_edges_;
+  // When a monitor is the isolated endpoint it counts against quorum.
+  int partitioned_mon_ = -1;
+  bool burst_active_ = false;
+
+  std::vector<ChaosEvent> events_;
+  std::map<std::string, std::vector<sim::Time>> recovery_ns_;
+};
+
+// Cluster-wide invariant checkers. Arm() starts periodic instantaneous
+// sampling; RecordAck() feeds the workload's acked appends; VerifyLog()
+// is the post-heal deep scan. Violations accumulate as deterministic
+// strings — any entry is a test failure.
+class Checkers {
+ public:
+  explicit Checkers(cluster::Cluster* cluster);
+
+  // Starts sampling every `interval` and hooks OSD map application.
+  void Arm(sim::Time interval = 200 * sim::kMillisecond);
+
+  // Registers a sequencer inode path whose embedded counter must never
+  // regress (max across MDS daemons, sampled).
+  void WatchSequencer(std::string path);
+
+  // Workload-side: an append was acked at `position` carrying `tag`.
+  // Flags the same position acked twice immediately.
+  void RecordAck(uint64_t position, std::string tag);
+
+  // Post-heal scan of [0, max acked]: every acked position must read back
+  // kData with its exact payload (no acked-append loss, no silent
+  // overwrite); unwritten holes are filled so the committed prefix is
+  // contiguous. `log` must be an open handle on the verified log.
+  void VerifyLog(zlog::Log* log, std::function<void()> on_done);
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  uint64_t samples() const { return samples_; }
+  uint64_t acked_count() const { return acked_.size(); }
+  // Deterministic checker summary (diffed by the reproducibility test).
+  std::string Report() const;
+
+ private:
+  struct LogScan;
+
+  void Sample();
+  void SampleLoop(sim::Time interval);
+  void CheckEpoch(const std::string& observer, uint64_t epoch);
+  void Violation(std::string what);
+  void VerifyStep(std::shared_ptr<LogScan> scan);
+
+  cluster::Cluster* cluster_;
+  std::vector<std::string> violations_;
+  std::map<uint64_t, std::string> acked_;  // position -> payload tag
+  std::map<std::string, uint64_t> max_epoch_;      // observer -> max epoch seen
+  std::map<uint64_t, uint32_t> ballot_leader_;     // ballot -> monitor id
+  std::map<std::string, uint64_t> seq_floor_;      // path -> max tail seen
+  std::vector<std::string> watched_paths_;
+  uint64_t samples_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace mal::chaos
+
+#endif  // MALACOLOGY_CHAOS_CHAOS_H_

@@ -72,6 +72,7 @@ class Cluster {
   mon::Monitor& monitor(size_t i = 0) { return *mons_[i]; }
   osd::Osd& osd(size_t i) { return *osds_[i]; }
   mds::MdsDaemon& mds(size_t i = 0) { return *mds_[i]; }
+  size_t num_mons() const { return mons_.size(); }
   size_t num_osds() const { return osds_.size(); }
   size_t num_mds() const { return mds_.size(); }
   const ClusterOptions& options() const { return options_; }

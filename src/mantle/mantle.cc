@@ -113,7 +113,8 @@ void MantleManager::FetchAndLoad(const std::string& version) {
   // with a timeout: half the balancing tick interval" (§5.1.2).
   sim::Time timeout = daemon_->config().balance_interval / 2;
   auto done = std::make_shared<bool>(false);
-  daemon_->simulator()->Schedule(timeout, [this, done, version] {
+  // Guarded: the fetch-timeout timer must not mutate a restarted daemon.
+  daemon_->ScheduleGuarded(timeout, [this, done, version] {
     if (!*done) {
       *done = true;
       fetch_in_flight_ = false;

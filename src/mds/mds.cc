@@ -80,7 +80,8 @@ void MdsDaemon::Boot() {
   rados_.Connect([](mal::Status) {});
   window_start_ = Now();
 
-  if (name().id == config_.root_rank) {
+  // Guarded so a post-crash re-Boot never resets a surviving root inode.
+  if (name().id == config_.root_rank && inodes_.count("/") == 0) {
     HostedInode root;
     root.inode.ino = next_ino_++;
     root.inode.type = InodeType::kDir;
@@ -104,6 +105,52 @@ void MdsDaemon::Boot() {
 
 void MdsDaemon::SetBalancerPolicy(std::shared_ptr<BalancerPolicy> policy) {
   policy_ = std::move(policy);
+}
+
+void MdsDaemon::Crash() {
+  Actor::Crash();
+  // inodes_ and authority_ model journaled metadata and survive; everything
+  // below is in-memory state a restarted MDS would not have.
+  load_table_.clear();
+  window_requests_ = 0;
+  for (auto& [path, hosted] : inodes_) {
+    hosted.window_requests = 0;
+    hosted.cap.waiters.clear();  // the queued rpcs died with us
+  }
+}
+
+void MdsDaemon::Recover() {
+  Actor::Recover();
+  // Rebuild sequencer state from the inode-embedded counter (§4.3.2): the
+  // durable seq_tail already covers every grant we acknowledged, so nothing
+  // to replay. Outstanding caps are another matter — the MDS cannot know
+  // whether the holder (and its locally cached tail) is still alive, so the
+  // cap is dropped and sequencer inodes are fenced behind CORFU recovery,
+  // exactly like a reclaim after an ignored revoke.
+  for (auto& [path, hosted] : inodes_) {
+    if (!hosted.cap.held) {
+      continue;
+    }
+    hosted.cap.held = false;
+    hosted.cap.revoke_sent = false;
+    if (hosted.inode.type == InodeType::kSequencer) {
+      hosted.inode.params["needs_recovery"] = "1";
+      perf_.Inc("mds.cap.recover_fenced");
+    }
+  }
+  // Keep the (stale) mds_map_: epochs observed by this daemon must never
+  // regress, and Boot()'s subscribe (have_epoch=0) pushes the current map.
+  Boot();
+}
+
+std::vector<std::pair<std::string, sim::EntityName>> MdsDaemon::HeldCaps() const {
+  std::vector<std::pair<std::string, sim::EntityName>> held;
+  for (const auto& [path, hosted] : inodes_) {
+    if (hosted.cap.held) {
+      held.emplace_back(path, hosted.cap.holder);
+    }
+  }
+  return held;
 }
 
 std::vector<uint32_t> MdsDaemon::PeerRanks() const {
@@ -456,9 +503,11 @@ void MdsDaemon::MaybeRevoke(const std::string& path, HostedInode& hosted) {
   // Failure handling: if the holder never answers, declare it dead, reclaim
   // the cap, and flag the inode so the next client runs CORFU recovery
   // (the locally cached tail died with the holder).
+  // Guarded: a reclaim armed before a crash must not fire into the
+  // recovered instance (Recover() already invalidated every cap).
   sim::EntityName holder = hosted.cap.holder;
   uint64_t grant_time = hosted.cap.grant_time_ns;
-  simulator()->Schedule(config_.cap_reclaim_timeout, [this, path, holder, grant_time] {
+  ScheduleGuarded(config_.cap_reclaim_timeout, [this, path, holder, grant_time] {
     auto it = inodes_.find(path);
     if (it == inodes_.end()) {
       return;

@@ -91,6 +91,20 @@ class MdsDaemon : public sim::Actor {
   // Registers with the monitor, subscribes to maps, starts timers.
   void Boot();
 
+  // Crash/restart. The inode table (including the sequencer tail counter
+  // embedded per §4.3.2 and every granted batch recorded by kSeqNextBatch)
+  // models journaled metadata and survives the crash; capability state is
+  // volatile and is invalidated on recovery: any cap that was outstanding
+  // at crash time is dropped, and sequencer inodes whose cached tail died
+  // with the holder are flagged needs_recovery so grants resume only after
+  // CORFU seal/recovery — re-issued grants can never regress below the
+  // durable tail.
+  void Crash() override;
+  void Recover() override;
+
+  // Caps currently held at this MDS (path -> holder); checker introspection.
+  std::vector<std::pair<std::string, sim::EntityName>> HeldCaps() const;
+
   // Installs a balancer policy (stock CephFS mode or Mantle). Balancing
   // runs only if config.balancing_enabled.
   void SetBalancerPolicy(std::shared_ptr<BalancerPolicy> policy);

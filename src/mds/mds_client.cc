@@ -223,7 +223,7 @@ void MdsClient::HandleRevoke(const std::string& path) {
         ReleaseNow(path);
         return;
       }
-      cap.hold_timer = owner_->simulator()->Schedule(
+      cap.hold_timer = owner_->ScheduleGuarded(
           deadline - now, [this, path] { ReleaseNow(path); });
       return;
     }
@@ -236,7 +236,7 @@ void MdsClient::HandleRevoke(const std::string& path) {
       }
       uint64_t deadline = cap.grant_time_ns + cap.terms.max_hold_ns;
       uint64_t now = owner_->Now();
-      cap.hold_timer = owner_->simulator()->Schedule(
+      cap.hold_timer = owner_->ScheduleGuarded(
           deadline > now ? deadline - now : 0, [this, path] { ReleaseNow(path); });
       return;
     }

@@ -384,6 +384,23 @@ std::string Monitor::PerfDumpJson() const {
   std::vector<mal::PerfSnapshot> snapshots;
   snapshots.reserve(perf_reports_.size() + 1);
   snapshots.push_back(perf_.Snapshot(name().ToString(), Now()));
+  // Network-wide delivery/drop/chaos counters ride on the monitor's own
+  // snapshot copy (net.* rows; see docs/observability.md). Injected at dump
+  // time rather than stored in the registry so the periodic perf-report
+  // message stream is byte-identical whether or not anyone ever dumps.
+  const sim::Network* net = network();
+  auto& rows = snapshots.front().counters;
+  rows["net.messages_sent"] = net->messages_sent();
+  rows["net.messages_delivered"] = net->messages_delivered();
+  rows["net.bytes_sent"] = net->bytes_sent();
+  rows["net.dropped_crashed"] = net->dropped_crashed();
+  rows["net.dropped_partitioned"] = net->dropped_partitioned();
+  rows["net.dropped_crashed_inflight"] = net->dropped_crashed_inflight();
+  rows["net.dropped_unattached"] = net->dropped_unattached();
+  rows["net.dropped_total"] = net->dropped_total();
+  rows["net.chaos_lost"] = net->chaos_lost();
+  rows["net.chaos_duplicated"] = net->chaos_duplicated();
+  rows["net.chaos_reordered"] = net->chaos_reordered();
   for (const auto& [entity, snap] : perf_reports_) {
     if (entity != name().ToString()) {
       snapshots.push_back(snap);

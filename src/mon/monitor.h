@@ -49,6 +49,10 @@ class Monitor : public sim::Actor {
   void Boot();
 
   bool IsLeader() const { return paxos_->IsLeader(); }
+  // Paxos introspection for the chaos invariant checkers.
+  uint64_t paxos_ballot() const { return paxos_->current_ballot(); }
+  uint64_t paxos_promised() const { return paxos_->promised_ballot(); }
+  uint64_t paxos_committed_through() const { return paxos_->committed_through(); }
   const OsdMap& osd_map() const { return osd_map_; }
   const MdsMap& mds_map() const { return mds_map_; }
   const std::vector<ClusterLogEntry>& cluster_log() const { return cluster_log_; }

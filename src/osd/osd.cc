@@ -148,8 +148,35 @@ void Osd::Crash() { Actor::Crash(); }
 
 void Osd::Recover() {
   Actor::Recover();
-  // ObjectStore contents survive (disk); map may be stale — resubscribe.
+  // ObjectStore contents survive (disk); map may be stale — resubscribe,
+  // and gate client ops until we have caught up with the monitor's current
+  // map so a stale primary view never serves (or fences) fresh data.
+  rejoining_ = true;
   Boot();
+  CatchUpMap();
+}
+
+void Osd::CatchUpMap() {
+  mon_client_.GetMap(
+      mon::MapKind::kOsdMap, [this](mal::Status s, const mon::MapUpdate& update) {
+        if (!s.ok()) {
+          // Monitor unreachable (maybe itself recovering); keep trying — the
+          // guard drops the chain if we crash again meanwhile.
+          ScheduleGuarded(500 * sim::kMillisecond, [this] { CatchUpMap(); });
+          return;
+        }
+        mal::Decoder dec(update.map_payload);
+        auto map = mon::OsdMap::Decode(&dec);
+        if (map.ok()) {
+          AdoptMap(map.value(), /*gossip=*/false);
+        }
+        if (rejoining_) {
+          rejoining_ = false;
+          perf_.Inc("osd.rejoins");
+          MAL_DEBUG(name().ToString())
+              << "rejoined at epoch " << osd_map_.epoch << "; serving client ops";
+        }
+      });
 }
 
 void Osd::HandleRequest(const sim::Envelope& request) {
@@ -280,6 +307,13 @@ bool IsMutating(const Op& op) {
 }  // namespace
 
 void Osd::HandleOsdOp(const sim::Envelope& request, OsdOpRequest req) {
+  if (rejoining_) {
+    // Freshly restarted: our map view is not yet validated against the
+    // monitor. kUnavailable is retryable at the client, and by the retry
+    // the catch-up has usually finished.
+    ReplyError(request, mal::Status::Unavailable("osd rejoining (map catch-up)"));
+    return;
+  }
   // Primary check against our map view.
   std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
   if (acting.empty() || acting[0] != name().id) {

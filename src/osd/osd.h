@@ -100,6 +100,13 @@ class Osd : public sim::Actor {
   void Crash() override;
   void Recover() override;
 
+  // True between Recover() and the map catch-up completing: the OSD answers
+  // client ops with kUnavailable (retryable) until it has confirmed the
+  // monitor's current OSDMap, so a restarted primary never serves from a
+  // stale view of the acting sets. Replication, pulls, scrubs, and gossip
+  // keep flowing so the store stays repairable meanwhile.
+  bool rejoining() const { return rejoining_; }
+
   uint64_t ops_served() const { return ops_served_; }
   uint64_t scrub_repairs() const { return scrub_repairs_; }
   mal::PerfRegistry& perf() { return perf_; }
@@ -126,6 +133,9 @@ class Osd : public sim::Actor {
   void HandleScrub(const sim::Envelope& request, ScrubRequest req);
   void HandlePush(const sim::Envelope& request);
   void HandleMapUpdate(const sim::Envelope& request);
+  // Post-restart map catch-up: fetch the monitor's current OSDMap (retrying
+  // until a monitor answers) and only then clear `rejoining_`.
+  void CatchUpMap();
 
   void AdoptMap(const mon::OsdMap& map, bool gossip);
   void AdoptMapNow(const mon::OsdMap& map, bool gossip);
@@ -151,6 +161,7 @@ class Osd : public sim::Actor {
   mal::PerfRegistry perf_;
   uint64_t ops_served_ = 0;
   uint64_t scrub_repairs_ = 0;
+  bool rejoining_ = false;
   // Watchers per object (client entity names); notified on every commit.
   std::map<std::string, std::set<sim::EntityName>> watchers_;
 };

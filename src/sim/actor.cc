@@ -214,6 +214,17 @@ void Actor::StartPeriodic(Time period, std::function<void()> fn) {
   });
 }
 
+EventId Actor::ScheduleGuarded(Time delay, std::function<void()> fn) {
+  uint64_t incarnation = incarnation_;
+  return simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
+    if (!alive_ || incarnation_ != incarnation) {
+      return;
+    }
+    mal::ScopedLogContext log_scope(Now(), name_.ToString());
+    fn();
+  });
+}
+
 void Actor::Crash() {
   alive_ = false;
   ++incarnation_;
@@ -257,6 +268,29 @@ void Actor::Deliver(Envelope envelope) {
                                            envelope.payload.ToString());
     FinishRpc(std::move(rpc), status, envelope);
     return;
+  }
+  // Duplicate suppression: rpc_ids are never reused by a sender, so a
+  // repeat (requester, rpc_id) is a network-level replay. Re-executing it
+  // would double-apply non-idempotent handlers — and for write-once storage
+  // the replay's kReadOnly error reply could overtake the original's ok
+  // reply, tricking the caller into a spurious fresh-position retry (a
+  // double commit). The window is bounded FIFO; in a duplicate-free run
+  // every insert succeeds and behavior is byte-identical.
+  if (envelope.rpc_id != 0) {
+    constexpr size_t kDedupWindow = 4096;
+    auto key = std::make_pair(envelope.from, envelope.rpc_id);
+    if (!seen_requests_.insert(key).second) {
+      ++duplicates_dropped_;
+      MAL_DEBUG(name_.ToString())
+          << "dropping replayed " << trace::MessageTypeName(envelope.type) << " from "
+          << envelope.from.ToString() << " rpc_id " << envelope.rpc_id;
+      return;
+    }
+    seen_order_.push_back(key);
+    if (seen_order_.size() > kDedupWindow) {
+      seen_requests_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
   }
   // Service-layer gates run before any CPU is reserved or span opened.
   //

@@ -8,6 +8,7 @@
 #ifndef MALACOLOGY_SIM_ACTOR_H_
 #define MALACOLOGY_SIM_ACTOR_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -35,6 +36,7 @@ class Actor : public MessageSink {
   const EntityName& name() const { return name_; }
   Simulator* simulator() { return simulator_; }
   Network* network() { return network_; }
+  const Network* network() const { return network_; }
   Time Now() const { return simulator_->Now(); }
 
   // -- Messaging ------------------------------------------------------------
@@ -91,6 +93,8 @@ class Actor : public MessageSink {
   size_t queue_depth() const { return admitted_.size(); }
   uint64_t shed_total() const { return shed_total_; }
   uint64_t deadline_drops() const { return deadline_drops_; }
+  // Replayed rpc requests suppressed by duplicate detection (see Deliver).
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
 
   // Registry that receives svc.queue_depth / svc.shed_total / svc.deadline_drops.
   // May be null (metrics still available via the accessors above). Metrics are
@@ -102,6 +106,14 @@ class Actor : public MessageSink {
 
   // Calls `fn` every `period`, starting one period from now, while alive.
   void StartPeriodic(Time period, std::function<void()> fn);
+
+  // One-shot timer guarded against restarts: `fn` runs only if this actor is
+  // still alive AND in the same incarnation as when the timer was armed. Any
+  // daemon timer whose callback touches daemon state must use this (or the
+  // equally-guarded AfterCpu/AfterDispatch/StartPeriodic) instead of raw
+  // Simulator::Schedule — a timer armed before a crash must never fire into
+  // the recovered instance. Returns the event id (cancelable like any timer).
+  EventId ScheduleGuarded(Time delay, std::function<void()> fn);
 
   // -- Lifecycle ------------------------------------------------------------
 
@@ -151,6 +163,16 @@ class Actor : public MessageSink {
   std::set<std::pair<EntityName, uint64_t>> admitted_;
   uint64_t shed_total_ = 0;
   uint64_t deadline_drops_ = 0;
+  // Replay suppression: recently-seen (requester, rpc_id) pairs, bounded
+  // FIFO. SendRequest never reuses an rpc_id, so a second arrival of the
+  // same pair can only be a network-level duplicate — executing it twice
+  // would double-apply non-idempotent handlers (and its error reply could
+  // overtake the original's success reply at the caller). Like Ceph's dup
+  // op detection via osd_reqid, the duplicate is dropped; the execution of
+  // the first copy already replied (or will).
+  std::set<std::pair<EntityName, uint64_t>> seen_requests_;
+  std::deque<std::pair<EntityName, uint64_t>> seen_order_;
+  uint64_t duplicates_dropped_ = 0;
   mal::PerfRegistry* svc_perf_ = nullptr;
   Time cpu_busy_until_ = 0;
   Time dispatch_busy_until_ = 0;

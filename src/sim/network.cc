@@ -49,7 +49,10 @@ EntityName EntityName::Decode(mal::Decoder* dec) {
 }
 
 Network::Network(Simulator* simulator, NetworkConfig config)
-    : simulator_(simulator), config_(config), rng_(config.seed) {}
+    : simulator_(simulator),
+      config_(config),
+      rng_(config.seed),
+      fault_rng_(config.fault_seed) {}
 
 void Network::Attach(EntityName name, MessageSink* sink) { sinks_[name] = sink; }
 
@@ -78,6 +81,57 @@ void Network::Send(Envelope envelope) {
     return;
   }
   Time latency = ComputeLatency(envelope);
+
+  // Chaos knobs. Every draw here comes from fault_rng_ (never rng_), so the
+  // latency-jitter stream of surviving messages is untouched and a run with
+  // all knobs off performs no draws at all.
+  if (const FaultSpec* faults = FaultsFor(envelope)) {
+    if (faults->loss_prob > 0.0 && fault_rng_.Bernoulli(faults->loss_prob)) {
+      ++chaos_lost_;
+      LogDrop(envelope, "chaos_loss");
+      return;
+    }
+    if (faults->reorder_prob > 0.0 && fault_rng_.Bernoulli(faults->reorder_prob)) {
+      // Extra delay lets messages sent after this one overtake it.
+      Time extra = 1 + fault_rng_.NextBelow(
+                           std::max<Time>(1, faults->reorder_delay));
+      latency += extra;
+      ++chaos_reordered_;
+      MAL_DEBUG("net") << "chaos reorder +" << extra << "ns "
+                       << envelope.from.ToString() << " -> "
+                       << envelope.to.ToString() << " "
+                       << trace::MessageTypeName(envelope.type);
+    }
+    if (faults->dup_prob > 0.0 && fault_rng_.Bernoulli(faults->dup_prob)) {
+      // The duplicate gets its own latency (same model, fault stream) so it
+      // may arrive before or after the original.
+      double jittered = fault_rng_.LogNormal(
+          static_cast<double>(config_.base_latency), config_.jitter_sigma);
+      double bytes_cost =
+          config_.per_byte_ns * static_cast<double>(envelope.WireSize());
+      Time dup_latency = static_cast<Time>(std::max(1.0, jittered + bytes_cost));
+      ++chaos_duplicated_;
+      MAL_DEBUG("net") << "chaos dup " << envelope.from.ToString() << " -> "
+                       << envelope.to.ToString() << " "
+                       << trace::MessageTypeName(envelope.type);
+      ScheduleDelivery(envelope, dup_latency);
+    }
+  }
+
+  ScheduleDelivery(std::move(envelope), latency);
+}
+
+const FaultSpec* Network::FaultsFor(const Envelope& envelope) const {
+  if (envelope.from == envelope.to) return nullptr;  // loopback is reliable
+  if (!link_faults_.empty()) {
+    auto key = std::minmax(envelope.from, envelope.to);
+    auto it = link_faults_.find({key.first, key.second});
+    if (it != link_faults_.end()) return it->second.enabled() ? &it->second : nullptr;
+  }
+  return default_faults_.enabled() ? &default_faults_ : nullptr;
+}
+
+void Network::ScheduleDelivery(Envelope envelope, Time latency) {
   simulator_->Schedule(latency, [this, envelope = std::move(envelope)]() mutable {
     // Re-check failure state at delivery time: a crash that happened while
     // the message was in flight still loses it.
@@ -112,6 +166,21 @@ void Network::SetPartitioned(EntityName a, EntityName b, bool partitioned) {
   } else {
     partitions_.erase({key.first, key.second});
   }
+}
+
+void Network::SetLinkFaults(EntityName a, EntityName b, FaultSpec spec) {
+  auto key = std::minmax(a, b);
+  link_faults_[{key.first, key.second}] = spec;
+}
+
+void Network::ClearLinkFaults(EntityName a, EntityName b) {
+  auto key = std::minmax(a, b);
+  link_faults_.erase({key.first, key.second});
+}
+
+void Network::ClearFaults() {
+  default_faults_ = FaultSpec{};
+  link_faults_.clear();
 }
 
 }  // namespace mal::sim

@@ -77,6 +77,27 @@ struct NetworkConfig {
   double jitter_sigma = 0.1;               // log-normal sigma on base latency
   Time local_latency = 5 * kMicrosecond;   // loopback (same node id & type)
   uint64_t seed = 0x6d616c61;              // "mala"
+  // Seed for the fault-injection RNG. Deliberately a SEPARATE stream from
+  // the latency jitter RNG: with all fault probabilities at zero no fault
+  // draws happen at all, so a chaos-free run is byte-identical whether or
+  // not the knobs exist; and enabling faults never perturbs the latency
+  // stream of messages that pass through unharmed.
+  uint64_t fault_seed = 0x63686173;  // "chas"
+};
+
+// Probabilistic per-link fault knobs (all default off). Applied to
+// non-loopback sends only; each injected fault is counted per reason
+// (net.chaos_* rows) and logged at debug level.
+struct FaultSpec {
+  double loss_prob = 0.0;     // silently drop the message
+  double dup_prob = 0.0;      // deliver an extra copy (independent latency)
+  double reorder_prob = 0.0;  // add extra delay so later sends overtake it
+  // Extra-delay ceiling for a reordered message (uniform in (0, ceiling]).
+  Time reorder_delay = 2 * kMillisecond;
+
+  bool enabled() const {
+    return loss_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0;
+  }
 };
 
 class Network {
@@ -99,6 +120,16 @@ class Network {
   bool IsCrashed(EntityName name) const { return crashed_.count(name) != 0; }
   void SetPartitioned(EntityName a, EntityName b, bool partitioned);
 
+  // Chaos knobs: probabilistic loss/duplication/reordering, drawn from the
+  // dedicated fault RNG (NetworkConfig::fault_seed). The default spec
+  // applies to every non-loopback link; a per-link spec (unordered pair)
+  // overrides it. ClearFaults() heals everything.
+  void SetDefaultFaults(FaultSpec spec) { default_faults_ = spec; }
+  void SetLinkFaults(EntityName a, EntityName b, FaultSpec spec);
+  void ClearLinkFaults(EntityName a, EntityName b);
+  void ClearFaults();
+  const FaultSpec& default_faults() const { return default_faults_; }
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -110,22 +141,35 @@ class Network {
   uint64_t dropped_partitioned() const { return dropped_partitioned_; }
   uint64_t dropped_crashed_inflight() const { return dropped_crashed_inflight_; }
   uint64_t dropped_unattached() const { return dropped_unattached_; }
+  // Chaos counters ("net.chaos_*" in dumps): injected losses, extra copies
+  // delivered, messages delayed past their natural delivery time.
+  uint64_t chaos_lost() const { return chaos_lost_; }
+  uint64_t chaos_duplicated() const { return chaos_duplicated_; }
+  uint64_t chaos_reordered() const { return chaos_reordered_; }
   uint64_t dropped_total() const {
     return dropped_crashed_ + dropped_partitioned_ + dropped_crashed_inflight_ +
-           dropped_unattached_;
+           dropped_unattached_ + chaos_lost_;
   }
 
   Simulator* simulator() { return simulator_; }
 
  private:
   Time ComputeLatency(const Envelope& envelope);
+  // The fault spec governing from->to, or nullptr when no fault applies
+  // (loopback, or all knobs off). Returning nullptr on the default path
+  // guarantees zero fault-RNG draws when chaos is disabled.
+  const FaultSpec* FaultsFor(const Envelope& envelope) const;
+  void ScheduleDelivery(Envelope envelope, Time latency);
 
   Simulator* simulator_;
   NetworkConfig config_;
   mal::Rng rng_;
+  mal::Rng fault_rng_;
   std::map<EntityName, MessageSink*> sinks_;
   std::set<EntityName> crashed_;
   std::set<std::pair<EntityName, EntityName>> partitions_;
+  FaultSpec default_faults_;
+  std::map<std::pair<EntityName, EntityName>, FaultSpec> link_faults_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t bytes_sent_ = 0;
@@ -133,6 +177,9 @@ class Network {
   uint64_t dropped_partitioned_ = 0;
   uint64_t dropped_crashed_inflight_ = 0;
   uint64_t dropped_unattached_ = 0;
+  uint64_t chaos_lost_ = 0;
+  uint64_t chaos_duplicated_ = 0;
+  uint64_t chaos_reordered_ = 0;
 };
 
 }  // namespace mal::sim

@@ -1,0 +1,381 @@
+// Chaos engine tests: seed-reproducible fault schedules against a live
+// cluster with ZLog append + capability workloads, cluster-wide invariant
+// checking, and the dedicated crash-recovery regressions (MDS crash
+// mid-batch-grant, forced network duplication).
+//
+// The soak test honors MAL_CHAOS_SEED so CI can fan a seed matrix across
+// jobs; without it a small built-in seed set runs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos.h"
+
+namespace mal::chaos {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterOptions;
+
+// Closed-loop appender: one append in flight at a time, unique payload
+// tags, every ack recorded with the checkers. Errors (daemon down, retry
+// budget exhausted) are counted and the loop continues — exactly the
+// availability behavior the soak bench measures.
+struct Appender {
+  Checkers* checkers = nullptr;
+  zlog::Log* log = nullptr;
+  std::string prefix;
+  uint64_t next_tag = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  bool stop = false;
+  bool inflight = false;
+
+  void Pump() {
+    if (stop) {
+      inflight = false;
+      return;
+    }
+    inflight = true;
+    std::string tag = prefix + std::to_string(next_tag++);
+    log->Append(Buffer::FromString(tag), [this, tag](Status status, uint64_t pos) {
+      if (status.ok()) {
+        ++ok;
+        checkers->RecordAck(pos, tag);
+      } else {
+        ++failed;
+      }
+      Pump();
+    });
+  }
+};
+
+// Same, batched: reserves windows of contiguous positions through the
+// sequencer's batch grant path (the state the MDS must rebuild from the
+// inode counter after a crash).
+struct BatchAppender {
+  Checkers* checkers = nullptr;
+  zlog::Log* log = nullptr;
+  std::string prefix;
+  size_t batch_size = 8;
+  uint64_t next_tag = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t max_pos = 0;
+  bool stop = false;
+  bool inflight = false;
+
+  void Pump() {
+    if (stop) {
+      inflight = false;
+      return;
+    }
+    inflight = true;
+    std::vector<Buffer> entries;
+    std::vector<std::string> tags;
+    for (size_t i = 0; i < batch_size; ++i) {
+      tags.push_back(prefix + std::to_string(next_tag++));
+      entries.push_back(Buffer::FromString(tags.back()));
+    }
+    log->AppendBatch(std::move(entries),
+                     [this, tags](Status status, const std::vector<uint64_t>& positions) {
+                       if (status.ok()) {
+                         for (size_t i = 0; i < positions.size(); ++i) {
+                           checkers->RecordAck(positions[i], tags[i]);
+                           max_pos = std::max(max_pos, positions[i]);
+                         }
+                         ok += positions.size();
+                       } else {
+                         ++failed;
+                       }
+                       Pump();
+                     });
+  }
+};
+
+std::unique_ptr<zlog::Log> OpenLog(Cluster* cluster, cluster::Client* client,
+                                   zlog::LogOptions options) {
+  auto log = client->OpenLog(std::move(options));
+  bool opened = false;
+  log->Open([&](Status) { opened = true; });
+  EXPECT_TRUE(cluster->RunUntil([&] { return opened; }));
+  return log;
+}
+
+struct ScenarioResult {
+  std::string trace;
+  std::string report;      // cluster invariants + round-trip log acks
+  std::string cap_report;  // cached-mode (capability) log acks
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+};
+
+// One full chaos run: 3 mons / 4 OSDs / 2 MDS, two round-trip appenders
+// and two cached-mode (capability ping-pong) appenders, faults for 15
+// virtual seconds, then heal, settle, and deep-verify both logs.
+ScenarioResult RunScenario(uint64_t seed) {
+  ClusterOptions options;
+  options.num_mons = 3;
+  options.num_osds = 4;
+  options.num_mds = 2;
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  options.mon.election_timeout = 1 * sim::kSecond;
+  Cluster cluster(options);
+  cluster.Boot();
+
+  auto* client_a = cluster.NewClient();
+  auto* client_b = cluster.NewClient();
+  auto* client_c = cluster.NewClient();
+  auto* client_d = cluster.NewClient();
+
+  zlog::LogOptions rt;
+  rt.name = "chaoslog";
+  auto log_a = OpenLog(&cluster, client_a, rt);
+  auto log_b = OpenLog(&cluster, client_b, rt);
+
+  zlog::LogOptions cached;
+  cached.name = "caplog";
+  cached.sequencer_mode = zlog::SequencerMode::kCached;
+  cached.lease.mode = mds::LeaseMode::kDelay;
+  cached.lease.max_hold_ns = 2 * sim::kSecond;
+  auto log_c = OpenLog(&cluster, client_c, cached);
+  auto log_d = OpenLog(&cluster, client_d, cached);
+
+  Checkers checkers(&cluster);
+  Checkers cap_checkers(&cluster);  // ack bookkeeping for the second log only
+  checkers.WatchSequencer(log_a->sequencer_path());
+  checkers.WatchSequencer(log_c->sequencer_path());
+  checkers.Arm();
+
+  Appender a{&checkers, log_a.get(), "a:"};
+  Appender b{&checkers, log_b.get(), "b:"};
+  Appender c{&cap_checkers, log_c.get(), "c:"};
+  Appender d{&cap_checkers, log_d.get(), "d:"};
+  a.Pump();
+  b.Pump();
+  c.Pump();
+  d.Pump();
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.duration = 15 * sim::kSecond;
+  plan.mean_interval = 1500 * sim::kMillisecond;
+  Runner runner(&cluster, plan);
+  runner.Arm();
+
+  cluster.RunFor(plan.duration + sim::kSecond);
+  EXPECT_TRUE(runner.quiescent());
+  // Post-heal settle: every OSD finishes its map catch-up, a leader exists.
+  EXPECT_TRUE(cluster.RunUntil(
+      [&] {
+        for (size_t i = 0; i < cluster.num_osds(); ++i) {
+          if (cluster.osd(i).rejoining()) {
+            return false;
+          }
+        }
+        for (size_t i = 0; i < cluster.num_mons(); ++i) {
+          if (cluster.monitor(i).alive() && cluster.monitor(i).IsLeader()) {
+            return true;
+          }
+        }
+        return false;
+      },
+      60 * sim::kSecond));
+  cluster.RunFor(3 * sim::kSecond);
+
+  a.stop = b.stop = c.stop = d.stop = true;
+  EXPECT_TRUE(cluster.RunUntil(
+      [&] { return !a.inflight && !b.inflight && !c.inflight && !d.inflight; },
+      120 * sim::kSecond));
+
+  bool verified_rt = false;
+  bool verified_cap = false;
+  checkers.VerifyLog(log_a.get(), [&] { verified_rt = true; });
+  cap_checkers.VerifyLog(log_c.get(), [&] { verified_cap = true; });
+  EXPECT_TRUE(cluster.RunUntil([&] { return verified_rt && verified_cap; },
+                               300 * sim::kSecond));
+
+  EXPECT_TRUE(checkers.violations().empty()) << checkers.Report();
+  EXPECT_TRUE(cap_checkers.violations().empty()) << cap_checkers.Report();
+  EXPECT_GT(checkers.samples(), 0u);
+  EXPECT_FALSE(runner.events().empty());
+
+  uint64_t total_ok = a.ok + b.ok + c.ok + d.ok;
+  uint64_t total_failed = a.failed + b.failed + c.failed + d.failed;
+  EXPECT_GT(total_ok, 0u);
+  return ScenarioResult{runner.TraceString(), checkers.Report(), cap_checkers.Report(),
+                        total_ok, total_failed};
+}
+
+// The reproducibility contract: same seed, same cluster options => the
+// exact same fault trace, checker output, and workload outcome.
+TEST(ChaosDeterminism, SameSeedReplaysIdenticalTrace) {
+  ScenarioResult first = RunScenario(7);
+  ScenarioResult second = RunScenario(7);
+  EXPECT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.cap_report, second.cap_report);
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.failed, second.failed);
+}
+
+TEST(ChaosDeterminism, DifferentSeedsDiverge) {
+  ScenarioResult first = RunScenario(11);
+  ScenarioResult second = RunScenario(12);
+  EXPECT_NE(first.trace, second.trace);
+}
+
+// Soak: zero invariant violations across seeds. CI fans MAL_CHAOS_SEED
+// across a matrix; locally a small built-in set runs.
+TEST(ChaosSoak, SeedsProduceNoViolations) {
+  std::vector<uint64_t> seeds;
+  if (const char* env = std::getenv("MAL_CHAOS_SEED")) {
+    seeds.push_back(std::strtoull(env, nullptr, 10));
+  } else {
+    seeds = {1, 2, 3};
+  }
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RunScenario(seed);
+  }
+}
+
+// §4.3.2 / §5.2.2: the sequencer's batch grants are recorded in the
+// durable inode counter *before* the reply leaves the MDS, so a forced
+// crash mid-grant must recover with no position ever re-issued.
+TEST(ChaosRecovery, MdsCrashMidBatchGrantNeverReusesPositions) {
+  ClusterOptions options;
+  options.num_osds = 3;
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+
+  auto* client = cluster.NewClient();
+  // Round-trip batched appends: every window of positions is a
+  // kSeqNextBatch grant recorded in the durable inode counter before the
+  // reply leaves the MDS.
+  zlog::LogOptions rt;
+  rt.name = "grants";
+  auto log = OpenLog(&cluster, client, rt);
+
+  Checkers checkers(&cluster);
+  checkers.WatchSequencer(log->sequencer_path());
+  checkers.Arm();
+
+  BatchAppender writer{&checkers, log.get(), "w:"};
+  writer.Pump();
+  cluster.RunFor(2 * sim::kSecond);
+  uint64_t before_crash = writer.ok;
+  EXPECT_GT(before_crash, 0u);
+
+  // Crash the MDS while grants are in flight; restart a second later.
+  cluster.mds(0).Crash();
+  cluster.RunFor(1 * sim::kSecond);
+  cluster.mds(0).Recover();
+
+  // The workload must make substantial progress after recovery (the
+  // client re-runs CORFU recovery on kAborted and resumes).
+  EXPECT_TRUE(cluster.RunUntil([&] { return writer.ok >= before_crash + 200; },
+                               120 * sim::kSecond));
+  writer.stop = true;
+  EXPECT_TRUE(cluster.RunUntil([&] { return !writer.inflight; }, 60 * sim::kSecond));
+
+  // No position acked twice, sequencer tail never regressed.
+  EXPECT_TRUE(checkers.violations().empty()) << checkers.Report();
+
+  bool verified = false;
+  checkers.VerifyLog(log.get(), [&] { verified = true; });
+  EXPECT_TRUE(cluster.RunUntil([&] { return verified; }, 300 * sim::kSecond));
+  EXPECT_TRUE(checkers.violations().empty()) << checkers.Report();
+  EXPECT_GT(checkers.acked_count(), 0u);
+
+  // The durable counter sits past every position ever acked: re-issued
+  // grants after the crash could not have regressed into granted space.
+  const auto* inode = cluster.mds(0).GetInode(log->sequencer_path());
+  ASSERT_NE(inode, nullptr);
+  EXPECT_GE(inode->seq_tail, writer.max_pos + 1);
+}
+
+// Duplicate-delivery idempotence: with every message duplicated, a
+// replayed zlog.write must never double-commit an entry nor cause its
+// kReadOnly replay reply to trick the client into a spurious retry that
+// lands the payload at two positions.
+TEST(ChaosDuplication, ForcedDuplicationNeverDoubleCommits) {
+  ClusterOptions options;
+  options.num_osds = 3;
+  options.osd.replicas = 2;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  Cluster cluster(options);
+  cluster.Boot();
+  auto* client = cluster.NewClient();
+  zlog::LogOptions rt;
+  rt.name = "duplog";
+  auto log = OpenLog(&cluster, client, rt);
+
+  sim::FaultSpec dup_everything;
+  dup_everything.dup_prob = 1.0;
+  cluster.network().SetDefaultFaults(dup_everything);
+
+  Checkers checkers(&cluster);
+  const int kAppends = 40;
+  for (int i = 0; i < kAppends; ++i) {
+    std::string tag = "dup:" + std::to_string(i);
+    std::optional<Status> done;
+    log->Append(Buffer::FromString(tag), [&, tag](Status status, uint64_t pos) {
+      if (status.ok()) {
+        checkers.RecordAck(pos, tag);
+      }
+      done = status;
+    });
+    ASSERT_TRUE(cluster.RunUntil([&] { return done.has_value(); }));
+    EXPECT_TRUE(done->ok()) << *done;
+  }
+  EXPECT_GT(cluster.network().chaos_duplicated(), 0u);
+  uint64_t suppressed = 0;
+  for (size_t i = 0; i < cluster.num_osds(); ++i) {
+    suppressed += cluster.osd(i).duplicates_dropped();
+  }
+  suppressed += cluster.mds(0).duplicates_dropped();
+  EXPECT_GT(suppressed, 0u);
+
+  cluster.network().SetDefaultFaults(sim::FaultSpec{});
+  // Every ack unique (RecordAck flags double-acks) and durable with the
+  // exact payload; every committed entry appears exactly once.
+  EXPECT_TRUE(checkers.violations().empty()) << checkers.Report();
+  EXPECT_EQ(checkers.acked_count(), static_cast<uint64_t>(kAppends));
+
+  std::optional<uint64_t> tail;
+  log->CheckTail([&](Status status, uint64_t t) {
+    ASSERT_TRUE(status.ok()) << status;
+    tail = t;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return tail.has_value(); }));
+  std::map<std::string, int> occurrences;
+  for (uint64_t pos = 0; pos < *tail; ++pos) {
+    std::optional<bool> read_done;
+    log->Read(pos, [&](Status status, zlog::EntryState state, const Buffer& data) {
+      if (status.ok() && state == zlog::EntryState::kData) {
+        ++occurrences[data.ToString()];
+      }
+      read_done = true;
+    });
+    ASSERT_TRUE(cluster.RunUntil([&] { return read_done.has_value(); }));
+  }
+  for (const auto& [tag, count] : occurrences) {
+    EXPECT_EQ(count, 1) << "payload " << tag << " committed " << count << " times";
+  }
+  EXPECT_EQ(occurrences.size(), static_cast<size_t>(kAppends));
+
+  bool verified = false;
+  checkers.VerifyLog(log.get(), [&] { verified = true; });
+  EXPECT_TRUE(cluster.RunUntil([&] { return verified; }, 120 * sim::kSecond));
+  EXPECT_TRUE(checkers.violations().empty()) << checkers.Report();
+}
+
+}  // namespace
+}  // namespace mal::chaos

@@ -468,5 +468,70 @@ TEST_F(MdsFixture, BalancerMigratesHotSequencersAutomatically) {
   EXPECT_GT(hosted_elsewhere, 0);
 }
 
+TEST_F(MdsFixture, RestartResumesSequencerPastHighestGrant) {
+  Start(1);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  for (uint64_t expected = 0; expected < 5; ++expected) {
+    auto pos = Next("/seq");
+    ASSERT_TRUE(pos.ok()) << pos.status();
+    EXPECT_EQ(pos.value(), expected);
+  }
+  mds[0]->Crash();
+  Settle(1 * sim::kSecond);
+  mds[0]->Recover();
+  Settle(1 * sim::kSecond);
+  // The counter is journaled metadata (§4.3.2): it resumes exactly past
+  // the highest grant ever acknowledged, never re-issuing a position.
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 5u);
+}
+
+TEST_F(MdsFixture, RestartFencesHeldCapsUntilSequencerRecovery) {
+  Start(1);
+  LeasePolicy policy;
+  policy.mode = LeaseMode::kDelay;
+  policy.max_hold_ns = 60 * sim::kSecond;
+  ASSERT_TRUE(CreateSequencer("/seq", policy).ok());
+  bool granted = false;
+  clients[0]->mds.AcquireCap("/seq", [&](Status s) { granted = s.ok(); });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(granted);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(clients[0]->mds.LocalNext("/seq").ok());
+  }
+
+  mds[0]->Crash();
+  Settle(1 * sim::kSecond);
+  mds[0]->Recover();
+  Settle(1 * sim::kSecond);
+
+  // The cached tail died with the cap holder's session: the inode is
+  // fenced and every grant path aborts until CORFU recovery runs.
+  std::optional<Status> acquire;
+  clients[1]->mds.AcquireCap("/seq", [&](Status s) { acquire = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(acquire.has_value());
+  EXPECT_EQ(acquire->code(), Code::kAborted);
+  EXPECT_EQ(Next("/seq", 1).status().code(), Code::kAborted);
+
+  // CORFU recovery installs a tail covering every possible grant and
+  // clears the fence (what zlog::Log::Recover does after seal).
+  ClientRequest recover;
+  recover.op = MdsOp::kSetSeqState;
+  recover.path = "/seq";
+  recover.seq_value = 10;
+  recover.params["needs_recovery"] = "";  // empty value => erase
+  std::optional<Status> installed;
+  clients[1]->mds.Request(recover, [&](Status s, const MdsReply&) { installed = s; });
+  Settle(2 * sim::kSecond);
+  ASSERT_TRUE(installed.has_value());
+  ASSERT_TRUE(installed->ok()) << *installed;
+
+  auto pos = Next("/seq", 1);
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 10u);  // at or past the highest granted position
+}
+
 }  // namespace
 }  // namespace mal::mds

@@ -327,5 +327,49 @@ TEST_F(MonFixture, FasterProposalIntervalCommitsSooner) {
   EXPECT_LT(fast, slow);
 }
 
+TEST_F(MonFixture, LeaderRestartRejoinsWithoutSplittingEpochs) {
+  MonitorConfig config;
+  config.proposal_interval = 200 * sim::kMillisecond;
+  Start(3, config);
+  Monitor* old_leader = Leader();
+  ASSERT_NE(old_leader, nullptr);
+  daemon->mon_client.SetServiceMetadata(MapKind::kOsdMap, "pre", "1", [](mal::Status) {});
+  simulator.RunUntil(simulator.Now() + 3 * sim::kSecond);
+  Epoch epoch_before = old_leader->osd_map().epoch;
+
+  old_leader->Crash();
+  simulator.RunUntil(simulator.Now() + 8 * sim::kSecond);
+  Monitor* new_leader = Leader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader, old_leader);
+
+  // Commit through the new leader while the old one is down.
+  bool committed = false;
+  daemon->mon_client.SetServiceMetadata(MapKind::kOsdMap, "post", "2",
+                                        [&](mal::Status s) { committed = s.ok(); });
+  // The client may burn a full RPC timeout discovering the dead monitor
+  // before it rotates to a live one.
+  simulator.RunUntil(simulator.Now() + 15 * sim::kSecond);
+  ASSERT_TRUE(committed);
+
+  old_leader->Recover();
+  simulator.RunUntil(simulator.Now() + 10 * sim::kSecond);
+
+  // Exactly one leader remains; the restarted monitor re-entered Paxos as
+  // a peer and caught up: identical maps everywhere, epochs only forward.
+  int leaders = 0;
+  for (auto& monitor : monitors) {
+    leaders += monitor->IsLeader() ? 1 : 0;
+  }
+  EXPECT_EQ(leaders, 1);
+  for (auto& monitor : monitors) {
+    EXPECT_GE(monitor->osd_map().epoch, epoch_before + 1);
+    EXPECT_EQ(monitor->osd_map().service_metadata.at("post"), "2")
+        << monitor->name().ToString();
+    EXPECT_EQ(monitor->osd_map().epoch, monitors[0]->osd_map().epoch)
+        << monitor->name().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace mal::mon

@@ -177,6 +177,141 @@ TEST(NetworkTest, LargerMessagesTakeLonger) {
   EXPECT_GT(sim_large.Now(), sim_small.Now());
 }
 
+namespace {
+Envelope ChaosEnvelope(uint32_t type, EntityName to = EntityName::Osd(1)) {
+  Envelope envelope;
+  envelope.from = EntityName::Client(0);
+  envelope.to = to;
+  envelope.type = type;
+  envelope.payload = mal::Buffer::FromString("x");
+  return envelope;
+}
+}  // namespace
+
+TEST(NetworkTest, ChaosLossIsSeededAndDeterministic) {
+  auto run = [](uint64_t fault_seed) {
+    Simulator simulator;
+    NetworkConfig config;
+    config.fault_seed = fault_seed;
+    Network network(&simulator, config);
+    RecordingSink sink;
+    network.Attach(EntityName::Osd(1), &sink);
+    FaultSpec faults;
+    faults.loss_prob = 0.5;
+    network.SetDefaultFaults(faults);
+    for (uint32_t i = 0; i < 100; ++i) {
+      network.Send(ChaosEnvelope(i));
+    }
+    simulator.Run();
+    std::vector<uint32_t> delivered;
+    for (const auto& envelope : sink.received) {
+      delivered.push_back(envelope.type);
+    }
+    return std::make_pair(network.chaos_lost(), delivered);
+  };
+  auto [lost_a, delivered_a] = run(42);
+  auto [lost_b, delivered_b] = run(42);
+  EXPECT_GT(lost_a, 0u);
+  EXPECT_LT(lost_a, 100u);
+  EXPECT_EQ(lost_a, lost_b);  // same seed => identical loss pattern
+  EXPECT_EQ(delivered_a, delivered_b);
+  auto [lost_c, delivered_c] = run(43);
+  EXPECT_NE(delivered_a, delivered_c);  // different seed => different pattern
+}
+
+TEST(NetworkTest, ChaosDuplicationDeliversTwiceAndCounts) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink;
+  network.Attach(EntityName::Osd(1), &sink);
+  FaultSpec faults;
+  faults.dup_prob = 1.0;
+  network.SetDefaultFaults(faults);
+  for (uint32_t i = 0; i < 10; ++i) {
+    network.Send(ChaosEnvelope(i));
+  }
+  simulator.Run();
+  EXPECT_EQ(sink.received.size(), 20u);
+  EXPECT_EQ(network.chaos_duplicated(), 10u);
+  EXPECT_EQ(network.chaos_lost(), 0u);
+}
+
+TEST(NetworkTest, ChaosReorderDelaysButDelivers) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink;
+  network.Attach(EntityName::Osd(1), &sink);
+  FaultSpec faults;
+  faults.reorder_prob = 1.0;
+  faults.reorder_delay = 50 * kMillisecond;
+  network.SetDefaultFaults(faults);
+  for (uint32_t i = 0; i < 10; ++i) {
+    network.Send(ChaosEnvelope(i));
+  }
+  simulator.Run();
+  EXPECT_EQ(sink.received.size(), 10u);  // delayed, never dropped
+  EXPECT_EQ(network.chaos_reordered(), 10u);
+}
+
+TEST(NetworkTest, PerLinkFaultsOnlyAffectThatLink) {
+  Simulator simulator;
+  Network network(&simulator);
+  RecordingSink sink1;
+  RecordingSink sink2;
+  network.Attach(EntityName::Osd(1), &sink1);
+  network.Attach(EntityName::Osd(2), &sink2);
+  FaultSpec lossy;
+  lossy.loss_prob = 1.0;
+  network.SetLinkFaults(EntityName::Client(0), EntityName::Osd(1), lossy);
+  for (uint32_t i = 0; i < 5; ++i) {
+    network.Send(ChaosEnvelope(i, EntityName::Osd(1)));
+    network.Send(ChaosEnvelope(i, EntityName::Osd(2)));
+  }
+  simulator.Run();
+  EXPECT_TRUE(sink1.received.empty());
+  EXPECT_EQ(sink2.received.size(), 5u);
+  EXPECT_EQ(network.chaos_lost(), 5u);
+
+  network.ClearLinkFaults(EntityName::Client(0), EntityName::Osd(1));
+  network.Send(ChaosEnvelope(99, EntityName::Osd(1)));
+  simulator.Run();
+  EXPECT_EQ(sink1.received.size(), 1u);
+}
+
+// The determinism contract behind byte-identical benches: when no fault
+// spec is enabled, the fault rng is never consulted, so delivery timing is
+// exactly that of a network that never heard of chaos.
+TEST(NetworkTest, DisabledFaultsPerturbNothing) {
+  auto run = [](uint64_t fault_seed, bool toggle_faults) {
+    Simulator simulator;
+    NetworkConfig config;
+    config.fault_seed = fault_seed;
+    Network network(&simulator, config);
+    RecordingSink sink;
+    network.Attach(EntityName::Osd(1), &sink);
+    if (toggle_faults) {
+      FaultSpec burst;
+      burst.loss_prob = 0.5;
+      network.SetDefaultFaults(burst);
+      network.ClearFaults();
+    }
+    std::vector<Time> arrival_times;
+    for (uint32_t i = 0; i < 20; ++i) {
+      network.Send(ChaosEnvelope(i));
+      simulator.Run();
+      arrival_times.push_back(simulator.Now());
+    }
+    return std::make_pair(arrival_times, network.chaos_lost() +
+                                             network.chaos_duplicated() +
+                                             network.chaos_reordered());
+  };
+  auto [baseline, baseline_chaos] = run(0x1111, false);
+  auto [toggled, toggled_chaos] = run(0x2222, true);  // different fault seed!
+  EXPECT_EQ(baseline, toggled);  // identical latency stream regardless
+  EXPECT_EQ(baseline_chaos, 0u);
+  EXPECT_EQ(toggled_chaos, 0u);
+}
+
 // Test actor: echoes requests after a configurable CPU cost.
 class EchoActor : public Actor {
  public:
