@@ -50,6 +50,7 @@ CapExperimentResult RunCapExperiment(const CapExperimentConfig& config) {
   for (auto& worker : workers) {
     total_ops += worker->total_ops();
     exchanges += worker->cap_exchanges();
+    result.events_dropped += worker->events_dropped();
     merged.Merge(worker->latency());
     result.client_latency.push_back(worker->latency());
     // Normalize event timestamps to experiment start.

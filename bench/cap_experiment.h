@@ -28,6 +28,8 @@ struct CapExperimentResult {
   double total_ops_per_sec = 0;
   double mean_latency_us = 0;
   uint64_t cap_exchanges = 0;
+  // Scatter-plot samples dropped at the per-client 2M cap (0 = complete).
+  uint64_t events_dropped = 0;
   // Per client: op latency histogram and raw (time, position) events.
   std::vector<Histogram> client_latency;
   std::vector<std::vector<std::pair<sim::Time, uint64_t>>> client_events;

@@ -73,10 +73,16 @@ int main() {
     std::printf("%s\t%.0f\t%.2f\t%llu\n", result.name.c_str(), result.total_ops_per_sec,
                 result.mean_latency_us,
                 static_cast<unsigned long long>(result.cap_exchanges));
-    json.Add(result.name,
-             {{"ops_per_sec", result.total_ops_per_sec},
-              {"mean_latency_us", result.mean_latency_us},
-              {"cap_exchanges", static_cast<double>(result.cap_exchanges)}});
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"ops_per_sec", result.total_ops_per_sec},
+        {"mean_latency_us", result.mean_latency_us},
+        {"cap_exchanges", static_cast<double>(result.cap_exchanges)}};
+    if (result.events_dropped > 0) {
+      // Truncated scatter data: surface it so a plot reader knows. Absent
+      // when complete, keeping default-config JSON identical run to run.
+      metrics.emplace_back("events_dropped", static_cast<double>(result.events_dropped));
+    }
+    json.Add(result.name, std::move(metrics));
   };
 
   // Exclusive: one client, nobody competes, cap never revoked.

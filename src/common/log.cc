@@ -12,6 +12,9 @@ std::map<std::string, LogLevel>* g_component_levels = nullptr;
 bool g_context_set = false;
 uint64_t g_context_time_ns = 0;
 std::string g_context_node;
+// When set, the node name is read through this pointer (the event-loop fast
+// path); otherwise g_context_node holds a copy.
+const std::string* g_context_node_ptr = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -70,11 +73,21 @@ void SetLogContext(uint64_t time_ns, const std::string& node) {
   g_context_set = true;
   g_context_time_ns = time_ns;
   g_context_node = node;
+  g_context_node_ptr = nullptr;
+}
+
+void SetLogContextRef(uint64_t time_ns, const std::string* node) {
+  if (g_context_set && g_context_node_ptr == node && g_context_time_ns == time_ns) {
+    return;  // same actor, same instant: the context is already in place
+  }
+  g_context_set = true;
+  g_context_time_ns = time_ns;
+  g_context_node_ptr = node;
 }
 
 void ClearLogContext() {
   g_context_set = false;
-  g_context_node.clear();
+  g_context_node_ptr = nullptr;
 }
 
 namespace log_internal {
@@ -84,9 +97,11 @@ void Emit(LogLevel level, const std::string& component, const std::string& messa
     return;
   }
   if (g_context_set) {
+    const std::string& node =
+        g_context_node_ptr != nullptr ? *g_context_node_ptr : g_context_node;
     std::fprintf(stderr, "[%s] [%.6fs %s] %s: %s\n", LevelName(level),
                  static_cast<double>(g_context_time_ns) / 1e9,
-                 g_context_node.c_str(), component.c_str(), message.c_str());
+                 node.c_str(), component.c_str(), message.c_str());
   } else {
     std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), component.c_str(),
                  message.c_str());

@@ -30,6 +30,13 @@ void ClearComponentLogLevels();
 void SetLogContext(uint64_t time_ns, const std::string& node);
 void ClearLogContext();
 
+// Zero-copy variant for the event-loop hot path: stores a pointer to the
+// caller's node string instead of copying it. The caller guarantees *node
+// outlives the context (actors pass their cached name string). Setting an
+// identical (time, node) pair is a no-op, so consecutive same-time events on
+// one actor skip the swap entirely.
+void SetLogContextRef(uint64_t time_ns, const std::string* node);
+
 class ScopedLogContext {
  public:
   ScopedLogContext(uint64_t time_ns, const std::string& node) {
@@ -39,6 +46,17 @@ class ScopedLogContext {
 
   ScopedLogContext(const ScopedLogContext&) = delete;
   ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+};
+
+class ScopedLogContextRef {
+ public:
+  ScopedLogContextRef(uint64_t time_ns, const std::string* node) {
+    SetLogContextRef(time_ns, node);
+  }
+  ~ScopedLogContextRef() { ClearLogContext(); }
+
+  ScopedLogContextRef(const ScopedLogContextRef&) = delete;
+  ScopedLogContextRef& operator=(const ScopedLogContextRef&) = delete;
 };
 
 namespace log_internal {

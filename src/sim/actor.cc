@@ -8,9 +8,95 @@
 #include "src/common/trace.h"
 
 namespace mal::sim {
+namespace {
+
+// Packs an EntityName into the DedupWindow's integer key space.
+uint64_t NameKey(EntityName name) {
+  return (static_cast<uint64_t>(name.type) << 32) | name.id;
+}
+
+}  // namespace
+
+void DedupWindow::Reset() {
+  table_.assign(kTableSize, Entry{0, 0, kEmpty});
+  ring_.assign(kWindow, {0, 0});
+  ring_pos_ = 0;
+  count_ = 0;
+  tombstones_ = 0;
+}
+
+bool DedupWindow::Insert(uint64_t a, uint64_t b) {
+  size_t i = Hash(a, b);
+  size_t insert_at = kTableSize;  // first tombstone seen, if any
+  while (true) {
+    Entry& e = table_[i];
+    if (e.state == kEmpty) {
+      break;
+    }
+    if (e.state == kUsed && e.a == a && e.b == b) {
+      return false;  // replay
+    }
+    if (e.state == kTombstone && insert_at == kTableSize) {
+      insert_at = i;
+    }
+    i = (i + 1) & kTableMask;
+  }
+  if (count_ == kWindow) {
+    // Window full: evict the oldest key before recording the new one.
+    auto [old_a, old_b] = ring_[ring_pos_];
+    Erase(old_a, old_b);
+  }
+  if (insert_at == kTableSize) {
+    insert_at = i;
+  } else {
+    --tombstones_;
+  }
+  table_[insert_at] = Entry{a, b, kUsed};
+  ++count_;
+  ring_[ring_pos_] = {a, b};
+  ring_pos_ = (ring_pos_ + 1) % kWindow;
+  if (tombstones_ > kTableSize / 4) {
+    Rebuild();
+  }
+  return true;
+}
+
+void DedupWindow::Erase(uint64_t a, uint64_t b) {
+  size_t i = Hash(a, b);
+  while (true) {
+    Entry& e = table_[i];
+    if (e.state == kEmpty) {
+      return;  // not present (cannot happen for ring-tracked keys)
+    }
+    if (e.state == kUsed && e.a == a && e.b == b) {
+      e.state = kTombstone;
+      --count_;
+      ++tombstones_;
+      return;
+    }
+    i = (i + 1) & kTableMask;
+  }
+}
+
+void DedupWindow::Rebuild() {
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(kTableSize, Entry{0, 0, kEmpty});
+  tombstones_ = 0;
+  for (const Entry& e : old) {
+    if (e.state != kUsed) {
+      continue;
+    }
+    size_t i = Hash(e.a, e.b);
+    while (table_[i].state != kEmpty) {
+      i = (i + 1) & kTableMask;
+    }
+    table_[i] = Entry{e.a, e.b, kUsed};
+  }
+}
 
 Actor::Actor(Simulator* simulator, Network* network, EntityName name)
-    : simulator_(simulator), network_(network), name_(name) {
+    : simulator_(simulator), network_(network), name_(name),
+      name_str_(name.ToString()) {
   network_->Attach(name_, this);
 }
 
@@ -27,7 +113,7 @@ void Actor::SendRequest(EntityName to, uint32_t type, mal::Buffer payload,
       if (incarnation_ != incarnation) {
         return;
       }
-      mal::ScopedLogContext log_scope(Now(), name_.ToString());
+      mal::ScopedLogContextRef log_scope(Now(), &name_str_);
       on_reply(mal::Status::DeadlineExceeded("budget exhausted before send"), Envelope{});
     });
     return;
@@ -144,10 +230,17 @@ void Actor::ReplyError(const Envelope& request, const mal::Status& status) {
 Time Actor::ReserveCpu(Time cost) {
   Time start = std::max(Now(), cpu_busy_until_);
   cpu_busy_until_ = start + cost;
-  busy_log_[cpu_busy_until_] = cost;
+  // Appends are keyed by interval end, which never decreases; a zero-cost
+  // reservation lands on the same end as its predecessor and replaces it
+  // (matching the map-overwrite semantics this deque replaced).
+  if (!busy_log_.empty() && busy_log_.back().first == cpu_busy_until_) {
+    busy_log_.back().second = cost;
+  } else {
+    busy_log_.emplace_back(cpu_busy_until_, cost);
+  }
   // Trim old intervals to bound memory (keep last ~120 virtual seconds).
-  while (!busy_log_.empty() && busy_log_.begin()->first + 120 * kSecond < Now()) {
-    busy_log_.erase(busy_log_.begin());
+  while (!busy_log_.empty() && busy_log_.front().first + 120 * kSecond < Now()) {
+    busy_log_.pop_front();
   }
   return cpu_busy_until_ - Now();
 }
@@ -157,7 +250,7 @@ void Actor::AfterCpu(Time cost, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
   simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
     if (alive_ && incarnation_ == incarnation) {
-      mal::ScopedLogContext log_scope(Now(), name_.ToString());
+      mal::ScopedLogContextRef log_scope(Now(), &name_str_);
       fn();
     }
   });
@@ -174,7 +267,7 @@ void Actor::AfterDispatch(Time cost, std::function<void()> fn) {
   uint64_t incarnation = incarnation_;
   simulator_->Schedule(delay, [this, incarnation, fn = std::move(fn)]() {
     if (alive_ && incarnation_ == incarnation) {
-      mal::ScopedLogContext log_scope(Now(), name_.ToString());
+      mal::ScopedLogContextRef log_scope(Now(), &name_str_);
       fn();
     }
   });
@@ -208,7 +301,7 @@ void Actor::StartPeriodic(Time period, std::function<void()> fn) {
     if (!alive_ || incarnation_ != incarnation) {
       return;
     }
-    mal::ScopedLogContext log_scope(Now(), name_.ToString());
+    mal::ScopedLogContextRef log_scope(Now(), &name_str_);
     fn();
     StartPeriodic(period, fn);
   });
@@ -220,7 +313,7 @@ EventId Actor::ScheduleGuarded(Time delay, std::function<void()> fn) {
     if (!alive_ || incarnation_ != incarnation) {
       return;
     }
-    mal::ScopedLogContext log_scope(Now(), name_.ToString());
+    mal::ScopedLogContextRef log_scope(Now(), &name_str_);
     fn();
   });
 }
@@ -253,7 +346,7 @@ void Actor::Deliver(Envelope envelope) {
   if (!alive_) {
     return;
   }
-  mal::ScopedLogContext log_scope(Now(), name_.ToString());
+  mal::ScopedLogContextRef log_scope(Now(), &name_str_);
   if (envelope.is_reply) {
     auto it = pending_rpcs_.find(envelope.rpc_id);
     if (it == pending_rpcs_.end()) {
@@ -276,21 +369,13 @@ void Actor::Deliver(Envelope envelope) {
   // reply, tricking the caller into a spurious fresh-position retry (a
   // double commit). The window is bounded FIFO; in a duplicate-free run
   // every insert succeeds and behavior is byte-identical.
-  if (envelope.rpc_id != 0) {
-    constexpr size_t kDedupWindow = 4096;
-    auto key = std::make_pair(envelope.from, envelope.rpc_id);
-    if (!seen_requests_.insert(key).second) {
-      ++duplicates_dropped_;
-      MAL_DEBUG(name_.ToString())
-          << "dropping replayed " << trace::MessageTypeName(envelope.type) << " from "
-          << envelope.from.ToString() << " rpc_id " << envelope.rpc_id;
-      return;
-    }
-    seen_order_.push_back(key);
-    if (seen_order_.size() > kDedupWindow) {
-      seen_requests_.erase(seen_order_.front());
-      seen_order_.pop_front();
-    }
+  if (envelope.rpc_id != 0 &&
+      !seen_requests_.Insert(NameKey(envelope.from), envelope.rpc_id)) {
+    ++duplicates_dropped_;
+    MAL_DEBUG(name_str_)
+        << "dropping replayed " << trace::MessageTypeName(envelope.type) << " from "
+        << envelope.from.ToString() << " rpc_id " << envelope.rpc_id;
+    return;
   }
   // Service-layer gates run before any CPU is reserved or span opened.
   //
@@ -342,15 +427,22 @@ void Actor::Deliver(Envelope envelope) {
       server_spans_[{envelope.from, envelope.rpc_id}] = server_ctx;
     }
   }
-  {
+  if (server_ctx.valid() || envelope.deadline_ns != 0 || trace::Current().valid() ||
+      mal::CurrentDeadline() != 0) {
     trace::ScopedContext scope(server_ctx);
     // The carried deadline becomes ambient for the handler, so downstream
     // hops (replication fan-out, proxy forwards) inherit the shrinking budget.
     mal::ScopedDeadline budget(envelope.deadline_ns);
     HandleRequest(envelope);
+  } else {
+    // Untraced, unbudgeted request arriving in an untraced, unbudgeted
+    // context: the scopes above would save and restore two ambient slots
+    // that are all empty. Skipping them is observationally identical and
+    // saves four TLS-style swaps on the hot delivery path.
+    HandleRequest(envelope);
   }
-  if (envelope.rpc_id == 0 && server_ctx.valid() && server_ctx.span_id != envelope.trace.span_id &&
-      trace::Collector() != nullptr) {
+  if (envelope.rpc_id == 0 && server_ctx.valid() &&
+      server_ctx.span_id != envelope.trace.span_id && trace::Collector() != nullptr) {
     trace::Collector()->EndSpan(server_ctx, Now());
   }
 }

@@ -8,11 +8,13 @@
 #ifndef MALACOLOGY_SIM_ACTOR_H_
 #define MALACOLOGY_SIM_ACTOR_H_
 
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/status.h"
@@ -24,6 +26,57 @@ class PerfRegistry;
 }  // namespace mal
 
 namespace mal::sim {
+
+// Bounded FIFO membership window over (sender, rpc_id) pairs, used for
+// replay suppression on the delivery hot path. Semantically identical to a
+// std::set plus an eviction deque holding the last `kWindow` unique keys,
+// but backed by a flat open-addressing table and a ring buffer so the
+// per-request cost is a couple of probes instead of two node allocations.
+class DedupWindow {
+ public:
+  static constexpr size_t kWindow = 4096;
+
+  DedupWindow() { Reset(); }
+
+  // Returns true if (a, b) was newly recorded; false if it was already in
+  // the window (a replay). Inserting a fresh key evicts the oldest one once
+  // the window is full.
+  bool Insert(uint64_t a, uint64_t b);
+
+ private:
+  // 4x the window keeps probe chains short; tombstones from evictions are
+  // collected by rebuilding the table when they pile up.
+  static constexpr size_t kTableSize = kWindow * 4;
+  static constexpr size_t kTableMask = kTableSize - 1;
+
+  enum : uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+
+  struct Entry {
+    uint64_t a;
+    uint64_t b;
+    uint8_t state;
+  };
+
+  static size_t Hash(uint64_t a, uint64_t b) {
+    uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x) & kTableMask;
+  }
+
+  void Reset();
+  void Erase(uint64_t a, uint64_t b);
+  void Rebuild();
+
+  std::vector<Entry> table_;
+  std::vector<std::pair<uint64_t, uint64_t>> ring_;
+  size_t ring_pos_ = 0;   // next eviction / insertion point
+  size_t count_ = 0;      // live keys (<= kWindow)
+  size_t tombstones_ = 0;
+};
 
 class Actor : public MessageSink {
  public:
@@ -170,14 +223,16 @@ class Actor : public MessageSink {
   // overtake the original's success reply at the caller). Like Ceph's dup
   // op detection via osd_reqid, the duplicate is dropped; the execution of
   // the first copy already replied (or will).
-  std::set<std::pair<EntityName, uint64_t>> seen_requests_;
-  std::deque<std::pair<EntityName, uint64_t>> seen_order_;
+  DedupWindow seen_requests_;
   uint64_t duplicates_dropped_ = 0;
   mal::PerfRegistry* svc_perf_ = nullptr;
   Time cpu_busy_until_ = 0;
   Time dispatch_busy_until_ = 0;
-  // Busy-time accounting for utilization: (interval_end, busy_in_interval).
-  std::map<Time, Time> busy_log_;
+  // Busy-time accounting for utilization: (interval_end, busy_in_interval),
+  // appended in nondecreasing interval_end order and trimmed at the front.
+  std::deque<std::pair<Time, Time>> busy_log_;
+  // Cached name().ToString(); referenced by the zero-copy log context.
+  std::string name_str_;
 };
 
 }  // namespace mal::sim

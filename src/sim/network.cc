@@ -132,23 +132,36 @@ const FaultSpec* Network::FaultsFor(const Envelope& envelope) const {
 }
 
 void Network::ScheduleDelivery(Envelope envelope, Time latency) {
-  simulator_->Schedule(latency, [this, envelope = std::move(envelope)]() mutable {
-    // Re-check failure state at delivery time: a crash that happened while
-    // the message was in flight still loses it.
-    if (crashed_.count(envelope.to) != 0) {
-      ++dropped_crashed_inflight_;
-      LogDrop(envelope, "crashed_inflight");
-      return;
-    }
-    auto it = sinks_.find(envelope.to);
-    if (it == sinks_.end()) {
-      ++dropped_unattached_;
-      LogDrop(envelope, "unattached");
-      return;
-    }
-    ++messages_delivered_;
-    it->second->Deliver(std::move(envelope));
-  });
+  uint32_t slot;
+  if (!inflight_free_.empty()) {
+    slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_[slot] = std::move(envelope);
+  } else {
+    slot = static_cast<uint32_t>(inflight_.size());
+    inflight_.push_back(std::move(envelope));
+  }
+  simulator_->Schedule(latency, [this, slot] { DeliverPooled(slot); });
+}
+
+void Network::DeliverPooled(uint32_t slot) {
+  Envelope envelope = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  // Re-check failure state at delivery time: a crash that happened while
+  // the message was in flight still loses it.
+  if (crashed_.count(envelope.to) != 0) {
+    ++dropped_crashed_inflight_;
+    LogDrop(envelope, "crashed_inflight");
+    return;
+  }
+  auto it = sinks_.find(envelope.to);
+  if (it == sinks_.end()) {
+    ++dropped_unattached_;
+    LogDrop(envelope, "unattached");
+    return;
+  }
+  ++messages_delivered_;
+  it->second->Deliver(std::move(envelope));
 }
 
 void Network::SetCrashed(EntityName name, bool crashed) {

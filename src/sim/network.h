@@ -8,10 +8,12 @@
 #define MALACOLOGY_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/rng.h"
@@ -159,7 +161,11 @@ class Network {
   // (loopback, or all knobs off). Returning nullptr on the default path
   // guarantees zero fault-RNG draws when chaos is disabled.
   const FaultSpec* FaultsFor(const Envelope& envelope) const;
+  // Parks the envelope in the in-flight pool and schedules a delivery event
+  // whose capture is just (this, slot) — small enough for the simulator's
+  // inline callback storage, so a message send allocates nothing.
   void ScheduleDelivery(Envelope envelope, Time latency);
+  void DeliverPooled(uint32_t slot);
 
   Simulator* simulator_;
   NetworkConfig config_;
@@ -180,6 +186,10 @@ class Network {
   uint64_t chaos_lost_ = 0;
   uint64_t chaos_duplicated_ = 0;
   uint64_t chaos_reordered_ = 0;
+  // In-flight envelope pool: slots recycle through a free list, so steady-
+  // state traffic reuses the same headers instead of allocating per message.
+  std::deque<Envelope> inflight_;
+  std::vector<uint32_t> inflight_free_;
 };
 
 }  // namespace mal::sim

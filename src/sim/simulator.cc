@@ -1,63 +1,298 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
-#include <utility>
-
-#include "src/common/deadline.h"
-#include "src/common/trace.h"
+#include <bit>
 
 namespace mal::sim {
 
-EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+Simulator::Simulator() {
+  for (uint32_t i = 0; i < kLevels * kSlotsPerLevel; ++i) {
+    wheel_heads_[i] = kNil;
+  }
+  std::memset(occupancy_, 0, sizeof(occupancy_));
 }
 
-EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  EventId id = next_id_++;
-  // Dapper-style propagation through the event loop: work scheduled while a
-  // trace context or a deadline is ambient runs under it, so causality and
-  // time budgets follow continuations (CPU completions, message deliveries,
-  // retries) without per-call-site plumbing.
-  if (trace::Current().valid() || mal::CurrentDeadline() != 0) {
-    fn = [ctx = trace::Current(), deadline = mal::CurrentDeadline(),
-          inner = std::move(fn)]() {
-      trace::ScopedContext scope(ctx);
-      mal::ScopedDeadline budget(deadline);
-      inner();
-    };
+Simulator::~Simulator() {
+  // Destroy callbacks still owned by live slots (pending or cancelled-lazy);
+  // the EventCallback destructor handles each slot's own storage.
+}
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNil) {
+    uint32_t idx = free_head_;
+    free_head_ = SlotRef(idx).next;
+    return idx;
   }
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  return id;
+  if ((allocated_ & kChunkMask) == 0) {
+    chunks_.push_back(std::make_unique<EventSlot[]>(kChunkSize));
+  }
+  return allocated_++;
+}
+
+void Simulator::FreeSlot(uint32_t idx) {
+  EventSlot& slot = SlotRef(idx);
+  slot.state = State::kFree;
+  slot.home = kHomeNone;
+  ++slot.generation;
+  slot.next = free_head_;
+  free_head_ = idx;
+}
+
+uint32_t& Simulator::HeadRef(uint32_t home) {
+  if (home == kHomeOverflow) {
+    return overflow_head_;
+  }
+  return wheel_heads_[home];
+}
+
+void Simulator::ListPush(uint32_t home, uint32_t idx) {
+  uint32_t& head = HeadRef(home);
+  EventSlot& slot = SlotRef(idx);
+  slot.home = home;
+  slot.prev = kNil;
+  slot.next = head;
+  if (head != kNil) {
+    SlotRef(head).prev = idx;
+  }
+  head = idx;
+  if (home != kHomeOverflow) {
+    uint32_t wheel_slot = home & kSlotMask;
+    occupancy_[home >> kSlotBits][wheel_slot >> 6] |= 1ull << (wheel_slot & 63);
+  }
+}
+
+void Simulator::Unlink(uint32_t idx) {
+  EventSlot& slot = SlotRef(idx);
+  if (slot.prev != kNil) {
+    SlotRef(slot.prev).next = slot.next;
+  } else {
+    HeadRef(slot.home) = slot.next;
+  }
+  if (slot.next != kNil) {
+    SlotRef(slot.next).prev = slot.prev;
+  }
+  if (slot.home != kHomeOverflow && HeadRef(slot.home) == kNil) {
+    uint32_t wheel_slot = slot.home & kSlotMask;
+    occupancy_[slot.home >> kSlotBits][wheel_slot >> 6] &= ~(1ull << (wheel_slot & 63));
+  }
+  slot.home = kHomeNone;
+}
+
+void Simulator::NearPush(Time when, uint64_t seq, uint32_t idx) {
+  near_.push_back(NearEntry{when, seq, idx});
+  size_t child = near_.size() - 1;
+  while (child > 0) {
+    size_t parent = (child - 1) / 2;
+    NearEntry& p = near_[parent];
+    NearEntry& c = near_[child];
+    if (p.when < c.when || (p.when == c.when && p.seq < c.seq)) {
+      break;
+    }
+    std::swap(p, c);
+    child = parent;
+  }
+}
+
+void Simulator::NearPop() {
+  near_.front() = near_.back();
+  near_.pop_back();
+  size_t parent = 0;
+  size_t size = near_.size();
+  for (;;) {
+    size_t left = 2 * parent + 1;
+    if (left >= size) {
+      break;
+    }
+    size_t min_child = left;
+    size_t right = left + 1;
+    if (right < size && (near_[right].when < near_[left].when ||
+                         (near_[right].when == near_[left].when &&
+                          near_[right].seq < near_[left].seq))) {
+      min_child = right;
+    }
+    if (near_[parent].when < near_[min_child].when ||
+        (near_[parent].when == near_[min_child].when &&
+         near_[parent].seq < near_[min_child].seq)) {
+      break;
+    }
+    std::swap(near_[parent], near_[min_child]);
+    parent = min_child;
+  }
+}
+
+void Simulator::InsertScheduled(uint32_t idx) {
+  EventSlot& slot = SlotRef(idx);
+  uint64_t tick = slot.when >> kTickBits;
+  if (tick <= drained_tick_) {
+    slot.home = kHomeNear;
+    NearPush(slot.when, slot.seq, idx);
+    return;
+  }
+  uint64_t diff = tick ^ drained_tick_;
+  uint32_t level = (63u - static_cast<uint32_t>(std::countl_zero(diff))) / kSlotBits;
+  if (level >= kLevels) {
+    ListPush(kHomeOverflow, idx);
+    return;
+  }
+  uint32_t wheel_slot =
+      static_cast<uint32_t>(tick >> (level * kSlotBits)) & kSlotMask;
+  ListPush(level * kSlotsPerLevel + wheel_slot, idx);
+}
+
+bool Simulator::RefillNear() {
+  while (near_.empty()) {
+    // Lowest non-empty level is the next source of events.
+    uint32_t level = kLevels;
+    for (uint32_t l = 0; l < kLevels; ++l) {
+      if ((occupancy_[l][0] | occupancy_[l][1] | occupancy_[l][2] |
+           occupancy_[l][3]) != 0) {
+        level = l;
+        break;
+      }
+    }
+    if (level == kLevels) {
+      // Wheels empty: every remaining event (if any) is in the calendar
+      // overflow, and — invariant — strictly later than anything the wheels
+      // ever held. Jump the cursor to the earliest overflow tick and pull
+      // everything within the wheels' new range back in.
+      if (overflow_head_ == kNil) {
+        return false;
+      }
+      uint64_t min_tick = UINT64_MAX;
+      for (uint32_t i = overflow_head_; i != kNil; i = SlotRef(i).next) {
+        uint64_t tick = SlotRef(i).when >> kTickBits;
+        if (tick < min_tick) {
+          min_tick = tick;
+        }
+      }
+      drained_tick_ = min_tick;
+      uint32_t i = overflow_head_;
+      while (i != kNil) {
+        uint32_t next = SlotRef(i).next;
+        uint64_t tick = SlotRef(i).when >> kTickBits;
+        if ((tick ^ drained_tick_) >> (kLevels * kSlotBits) == 0) {
+          Unlink(i);
+          InsertScheduled(i);
+        }
+        i = next;
+      }
+      continue;
+    }
+
+    // Find the lowest occupied wheel slot at this level. All occupied slots
+    // are in the current window (strictly after the cursor), so the lowest
+    // index is the earliest.
+    uint32_t wheel_slot = 0;
+    for (uint32_t w = 0; w < kSlotsPerLevel / 64; ++w) {
+      if (occupancy_[level][w] != 0) {
+        wheel_slot =
+            w * 64 + static_cast<uint32_t>(std::countr_zero(occupancy_[level][w]));
+        break;
+      }
+    }
+    uint32_t home = level * kSlotsPerLevel + wheel_slot;
+
+    if (level == 0) {
+      // A level-0 slot holds exactly one tick: drain it into the near heap.
+      drained_tick_ = (drained_tick_ >> kSlotBits << kSlotBits) | wheel_slot;
+      uint32_t i = wheel_heads_[home];
+      wheel_heads_[home] = kNil;
+      occupancy_[0][wheel_slot >> 6] &= ~(1ull << (wheel_slot & 63));
+      while (i != kNil) {
+        EventSlot& slot = SlotRef(i);
+        uint32_t next = slot.next;
+        slot.home = kHomeNear;
+        NearPush(slot.when, slot.seq, i);
+        i = next;
+      }
+      return true;
+    }
+
+    // Cascade: advance the cursor to this slot's start tick and re-file its
+    // events one level (or more) down; events at exactly the start tick go
+    // straight to the near heap.
+    uint32_t shift = level * kSlotBits;
+    drained_tick_ =
+        ((drained_tick_ >> (shift + kSlotBits) << kSlotBits) | wheel_slot) << shift;
+    uint32_t i = wheel_heads_[home];
+    wheel_heads_[home] = kNil;
+    occupancy_[level][wheel_slot >> 6] &= ~(1ull << (wheel_slot & 63));
+    while (i != kNil) {
+      uint32_t next = SlotRef(i).next;
+      InsertScheduled(i);
+      i = next;
+    }
+  }
+  return true;
+}
+
+bool Simulator::EnsureLiveTop() {
+  for (;;) {
+    if (near_.empty() && !RefillNear()) {
+      return false;
+    }
+    uint32_t idx = near_.front().idx;
+    if (SlotRef(idx).state == State::kCancelledNear) {
+      NearPop();
+      FreeSlot(idx);
+      continue;
+    }
+    return true;
+  }
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id < next_id_) {
-    cancelled_[id] = true;
+  if (id == 0) {
+    return;
   }
+  uint32_t idx = static_cast<uint32_t>(id >> 32) - 1;
+  if (idx >= allocated_) {
+    return;
+  }
+  EventSlot& slot = SlotRef(idx);
+  if (slot.generation != static_cast<uint32_t>(id) ||
+      slot.state != State::kScheduled) {
+    return;  // already ran, already cancelled, or slot since recycled
+  }
+  --live_;
+  slot.cb.Destroy();
+  if (slot.home == kHomeNear) {
+    // The near heap still references the slot; reclaim lazily when the
+    // entry surfaces.
+    slot.state = State::kCancelledNear;
+    return;
+  }
+  Unlink(idx);
+  FreeSlot(idx);
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.when;
-    ++events_processed_;
-    // Events not scheduled under a trace or deadline run bare; the wrapper
-    // installed by ScheduleAt restores the captured state for those that were.
-    trace::SetCurrent(trace::TraceContext{});
-    mal::SetCurrentDeadline(0);
-    ev.fn();
-    trace::SetCurrent(trace::TraceContext{});
-    mal::SetCurrentDeadline(0);
-    return true;
+  if (!EnsureLiveTop()) {
+    return false;
   }
-  return false;
+  uint32_t idx = near_.front().idx;
+  NearPop();
+  EventSlot& slot = SlotRef(idx);
+  now_ = slot.when;
+  ++events_processed_;
+  --live_;
+  slot.state = State::kRunning;
+  slot.home = kHomeNone;
+  // Restore the trace context / deadline that were ambient when the event
+  // was scheduled; context-free events (the common case) skip the swap
+  // entirely — the ambient state between events is already clean.
+  bool scoped = slot.ctx.valid() || slot.deadline != 0;
+  if (scoped) {
+    trace::SetCurrent(slot.ctx);
+    mal::SetCurrentDeadline(slot.deadline);
+  }
+  slot.cb.Invoke();
+  if (scoped || trace::Current().valid() || mal::CurrentDeadline() != 0) {
+    trace::SetCurrent(trace::TraceContext{});
+    mal::SetCurrentDeadline(0);
+  }
+  slot.cb.Destroy();
+  FreeSlot(idx);
+  return true;
 }
 
 void Simulator::Run() {
@@ -66,7 +301,7 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(Time until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
+  while (EnsureLiveTop() && near_.front().when <= until) {
     Step();
   }
   if (now_ < until) {

@@ -1,7 +1,12 @@
 // Unit tests for the discrete-event simulator, network, and actor layers.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
 #include "src/sim/actor.h"
+#include "src/sim/legacy_simulator.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 
@@ -507,6 +512,234 @@ TEST(ActorTest, DeterministicAcrossRuns) {
     return simulator.Now();
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// -- Timer-wheel core: regressions, differential oracle, pool stress ----------
+
+TEST(SimulatorTest, CancelAfterRunIsANoOp) {
+  Simulator simulator;
+  int fired = 0;
+  EventId id = simulator.Schedule(5, [&] { ++fired; });
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  // Regression: cancelling an id that already ran used to leave a tombstone
+  // that made pending_events() miscount (and underflow once the tombstone
+  // outnumbered live events).
+  simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  simulator.Schedule(5, [&] { ++fired; });
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelIsANoOp) {
+  Simulator simulator;
+  bool ran = false;
+  EventId id = simulator.Schedule(5, [&] { ran = true; });
+  simulator.Schedule(6, [] {});
+  simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, StaleIdDoesNotCancelRecycledSlot) {
+  Simulator simulator;
+  int first = 0;
+  EventId stale = simulator.Schedule(1, [&] { ++first; });
+  simulator.Run();
+  // The freed slot recycles with a bumped generation: the stale id must not
+  // touch the new occupant.
+  bool second = false;
+  simulator.Schedule(1, [&] { second = true; });
+  simulator.Cancel(stale);
+  simulator.Run();
+  EXPECT_EQ(first, 1);
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryWithCancelledHead) {
+  // The old scheduler's RunUntil guard read the raw queue top, so a
+  // cancelled entry at the head let it run the next live event past
+  // `until`. The wheel must stop exactly at the boundary.
+  Simulator simulator;
+  bool late = false;
+  EventId head = simulator.Schedule(10, [] {});
+  simulator.Schedule(100, [&] { late = true; });
+  simulator.Cancel(head);
+  simulator.RunUntil(50);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(simulator.Now(), 50u);
+  simulator.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, CancelDestroysCallbackEagerly) {
+  Simulator simulator;
+  auto token = std::make_shared<int>(1);
+  EventId far = simulator.Schedule(100 * kSecond, [token] {});
+  EventId near = simulator.Schedule(1, [token] {});
+  EXPECT_EQ(token.use_count(), 3);
+  // Both the wheel-resident and the imminent event release their captures at
+  // Cancel time — a cancel-heavy run must not pin memory until fire time.
+  simulator.Cancel(far);
+  simulator.Cancel(near);
+  EXPECT_EQ(token.use_count(), 1);
+  simulator.Run();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+// Interprets one randomized schedule/cancel/step/run-until program on any
+// simulator implementation and returns the observable trajectory: (Now() at
+// execution, label) for every event that ran, plus the final clock. Events
+// also schedule children and cancel peers from inside callbacks. Because
+// both implementations must execute events in the identical (when, seq)
+// order, the shared Rng is consumed in the same sequence on both — any
+// ordering divergence amplifies and fails the comparison.
+template <typename Sim>
+std::pair<std::vector<std::pair<Time, uint64_t>>, Time> RunDifferentialProgram(
+    uint64_t seed) {
+  Sim simulator;
+  mal::Rng rng(seed);
+  std::vector<std::pair<Time, uint64_t>> trace;
+  std::vector<EventId> ids;
+  uint64_t next_label = 0;
+
+  std::function<void(uint64_t)> body = [&](uint64_t label) {
+    trace.emplace_back(simulator.Now(), label);
+    if (rng.UniformDouble() < 0.3) {
+      uint64_t child = next_label++;
+      Time delay = rng.NextBelow(2 * kMillisecond);
+      ids.push_back(simulator.Schedule(delay, [&, child] { body(child); }));
+    }
+    if (!ids.empty() && rng.UniformDouble() < 0.15) {
+      simulator.Cancel(ids[rng.NextBelow(ids.size())]);  // may be stale
+    }
+  };
+
+  for (int op = 0; op < 60; ++op) {
+    double u = rng.UniformDouble();
+    if (u < 0.55) {
+      uint64_t label = next_label++;
+      double v = rng.UniformDouble();
+      Time delay;
+      if (v < 0.1) {
+        delay = 0;
+      } else if (v < 0.6) {
+        delay = rng.NextBelow(500 * kMicrosecond);
+      } else if (v < 0.9) {
+        delay = rng.NextBelow(50 * kMillisecond);
+      } else {
+        delay = rng.NextBelow(20 * kSecond);  // wheel upper levels / overflow
+      }
+      ids.push_back(simulator.Schedule(delay, [&, label] { body(label); }));
+    } else if (u < 0.65) {
+      if (!ids.empty()) {
+        simulator.Cancel(ids[rng.NextBelow(ids.size())]);
+      }
+    } else if (u < 0.8) {
+      simulator.Step();
+    } else {
+      simulator.RunUntil(simulator.Now() + rng.NextBelow(10 * kMillisecond));
+    }
+  }
+  simulator.Run();
+  return {std::move(trace), simulator.Now()};
+}
+
+TEST(SimulatorTest, DifferentialAgainstPriorityQueueOracle) {
+  // Property: for thousands of randomized programs, the timer wheel executes
+  // the exact event sequence — same labels, same Now() at each execution,
+  // same final clock — as the retained priority-queue implementation.
+  for (uint64_t seed = 1; seed <= 2000; ++seed) {
+    auto wheel = RunDifferentialProgram<Simulator>(seed);
+    auto oracle = RunDifferentialProgram<LegacySimulator>(seed);
+    ASSERT_EQ(wheel.first.size(), oracle.first.size()) << "seed " << seed;
+    ASSERT_TRUE(wheel.first == oracle.first) << "trajectory diverged, seed " << seed;
+    ASSERT_EQ(wheel.second, oracle.second) << "final clock diverged, seed " << seed;
+  }
+}
+
+// Schedules one event whose capture is exactly `sizeof(shared_ptr) + N`
+// bytes, spanning the inline small-buffer boundary of the pooled callback.
+template <size_t N>
+void SchedulePadded(Simulator* simulator, std::shared_ptr<int> token, int* ran) {
+  struct Pad {
+    char bytes[N];
+  } pad{};
+  simulator->Schedule(1, [token = std::move(token), pad, ran] {
+    *ran += static_cast<int>(sizeof(pad));
+  });
+}
+
+TEST(SimulatorTest, PooledCallbacksAcrossSboBoundary) {
+  // Every size must run exactly once and destroy its captures exactly once,
+  // on both the inline path (small captures) and the heap fallback (large
+  // captures). The ASan/UBSan CI job runs this against the pooled allocator.
+  Simulator simulator;
+  auto token = std::make_shared<int>(0);
+  int ran = 0;
+  SchedulePadded<1>(&simulator, token, &ran);
+  SchedulePadded<16>(&simulator, token, &ran);
+  SchedulePadded<32>(&simulator, token, &ran);    // at/near the inline limit
+  SchedulePadded<48>(&simulator, token, &ran);    // straddles it
+  SchedulePadded<100>(&simulator, token, &ran);   // heap fallback
+  SchedulePadded<256>(&simulator, token, &ran);   // heap fallback, large
+  EXPECT_EQ(token.use_count(), 7);
+  simulator.Run();
+  EXPECT_EQ(ran, 1 + 16 + 32 + 48 + 100 + 256);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SimulatorTest, PoolStressChurnReleasesEverything) {
+  // Slab-pool stress: heavy schedule/cancel/fire churn across chunk growth
+  // and free-list recycling, with reentrant scheduling and heap-sized
+  // captures mixed in. Leak-checked structurally via the shared token;
+  // byte-level by the sanitizer job.
+  Simulator simulator;
+  mal::Rng rng(0xfeedface);
+  auto token = std::make_shared<int>(0);
+  uint64_t fired = 0;
+  std::vector<EventId> cancelable;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      Time delay = 1 + rng.NextBelow(10 * kMillisecond);
+      if (i % 3 == 0) {
+        struct Big {
+          char pad[96];
+        } big{};
+        cancelable.push_back(
+            simulator.Schedule(delay, [token, big, &fired] { ++fired; (void)big; }));
+      } else {
+        cancelable.push_back(simulator.Schedule(delay, [token, &fired, &simulator] {
+          ++fired;
+          if (fired % 7 == 0) {
+            simulator.Schedule(1, [&fired] { ++fired; });  // reentrant
+          }
+        }));
+      }
+    }
+    // Cancel a third of this round's events, some twice.
+    for (size_t i = 0; i < cancelable.size(); i += 3) {
+      simulator.Cancel(cancelable[i]);
+      if (i % 9 == 0) {
+        simulator.Cancel(cancelable[i]);
+      }
+    }
+    cancelable.clear();
+    simulator.RunUntil(simulator.Now() + 2 * kMillisecond);
+  }
+  simulator.Run();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_GT(fired, 0u);
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace
