@@ -1,6 +1,7 @@
 #include "src/common/log.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 namespace mal {
@@ -8,6 +9,17 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 std::map<std::string, LogLevel>* g_component_levels = nullptr;
+
+// -1 = not yet decided (consult MAL_LOG_JSON on first emit), 0/1 = decided.
+int g_json_logging = -1;
+
+bool JsonLogging() {
+  if (g_json_logging < 0) {
+    const char* env = std::getenv("MAL_LOG_JSON");
+    g_json_logging = env != nullptr && env[0] == '1' ? 1 : 0;
+  }
+  return g_json_logging == 1;
+}
 
 bool g_context_set = false;
 uint64_t g_context_time_ns = 0;
@@ -69,6 +81,42 @@ void ClearComponentLogLevels() {
   }
 }
 
+void SetJsonLogging(bool enabled) { g_json_logging = enabled ? 1 : 0; }
+bool JsonLoggingEnabled() { return JsonLogging(); }
+
+std::string FormatJsonLogLine(LogLevel level, bool has_context, uint64_t time_ns,
+                              const std::string& node, const std::string& component,
+                              const std::string& message) {
+  std::string out = "{";
+  if (has_context) {
+    char stamp[64];
+    std::snprintf(stamp, sizeof(stamp), "\"t_s\": %.6f, ",
+                  static_cast<double>(time_ns) / 1e9);
+    out += stamp;
+    out += "\"node\": \"" + node + "\", ";
+  }
+  out += "\"component\": \"" + component + "\", \"level\": \"";
+  out += LevelName(level);
+  out += "\", \"msg\": \"";
+  for (char c : message) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
 void SetLogContext(uint64_t time_ns, const std::string& node) {
   g_context_set = true;
   g_context_time_ns = time_ns;
@@ -96,9 +144,16 @@ void Emit(LogLevel level, const std::string& component, const std::string& messa
   if (level < Threshold(component)) {
     return;
   }
+  const std::string& node =
+      g_context_node_ptr != nullptr ? *g_context_node_ptr : g_context_node;
+  if (JsonLogging()) {
+    std::fprintf(stderr, "%s\n",
+                 FormatJsonLogLine(level, g_context_set, g_context_time_ns, node,
+                                   component, message)
+                     .c_str());
+    return;
+  }
   if (g_context_set) {
-    const std::string& node =
-        g_context_node_ptr != nullptr ? *g_context_node_ptr : g_context_node;
     std::fprintf(stderr, "[%s] [%.6fs %s] %s: %s\n", LevelName(level),
                  static_cast<double>(g_context_time_ns) / 1e9,
                  node.c_str(), component.c_str(), message.c_str());

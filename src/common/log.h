@@ -23,6 +23,19 @@ LogLevel GetLogLevel();
 void SetComponentLogLevel(const std::string& component, LogLevel level);
 void ClearComponentLogLevels();
 
+// Structured sink: when enabled (programmatically, or via MAL_LOG_JSON=1 in
+// the environment, checked on first emit) every line is a JSON object
+// {"t_s", "node", "component", "level", "msg"} instead of plain text, so
+// chaos/bench runs can be post-processed with standard tools. Plain text
+// stays the default.
+void SetJsonLogging(bool enabled);
+bool JsonLoggingEnabled();
+
+// Renders one log line in the structured format (exposed for tests).
+std::string FormatJsonLogLine(LogLevel level, bool has_context, uint64_t time_ns,
+                              const std::string& node, const std::string& component,
+                              const std::string& message);
+
 // Ambient context stamped onto every log line: the simulated clock and the
 // node whose event is executing. The actor event loop sets this around each
 // delivery/callback (see src/sim/actor.cc); lines emitted outside any actor

@@ -1,10 +1,13 @@
 #include "src/common/perf.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mal {
 
 void BoundedHistogram::Observe(double v) {
+  min_ = observed_ == 0 ? v : std::min(min_, v);
+  max_ = observed_ == 0 ? v : std::max(max_, v);
   ++observed_;
   if ((observed_ - 1) % stride_ != 0) {
     return;
@@ -29,6 +32,12 @@ void BoundedHistogram::Observe(double v) {
 
 void BoundedHistogram::MergeSamples(const std::vector<double>& samples,
                                     uint64_t observed) {
+  bool empty_before = observed_ == 0;
+  for (double v : samples) {
+    min_ = empty_before ? v : std::min(min_, v);
+    max_ = empty_before ? v : std::max(max_, v);
+    empty_before = false;
+  }
   observed_ += observed;
   samples_.insert(samples_.end(), samples.begin(), samples.end());
   // The merged buffer may exceed cap_; that is fine for monitor-side
@@ -51,7 +60,8 @@ PerfSnapshot PerfRegistry::Snapshot(const std::string& entity,
   snap.counters = counters_;
   snap.gauges = gauges_;
   for (const auto& [name, hist] : histograms_) {
-    snap.histograms[name] = PerfSnapshot::Hist{hist.samples(), hist.observed()};
+    snap.histograms[name] =
+        PerfSnapshot::Hist{hist.samples(), hist.observed(), hist.min(), hist.max()};
   }
   return snap;
 }
@@ -74,6 +84,8 @@ void PerfSnapshot::Encode(Buffer* out) const {
   for (const auto& [name, hist] : histograms) {
     enc.PutString(name);
     enc.PutU64(hist.observed);
+    enc.PutF64(hist.min);
+    enc.PutF64(hist.max);
     enc.PutVarU64(hist.samples.size());
     for (double v : hist.samples) {
       enc.PutF64(v);
@@ -100,6 +112,8 @@ Status PerfSnapshot::Decode(const Buffer& in, PerfSnapshot* out) {
     std::string name = dec.GetString();
     Hist hist;
     hist.observed = dec.GetU64();
+    hist.min = dec.GetF64();
+    hist.max = dec.GetF64();
     uint64_t samples = dec.GetVarU64();
     hist.samples.reserve(dec.ok() ? samples : 0);
     for (uint64_t j = 0; j < samples && dec.ok(); ++j) {
@@ -120,6 +134,10 @@ PerfSnapshot AggregateSnapshots(const std::vector<PerfSnapshot>& snapshots) {
     }
     for (const auto& [name, hist] : snap.histograms) {
       PerfSnapshot::Hist& agg = out.histograms[name];
+      if (hist.observed > 0) {
+        agg.min = agg.observed == 0 ? hist.min : std::min(agg.min, hist.min);
+        agg.max = agg.observed == 0 ? hist.max : std::max(agg.max, hist.max);
+      }
       agg.observed += hist.observed;
       agg.samples.insert(agg.samples.end(), hist.samples.begin(),
                          hist.samples.end());
@@ -151,13 +169,18 @@ void AppendJsonString(std::ostringstream* out, const std::string& s) {
 }
 
 void AppendSnapshotJson(std::ostringstream* out, const PerfSnapshot& snap,
-                        int indent) {
+                        int indent, uint64_t now_ns, uint64_t stale_after_ns) {
   std::string pad(indent, ' ');
   std::string pad2(indent + 2, ' ');
+  uint64_t age_ns = now_ns > snap.time_ns ? now_ns - snap.time_ns : 0;
   *out << pad << "{\n";
   *out << pad2 << "\"entity\": ";
   AppendJsonString(out, snap.entity);
   *out << ",\n" << pad2 << "\"time_ns\": " << snap.time_ns << ",\n";
+  *out << pad2 << "\"report_age_us\": " << age_ns / 1000 << ",\n";
+  if (stale_after_ns > 0 && age_ns > stale_after_ns) {
+    *out << pad2 << "\"stale\": true,\n";
+  }
   *out << pad2 << "\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
@@ -190,7 +213,8 @@ void AppendSnapshotJson(std::ostringstream* out, const PerfSnapshot& snap,
          << ", \"p50\": " << FormatDouble(h.Quantile(0.5), 3)
          << ", \"p90\": " << FormatDouble(h.Quantile(0.9), 3)
          << ", \"p99\": " << FormatDouble(h.Quantile(0.99), 3)
-         << ", \"max\": " << FormatDouble(h.max(), 3) << "}";
+         << ", \"min\": " << FormatDouble(hist.min, 3)
+         << ", \"max\": " << FormatDouble(hist.max, 3) << "}";
     first = false;
   }
   *out << (first ? "" : "\n" + pad2) << "}\n";
@@ -201,14 +225,24 @@ void AppendSnapshotJson(std::ostringstream* out, const PerfSnapshot& snap,
 
 std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
                            uint64_t now_ns) {
+  return PerfDumpToJson(snapshots, now_ns, PerfDumpOptions{});
+}
+
+std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
+                           uint64_t now_ns, const PerfDumpOptions& options) {
   std::ostringstream out;
   out << "{\n  \"time_ns\": " << now_ns << ",\n  \"entities\": [\n";
   for (size_t i = 0; i < snapshots.size(); ++i) {
-    AppendSnapshotJson(&out, snapshots[i], 4);
+    AppendSnapshotJson(&out, snapshots[i], 4, now_ns, options.stale_after_ns);
     out << (i + 1 < snapshots.size() ? ",\n" : "\n");
   }
   out << "  ],\n  \"cluster\": \n";
-  AppendSnapshotJson(&out, AggregateSnapshots(snapshots), 2);
+  AppendSnapshotJson(&out, AggregateSnapshots(snapshots), 2, now_ns, 0);
+  for (const auto& [name, json] : options.sections) {
+    out << ",\n  ";
+    AppendJsonString(&out, name);
+    out << ": " << json;
+  }
   out << "\n}\n";
   return out.str();
 }

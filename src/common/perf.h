@@ -36,6 +36,12 @@ class BoundedHistogram {
   uint64_t observed() const { return observed_; }
   const std::vector<double>& samples() const { return samples_; }
 
+  // Exact running extremes over *every* observation, not just the retained
+  // subsequence — decimation keeps an evenly-spaced subset, which is fine
+  // for quantiles but silently loses the extremes that alert rules watch.
+  double min() const { return min_; }
+  double max() const { return max_; }
+
   // Fold in samples recorded elsewhere (monitor-side aggregation).
   void MergeSamples(const std::vector<double>& samples, uint64_t observed);
 
@@ -46,6 +52,8 @@ class BoundedHistogram {
   size_t cap_;
   uint64_t stride_ = 1;
   uint64_t observed_ = 0;
+  double min_ = 0;
+  double max_ = 0;
   std::vector<double> samples_;
 };
 
@@ -54,6 +62,8 @@ struct PerfSnapshot {
   struct Hist {
     std::vector<double> samples;
     uint64_t observed = 0;
+    double min = 0;  // exact running extremes (see BoundedHistogram)
+    double max = 0;
   };
 
   std::string entity;  // e.g. "osd.2", "mon.0", "client.1"
@@ -111,10 +121,26 @@ class PerfRegistry {
 // (a sum of map epochs means nothing); read them per entity instead.
 PerfSnapshot AggregateSnapshots(const std::vector<PerfSnapshot>& snapshots);
 
+// Options for PerfDumpToJson beyond the bare snapshot list.
+struct PerfDumpOptions {
+  // Mark an entity `"stale": true` when its last report is older than this
+  // (a crashed-and-not-restarted daemon's snapshot otherwise lingers in the
+  // dump forever looking healthy). 0 disables the flag.
+  uint64_t stale_after_ns = 0;
+  // Extra top-level sections appended after "cluster": name -> pre-rendered
+  // JSON value (the monitor injects telemetry/health/profile/trace sections
+  // it renders itself).
+  std::vector<std::pair<std::string, std::string>> sections;
+};
+
 // Renders the monitor's view — one section per entity plus a "cluster"
-// aggregate — as JSON. Histograms are summarized (count/mean/p50/p90/p99/max).
+// aggregate — as JSON. Histograms are summarized (count/mean/p50/p90/p99/max,
+// with min/max exact). Each entity carries `report_age_us` (now - snapshot
+// time) so consumers can judge freshness.
 std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
                            uint64_t now_ns);
+std::string PerfDumpToJson(const std::vector<PerfSnapshot>& snapshots,
+                           uint64_t now_ns, const PerfDumpOptions& options);
 
 }  // namespace mal
 

@@ -1,6 +1,7 @@
 #include "src/common/trace.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace mal::trace {
@@ -29,6 +30,8 @@ const char* BuiltinMessageName(uint32_t type) {
     case 106: return "mon.get_cluster_log";
     case 107: return "mon.perf_report";
     case 108: return "mon.get_perf_dump";
+    case 109: return "mon.query_series";
+    case 110: return "mon.get_health";
     case 200: return "osd.op";
     case 201: return "osd.repop";
     case 202: return "osd.gossip";
@@ -183,6 +186,16 @@ std::string TraceCollector::RenderTree(uint64_t trace_id) const {
   return out.str();
 }
 
+std::string TraceCollector::RenderSubtree(uint64_t span_id) const {
+  const Span* span = Find(span_id);
+  if (span == nullptr) {
+    return "";
+  }
+  std::ostringstream out;
+  RenderSpan(*this, *span, 0, &out);
+  return out.str();
+}
+
 std::map<std::string, HopStat> TraceCollector::HopStats(uint64_t trace_id) const {
   std::map<std::string, HopStat> out;
   for (const Span& span : spans_) {
@@ -202,6 +215,185 @@ std::map<std::string, HopStat> TraceCollector::HopStats(uint64_t trace_id) const
 void TraceCollector::Clear() {
   spans_.clear();
   index_.clear();
+}
+
+// -- Critical-path analysis ---------------------------------------------------
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.compare(0, std::strlen(prefix), prefix) == 0;
+}
+
+using ChildIndex = std::unordered_map<uint64_t, std::vector<const Span*>>;
+
+// parent span id -> finished children, sorted by end_ns descending (ties:
+// later start first, then span id for determinism).
+ChildIndex BuildChildIndex(const TraceCollector& collector) {
+  ChildIndex index;
+  for (const Span& span : collector.spans()) {
+    if (span.open || span.parent_span_id == 0 ||
+        span.parent_span_id == span.span_id) {
+      continue;
+    }
+    index[span.parent_span_id].push_back(&span);
+  }
+  for (auto& [parent, children] : index) {
+    std::sort(children.begin(), children.end(), [](const Span* a, const Span* b) {
+      if (a->end_ns != b->end_ns) {
+        return a->end_ns > b->end_ns;
+      }
+      if (a->start_ns != b->start_ns) {
+        return a->start_ns > b->start_ns;
+      }
+      return a->span_id > b->span_id;
+    });
+  }
+  return index;
+}
+
+// Backward waterfall over [clip_start, clip_end] of `span`: repeatedly
+// descend into the child whose completion gated progress (latest end not
+// past the cursor); the gaps between picked children are `span`'s own time.
+void WalkCriticalPath(const ChildIndex& index, const Span& span,
+                      uint64_t clip_start, uint64_t clip_end,
+                      std::map<std::string, uint64_t>* segments) {
+  uint64_t cursor = clip_end;
+  uint64_t self_ns = 0;
+  auto it = index.find(span.span_id);
+  if (it != index.end()) {
+    for (const Span* child : it->second) {  // end_ns descending
+      if (child->end_ns > cursor) {
+        continue;  // overlaps work already on the path; hidden latency
+      }
+      if (child->end_ns <= clip_start || cursor <= clip_start) {
+        break;
+      }
+      self_ns += cursor - child->end_ns;  // gap above the child: span's own work
+      uint64_t child_start = std::max(child->start_ns, clip_start);
+      WalkCriticalPath(index, *child, child_start,
+                       std::max(child->end_ns, child_start), segments);
+      cursor = child_start;
+    }
+  }
+  if (cursor > clip_start) {
+    self_ns += cursor - clip_start;
+  }
+  if (self_ns > 0) {
+    (*segments)[ClassifySpanSelf(span)] += self_ns;
+  }
+}
+
+}  // namespace
+
+const char* ClassifySpanSelf(const Span& span) {
+  if (StartsWith(span.name, "rpc:")) {
+    return "network";
+  }
+  if (StartsWith(span.name, "handle:")) {
+    if (StartsWith(span.entity, "mds.")) {
+      return "seq_wait";
+    }
+    if (StartsWith(span.entity, "osd.")) {
+      return "osd_commit";
+    }
+    if (StartsWith(span.entity, "mon.")) {
+      return "mon";
+    }
+    return "other";
+  }
+  if (span.parent_span_id == 0) {
+    return "queue";
+  }
+  return "other";
+}
+
+CriticalPath AnalyzeCriticalPath(const TraceCollector& collector, const Span& root) {
+  CriticalPath out;
+  if (root.open || root.end_ns < root.start_ns) {
+    return out;
+  }
+  out.total_ns = root.end_ns - root.start_ns;
+  ChildIndex index = BuildChildIndex(collector);
+  WalkCriticalPath(index, root, root.start_ns, root.end_ns, &out.segment_ns);
+  return out;
+}
+
+std::map<std::string, OpBreakdown> CriticalPathByOp(const TraceCollector& collector) {
+  std::map<std::string, OpBreakdown> out;
+  ChildIndex index = BuildChildIndex(collector);
+  for (const Span& span : collector.spans()) {
+    if (span.open || span.parent_span_id != 0) {
+      continue;
+    }
+    OpBreakdown& op = out[span.name];
+    op.count += 1;
+    op.total_ns += span.end_ns - span.start_ns;
+    WalkCriticalPath(index, span, span.start_ns, span.end_ns, &op.segment_ns);
+  }
+  return out;
+}
+
+std::vector<const Span*> SlowestRoots(const TraceCollector& collector, size_t n) {
+  std::vector<const Span*> roots;
+  for (const Span& span : collector.spans()) {
+    if (!span.open && span.parent_span_id == 0) {
+      roots.push_back(&span);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [](const Span* a, const Span* b) {
+    uint64_t da = a->end_ns - a->start_ns;
+    uint64_t db = b->end_ns - b->start_ns;
+    if (da != db) {
+      return da > db;
+    }
+    return a->span_id < b->span_id;  // deterministic tie-break
+  });
+  if (roots.size() > n) {
+    roots.resize(n);
+  }
+  return roots;
+}
+
+std::string CriticalPathJson(const TraceCollector& collector, size_t max_exemplars) {
+  std::ostringstream out;
+  out << "{\n    \"ops\": {";
+  bool first = true;
+  for (const auto& [name, op] : CriticalPathByOp(collector)) {
+    out << (first ? "" : ",") << "\n      \"" << name << "\": {\"count\": " << op.count
+        << ", \"total_us\": " << op.total_ns / 1000 << ", \"segments_us\": {";
+    bool first_seg = true;
+    for (const auto& [segment, ns] : op.segment_ns) {
+      out << (first_seg ? "" : ", ") << "\"" << segment << "\": " << ns / 1000;
+      first_seg = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "" : "\n    ") << "},\n    \"exemplars\": [";
+  first = true;
+  for (const Span* root : SlowestRoots(collector, max_exemplars)) {
+    std::string tree = collector.RenderSubtree(root->span_id);
+    std::string escaped;
+    escaped.reserve(tree.size());
+    for (char c : tree) {
+      if (c == '"') {
+        escaped += "\\\"";
+      } else if (c == '\\') {
+        escaped += "\\\\";
+      } else if (c == '\n') {
+        escaped += "\\n";
+      } else {
+        escaped += c;
+      }
+    }
+    out << (first ? "" : ",") << "\n      {\"name\": \"" << root->name
+        << "\", \"duration_us\": " << (root->end_ns - root->start_ns) / 1000
+        << ", \"tree\": \"" << escaped << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n    ") << "]\n  }";
+  return out.str();
 }
 
 }  // namespace mal::trace

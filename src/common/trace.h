@@ -71,6 +71,9 @@ class TraceCollector {
 
   // Human-readable indented span tree with per-span durations.
   std::string RenderTree(uint64_t trace_id) const;
+  // Same rendering, rooted at one span (tail exemplars render exactly the
+  // slow request's tree even if the trace has sibling roots).
+  std::string RenderSubtree(uint64_t span_id) const;
 
   // Aggregate duration per span name, over every finished span in the
   // collector (trace_id == 0) or one trace. Benches turn this into the
@@ -84,6 +87,51 @@ class TraceCollector {
   std::vector<Span> spans_;
   std::unordered_map<uint64_t, size_t> index_;  // span_id -> spans_ slot
 };
+
+// -- Critical-path analysis ---------------------------------------------------
+//
+// A finished span tree is an exact record of where a request's wall-clock
+// went; the critical path walks it backward from the root's end, always
+// descending into the child whose completion gated progress, and attributes
+// every nanosecond of the root's duration to the *self time* of some span on
+// that path. Self time is classified by what the span represents:
+//   queue      — root-span self (client-side batching/pipeline wait)
+//   network    — rpc:* self (flight time + remote inbox wait)
+//   seq_wait   — handle:* self on an mds.* entity (sequencer service)
+//   osd_commit — handle:* self on an osd.* entity (storage commit)
+//   mon        — handle:* self on a mon.* entity
+//   other      — anything else (intermediate client-side spans)
+// Segments telescope: their sum equals the root's duration exactly.
+
+// Breakdown of one request (one root span).
+struct CriticalPath {
+  uint64_t total_ns = 0;
+  std::map<std::string, uint64_t> segment_ns;
+};
+
+// Aggregate breakdown across requests sharing a root-span name (op type).
+struct OpBreakdown {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  std::map<std::string, uint64_t> segment_ns;
+};
+
+// Segment classification of a span's self time (see table above).
+const char* ClassifySpanSelf(const Span& span);
+
+// Critical path of a single finished root span.
+CriticalPath AnalyzeCriticalPath(const TraceCollector& collector, const Span& root);
+
+// Per-op-type aggregation over every finished root span in the collector.
+std::map<std::string, OpBreakdown> CriticalPathByOp(const TraceCollector& collector);
+
+// The N slowest finished root spans, longest first (tail exemplars).
+std::vector<const Span*> SlowestRoots(const TraceCollector& collector, size_t n);
+
+// {"ops": {name: {count, total_us, segments}}, "exemplars": [...]} — the
+// exemplars carry the rendered span tree of the slowest requests.
+std::string CriticalPathJson(const TraceCollector& collector,
+                             size_t max_exemplars = 3);
 
 // Process-global collector. Null (the default) disables tracing.
 TraceCollector* Collector();

@@ -23,6 +23,8 @@ enum MsgType : uint32_t {
   kMsgGetClusterLog = 106,
   kMsgPerfReport = 107,   // daemon -> monitor perf-counter snapshot (one-way)
   kMsgGetPerfDump = 108,  // fetch the cluster-wide perf dump (JSON)
+  kMsgQuerySeries = 109,  // query the monitor's telemetry time-series store
+  kMsgGetHealth = 110,    // fetch the ClusterHealth JSON
 };
 
 // A transaction applied to monitor state through Paxos. One MonCommand
@@ -92,6 +94,31 @@ struct MapUpdate {
     update.kind = static_cast<MapKind>(dec->GetU8());
     update.map_payload = dec->GetBuffer();
     return update;
+  }
+};
+
+// Query against the monitor's telemetry series store (kMsgQuerySeries).
+// `resolution` matches telemetry::Resolution: 0 = raw, 1 = 10s, 2 = 60s.
+// The reply is a count-prefixed list of telemetry::Window records.
+struct QuerySeriesRequest {
+  std::string entity;
+  std::string metric;
+  uint8_t resolution = 0;
+  uint64_t since_ns = 0;
+
+  void Encode(mal::Encoder* enc) const {
+    enc->PutString(entity);
+    enc->PutString(metric);
+    enc->PutU8(resolution);
+    enc->PutU64(since_ns);
+  }
+  static QuerySeriesRequest Decode(mal::Decoder* dec) {
+    QuerySeriesRequest req;
+    req.entity = dec->GetString();
+    req.metric = dec->GetString();
+    req.resolution = dec->GetU8();
+    req.since_ns = dec->GetU64();
+    return req;
   }
 };
 

@@ -14,6 +14,7 @@
 #include "src/mon/messages.h"
 #include "src/sim/actor.h"
 #include "src/svc/retry.h"
+#include "src/telemetry/series.h"
 
 namespace mal::mon {
 
@@ -117,6 +118,38 @@ class MonClient {
                   [on_dump = std::move(on_dump)](mal::Status status,
                                                  const sim::Envelope& reply) {
                     on_dump(status, reply.payload.ToString());
+                  });
+  }
+
+  // Queries the monitor's telemetry series store (kMsgQuerySeries); the
+  // reply decodes into rollup windows (or single-point windows for raw).
+  void QuerySeries(const QuerySeriesRequest& req,
+                   std::function<void(mal::Status, std::vector<telemetry::Window>)>
+                       on_windows) {
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    req.Encode(&enc);
+    SendWithRetry(kMsgQuerySeries, std::move(payload), MakeBackoff(),
+                  [on_windows = std::move(on_windows)](mal::Status status,
+                                                       const sim::Envelope& reply) {
+                    std::vector<telemetry::Window> windows;
+                    if (status.ok()) {
+                      mal::Decoder dec(reply.payload);
+                      uint64_t n = dec.GetVarU64();
+                      for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+                        windows.push_back(telemetry::Window::Decode(&dec));
+                      }
+                    }
+                    on_windows(status, std::move(windows));
+                  });
+  }
+
+  // Fetches the ClusterHealth JSON (kMsgGetHealth).
+  void GetHealth(std::function<void(mal::Status, std::string)> on_health) {
+    SendWithRetry(kMsgGetHealth, mal::Buffer(), MakeBackoff(),
+                  [on_health = std::move(on_health)](mal::Status status,
+                                                     const sim::Envelope& reply) {
+                    on_health(status, reply.payload.ToString());
                   });
   }
 

@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/common/trace.h"
+#include "src/sim/profiler.h"
 
 namespace mal::mon {
 
@@ -58,6 +59,9 @@ Monitor::Monitor(sim::Simulator* simulator, sim::Network* network, uint32_t id,
   RegisterHandlers();
   SetInboxLimit(config_.inbox_depth);
   SetServicePerf(&perf_);
+  if (telemetry_enabled() && config_.builtin_health_rules) {
+    health_.InstallBuiltinRules();
+  }
 }
 
 void Monitor::RegisterHandlers() {
@@ -84,6 +88,12 @@ void Monitor::RegisterHandlers() {
                  [this](const sim::Envelope& env) { HandlePerfReport(env); });
   dispatcher_.On(kMsgGetPerfDump,
                  [this](const sim::Envelope& env) { HandleGetPerfDump(env); });
+  dispatcher_.OnTyped<QuerySeriesRequest>(
+      kMsgQuerySeries, [this](const sim::Envelope& env, QuerySeriesRequest req) {
+        HandleQuerySeries(env, std::move(req));
+      });
+  dispatcher_.On(kMsgGetHealth,
+                 [this](const sim::Envelope& env) { HandleGetHealth(env); });
 }
 
 void Monitor::Boot() {
@@ -102,6 +112,9 @@ void Monitor::Boot() {
       paxos_->StartElection();
     }
   });
+  if (telemetry_enabled()) {
+    StartPeriodic(config_.telemetry_interval, [this] { TelemetryTick(); });
+  }
 }
 
 void Monitor::Crash() {
@@ -337,7 +350,7 @@ void Monitor::HandleSubscribe(const sim::Envelope& request, SubscribeRequest req
   Reply(request, mal::Buffer());
 }
 
-void Monitor::HandleLogEntry(const sim::Envelope& request, ClusterLogEntry entry) {
+void Monitor::AppendClusterLog(ClusterLogEntry entry) {
   // Entries can arrive out of order (one-way sends race); keep the log
   // ordered by the source timestamp so operators see causal order.
   auto pos = std::upper_bound(cluster_log_.begin(), cluster_log_.end(), entry,
@@ -345,8 +358,12 @@ void Monitor::HandleLogEntry(const sim::Envelope& request, ClusterLogEntry entry
                                 return std::tie(a.time_ns, a.source, a.seq) <
                                        std::tie(b.time_ns, b.source, b.seq);
                               });
-  cluster_log_.insert(pos, entry);
+  cluster_log_.insert(pos, std::move(entry));
   perf_.Inc("mon.cluster_log_entries");
+}
+
+void Monitor::HandleLogEntry(const sim::Envelope& request, ClusterLogEntry entry) {
+  AppendClusterLog(std::move(entry));
   // Fan out so every monitor holds the log (centralized view, replicated).
   for (uint32_t peer : quorum_) {
     if (peer != name().id && request.from.type != sim::EntityType::kMon) {
@@ -375,9 +392,68 @@ void Monitor::HandlePerfReport(const sim::Envelope& request) {
     return;
   }
   perf_.Inc("mon.perf_reports");
+  if (telemetry_enabled()) {
+    series_.Ingest(snap);
+  }
   // Keep only the latest snapshot per entity: reports carry cumulative
   // counters, so the newest one supersedes everything before it.
   perf_reports_[snap.entity] = std::move(snap);
+}
+
+void Monitor::TelemetryTick() {
+  // Fold our own registry in so mon.* metrics are watchable like any
+  // daemon's (the monitor never sends itself a kMsgPerfReport).
+  series_.Ingest(perf_.Snapshot(name().ToString(), Now()));
+  std::vector<telemetry::HealthEngine::Transition> transitions =
+      health_.Evaluate(Now());
+  for (const auto& t : transitions) {
+    perf_.Inc(t.raised ? "mon.health.raised" : "mon.health.cleared");
+    ClusterLogEntry entry;
+    entry.time_ns = Now();
+    entry.seq = ++health_log_seq_;
+    entry.source = name().ToString();
+    entry.severity = !t.raised                                        ? "INFO"
+                     : t.severity == telemetry::HealthSeverity::kErr ? "ERROR"
+                                                                     : "WARN";
+    entry.message = t.text;
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    entry.Encode(&enc);
+    AppendClusterLog(std::move(entry));
+    // Replicate the health edge to peer monitors like any log entry.
+    for (uint32_t peer : quorum_) {
+      if (peer != name().id) {
+        SendOneWay(sim::EntityName::Mon(peer), kMsgLogEntry, payload);
+      }
+    }
+  }
+  perf_.Set("mon.health.status", static_cast<double>(health_.Overall()));
+  perf_.Set("mon.telemetry.series", static_cast<double>(series_.series_count()));
+}
+
+mal::Status Monitor::InstallHealthRule(const std::string& rule_name,
+                                       const std::string& source,
+                                       std::map<std::string, double> params) {
+  return health_.InstallRule(rule_name, source, std::move(params));
+}
+
+std::string Monitor::HealthJson() const { return health_.ToJson(Now()); }
+
+void Monitor::HandleQuerySeries(const sim::Envelope& request, QuerySeriesRequest req) {
+  std::vector<telemetry::Window> windows =
+      series_.Query(req.entity, req.metric,
+                    static_cast<telemetry::Resolution>(req.resolution), req.since_ns);
+  mal::Buffer payload;
+  mal::Encoder enc(&payload);
+  enc.PutVarU64(windows.size());
+  for (const telemetry::Window& w : windows) {
+    w.Encode(&enc);
+  }
+  Reply(request, std::move(payload));
+}
+
+void Monitor::HandleGetHealth(const sim::Envelope& request) {
+  Reply(request, mal::Buffer::FromString(HealthJson()));
 }
 
 std::string Monitor::PerfDumpJson() const {
@@ -406,7 +482,18 @@ std::string Monitor::PerfDumpJson() const {
       snapshots.push_back(snap);
     }
   }
-  return mal::PerfDumpToJson(snapshots, Now());
+  mal::PerfDumpOptions options;
+  options.stale_after_ns = config_.stale_report_age;
+  if (telemetry_enabled()) {
+    options.sections.emplace_back("telemetry", series_.ToJson(Now()));
+    options.sections.emplace_back("health", health_.ToJson(Now()));
+  }
+  // The per-actor profiler is a process-global collector like the trace
+  // collector; when a harness installed one, its table rides the dump.
+  if (const sim::Profiler* profiler = sim::Profiler::Current()) {
+    options.sections.emplace_back("profile", profiler->ToJson());
+  }
+  return mal::PerfDumpToJson(snapshots, Now(), options);
 }
 
 void Monitor::HandleGetPerfDump(const sim::Envelope& request) {

@@ -25,6 +25,8 @@
 #include "src/mon/messages.h"
 #include "src/sim/actor.h"
 #include "src/svc/dispatch.h"
+#include "src/telemetry/health.h"
+#include "src/telemetry/series.h"
 
 namespace mal::mon {
 
@@ -38,6 +40,15 @@ struct MonitorConfig {
   sim::Time election_timeout = 2 * sim::kSecond;
   // Bounded inbox depth for admission control; 0 disables (see svc/).
   size_t inbox_depth = 0;
+  // Telemetry rollup/health-evaluation tick. 0 disables the whole telemetry
+  // layer (no series ingestion, no rules, no extra simulator events), which
+  // keeps defaults-off runs byte-identical to pre-telemetry builds.
+  sim::Time telemetry_interval = 0;
+  // Entities whose last perf report is older than this are flagged stale in
+  // PerfDumpJson (and by the stale_daemon health rule, which warns at half).
+  sim::Time stale_report_age = 10 * sim::kSecond;
+  // Install the shipped MalScript health rules when telemetry is on.
+  bool builtin_health_rules = true;
 };
 
 class Monitor : public sim::Actor {
@@ -66,6 +77,20 @@ class Monitor : public sim::Actor {
     return perf_reports_;
   }
 
+  // Telemetry layer (active when config.telemetry_interval > 0): every perf
+  // report is folded into the series store, and each tick evaluates the
+  // MalScript health rules against it (see src/telemetry/ and
+  // docs/telemetry.md).
+  bool telemetry_enabled() const { return config_.telemetry_interval > 0; }
+  const telemetry::SeriesStore& series() const { return series_; }
+  telemetry::HealthEngine& health() { return health_; }
+  const telemetry::HealthEngine& health() const { return health_; }
+  // Installs/overrides an operator health rule (tests and benches inject
+  // custom ones the same way the builtins are installed).
+  mal::Status InstallHealthRule(const std::string& name, const std::string& source,
+                                std::map<std::string, double> params = {});
+  std::string HealthJson() const;
+
   // Observer hook for experiments: fired when a committed transaction batch
   // has been applied (after map epochs bump).
   std::function<void(const std::vector<Transaction>&)> on_apply;
@@ -87,6 +112,11 @@ class Monitor : public sim::Actor {
   void HandleGetClusterLog(const sim::Envelope& request);
   void HandlePerfReport(const sim::Envelope& request);
   void HandleGetPerfDump(const sim::Envelope& request);
+  void HandleQuerySeries(const sim::Envelope& request, QuerySeriesRequest req);
+  void HandleGetHealth(const sim::Envelope& request);
+
+  void TelemetryTick();
+  void AppendClusterLog(ClusterLogEntry entry);
 
   void ProposeBatch();
   void ApplyCommitted(const mal::Buffer& value);
@@ -105,6 +135,9 @@ class Monitor : public sim::Actor {
   std::vector<ClusterLogEntry> cluster_log_;
   mal::PerfRegistry perf_;
   std::map<std::string, mal::PerfSnapshot> perf_reports_;  // entity -> latest
+  telemetry::SeriesStore series_;
+  telemetry::HealthEngine health_{&series_};
+  uint64_t health_log_seq_ = 0;
 
   std::vector<Transaction> pending_batch_;
   // Requests waiting for their transaction to commit: batch sequence ->

@@ -6,6 +6,7 @@
 #include "src/common/log.h"
 #include "src/common/perf.h"
 #include "src/common/trace.h"
+#include "src/sim/profiler.h"
 
 namespace mal::sim {
 namespace {
@@ -228,6 +229,9 @@ void Actor::ReplyError(const Envelope& request, const mal::Status& status) {
 }
 
 Time Actor::ReserveCpu(Time cost) {
+  if (Profiler* profiler = Profiler::Current()) {
+    profiler->RecordCpu(name_str_, cost);
+  }
   Time start = std::max(Now(), cpu_busy_until_);
   cpu_busy_until_ = start + cost;
   // Appends are keyed by interval end, which never decreases; a zero-cost
@@ -257,6 +261,9 @@ void Actor::AfterCpu(Time cost, std::function<void()> fn) {
 }
 
 Time Actor::ReserveDispatch(Time cost) {
+  if (Profiler* profiler = Profiler::Current()) {
+    profiler->RecordDispatch(name_str_, cost);
+  }
   Time start = std::max(Now(), dispatch_busy_until_);
   dispatch_busy_until_ = start + cost;
   return dispatch_busy_until_ - Now();
@@ -347,6 +354,16 @@ void Actor::Deliver(Envelope envelope) {
     return;
   }
   mal::ScopedLogContextRef log_scope(Now(), &name_str_);
+  // Profiler attribution: every CPU/dispatch reservation made while this
+  // delivery executes lands in the delivered message's row (replies get
+  // their own ".reply" row — a client's completion work is not the server's
+  // handling work).
+  Profiler* profiler = Profiler::Current();
+  ScopedProfileLabel profile_label(
+      profiler, name_str_,
+      profiler == nullptr ? std::string()
+                          : trace::MessageTypeName(envelope.type) +
+                                (envelope.is_reply ? ".reply" : ""));
   if (envelope.is_reply) {
     auto it = pending_rpcs_.find(envelope.rpc_id);
     if (it == pending_rpcs_.end()) {

@@ -1,0 +1,99 @@
+#include "src/sim/profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace mal::sim {
+
+namespace {
+Profiler* g_profiler = nullptr;
+}  // namespace
+
+Profiler* Profiler::Current() { return g_profiler; }
+void Profiler::Set(Profiler* profiler) { g_profiler = profiler; }
+
+void Profiler::OnMessage(const std::string& entity, const std::string& label) {
+  table_[entity][label].count += 1;
+}
+
+void Profiler::RecordCpu(const std::string& entity, uint64_t cost_ns) {
+  table_[entity][current_label_].cpu_ns += cost_ns;
+}
+
+void Profiler::RecordDispatch(const std::string& entity, uint64_t cost_ns) {
+  table_[entity][current_label_].dispatch_ns += cost_ns;
+}
+
+Profiler::Row Profiler::Totals(const std::string& entity) const {
+  Row total;
+  auto it = table_.find(entity);
+  if (it == table_.end()) {
+    return total;
+  }
+  for (const auto& [label, row] : it->second) {
+    total.count += row.count;
+    total.cpu_ns += row.cpu_ns;
+    total.dispatch_ns += row.dispatch_ns;
+  }
+  return total;
+}
+
+void Profiler::Clear() { table_.clear(); }
+
+std::string Profiler::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first_entity = true;
+  for (const auto& [entity, rows] : table_) {
+    out << (first_entity ? "" : ",") << "\n    \"" << entity << "\": {";
+    first_entity = false;
+    bool first_row = true;
+    for (const auto& [label, row] : rows) {
+      out << (first_row ? "" : ",") << "\n      \"" << label
+          << "\": {\"count\": " << row.count << ", \"cpu_us\": " << row.cpu_ns / 1000
+          << ", \"dispatch_us\": " << row.dispatch_ns / 1000 << "}";
+      first_row = false;
+    }
+    out << "\n    }";
+  }
+  out << "\n  }";
+  return out.str();
+}
+
+std::string Profiler::RenderTable() const {
+  // Order entities by total busy time so the hot spot leads.
+  std::vector<std::pair<std::string, Row>> entities;
+  for (const auto& [entity, rows] : table_) {
+    entities.emplace_back(entity, Totals(entity));
+  }
+  std::sort(entities.begin(), entities.end(), [](const auto& a, const auto& b) {
+    uint64_t ba = a.second.cpu_ns + a.second.dispatch_ns;
+    uint64_t bb = b.second.cpu_ns + b.second.dispatch_ns;
+    if (ba != bb) {
+      return ba > bb;
+    }
+    return a.first < b.first;
+  });
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "entity" << std::setw(28) << "message"
+      << std::right << std::setw(10) << "count" << std::setw(12) << "cpu_ms"
+      << std::setw(12) << "disp_ms" << "\n";
+  for (const auto& [entity, total] : entities) {
+    for (const auto& [label, row] : table_.at(entity)) {
+      out << std::left << std::setw(12) << entity << std::setw(28) << label
+          << std::right << std::setw(10) << row.count << std::setw(12)
+          << std::fixed << std::setprecision(2)
+          << static_cast<double>(row.cpu_ns) / 1e6 << std::setw(12)
+          << static_cast<double>(row.dispatch_ns) / 1e6 << "\n";
+    }
+    out << std::left << std::setw(12) << entity << std::setw(28) << "TOTAL"
+        << std::right << std::setw(10) << total.count << std::setw(12) << std::fixed
+        << std::setprecision(2) << static_cast<double>(total.cpu_ns) / 1e6
+        << std::setw(12) << static_cast<double>(total.dispatch_ns) / 1e6 << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mal::sim

@@ -1,0 +1,106 @@
+// Per-actor profiler: "where does the cluster spend its simulated time".
+//
+// The simulator's CPU model already serializes work through
+// Actor::ReserveCpu / ReserveDispatch; the profiler taps those reservations
+// and attributes them to (actor, message-type) cells. The message label is
+// ambient: Actor::Deliver sets it to the delivered message's name (with a
+// ".reply" suffix for replies) for the synchronous extent of the handler, so
+// every CPU reservation a handler makes lands in that message's row. Work
+// reserved outside any delivery — periodic timers, scheduled continuations —
+// is attributed to "background".
+//
+// Like trace::TraceCollector, the profiler is a process-global installed via
+// ScopedProfiler; when none is installed (the default) the hot-path cost is
+// one null check, and nothing about the simulation changes either way (the
+// profiler only observes reservations, it never schedules or draws RNG).
+// Tables are deterministic: same seed, same profile, byte for byte.
+#ifndef MALACOLOGY_SIM_PROFILER_H_
+#define MALACOLOGY_SIM_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mal::sim {
+
+class Profiler {
+ public:
+  struct Row {
+    uint64_t count = 0;        // messages delivered under this label
+    uint64_t cpu_ns = 0;       // CPU-lane time reserved
+    uint64_t dispatch_ns = 0;  // dispatch-lane time reserved
+  };
+
+  // entity -> message label -> row. Ordered maps for deterministic output.
+  using Table = std::map<std::string, std::map<std::string, Row>>;
+
+  // One message delivery observed under `label` (bumps count).
+  void OnMessage(const std::string& entity, const std::string& label);
+  // CPU/dispatch reservations attributed to the ambient label.
+  void RecordCpu(const std::string& entity, uint64_t cost_ns);
+  void RecordDispatch(const std::string& entity, uint64_t cost_ns);
+
+  const Table& table() const { return table_; }
+  Row Totals(const std::string& entity) const;
+  void Clear();
+
+  // {"<entity>": {"<label>": {count, cpu_us, dispatch_us}, ...}, ...}
+  std::string ToJson() const;
+  // Aligned text table, busiest entity first (for bench stdout).
+  std::string RenderTable() const;
+
+  // Process-global instance; null (the default) disables profiling.
+  static Profiler* Current();
+  static void Set(Profiler* profiler);
+
+ private:
+  friend class ScopedProfileLabel;
+
+  Table table_;
+  std::string current_label_ = "background";
+};
+
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(Profiler* profiler) : prev_(Profiler::Current()) {
+    Profiler::Set(profiler);
+  }
+  ~ScopedProfiler() { Profiler::Set(prev_); }
+
+  ScopedProfiler(const ScopedProfiler&) = delete;
+  ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+
+ private:
+  Profiler* prev_;
+};
+
+// Sets the ambient message label for the extent of one delivery (and counts
+// the message). Constructed with a null profiler it does nothing.
+class ScopedProfileLabel {
+ public:
+  ScopedProfileLabel(Profiler* profiler, const std::string& entity,
+                     std::string label)
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) {
+      profiler_->OnMessage(entity, label);
+      prev_ = std::move(profiler_->current_label_);
+      profiler_->current_label_ = std::move(label);
+    }
+  }
+  ~ScopedProfileLabel() {
+    if (profiler_ != nullptr) {
+      profiler_->current_label_ = std::move(prev_);
+    }
+  }
+
+  ScopedProfileLabel(const ScopedProfileLabel&) = delete;
+  ScopedProfileLabel& operator=(const ScopedProfileLabel&) = delete;
+
+ private:
+  Profiler* profiler_;
+  std::string prev_;
+};
+
+}  // namespace mal::sim
+
+#endif  // MALACOLOGY_SIM_PROFILER_H_
