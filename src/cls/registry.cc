@@ -275,8 +275,8 @@ bool ClassRegistry::HasMethod(const std::string& cls, const std::string& method)
 
 mal::Result<mal::Buffer> ClassRegistry::Execute(const std::string& cls,
                                                 const std::string& method, ClsContext& ctx,
-                                                const mal::Buffer& input,
-                                                uint64_t budget) const {
+                                                const mal::Buffer& input, uint64_t budget,
+                                                script::EngineStats* script_stats) const {
   if (auto it = native_.find({cls, method}); it != native_.end()) {
     return it->second.second(ctx, input);
   }
@@ -287,22 +287,35 @@ mal::Result<mal::Buffer> ClassRegistry::Execute(const std::string& cls,
   Interpreter interp;
   interp.set_instruction_budget(budget);
   BindContext(&interp, &ctx);
-  mal::Status s = interp.Run(*it->second.chunk);
-  if (!s.ok()) {
-    return s;
-  }
-  auto result = interp.CallGlobal(method, {Value(input.ToString())});
-  if (!result.ok()) {
-    if (result.status().code() == mal::Code::kNotFound) {
-      return mal::Status::NotFound("no method '" + method + "' in class '" + cls + "'");
+  auto out = [&]() -> mal::Result<mal::Buffer> {
+    mal::Status s = interp.Run(*it->second.chunk);
+    if (!s.ok()) {
+      return s;
     }
-    return result.status();
+    auto result = interp.CallGlobal(method, {Value(input.ToString())});
+    if (!result.ok()) {
+      if (result.status().code() == mal::Code::kNotFound) {
+        return mal::Status::NotFound("no method '" + method + "' in class '" + cls + "'");
+      }
+      return result.status();
+    }
+    const Value& value = result.value();
+    if (value.is_nil()) {
+      return mal::Buffer();
+    }
+    return mal::Buffer::FromString(value.ToString());
+  }();
+  if (script_stats != nullptr) {
+    // Accumulated even on error: aborted scripts still consumed budget.
+    const script::EngineStats& st = interp.stats();
+    script_stats->instructions += st.instructions;
+    script_stats->vm_runs += st.vm_runs;
+    script_stats->oracle_runs += st.oracle_runs;
+    script_stats->ic_hits += st.ic_hits;
+    script_stats->ic_misses += st.ic_misses;
+    script_stats->print_dropped += st.print_dropped;
   }
-  const Value& value = result.value();
-  if (value.is_nil()) {
-    return mal::Buffer();
-  }
-  return mal::Buffer::FromString(value.ToString());
+  return out;
 }
 
 std::vector<MethodInfo> ClassRegistry::ListMethods() const {

@@ -56,10 +56,13 @@ class ClassRegistry {
 
   // -- execution ---------------------------------------------------------------
   // Runs `cls.method` with the given context and input. Script methods are
-  // sandboxed by `budget` interpreter instructions.
+  // sandboxed by `budget` interpreter instructions. When `script_stats` is
+  // non-null and the method is a script, the per-call engine counters are
+  // accumulated into it (native methods never touch it).
   mal::Result<mal::Buffer> Execute(const std::string& cls, const std::string& method,
                                    ClsContext& ctx, const mal::Buffer& input,
-                                   uint64_t budget = 1'000'000) const;
+                                   uint64_t budget = 1'000'000,
+                                   script::EngineStats* script_stats = nullptr) const;
 
   bool HasMethod(const std::string& cls, const std::string& method) const;
 

@@ -32,6 +32,19 @@ std::vector<std::string> MantleBalancer::DrainPolicyOutput() {
   return out;
 }
 
+mds::PolicyScriptStats MantleBalancer::ConsumeScriptStats() {
+  const script::EngineStats& st = interp_.stats();
+  mds::PolicyScriptStats out;
+  out.instructions = st.instructions - exported_.instructions;
+  out.vm_runs = st.vm_runs - exported_.vm_runs;
+  out.oracle_runs = st.oracle_runs - exported_.oracle_runs;
+  out.ic_hits = st.ic_hits - exported_.ic_hits;
+  out.ic_misses = st.ic_misses - exported_.ic_misses;
+  out.print_dropped = st.print_dropped - exported_.print_dropped;
+  exported_ = st;
+  return out;
+}
+
 mal::Result<mds::MigrationTargets> MantleBalancer::Decide(const mds::BalancerContext& ctx) {
   // Publish the load table as the `mds` global.
   auto mds_table = Table::Make();

@@ -51,12 +51,17 @@ class MantleBalancer : public mds::BalancerPolicy {
   // relays it to the centralized cluster log.
   std::vector<std::string> DrainPolicyOutput();
 
+  // Engine-counter deltas since the previous call (the interpreter is
+  // persistent, so we diff against the last exported snapshot).
+  mds::PolicyScriptStats ConsumeScriptStats() override;
+
  private:
   MantleBalancer(std::string version, std::shared_ptr<script::Block> chunk);
 
   std::string version_;
   std::shared_ptr<script::Block> chunk_;
   script::Interpreter interp_;  // persistent: `state` survives across ticks
+  script::EngineStats exported_;  // stats() snapshot at last ConsumeScriptStats
 };
 
 // Per-MDS manager wiring Mantle into the daemon.

@@ -9,6 +9,7 @@
 #ifndef MALACOLOGY_MDS_BALANCER_H_
 #define MALACOLOGY_MDS_BALANCER_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,11 +34,27 @@ struct BalancerContext {
 // rank -> amount of load (requests/sec) to export there.
 using MigrationTargets = std::map<uint32_t, double>;
 
+// Script-engine counters for script-driven policies (Mantle). Plain struct
+// so the mechanism layer stays decoupled from the script runtime; native
+// policies report all-zeros.
+struct PolicyScriptStats {
+  uint64_t instructions = 0;
+  uint64_t vm_runs = 0;
+  uint64_t oracle_runs = 0;
+  uint64_t ic_hits = 0;
+  uint64_t ic_misses = 0;
+  uint64_t print_dropped = 0;
+};
+
 class BalancerPolicy {
  public:
   virtual ~BalancerPolicy() = default;
   virtual std::string name() const = 0;
   virtual mal::Result<MigrationTargets> Decide(const BalancerContext& ctx) = 0;
+
+  // Deltas since the previous call (the daemon drains this every tick and
+  // feeds its perf registry). Default: no script engine, nothing to report.
+  virtual PolicyScriptStats ConsumeScriptStats() { return {}; }
 };
 
 // The three stock CephFS modes (Fig 10a): identical decision structure,

@@ -699,6 +699,22 @@ void MdsDaemon::BalanceTick() {
   }
 
   auto targets = policy_->Decide(ctx);
+  // Script-engine counters from this tick (all-zero for native policies;
+  // zero deltas skipped so native runs keep identical perf dumps).
+  const PolicyScriptStats sstats = policy_->ConsumeScriptStats();
+  const std::pair<const char*, uint64_t> kScriptCounters[] = {
+      {"mds.script.instructions", sstats.instructions},
+      {"mds.script.vm_runs", sstats.vm_runs},
+      {"mds.script.oracle_runs", sstats.oracle_runs},
+      {"mds.script.ic_hits", sstats.ic_hits},
+      {"mds.script.ic_misses", sstats.ic_misses},
+      {"mds.script.print_dropped", sstats.print_dropped},
+  };
+  for (const auto& [cname, delta] : kScriptCounters) {
+    if (delta != 0) {
+      perf_.Inc(cname, delta);
+    }
+  }
   if (!targets.ok()) {
     MAL_WARN(name().ToString()) << "balancer error: " << targets.status();
     mon_client_.Log("ERROR", "balancer: " + targets.status().ToString());

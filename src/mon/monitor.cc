@@ -429,6 +429,22 @@ void Monitor::TelemetryTick() {
   }
   perf_.Set("mon.health.status", static_cast<double>(health_.Overall()));
   perf_.Set("mon.telemetry.series", static_cast<double>(series_.series_count()));
+  // Health-rule script-engine counters and the process-wide compile cache,
+  // lazily created so rule-free clusters keep identical perf dumps.
+  const script::EngineStats sstats = health_.ConsumeScriptStats();
+  const std::pair<const char*, uint64_t> kScriptCounters[] = {
+      {"mon.script.instructions", sstats.instructions},
+      {"mon.script.vm_runs", sstats.vm_runs},
+      {"mon.script.oracle_runs", sstats.oracle_runs},
+      {"mon.script.ic_hits", sstats.ic_hits},
+      {"mon.script.ic_misses", sstats.ic_misses},
+      {"mon.script.print_dropped", sstats.print_dropped},
+  };
+  for (const auto& [cname, delta] : kScriptCounters) {
+    if (delta != 0) {
+      perf_.Inc(cname, delta);
+    }
+  }
 }
 
 mal::Status Monitor::InstallHealthRule(const std::string& rule_name,
@@ -477,6 +493,16 @@ std::string Monitor::PerfDumpJson() const {
   rows["net.chaos_lost"] = net->chaos_lost();
   rows["net.chaos_duplicated"] = net->chaos_duplicated();
   rows["net.chaos_reordered"] = net->chaos_reordered();
+  // The MalScript compile cache is process-wide (shared across clusters in
+  // one process), so its counters are injected at dump time like net.*:
+  // stored in the registry they would leak cache warmth from a previous
+  // same-process run into the telemetry series and break same-seed
+  // byte-identity.
+  const script::CompileCacheStats cache = script::GetCompileCacheStats();
+  if (cache.hits + cache.misses != 0) {
+    rows["mon.script.compile_cache.hits"] = cache.hits;
+    rows["mon.script.compile_cache.misses"] = cache.misses;
+  }
   for (const auto& [entity, snap] : perf_reports_) {
     if (entity != name().ToString()) {
       snapshots.push_back(snap);

@@ -11,6 +11,7 @@ namespace mal::script {
 
 struct Expr;
 struct Stmt;
+struct CompiledChunk;  // src/script/bytecode.h
 using ExprPtr = std::unique_ptr<Expr>;
 using StmtPtr = std::unique_ptr<Stmt>;
 
@@ -23,6 +24,10 @@ enum class UnOp { kNeg, kNot, kLen };
 
 struct Block {
   std::vector<StmtPtr> stmts;
+
+  // Register-bytecode translation, attached by Compile() when the chunk
+  // compiles cleanly; null means the tree-walking interpreter runs it.
+  std::shared_ptr<const CompiledChunk> compiled;
 };
 
 struct Expr {

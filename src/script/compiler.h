@@ -1,0 +1,20 @@
+// AST -> register bytecode compiler for MalScript. See bytecode.h for the
+// instruction set and docs/malscript_vm.md for the design.
+#ifndef MALACOLOGY_SCRIPT_COMPILER_H_
+#define MALACOLOGY_SCRIPT_COMPILER_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/script/ast.h"
+#include "src/script/bytecode.h"
+
+namespace mal::script {
+
+// Compiles a parsed chunk. Fails only on internal limits (register/constant
+// pool overflow); callers fall back to the tree-walking oracle in that case.
+Result<std::shared_ptr<const CompiledChunk>> CompileToBytecode(const Block& chunk);
+
+}  // namespace mal::script
+
+#endif  // MALACOLOGY_SCRIPT_COMPILER_H_

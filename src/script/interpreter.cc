@@ -1,9 +1,12 @@
 #include "src/script/interpreter.h"
 
 #include <cmath>
+#include <cstdlib>
 
+#include "src/script/compiler.h"
 #include "src/script/parser.h"
 #include "src/script/stdlib.h"
+#include "src/script/vm.h"
 
 namespace mal::script {
 
@@ -58,7 +61,60 @@ bool Environment::Has(const std::string& name) const {
   return false;
 }
 
-Result<std::shared_ptr<Block>> Compile(const std::string& source) { return Parse(source); }
+Value* Environment::FindLocalSlot(const std::string& name) {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? nullptr : &it->second;
+}
+
+Value* Environment::DefineSlot(const std::string& name) { return &vars_[name]; }
+
+namespace {
+
+// Process-wide Compile() cache. Daemons re-install the same interface source
+// on every version bump and health rules recompile per tick; keying by source
+// text means each distinct script pays for parsing + bytecode translation
+// once. Bounded: on overflow the whole map is dropped (chunks stay alive via
+// the shared_ptrs already handed out).
+struct CompileCache {
+  std::map<std::string, std::shared_ptr<Block>> chunks;
+  CompileCacheStats stats;
+};
+
+CompileCache& TheCompileCache() {
+  static CompileCache* cache = new CompileCache();
+  return *cache;
+}
+
+constexpr size_t kCompileCacheCap = 512;
+
+}  // namespace
+
+Result<std::shared_ptr<Block>> Compile(const std::string& source) {
+  CompileCache& cache = TheCompileCache();
+  auto it = cache.chunks.find(source);
+  if (it != cache.chunks.end()) {
+    ++cache.stats.hits;
+    return it->second;
+  }
+  ++cache.stats.misses;
+  Result<std::shared_ptr<Block>> parsed = Parse(source);
+  if (!parsed.ok()) {
+    return parsed;  // parse errors are not cached
+  }
+  std::shared_ptr<Block> chunk = parsed.value();
+  Result<std::shared_ptr<const CompiledChunk>> compiled = CompileToBytecode(*chunk);
+  if (compiled.ok()) {
+    chunk->compiled = compiled.value();
+  }
+  // On translation failure the chunk still runs on the tree-walker.
+  if (cache.chunks.size() >= kCompileCacheCap) {
+    cache.chunks.clear();
+  }
+  cache.chunks.emplace(source, chunk);
+  return chunk;
+}
+
+CompileCacheStats GetCompileCacheStats() { return TheCompileCache().stats; }
 
 namespace {
 
@@ -69,7 +125,13 @@ Status RuntimeError(int line, const std::string& msg) {
   return Status::InvalidArgument("runtime error at line " + std::to_string(line) + ": " + msg);
 }
 
-constexpr int kMaxCallDepth = 200;
+// True when MAL_SCRIPT_ORACLE forces the tree-walker process-wide. Checked
+// per top-level entry (not per op), so the getenv cost is negligible and
+// differential harnesses can flip it at runtime.
+bool OracleForcedByEnv() {
+  const char* v = std::getenv("MAL_SCRIPT_ORACLE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 
 }  // namespace
 
@@ -101,11 +163,16 @@ class Evaluator {
       return RuntimeError(line, std::string("attempt to call a ") + callee.TypeName() +
                                     " value");
     }
-    if (++interp_->call_depth_ > kMaxCallDepth) {
+    const auto& closure = callee.as_closure();
+    if (closure->is_compiled()) {
+      // Compiled-form closures only run on the VM (they have no AST body);
+      // it does its own depth/budget accounting on the shared counters.
+      return interp_->EnsureVm().CallClosure(callee, args, line);
+    }
+    if (++interp_->call_depth_ > kMaxScriptCallDepth) {
       --interp_->call_depth_;
       return RuntimeError(line, "call stack overflow");
     }
-    const auto& closure = callee.as_closure();
     auto frame = std::make_shared<Environment>(closure->env());
     const auto& params = closure->params();
     for (size_t i = 0; i < params.size(); ++i) {
@@ -644,16 +711,54 @@ Interpreter::Interpreter() : globals_(std::make_shared<Environment>()) {
   InstallStdlib(this);
 }
 
+Interpreter::~Interpreter() = default;
+
 void Interpreter::RegisterHostFunction(const std::string& name, HostFunction fn) {
   globals_->Define(name, Value::Host(name, std::move(fn)));
 }
 
+bool Interpreter::UseVm() const {
+  switch (engine_) {
+    case Engine::kVm:
+      return true;
+    case Engine::kOracle:
+      return false;
+    case Engine::kAuto:
+      return !OracleForcedByEnv();
+  }
+  return true;
+}
+
+Vm& Interpreter::EnsureVm() {
+  if (vm_ == nullptr) {
+    vm_ = std::make_shared<Vm>(this);
+  }
+  return *vm_;
+}
+
+Result<Value> Interpreter::CallAstClosureFromVm(const Value& callee,
+                                                const std::vector<Value>& args, int line) {
+  // Budget counter deliberately NOT reset: this is a nested call inside a
+  // VM frame, sharing the top-level entry's budget.
+  Evaluator eval(this);
+  return eval.CallValue(callee, args, line);
+}
+
 Status Interpreter::Run(const Block& chunk) {
   instructions_executed_ = 0;
-  Evaluator eval(this);
-  Flow flow = Flow::kNormal;
-  Value ret;
-  return eval.ExecBlock(chunk, globals_, &flow, &ret);
+  Status s;
+  if (chunk.compiled != nullptr && UseVm()) {
+    ++stats_.vm_runs;
+    s = EnsureVm().RunChunk(chunk.compiled);
+  } else {
+    ++stats_.oracle_runs;
+    Evaluator eval(this);
+    Flow flow = Flow::kNormal;
+    Value ret;
+    s = eval.ExecBlock(chunk, globals_, &flow, &ret);
+  }
+  stats_.instructions += instructions_executed_;
+  return s;
 }
 
 Status Interpreter::RunSource(const std::string& source) {
@@ -674,8 +779,20 @@ Result<Value> Interpreter::CallGlobal(const std::string& name, const std::vector
 
 Result<Value> Interpreter::Call(const Value& callee, const std::vector<Value>& args) {
   instructions_executed_ = 0;
+  // Dispatch by closure form, not by the engine knob: a compiled closure has
+  // no AST body, so it must run on the VM even when the oracle is pinned
+  // (and vice versa — Evaluator::CallValue routes each form to its engine).
+  if (callee.is_closure() && callee.as_closure()->is_compiled()) {
+    ++stats_.vm_runs;
+    Result<Value> r = EnsureVm().CallClosure(callee, args, 0);
+    stats_.instructions += instructions_executed_;
+    return r;
+  }
+  ++stats_.oracle_runs;
   Evaluator eval(this);
-  return eval.CallValue(callee, args, 0);
+  Result<Value> r = eval.CallValue(callee, args, 0);
+  stats_.instructions += instructions_executed_;
+  return r;
 }
 
 }  // namespace mal::script

@@ -247,7 +247,11 @@ void InstallStdlib(Interpreter* interp) {
           }
           line += args[i].ToString();
         }
-        self.print_output().push_back(std::move(line));
+        if (self.print_limit() != 0 && self.print_output().size() >= self.print_limit()) {
+          self.NotePrintDropped();  // buffer full until the host drains it
+        } else {
+          self.print_output().push_back(std::move(line));
+        }
         return Value::Nil();
       });
   interp->RegisterHostFunction(

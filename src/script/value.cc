@@ -12,16 +12,6 @@ Value Value::Host(std::string name, HostFunction fn) {
   return Value(std::move(box));
 }
 
-bool Value::Truthy() const {
-  if (is_nil()) {
-    return false;
-  }
-  if (is_bool()) {
-    return as_bool();
-  }
-  return true;
-}
-
 bool Value::Equals(const Value& other) const {
   if (v_.index() != other.v_.index()) {
     return false;
@@ -124,6 +114,14 @@ std::string TableKey::ToString() const {
   return std::get<std::string>(k);
 }
 
+namespace {
+// Global shape-id source. Monotonic so a stale inline-cache entry can never
+// collide with a new shape (no ABA), even across tables.
+uint64_t g_next_shape_id = 1;
+}  // namespace
+
+Table::Table() : shape_id_(g_next_shape_id++) {}
+
 Value Table::Get(const TableKey& key) const {
   auto it = entries_.find(key);
   return it == entries_.end() ? Value::Nil() : it->second;
@@ -131,10 +129,20 @@ Value Table::Get(const TableKey& key) const {
 
 void Table::Set(const TableKey& key, Value value) {
   if (value.is_nil()) {
-    entries_.erase(key);  // assigning nil deletes, like Lua
+    if (entries_.erase(key) != 0) {
+      shape_id_ = g_next_shape_id++;
+    }
     return;
   }
-  entries_[key] = std::move(value);
+  auto [it, inserted] = entries_.insert_or_assign(key, std::move(value));
+  if (inserted) {
+    shape_id_ = g_next_shape_id++;
+  }
+}
+
+Value* Table::FindSlot(const TableKey& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 size_t Table::ArrayLength() const {

@@ -68,6 +68,10 @@ class Value {
 
   bool as_bool() const { return std::get<bool>(v_); }
   double as_number() const { return std::get<double>(v_); }
+  // Unchecked read for VM paths that already verified is_number() (or hold a
+  // structural invariant, e.g. for-loop control registers): skips std::get's
+  // throw branch. Undefined behavior if the value is not a number.
+  double num_unchecked() const { return *std::get_if<double>(&v_); }
   const std::string& as_string() const { return std::get<std::string>(v_); }
   const std::shared_ptr<Table>& as_table() const { return std::get<std::shared_ptr<Table>>(v_); }
   const std::shared_ptr<Closure>& as_closure() const {
@@ -77,8 +81,50 @@ class Value {
     return std::get<std::shared_ptr<HostFunctionBox>>(v_);
   }
 
-  // Lua truthiness: only nil and false are falsey.
-  bool Truthy() const;
+  // Lua truthiness: only nil and false are falsey. Inline: the VM tests
+  // truthiness on every conditional jump.
+  bool Truthy() const {
+    if (std::holds_alternative<std::monostate>(v_)) {
+      return false;
+    }
+    if (const bool* b = std::get_if<bool>(&v_)) {
+      return *b;
+    }
+    return true;
+  }
+
+  // In-place scalar stores for the VM's hot paths. When the destination
+  // already holds the same alternative these are a single store, skipping
+  // the variant's generic destroy-then-construct assignment (and, for the
+  // temporary-Value idiom, the temporary itself).
+  void SetNumber(double d) {
+    if (double* p = std::get_if<double>(&v_)) {
+      *p = d;
+    } else {
+      v_ = d;
+    }
+  }
+  void SetBool(bool b) {
+    if (bool* p = std::get_if<bool>(&v_)) {
+      *p = b;
+    } else {
+      v_ = b;
+    }
+  }
+  void SetNil() {
+    if (!std::holds_alternative<std::monostate>(v_)) {
+      v_ = Variant();
+    }
+  }
+  // Copy assignment with a number fast path (the overwhelmingly common case
+  // in register moves, constant loads, and cached global/field reads).
+  void CopyFrom(const Value& o) {
+    if (const double* p = std::get_if<double>(&o.v_)) {
+      SetNumber(*p);
+    } else {
+      v_ = o.v_;
+    }
+  }
 
   // Structural equality for scalars, identity for tables/functions.
   bool Equals(const Value& other) const;
@@ -108,6 +154,8 @@ struct TableKey {
 
 class Table {
  public:
+  Table();
+
   Value Get(const TableKey& key) const;
   void Set(const TableKey& key, Value value);
 
@@ -117,10 +165,21 @@ class Table {
   const std::map<TableKey, Value>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
+  // Structural version used by the VM's inline caches: bumped (from a global
+  // monotonic counter, so ids are never reused) whenever a key is inserted
+  // or erased — value overwrites keep the shape. An IC entry caching
+  // {shape_id, slot pointer} stays valid while the shape is unchanged,
+  // because map nodes are stable until erased.
+  uint64_t shape_id() const { return shape_id_; }
+
+  // Pointer to the stored value for `key`, or nullptr when absent.
+  Value* FindSlot(const TableKey& key);
+
   static std::shared_ptr<Table> Make() { return std::make_shared<Table>(); }
 
  private:
   std::map<TableKey, Value> entries_;
+  uint64_t shape_id_;
 };
 
 }  // namespace mal::script

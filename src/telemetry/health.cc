@@ -302,6 +302,21 @@ std::vector<std::string> HealthEngine::RuleNames() const {
   return out;
 }
 
+script::EngineStats HealthEngine::ConsumeScriptStats() {
+  script::EngineStats out;
+  for (const auto& rule : rules_) {
+    const script::EngineStats& st = rule->interp->stats();
+    out.instructions += st.instructions - rule->exported.instructions;
+    out.vm_runs += st.vm_runs - rule->exported.vm_runs;
+    out.oracle_runs += st.oracle_runs - rule->exported.oracle_runs;
+    out.ic_hits += st.ic_hits - rule->exported.ic_hits;
+    out.ic_misses += st.ic_misses - rule->exported.ic_misses;
+    out.print_dropped += st.print_dropped - rule->exported.print_dropped;
+    rule->exported = st;
+  }
+  return out;
+}
+
 std::string HealthEngine::ToJson(uint64_t now_ns) const {
   std::ostringstream out;
   out << "{\n    \"status\": \"" << HealthStateName(Overall()) << "\",\n"

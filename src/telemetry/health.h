@@ -89,12 +89,17 @@ class HealthEngine {
   // {"status": "HEALTH_*", "alerts": [...], "rules": [...]} — deterministic.
   std::string ToJson(uint64_t now_ns) const;
 
+  // Script-engine counter deltas summed across every rule interpreter since
+  // the previous call (the monitor drains this into its perf registry).
+  script::EngineStats ConsumeScriptStats();
+
  private:
   struct Rule {
     std::string name;
     std::shared_ptr<script::Block> chunk;
     std::unique_ptr<script::Interpreter> interp;
     std::map<std::string, double> params;
+    script::EngineStats exported;  // stats() snapshot at last consume
   };
 
   void RegisterHostApi(Rule* rule);

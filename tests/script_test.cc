@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "src/script/interpreter.h"
 #include "src/script/lexer.h"
@@ -469,6 +474,601 @@ TEST_P(ArithmeticPropertyTest, MatchesNativeEvaluation) {
 
 INSTANTIATE_TEST_SUITE_P(RandomizedExpressions, ArithmeticPropertyTest,
                          ::testing::Range(0, 40));
+
+// ===========================================================================
+// Bytecode VM: engine selection, inline caches, compile cache, print cap,
+// cross-engine calls, and the differential fuzz harness (VM vs tree-walker).
+// ===========================================================================
+
+// Everything externally observable about one engine's execution of a chunk.
+struct EngineOutcome {
+  Status status = Status::Ok();
+  std::vector<std::string> prints;
+  std::map<std::string, std::string> scalars;  // scalar globals, rendered
+  uint64_t instructions = 0;
+
+  bool operator==(const EngineOutcome& o) const {
+    return status.ToString() == o.status.ToString() && prints == o.prints &&
+           scalars == o.scalars;
+  }
+};
+
+EngineOutcome RunOnEngine(const std::string& source, Interpreter::Engine engine,
+                          uint64_t budget = 0) {
+  Interpreter interp;
+  interp.set_engine(engine);
+  if (budget != 0) {
+    interp.set_instruction_budget(budget);
+  }
+  EngineOutcome out;
+  Result<std::shared_ptr<Block>> chunk = Compile(source);
+  if (!chunk.ok()) {
+    out.status = chunk.status();
+    return out;
+  }
+  out.status = interp.Run(*chunk.value());
+  out.prints = interp.print_output();
+  out.instructions = interp.instructions_executed();
+  for (const auto& [name, v] : interp.globals()->local_vars()) {
+    // Tables render with their heap address and closures carry no printable
+    // identity, so the differential comparison sticks to scalars.
+    if (v.is_nil() || v.is_bool() || v.is_number() || v.is_string()) {
+      out.scalars[name] = v.ToString();
+    }
+  }
+  return out;
+}
+
+void ExpectEnginesAgree(const std::string& source) {
+  EngineOutcome vm = RunOnEngine(source, Interpreter::Engine::kVm);
+  EngineOutcome oracle = RunOnEngine(source, Interpreter::Engine::kOracle);
+  EXPECT_EQ(vm.status.ToString(), oracle.status.ToString()) << source;
+  EXPECT_EQ(vm.prints, oracle.prints) << source;
+  EXPECT_EQ(vm.scalars, oracle.scalars) << source;
+}
+
+TEST(VmTest, DefaultEngineRunsBytecode) {
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("result = 2 + 3").ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 5);
+  EXPECT_EQ(interp.stats().vm_runs, 1u);
+  EXPECT_EQ(interp.stats().oracle_runs, 0u);
+}
+
+TEST(VmTest, OracleKnobPinsTreeWalker) {
+  Interpreter interp;
+  interp.set_engine(Interpreter::Engine::kOracle);
+  ASSERT_TRUE(interp.RunSource("result = 2 + 3").ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 5);
+  EXPECT_EQ(interp.stats().vm_runs, 0u);
+  EXPECT_EQ(interp.stats().oracle_runs, 1u);
+}
+
+TEST(VmTest, OracleEnvVarForcesTreeWalker) {
+  ASSERT_EQ(setenv("MAL_SCRIPT_ORACLE", "1", 1), 0);
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("result = 7 * 6").ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 42);
+  EXPECT_EQ(interp.stats().vm_runs, 0u);
+  EXPECT_EQ(interp.stats().oracle_runs, 1u);
+  ASSERT_EQ(unsetenv("MAL_SCRIPT_ORACLE"), 0);
+  ASSERT_TRUE(interp.RunSource("result = 7 * 6").ok());
+  EXPECT_EQ(interp.stats().vm_runs, 1u);
+}
+
+TEST(VmTest, InstructionBudgetAbortsHotLoop) {
+  Interpreter interp;
+  interp.set_instruction_budget(1000);
+  Status s = interp.RunSource("x = 0 while true do x = x + 1 end");
+  EXPECT_EQ(s.code(), Code::kAborted);
+  EXPECT_NE(s.ToString().find("instruction budget"), std::string::npos);
+  EXPECT_EQ(interp.stats().vm_runs, 1u);
+}
+
+TEST(VmTest, FieldInlineCacheHitsOnHotLoop) {
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("t = {x = 1}\n"
+                             "sum = 0\n"
+                             "for i = 1, 100 do sum = sum + t.x end\n"
+                             "result = sum")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 100);
+  // The t.x site misses once and hits on every later iteration.
+  EXPECT_GT(interp.stats().ic_hits, 90u);
+  EXPECT_LT(interp.stats().ic_misses, 10u);
+}
+
+TEST(VmTest, InlineCacheInvalidatedByShapeChange) {
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("t = {x = 1}\n"
+                             "a = t.x\n"
+                             "t.y = 2\n"       // insert: shape changes
+                             "b = t.x\n"       // stale cache must re-resolve
+                             "t.x = nil\n"     // erase: shape changes
+                             "c = t.x\n"
+                             "result = tostring(a) .. ',' .. tostring(b) .. ',' .. tostring(c)")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_string(), "1,1,nil");
+}
+
+TEST(VmTest, CachedFieldAbsenceSeesLaterInsert) {
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("t = {}\n"
+                             "miss = t.v\n"    // caches the absence
+                             "t.v = 9\n"
+                             "result = t.v")
+                  .ok());
+  EXPECT_TRUE(interp.GetGlobal("miss").is_nil());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 9);
+}
+
+TEST(VmTest, ValueUpdateKeepsShapeAndCache) {
+  // Overwriting an existing key must NOT bump the shape: the whole point of
+  // the IC is that hot read-modify-write loops stay cached.
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("t = {n = 0}\n"
+                             "for i = 1, 50 do t.n = t.n + 1 end\n"
+                             "result = t.n")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 50);
+  EXPECT_GT(interp.stats().ic_hits, 80u);  // read site + write site both hot
+}
+
+TEST(VmTest, PrintOutputCapDropsAndCounts) {
+  Interpreter interp;
+  interp.set_print_limit(10);
+  ASSERT_TRUE(interp.RunSource("for i = 1, 25 do print(i) end").ok());
+  EXPECT_EQ(interp.print_output().size(), 10u);
+  EXPECT_EQ(interp.print_output()[0], "1");
+  EXPECT_EQ(interp.stats().print_dropped, 15u);
+  // Draining the buffer makes room again.
+  interp.print_output().clear();
+  ASSERT_TRUE(interp.RunSource("print('more')").ok());
+  EXPECT_EQ(interp.print_output().size(), 1u);
+}
+
+TEST(VmTest, CompileCacheSharesChunksBySource) {
+  CompileCacheStats before = GetCompileCacheStats();
+  const std::string source = "compile_cache_probe = 11119999";
+  auto first = Compile(source);
+  ASSERT_TRUE(first.ok());
+  auto second = Compile(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+  CompileCacheStats after = GetCompileCacheStats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_NE(first.value()->compiled, nullptr);  // bytecode attached
+}
+
+TEST(VmTest, CrossEngineCallsBothDirections) {
+  // AST-form closure (created by the walker) called from VM code, and
+  // compiled-form closure called from walker code.
+  Interpreter interp;
+  interp.set_engine(Interpreter::Engine::kOracle);
+  ASSERT_TRUE(interp.RunSource("function ast_double(x) return x * 2 end").ok());
+  interp.set_engine(Interpreter::Engine::kVm);
+  ASSERT_TRUE(interp.RunSource("function vm_inc(x) return x + 1 end\n"
+                               "result = ast_double(20) + vm_inc(0)")  // VM -> walker
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 41);
+  interp.set_engine(Interpreter::Engine::kOracle);
+  ASSERT_TRUE(interp.RunSource("result = vm_inc(ast_double(10))").ok());  // walker -> VM
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 21);
+}
+
+TEST(VmTest, SharedBudgetAcrossEngines) {
+  // A walker-hosted loop calling a compiled closure must burn one shared
+  // budget, not one per engine.
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunSource("function step(x) return x + 1 end").ok());
+  interp.set_engine(Interpreter::Engine::kOracle);
+  interp.set_instruction_budget(500);
+  Status s = interp.RunSource("x = 0 while true do x = step(x) end");
+  EXPECT_EQ(s.code(), Code::kAborted);
+}
+
+TEST(VmTest, ClosureCapturesFreshCellPerIteration) {
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("fns = {}\n"
+                             "for i = 1, 3 do\n"
+                             "  local x = i * 10\n"
+                             "  fns[i] = function() return x end\n"
+                             "end\n"
+                             "result = fns[1]() + fns[2]() + fns[3]()")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 60);
+}
+
+TEST(VmTest, LocalFunctionRecursionViaCell) {
+  Interpreter interp;
+  ASSERT_TRUE(interp
+                  .RunSource("local function fact(n)\n"
+                             "  if n < 2 then return 1 end\n"
+                             "  return n * fact(n - 1)\n"
+                             "end\n"
+                             "result = fact(6)")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("result").as_number(), 720);
+  EXPECT_EQ(interp.stats().vm_runs, 1u);
+}
+
+TEST(VmTest, UpvalueWritesSharedBetweenClosures) {
+  ExpectEnginesAgree(
+      "local function make()\n"
+      "  local n = 0\n"
+      "  local inc = function() n = n + 1 end\n"
+      "  local get = function() return n end\n"
+      "  return {inc = inc, get = get}\n"
+      "end\n"
+      "c = make()\n"
+      "c.inc() c.inc() c.inc()\n"
+      "result = c.get()\n"
+      "print(result)");
+}
+
+// -- Handwritten differential corpus: the semantic corners the compiler had
+// -- to reproduce exactly (scoping, evaluation order, error text, iteration
+// -- order). Every program must behave identically on both engines.
+TEST(VmDifferentialTest, HandwrittenCorpusAgrees) {
+  const char* corpus[] = {
+      // Scoping and shadowing.
+      "x = 1 do local x = 2 print(x) end print(x)",
+      "local a = 1 local a = a + 1 result = a",
+      "for i = 1, 3 do local v = i end result = v",
+      "i = 99 for i = 1, 2 do end result = i",
+      // Repeat: condition sees body locals; body re-runs until true.
+      "n = 0 repeat local done = n > 2 n = n + 1 until done result = n",
+      // Numeric for: fractional and negative steps, error precedence.
+      "s = 0 for i = 1, 2, 0.5 do s = s + i end result = s",
+      "s = 0 for i = 5, 1, -2 do s = s + i end result = s",
+      "for i = 1, 10, 0 do end",
+      "for i = 'a', 2 do end",
+      "for i = 1, {} do end",
+      // Generic for: snapshot order with mixed keys; only two names bind.
+      "t = {10, 20, x = 's', [2.5] = 'h'} o = '' for k, v in pairs(t) do o = o "
+      ".. tostring(k) .. '=' .. tostring(v) .. ';' end result = o",
+      "t = {3, 1} c = 0 for k in pairs(t) do c = c + k end result = c",
+      "for k, v in pairs(42) do end",
+      // Mutation during generic-for (snapshot semantics).
+      "t = {1, 2} o = 0 for k, v in pairs(t) do t[k + 10] = v o = o + v end "
+      "result = o",
+      // break / while.
+      "x = 0 while x < 100 do x = x + 1 if x > 4 then break end end result = x",
+      "result = 0 break result = 1",  // break outside a loop unwinds the call
+      // Multiple assignment: values before targets, left-to-right stores.
+      "a = 1 b = 2 a, b = b, a result = a * 10 + b",
+      "t = {} i = 1 t[i], i = 99, 2 result = t[1] + i",
+      "a, b, c = 1, 2 result = tostring(c)",
+      // Table constructor evaluation order and dynamic keys.
+      "n = 0 local function bump() n = n + 1 return n end "
+      "t = {bump(), bump(), [bump()] = bump()} result = n .. ':' .. t[1]",
+      "t = {[1 + 1] = 'two'} result = t[2]",
+      "k = nil t = {} t[k] = 1",  // nil key error
+      // Arithmetic / comparison / concat error text parity.
+      "result = 1 + nil",
+      "result = nil + 1",
+      "result = 'a' < 1",
+      "result = {} .. 'x'",
+      "result = -{}",
+      "result = #true",
+      "result = not nil",
+      "local f f()",
+      // Short-circuit evaluation skips side effects.
+      "n = 0 local function side() n = n + 1 return true end "
+      "x = false and side() y = true or side() result = n",
+      "result = (nil and 1) or 'fallback'",
+      // String/number coercion in concat; tostring/tonumber round trips.
+      "result = 1 .. 2.5 .. 'x'",
+      "result = tonumber('0x10') + tonumber('1e2')",
+      "result = tostring(1/0) .. tostring(0/0)",
+      // Lua modulo and IEEE corners (must fold identically too).
+      "result = -7 % 3",
+      "result = 7 % -3",
+      "result = 2^10 + 10 % 3",
+      "result = (0/0) == (0/0)",
+      "result = -0.0 .. ''",
+      // Varargs.
+      "function f(a, ...) return a + arg[1] + #arg end result = f(1, 2, 3)",
+      "function f(...) return #arg end result = f()",
+      // Deep call chains and recursion depth error.
+      "local function rec(n) return rec(n + 1) end rec(0)",
+      "local function fib(n) if n < 2 then return n end return fib(n-1) + "
+      "fib(n-2) end result = fib(12)",
+      // Host function errors propagate unchanged.
+      "error('boom')",
+      "assert(false, 'custom msg')",
+      // Globals defined inside functions; implicit global writes.
+      "function set() g_from_fn = 123 end set() result = g_from_fn",
+      // Stdlib over both engines (library calls are t.field reads, so they
+      // also exercise the field ICs).
+      "result = string.sub('hello', 2, 4) .. string.upper('x') .. "
+      "string.rep('ab', 2)",
+      "t = {5, 3} table.insert(t, 8) result = table.remove(t) + #t",
+      "result = math.floor(2.7) + math.max(1, 9, 4) + math.abs(-2)",
+      "result = string.len('abc') + string.find('hello', 'll')",
+      "result = math.sqrt(-1) == math.sqrt(-1)",
+  };
+  for (const char* source : corpus) {
+    ExpectEnginesAgree(source);
+  }
+}
+
+// -- Seeded random program generator for the differential fuzz. Constraints:
+// --  * every loop is iteration-bounded (no budget-dependent outcomes);
+// --  * locals get globally unique names (avoids the one documented
+// --    divergence: closures over a later same-name local);
+// --  * tables hold only scalars and only scalar expressions are printed
+// --    (table rendering includes heap addresses).
+class ProgramGen {
+ public:
+  explicit ProgramGen(uint32_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    out_.clear();
+    locals_.clear();
+    next_local_ = 0;
+    fn_count_ = 2;  // gf1, gf2 defined in the prologue
+    out_ +=
+        "ga = 1 gb = 2 gc = 3 gs = ''\n"
+        "t1 = {7, 2, x = 3, y = 4, count = 0} t2 = {x = 1, y = 2, count = 5}\n"
+        "function gf1(p) return p + 1 end\n"
+        "function gf2(p, q) if p then return q end return 0 end\n";
+    int stmts = 3 + R(6);
+    for (int i = 0; i < stmts; ++i) {
+      Stmt(0);
+    }
+    out_ += "result = " + NumExpr(0) + "\n";
+    return out_;
+  }
+
+ private:
+  int R(int n) { return static_cast<int>(rng_() % static_cast<uint32_t>(n)); }
+
+  std::string Num() {
+    switch (R(6)) {
+      case 0:
+        return std::to_string(R(10));
+      case 1:
+        return std::to_string(R(40) - 20);
+      case 2:
+        return std::to_string(R(8)) + ".5";
+      case 3:
+        return "0";
+      default:
+        return std::to_string(1 + R(5));
+    }
+  }
+
+  std::string Str() {
+    static const char* kStrs[] = {"'a'", "'bc'", "''", "'key'", "'0'"};
+    return kStrs[R(5)];
+  }
+
+  std::string Var() {
+    static const char* kGlobals[] = {"ga", "gb", "gc"};
+    if (!locals_.empty() && R(2) == 0) {
+      return locals_[R(static_cast<int>(locals_.size()))];
+    }
+    return kGlobals[R(3)];
+  }
+
+  std::string Field() {
+    static const char* kFields[] = {"x", "y", "count"};
+    std::string t = R(2) == 0 ? "t1" : "t2";
+    if (R(4) == 0) {
+      return "t1[" + std::to_string(1 + R(2)) + "]";  // initialized slots
+    }
+    return t + "." + kFields[R(3)];
+  }
+
+  // Mostly numeric-valued. Variables and fields occasionally hold strings or
+  // booleans (see Stmt), so type-error paths still get differential
+  // coverage — just not on most programs.
+  std::string NumExpr(int depth) {
+    if (depth > 3) {
+      return R(2) == 0 ? Num() : Var();
+    }
+    switch (R(12)) {
+      case 0:
+      case 1:
+        return Num();
+      case 2:
+      case 3:
+        return Var();
+      case 4:
+        return Field();
+      case 5:
+      case 6: {
+        static const char* kOps[] = {" + ", " - ", " * ", " % ", " / "};
+        return "(" + NumExpr(depth + 1) + kOps[R(5)] + NumExpr(depth + 1) + ")";
+      }
+      case 7:
+        // Always-scalar select: (cmp and X or Y).
+        return "((" + NumExpr(depth + 1) + Cmp() + NumExpr(depth + 1) + ") and " +
+               NumExpr(depth + 1) + " or " + NumExpr(depth + 1) + ")";
+      case 8:
+        return "(-" + NumExpr(depth + 1) + ")";
+      case 9:
+        return "gf1(" + NumExpr(depth + 1) + ")";
+      case 10:
+        return "gf2(" + NumExpr(depth + 1) + ", " + NumExpr(depth + 1) + ")";
+      default:
+        return "(" + NumExpr(depth + 1) + " % 7)";
+    }
+  }
+
+  std::string Cmp() {
+    // Biased toward ==/~= (valid for any operand types); ordered compares
+    // error on mixed types, which is wanted coverage but not on most runs.
+    static const char* kCmp[] = {" == ", " ~= ", " < ", " <= ", " > "};
+    return kCmp[R(10) < 6 ? R(2) : 2 + R(3)];
+  }
+
+  std::string StrExpr(int depth) {
+    if (depth > 2) {
+      return Str();
+    }
+    switch (R(4)) {
+      case 0:
+        return Str();
+      case 1:
+        return "tostring(" + NumExpr(depth + 1) + ")";
+      case 2:
+        return "(" + StrExpr(depth + 1) + " .. " + StrExpr(depth + 1) + ")";
+      default:
+        return "string.sub(" + StrExpr(depth + 1) + ", 1, 2)";
+    }
+  }
+
+  // Right-hand side for assignments: mostly numeric, sometimes a string or
+  // boolean so later numeric uses of the target exercise error parity.
+  std::string AnyExpr() {
+    int roll = R(20);
+    if (roll < 17) {
+      return NumExpr(0);
+    }
+    if (roll < 19) {
+      return StrExpr(0);
+    }
+    return "(" + NumExpr(1) + Cmp() + NumExpr(1) + ")";
+  }
+
+  // A unique name NOT registered as a reference target. Loop counters use
+  // this: if nested random statements could assign to a while/repeat
+  // counter, the loop could become unbounded and hit the instruction budget
+  // (where the two engines legitimately abort at different points).
+  std::string FreshName() { return "l" + std::to_string(next_local_++); }
+
+  std::string FreshLocal() {
+    std::string name = FreshName();
+    locals_.push_back(name);
+    return name;
+  }
+
+  void Stmt(int depth) {
+    switch (R(depth > 1 ? 6 : 10)) {
+      case 0:
+        out_ += Var() + " = " + AnyExpr() + "\n";
+        break;
+      case 1:
+        out_ += "local " + FreshLocal() + " = " + AnyExpr() + "\n";
+        break;
+      case 2:
+        out_ += Field() + " = " + NumExpr(0) + "\n";
+        break;
+      case 3:
+        out_ += "print(" + (R(3) == 0 ? StrExpr(0) : NumExpr(0)) + ")\n";
+        break;
+      case 4: {
+        out_ += "if " + NumExpr(0) + Cmp() + NumExpr(0) + " then\n";
+        Stmt(depth + 1);
+        if (R(2) == 0) {
+          out_ += "else\n";
+          Stmt(depth + 1);
+        }
+        out_ += "end\n";
+        break;
+      }
+      case 5: {
+        std::string i = FreshName();
+        out_ += "for " + i + " = 1, " + std::to_string(1 + R(5)) +
+                (R(3) == 0 ? ", 0.5" : "") + " do\n";
+        Stmt(depth + 1);
+        if (R(4) == 0) {
+          out_ += "if " + i + " > 2 then break end\n";
+        }
+        out_ += "end\n";
+        break;
+      }
+      case 6: {
+        std::string c = FreshName();
+        out_ += "local " + c + " = 0\n";
+        out_ += "while " + c + " < " + std::to_string(2 + R(4)) + " do\n";
+        out_ += c + " = " + c + " + 1\n";
+        Stmt(depth + 1);
+        out_ += "end\n";
+        break;
+      }
+      case 7: {
+        out_ += "for k_it, v_it in pairs(t1) do\n";
+        out_ += "gs = gs .. tostring(k_it) .. tostring(v_it)\n";
+        out_ += "end\n";
+        break;
+      }
+      case 8: {
+        // Function definition capturing an earlier local through a cell.
+        std::string cap = FreshLocal();
+        std::string fn = "uf" + std::to_string(fn_count_++);
+        out_ += "local " + cap + " = " + Num() + "\n";
+        out_ += "function " + fn + "(p)\n  " + cap + " = " + cap +
+                " + 1\n  return p + " + cap + "\nend\n";
+        out_ += Var() + " = " + fn + "(" + Num() + ")\n";
+        break;
+      }
+      default: {
+        std::string c = FreshName();
+        out_ += "local " + c + " = 0\n";
+        out_ += "repeat " + c + " = " + c + " + 1\n";
+        Stmt(depth + 1);
+        out_ += "until " + c + " >= " + std::to_string(1 + R(3)) + "\n";
+        break;
+      }
+    }
+  }
+
+  std::mt19937 rng_;
+  std::string out_;
+  std::vector<std::string> locals_;
+  int next_local_ = 0;
+  int fn_count_ = 0;
+};
+
+// 512 seeded random programs; both engines must agree on results, prints,
+// and error statuses. Every 16th seed also pins down the budget-abort
+// boundary per engine (the abort points legitimately differ between
+// engines — one walker tick per AST node vs one per bytecode op — but each
+// engine's boundary must be exact and stable).
+TEST(VmDifferentialTest, FuzzedProgramsAgree) {
+  int error_programs = 0;
+  for (uint32_t seed = 0; seed < 512; ++seed) {
+    ProgramGen gen(seed);
+    std::string source = gen.Generate();
+    EngineOutcome vm = RunOnEngine(source, Interpreter::Engine::kVm);
+    EngineOutcome oracle = RunOnEngine(source, Interpreter::Engine::kOracle);
+    ASSERT_EQ(vm.status.ToString(), oracle.status.ToString())
+        << "seed " << seed << "\n" << source;
+    ASSERT_EQ(vm.prints, oracle.prints) << "seed " << seed << "\n" << source;
+    ASSERT_EQ(vm.scalars, oracle.scalars) << "seed " << seed << "\n" << source;
+    if (!vm.status.ok()) {
+      ++error_programs;
+    }
+    if (seed % 16 == 0 && vm.status.ok()) {
+      for (Interpreter::Engine engine :
+           {Interpreter::Engine::kVm, Interpreter::Engine::kOracle}) {
+        EngineOutcome full = RunOnEngine(source, engine);
+        ASSERT_GT(full.instructions, 0u) << "seed " << seed;
+        EngineOutcome exact = RunOnEngine(source, engine, full.instructions);
+        EXPECT_TRUE(exact.status.ok())
+            << "seed " << seed << " engine " << static_cast<int>(engine)
+            << ": budget == consumption must still succeed";
+        EngineOutcome starved =
+            RunOnEngine(source, engine, full.instructions - 1);
+        EXPECT_EQ(starved.status.code(), Code::kAborted)
+            << "seed " << seed << " engine " << static_cast<int>(engine);
+      }
+    }
+  }
+  // The generator intentionally produces some type-error programs, but most
+  // must run to completion for the comparison to mean anything.
+  EXPECT_LT(error_programs, 512 / 2);
+  EXPECT_GT(error_programs, 0);
+}
 
 }  // namespace
 }  // namespace mal::script
