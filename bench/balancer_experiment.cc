@@ -64,7 +64,7 @@ BalancerExperimentResult RunBalancerExperiment(const BalancerExperimentConfig& c
 
   // Install the balancing policy on every MDS.
   if (config.use_cephfs) {
-    for (int m = 0; m < config.num_mds; ++m) {
+    for (size_t m = 0; m < cluster.num_mds(); ++m) {
       cluster.mds(m).SetBalancerPolicy(
           std::make_shared<mds::CephFsBalancer>(config.cephfs_mode));
     }
@@ -75,7 +75,7 @@ BalancerExperimentResult RunBalancerExperiment(const BalancerExperimentConfig& c
                    policy.status().ToString().c_str());
       return result;
     }
-    for (int m = 0; m < config.num_mds; ++m) {
+    for (size_t m = 0; m < cluster.num_mds(); ++m) {
       // Each MDS gets its own interpreter instance (own `state`).
       cluster.mds(m).SetBalancerPolicy(
           mantle::MantleBalancer::Load("bench", config.mantle_policy).value());
@@ -84,7 +84,7 @@ BalancerExperimentResult RunBalancerExperiment(const BalancerExperimentConfig& c
 
   // Record migrations from every MDS.
   sim::Time start_after_boot = cluster.simulator().Now();
-  for (int m = 0; m < config.num_mds; ++m) {
+  for (size_t m = 0; m < cluster.num_mds(); ++m) {
     cluster.mds(m).on_migration = [&result, &cluster, start_after_boot](
                                       const std::string& path, uint32_t target) {
       result.migrations.emplace_back(

@@ -394,6 +394,13 @@ void Checkers::RecordAck(uint64_t position, std::string tag) {
   }
 }
 
+void Checkers::RecordAck(const std::string& path, uint64_t position, std::string tag) {
+  auto [it, fresh] = acked_by_path_[path].emplace(position, std::move(tag));
+  if (!fresh) {
+    Violation(path + " position " + std::to_string(position) + " acked twice");
+  }
+}
+
 void Checkers::CheckEpoch(const std::string& observer, uint64_t epoch) {
   uint64_t& best = max_epoch_[observer];
   if (epoch < best) {
@@ -481,6 +488,13 @@ void Checkers::Sample() {
       }
     }
     if (!found) {
+      // Once a watched sequencer inode has been observed, SOME daemon must
+      // always hold it (live or journaled on a crashed rank; migration
+      // erases the source only after the target installed). Found nowhere =
+      // the handoff dropped the inode and its grant counter.
+      if (seq_floor_.count(path) != 0) {
+        Violation("sequencer inode lost for " + path);
+      }
       continue;
     }
     uint64_t& floor = seq_floor_[path];
@@ -495,6 +509,10 @@ void Checkers::Sample() {
 
 struct Checkers::LogScan {
   zlog::Log* log = nullptr;
+  // Which ack map this scan is checked against (the shared legacy map or
+  // one log's map in a multi-log run) and the violation-message prefix.
+  const std::map<uint64_t, std::string>* acks = nullptr;
+  std::string label;
   uint64_t pos = 0;
   uint64_t max = 0;
   int retries = 0;
@@ -502,13 +520,26 @@ struct Checkers::LogScan {
 };
 
 void Checkers::VerifyLog(zlog::Log* log, std::function<void()> on_done) {
-  if (acked_.empty()) {
+  VerifyAgainst(&acked_, "", log, std::move(on_done));
+}
+
+void Checkers::VerifyLog(const std::string& path, zlog::Log* log,
+                         std::function<void()> on_done) {
+  VerifyAgainst(&acked_by_path_[path], path + " ", log, std::move(on_done));
+}
+
+void Checkers::VerifyAgainst(const std::map<uint64_t, std::string>* acks,
+                             std::string label, zlog::Log* log,
+                             std::function<void()> on_done) {
+  if (acks->empty()) {
     on_done();
     return;
   }
   auto scan = std::make_shared<LogScan>();
   scan->log = log;
-  scan->max = acked_.rbegin()->first;
+  scan->acks = acks;
+  scan->label = std::move(label);
+  scan->max = acks->rbegin()->first;
   scan->done = std::move(on_done);
   VerifyStep(std::move(scan));
 }
@@ -522,15 +553,17 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
   scan->log->Read(pos, [this, scan](mal::Status status, zlog::EntryState state,
                                     const mal::Buffer& data) {
     uint64_t pos = scan->pos;
-    auto it = acked_.find(pos);
+    auto it = scan->acks->find(pos);
     if (status.ok()) {
       if (state == zlog::EntryState::kData) {
-        if (it != acked_.end() && data.View() != it->second) {
-          Violation("payload mismatch at acked position " + std::to_string(pos));
+        if (it != scan->acks->end() && data.View() != it->second) {
+          Violation(scan->label + "payload mismatch at acked position " +
+                    std::to_string(pos));
         }
-      } else if (it != acked_.end()) {
+      } else if (it != scan->acks->end()) {
         // kFilled/kTrimmed where an ack was issued = a lost committed write.
-        Violation("acked append lost at position " + std::to_string(pos) + " (filled)");
+        Violation(scan->label + "acked append lost at position " + std::to_string(pos) +
+                  " (filled)");
       }
       ++scan->pos;
       scan->retries = 0;
@@ -538,8 +571,9 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
       return;
     }
     if (status.code() == mal::Code::kNotWritten) {
-      if (it != acked_.end()) {
-        Violation("acked append lost at position " + std::to_string(pos) + " (hole)");
+      if (it != scan->acks->end()) {
+        Violation(scan->label + "acked append lost at position " + std::to_string(pos) +
+                  " (hole)");
       }
       // Fill the hole so the committed prefix is contiguous. kReadOnly
       // means a writer landed the position concurrently: re-read it.
@@ -548,7 +582,7 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
           ++scan->pos;
           scan->retries = 0;
         } else if (fill_status.code() != mal::Code::kReadOnly && ++scan->retries > 8) {
-          Violation("fill failed at position " + std::to_string(pos) + ": " +
+          Violation(scan->label + "fill failed at position " + std::to_string(pos) + ": " +
                     fill_status.ToString());
           ++scan->pos;
           scan->retries = 0;
@@ -559,7 +593,8 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
     }
     if (status.code() == mal::Code::kStaleEpoch) {
       if (++scan->retries > 32) {
-        Violation("verify stuck on stale epoch at position " + std::to_string(pos));
+        Violation(scan->label + "verify stuck on stale epoch at position " +
+                  std::to_string(pos));
         scan->done();
         return;
       }
@@ -571,8 +606,8 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
       VerifyStep(std::move(scan));  // transient (kUnavailable/kTimedOut): retry
       return;
     }
-    Violation("verify read failed at position " + std::to_string(pos) + ": " +
-              status.ToString());
+    Violation(scan->label + "verify read failed at position " + std::to_string(pos) +
+              ": " + status.ToString());
     ++scan->pos;
     scan->retries = 0;
     VerifyStep(std::move(scan));
@@ -581,7 +616,7 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
 
 std::string Checkers::Report() const {
   std::string out = "samples=" + std::to_string(samples_) +
-                    " acked=" + std::to_string(acked_.size()) +
+                    " acked=" + std::to_string(acked_count()) +
                     " violations=" + std::to_string(violations_.size()) + "\n";
   for (const auto& violation : violations_) {
     out += violation;

@@ -159,16 +159,31 @@ class Checkers {
   // Workload-side: an append was acked at `position` carrying `tag`.
   // Flags the same position acked twice immediately.
   void RecordAck(uint64_t position, std::string tag);
+  // Path-scoped variant for multi-log runs (sharded sequencers): each log
+  // keeps its own position space, so ack-twice and verify are checked per
+  // log instead of in one shared map.
+  void RecordAck(const std::string& path, uint64_t position, std::string tag);
 
   // Post-heal scan of [0, max acked]: every acked position must read back
   // kData with its exact payload (no acked-append loss, no silent
   // overwrite); unwritten holes are filled so the committed prefix is
   // contiguous. `log` must be an open handle on the verified log.
   void VerifyLog(zlog::Log* log, std::function<void()> on_done);
+  // Multi-log variant: verifies `log` against the acks recorded for `path`
+  // via the path-scoped RecordAck. The paper's migration/failover claim is
+  // exactly this: every log's committed prefix survives, no matter which
+  // rank its sequencer lived on when the faults hit.
+  void VerifyLog(const std::string& path, zlog::Log* log, std::function<void()> on_done);
 
   const std::vector<std::string>& violations() const { return violations_; }
   uint64_t samples() const { return samples_; }
-  uint64_t acked_count() const { return acked_.size(); }
+  uint64_t acked_count() const {
+    uint64_t count = acked_.size();
+    for (const auto& [path, acks] : acked_by_path_) {
+      count += acks.size();
+    }
+    return count;
+  }
   // Deterministic checker summary (diffed by the reproducibility test).
   std::string Report() const;
 
@@ -180,10 +195,14 @@ class Checkers {
   void CheckEpoch(const std::string& observer, uint64_t epoch);
   void Violation(std::string what);
   void VerifyStep(std::shared_ptr<LogScan> scan);
+  void VerifyAgainst(const std::map<uint64_t, std::string>* acks, std::string label,
+                     zlog::Log* log, std::function<void()> on_done);
 
   cluster::Cluster* cluster_;
   std::vector<std::string> violations_;
   std::map<uint64_t, std::string> acked_;  // position -> payload tag
+  // Multi-log runs: per-path ack maps (position spaces are independent).
+  std::map<std::string, std::map<uint64_t, std::string>> acked_by_path_;
   std::map<std::string, uint64_t> max_epoch_;      // observer -> max epoch seen
   std::map<uint64_t, uint32_t> ballot_leader_;     // ballot -> monitor id
   std::map<std::string, uint64_t> seq_floor_;      // path -> max tail seen

@@ -87,6 +87,11 @@ void Cluster::Boot() {
 }
 
 Client* Cluster::NewClient(mds::MdsClientConfig mds_config) {
+  // Validate the wiring before constructing the actor: a client homed at a
+  // rank that does not exist would time out on every session RPC, which is
+  // much harder to diagnose than an assert at the call site.
+  assert(options_.num_mons >= 1 && "cluster has no monitors to connect to");
+  assert(mds_config.home_mds < options_.num_mds && "client home_mds rank out of range");
   clients_.push_back(std::make_unique<Client>(&simulator_, &network_, next_client_id_++,
                                               Iota(options_.num_mons), mds_config));
   Client* client = clients_.back().get();

@@ -5,6 +5,7 @@
 #ifndef MALACOLOGY_CLUSTER_CLUSTER_H_
 #define MALACOLOGY_CLUSTER_CLUSTER_H_
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -69,9 +70,20 @@ class Cluster {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
-  mon::Monitor& monitor(size_t i = 0) { return *mons_[i]; }
-  osd::Osd& osd(size_t i) { return *osds_[i]; }
-  mds::MdsDaemon& mds(size_t i = 0) { return *mds_[i]; }
+  // Bounds-checked: a bad rank is a harness bug worth an immediate assert,
+  // not a silent out-of-bounds deref.
+  mon::Monitor& monitor(size_t i = 0) {
+    assert(i < mons_.size() && "monitor rank out of range");
+    return *mons_[i];
+  }
+  osd::Osd& osd(size_t i) {
+    assert(i < osds_.size() && "osd rank out of range");
+    return *osds_[i];
+  }
+  mds::MdsDaemon& mds(size_t i = 0) {
+    assert(i < mds_.size() && "mds rank out of range");
+    return *mds_[i];
+  }
   size_t num_mons() const { return mons_.size(); }
   size_t num_osds() const { return osds_.size(); }
   size_t num_mds() const { return mds_.size(); }

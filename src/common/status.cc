@@ -38,6 +38,8 @@ const char* CodeName(Code code) {
       return "DEADLINE_EXCEEDED";
     case Code::kBusy:
       return "BUSY";
+    case Code::kWrongRank:
+      return "WRONG_RANK";
   }
   return "UNKNOWN";
 }

@@ -38,6 +38,8 @@ enum class Code {
   kInternal,
   kDeadlineExceeded,  // the request's end-to-end deadline budget ran out
   kBusy,              // server shed the request at admission (bounded inbox full)
+  kWrongRank,         // sequencer op sent to a non-owner MDS rank; message
+                      // carries "wrong_rank:<owner>:<map_epoch>"
 };
 
 const char* CodeName(Code code);
@@ -89,6 +91,9 @@ class Status {
     return {Code::kDeadlineExceeded, std::move(m)};
   }
   static Status Busy(std::string m = "server busy") { return {Code::kBusy, std::move(m)}; }
+  static Status WrongRank(std::string m = "wrong rank") {
+    return {Code::kWrongRank, std::move(m)};
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }

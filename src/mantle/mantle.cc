@@ -58,6 +58,18 @@ mal::Result<mds::MigrationTargets> MantleBalancer::Decide(const mds::BalancerCon
       subtrees->Set(TableKey(path), Value(rate));
     }
     row->Set(TableKey("subtrees"), Value(subtrees));
+    // Per-inode sequencer load (sharded sequencers): mds[i]["seq"][path] is
+    // the grant rate of each hosted log, so a hot-log policy can pick the
+    // heaviest log instead of guessing from subtree names; "num_seqs" is
+    // the owned-log count. Empty/0 when ownership sharding is off.
+    auto seqs = Table::Make();
+    for (const std::string& path : metrics.seq_paths) {
+      auto rate_it = metrics.subtree_rate.find(path);
+      seqs->Set(TableKey(path),
+                Value(rate_it == metrics.subtree_rate.end() ? 0.0 : rate_it->second));
+    }
+    row->Set(TableKey("seq"), Value(seqs));
+    row->Set(TableKey("num_seqs"), Value(static_cast<double>(metrics.seq_paths.size())));
     mds_table->Set(TableKey(static_cast<double>(rank)), Value(row));
   }
   interp_.SetGlobal("mds", Value(mds_table));

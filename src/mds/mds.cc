@@ -57,6 +57,8 @@ void MdsDaemon::RegisterHandlers() {
         HandleClientRequest(env, std::move(req), /*forwarded=*/true);
       });
   dispatcher_.On(kMsgMigrate, [this](const sim::Envelope& env) { HandleMigrateIn(env); });
+  dispatcher_.On(kMsgSeqMigrate,
+                 [this](const sim::Envelope& env) { HandleSeqMigrateIn(env); });
   dispatcher_.On(kMsgAuthorityUpdate,
                  [this](const sim::Envelope& env) { HandleAuthorityUpdate(env); });
   dispatcher_.On(kMsgLoadReport,
@@ -116,6 +118,7 @@ void MdsDaemon::Crash() {
   for (auto& [path, hosted] : inodes_) {
     hosted.window_requests = 0;
     hosted.cap.waiters.clear();  // the queued rpcs died with us
+    hosted.seq_waiters.clear();
   }
 }
 
@@ -137,6 +140,23 @@ void MdsDaemon::Recover() {
       hosted.inode.params["needs_recovery"] = "1";
       perf_.Inc("mds.cap.recover_fenced");
     }
+  }
+  // Re-drive any handoff whose freeze was journaled before the crash: the
+  // transfer is idempotent (the target max-merges the tail), so resending
+  // can never reissue a position.
+  for (auto& [path, hosted] : inodes_) {
+    auto frozen = hosted.inode.params.find("migrating_to");
+    if (frozen == hosted.inode.params.end()) {
+      continue;
+    }
+    uint32_t target = static_cast<uint32_t>(std::stoul(frozen->second));
+    std::string p = path;
+    DriveSeqHandoff(p, target, /*publish=*/true, [this, p](mal::Status s) {
+      if (!s.ok()) {
+        MAL_WARN(name().ToString())
+            << "post-crash handoff re-drive of " << p << " failed: " << s;
+      }
+    });
   }
   // Keep the (stale) mds_map_: epochs observed by this daemon must never
   // regress, and Boot()'s subscribe (have_epoch=0) pushes the current map.
@@ -174,6 +194,13 @@ uint32_t MdsDaemon::AuthorityOf(const std::string& path) const {
   auto it = authority_.find(path);
   if (it != authority_.end()) {
     return it->second;
+  }
+  // The published sequencer-ownership map outranks the parent fallback:
+  // any rank can answer "who owns this log?" without having hosted it.
+  if (config_.seq_ownership) {
+    if (std::optional<uint32_t> owner = MapOwnerOf(path)) {
+      return *owner;
+    }
   }
   // Fall back to the parent directory's authority, then the root.
   std::string parent = ParentPath(path);
@@ -220,7 +247,56 @@ void MdsDaemon::HandleMapUpdate(const sim::Envelope& request) {
     auto map = mon::MdsMap::Decode(&map_dec);
     if (map.ok() && map.value().epoch > mds_map_.epoch) {
       mds_map_ = std::move(map).value();
+      if (config_.seq_ownership) {
+        SeqOwnershipSweep();
+      }
     }
+  }
+}
+
+// Reconcile hosted sequencers against the ownership map whenever it moves.
+// Three cases per hosted kSequencer inode with a published entry:
+//  - entry names us: ownership is settled; drop any owner_pending marker.
+//  - entry names another rank and we are mid-handoff to it: nothing to do.
+//  - entry names another rank otherwise: either our publish is still in
+//    flight / lost (owner_pending set — re-drive it; last write wins at the
+//    monitor, and the re-published entry names us), or the map is the truth
+//    and we hold a stale copy (e.g. we crashed, a client ran takeover on a
+//    survivor, and we recovered with the old inode) — demote: hand our copy
+//    to the published owner so its tail max-merges into the live one, then
+//    forget it. The merge direction guarantees the cluster-wide max tail
+//    never regresses.
+void MdsDaemon::SeqOwnershipSweep() {
+  std::vector<std::pair<std::string, uint32_t>> demote;
+  for (auto& [path, hosted] : inodes_) {
+    if (hosted.inode.type != InodeType::kSequencer) {
+      continue;
+    }
+    std::optional<uint32_t> owner = MapOwnerOf(path);
+    if (!owner) {
+      continue;
+    }
+    if (*owner == name().id) {
+      hosted.inode.params.erase("owner_pending");
+      continue;
+    }
+    if (hosted.inode.params.count("migrating_to") != 0) {
+      continue;
+    }
+    if (hosted.inode.params.count("owner_pending") != 0) {
+      PublishSeqOwner(path);
+      continue;
+    }
+    demote.emplace_back(path, *owner);
+  }
+  for (const auto& [path, owner] : demote) {
+    perf_.Inc("mds.seq.demotions");
+    std::string p = path;
+    StartSeqHandoff(p, owner, /*publish=*/false, [this, p](mal::Status s) {
+      if (!s.ok()) {
+        MAL_WARN(name().ToString()) << "demotion of " << p << " failed: " << s;
+      }
+    });
   }
 }
 
@@ -229,11 +305,29 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, ClientRequest 
   ++requests_handled_;
   ++window_requests_;
 
+  // A takeover install (CORFU failover onto this rank) is allowed to land
+  // where the client aimed it: the ownership map still names the crashed
+  // rank, so the normal authority check would bounce the recovery forever.
+  const bool takeover_install = config_.seq_ownership &&
+                                req.op == MdsOp::kSetSeqState &&
+                                req.params.count("takeover") != 0;
+
   uint32_t authority = AuthorityOf(req.path);
-  if (authority != name().id) {
+  if (authority != name().id && !takeover_install) {
     if (forwarded) {
       // Authority moved while the forward was in flight; bounce.
       ReplyError(request, mal::Status::Unavailable("authority moved"));
+      return;
+    }
+    if (config_.seq_ownership &&
+        (MapOwnerOf(req.path).has_value() || authority_.count(req.path) != 0)) {
+      // Sharded mode: paths with explicit ownership (published entry or a
+      // handoff hint) are never proxied — the client follows the redirect
+      // and caches the owner, epoch-guarded against stale maps.
+      perf_.Inc("mds.seq.redirects");
+      ReplyError(request,
+                 mal::Status::WrongRank("wrong_rank:" + std::to_string(authority) + ":" +
+                                        std::to_string(mds_map_.epoch)));
       return;
     }
     if (config_.routing == RoutingMode::kProxy) {
@@ -266,7 +360,12 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, ClientRequest 
   // authority pay the coherence tax and strain the root.
   sim::Time cost = forwarded ? 0 : config_.handle_cost;
   if (!forwarded && name().id != config_.root_rank &&
-      request.from.type == sim::EntityType::kClient) {
+      request.from.type == sim::EntityType::kClient &&
+      !(config_.seq_ownership && MapOwnerOf(req.path).has_value())) {
+    // Published sequencer owners skip the scatter-gather coherence tax:
+    // the ownership map, not root-anchored cache coherence, is what keeps
+    // every rank's view of the placement consistent. This is what makes
+    // grant capacity scale with MDS count.
     cost += config_.coherence_self_cost;
     SendOneWay(sim::EntityName::Mds(config_.root_rank), kMsgCoherence, mal::Buffer());
   }
@@ -282,6 +381,12 @@ void MdsDaemon::HandleClientRequest(const sim::Envelope& request, ClientRequest 
   AfterCpu(cost, [this, req_envelope, req, forwarded, arrival] {
     // Work-queue time (queueing + service) for requests we serve ourselves.
     perf_.Observe("mds.queue_us", static_cast<double>(Now() - arrival) / 1e3);
+    if (config_.seq_ownership &&
+        (req.op == MdsOp::kSeqNext || req.op == MdsOp::kSeqNextBatch)) {
+      // Per-rank grant latency (queue + service), the telemetry row the
+      // hot-log balancing policies and the multilog bench watch.
+      perf_.Observe("mds.seq.grant_us", static_cast<double>(Now() - arrival) / 1e3);
+    }
     ExecuteRequest(req_envelope, req, forwarded);
   });
 }
@@ -312,7 +417,16 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       hosted.inode.lease_policy = req.policy;
       MdsReply reply;
       reply.inode = hosted.inode;
+      bool new_seq = hosted.inode.type == InodeType::kSequencer;
       inodes_[req.path] = std::move(hosted);
+      if (config_.seq_ownership && new_seq) {
+        // Every sequencer gets a published owner from birth, so clients can
+        // find (and failover-recover) a log that never migrated. The
+        // owner_pending marker re-drives the publish if it is lost.
+        inodes_[req.path].inode.params["owner_pending"] = "1";
+        PublishSeqOwner(req.path);
+        UpdateOwnedLogsGauge();
+      }
       ReplyWithInode(request, reply);
       return;
     }
@@ -333,6 +447,9 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
         return;
       }
       inodes_.erase(it);
+      if (config_.seq_ownership) {
+        UpdateOwnedLogsGauge();
+      }
       Reply(request, mal::Buffer());
       return;
     }
@@ -355,6 +472,12 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       HostedInode& hosted = it->second;
       if (hosted.inode.type != InodeType::kSequencer) {
         ReplyError(request, mal::Status::InvalidArgument(req.path + " is not a sequencer"));
+        return;
+      }
+      if (hosted.inode.params.count("migrating_to") != 0 && req.op != MdsOp::kSeqRead) {
+        // Handoff freeze: grants queue until the transfer commits (then
+        // they bounce to the new owner) or aborts (then they run here).
+        hosted.seq_waiters.emplace_back(request, req);
         return;
       }
       if (hosted.cap.held) {
@@ -396,6 +519,10 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
         return;
       }
       HostedInode& hosted = it->second;
+      if (hosted.inode.params.count("migrating_to") != 0) {
+        hosted.seq_waiters.emplace_back(request, req);
+        return;
+      }
       if (hosted.inode.lease_policy.mode == LeaseMode::kRoundTrip) {
         ReplyError(request,
                    mal::Status::PermissionDenied("inode is non-cacheable (round-trip)"));
@@ -448,18 +575,49 @@ void MdsDaemon::ExecuteRequest(const sim::Envelope& request, const ClientRequest
       return;
     }
     case MdsOp::kSetSeqState: {
+      const bool takeover = config_.seq_ownership && req.params.count("takeover") != 0;
       if (it == inodes_.end()) {
-        ReplyError(request, mal::Status::NotFound(req.path));
+        if (!takeover) {
+          ReplyError(request, mal::Status::NotFound(req.path));
+          return;
+        }
+        // CORFU failover onto this rank: the owning rank died, a client
+        // sealed the stripe at a new epoch and is installing the recovered
+        // tail here. Create the inode, claim ownership, publish it. The
+        // sealed tail covers every *written* position; any higher grant the
+        // dead rank journaled is fenced by the epoch bump, so re-granting
+        // below it can never duplicate an acked position.
+        HostedInode hosted;
+        hosted.inode.ino = next_ino_++;
+        hosted.inode.type = InodeType::kSequencer;
+        hosted.inode.lease_policy = req.policy;
+        it = inodes_.emplace(req.path, std::move(hosted)).first;
+        perf_.Inc("mds.seq.takeovers");
+        mon_client_.Log("WARN", "sequencer " + req.path +
+                                    " taken over by mds." + std::to_string(name().id));
+      }
+      if (it->second.inode.params.count("migrating_to") != 0) {
+        it->second.seq_waiters.emplace_back(request, req);
         return;
       }
       Inode& inode = it->second.inode;
       inode.seq_tail = req.seq_value;
       for (const auto& [key, value] : req.params) {
+        if (key == "takeover") {
+          continue;  // directive, not sequencer state
+        }
         if (value.empty()) {
           inode.params.erase(key);
         } else {
           inode.params[key] = value;
         }
+      }
+      if (takeover && MapOwnerOf(req.path) != std::optional<uint32_t>(name().id)) {
+        inode.params["owner_pending"] = "1";
+        PublishSeqOwner(req.path);
+      }
+      if (config_.seq_ownership) {
+        UpdateOwnedLogsGauge();
       }
       Reply(request, mal::Buffer());
       return;
@@ -623,6 +781,201 @@ void MdsDaemon::HandleAuthorityUpdate(const sim::Envelope& request) {
   }
 }
 
+// -- sharded sequencer handoff --------------------------------------------------
+
+std::optional<uint32_t> MdsDaemon::MapOwnerOf(const std::string& path) const {
+  return mon::SeqOwnerOf(mds_map_, path);
+}
+
+void MdsDaemon::UpdateOwnedLogsGauge() {
+  double owned = 0;
+  for (const auto& [path, hosted] : inodes_) {
+    if (hosted.inode.type == InodeType::kSequencer) {
+      owned += 1;
+    }
+  }
+  perf_.Set("mds.seq.owned_logs", owned);
+}
+
+void MdsDaemon::PublishSeqOwner(const std::string& path) {
+  mon_client_.SetServiceMetadata(
+      mon::MapKind::kMdsMap, mon::SeqOwnerKey(path), std::to_string(name().id),
+      [this, path](mal::Status s) {
+        if (!s.ok()) {
+          // Lost publishes self-heal: the owner_pending marker makes the
+          // next map-update sweep resubmit.
+          MAL_WARN(name().ToString()) << "seq owner publish for " << path
+                                      << " failed: " << s;
+        }
+      });
+}
+
+void MdsDaemon::FlushSeqWaiters(HostedInode& hosted, uint32_t new_owner) {
+  while (!hosted.seq_waiters.empty()) {
+    ReplyError(hosted.seq_waiters.front().first,
+               mal::Status::WrongRank("wrong_rank:" + std::to_string(new_owner) + ":" +
+                                      std::to_string(mds_map_.epoch)));
+    hosted.seq_waiters.pop_front();
+  }
+}
+
+void MdsDaemon::ResumeSeqWaiters(const std::string& path) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    return;
+  }
+  std::deque<std::pair<sim::Envelope, ClientRequest>> queued;
+  queued.swap(it->second.seq_waiters);
+  for (auto& [env, req] : queued) {
+    ExecuteRequest(env, req, /*forwarded=*/false);
+  }
+}
+
+void MdsDaemon::MigrateSequencer(const std::string& path, uint32_t target,
+                                 std::function<void(mal::Status)> on_done) {
+  if (!config_.seq_ownership) {
+    on_done(mal::Status::InvalidArgument("seq_ownership is disabled"));
+    return;
+  }
+  StartSeqHandoff(path, target, /*publish=*/true, std::move(on_done));
+}
+
+void MdsDaemon::StartSeqHandoff(const std::string& path, uint32_t target, bool publish,
+                                std::function<void(mal::Status)> on_done) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    on_done(mal::Status::NotFound("not authoritative for " + path));
+    return;
+  }
+  HostedInode& hosted = it->second;
+  if (hosted.inode.type != InodeType::kSequencer) {
+    on_done(mal::Status::InvalidArgument(path + " is not a sequencer"));
+    return;
+  }
+  if (hosted.cap.held) {
+    on_done(mal::Status::Unavailable("cap outstanding on " + path));
+    return;
+  }
+  if (target == name().id) {
+    on_done(mal::Status::InvalidArgument("cannot migrate to self"));
+    return;
+  }
+  if (hosted.inode.params.count("migrating_to") != 0) {
+    on_done(mal::Status::Unavailable("handoff already in progress for " + path));
+    return;
+  }
+  // Phase 1: freeze. The marker is journaled with the inode, so a source
+  // that crashes mid-handoff re-drives the transfer on recovery instead of
+  // resuming grants with a tail the target may already have advanced past.
+  hosted.inode.params["migrating_to"] = std::to_string(target);
+  DriveSeqHandoff(path, target, publish, std::move(on_done));
+}
+
+void MdsDaemon::DriveSeqHandoff(const std::string& path, uint32_t target, bool publish,
+                                std::function<void(mal::Status)> on_done) {
+  AfterCpu(config_.seq_handoff_cost, [this, path, target, publish,
+                                      on_done = std::move(on_done)] {
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+      on_done(mal::Status::NotFound("sequencer vanished during handoff"));
+      return;
+    }
+    // Phase 2: transfer. Encoded now — after the freeze took effect — so the
+    // shipped tail covers every grant this rank ever acknowledged.
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    enc.PutString(path);
+    enc.PutBool(publish);
+    Inode copy = it->second.inode;
+    copy.params.erase("migrating_to");
+    copy.params.erase("owner_pending");
+    copy.Encode(&enc);
+    SendRequest(
+        sim::EntityName::Mds(target), kMsgSeqMigrate, std::move(payload),
+        [this, path, target, on_done](mal::Status status, const sim::Envelope&) {
+          auto it2 = inodes_.find(path);
+          if (!status.ok()) {
+            // Transfer failed. Unfreeze and serve the queued grants locally.
+            // If the target actually installed the inode and only the ack
+            // was lost, the data plane's write-once positions plus the
+            // ownership-map sweep (we demote to whoever publishes) keep even
+            // that split from ever double-committing a position.
+            if (it2 != inodes_.end()) {
+              it2->second.inode.params.erase("migrating_to");
+              ResumeSeqWaiters(path);
+            }
+            MAL_WARN(name().ToString())
+                << "sequencer handoff of " << path << " to mds." << target
+                << " failed: " << status;
+            on_done(status);
+            return;
+          }
+          if (it2 != inodes_.end()) {
+            // Phase 3: the target owns the tail now. Bounce queued grants to
+            // it, drop our copy, spread the authority hint. The target
+            // publishes the ownership entry (it holds the state; we might
+            // not survive to).
+            FlushSeqWaiters(it2->second, target);
+            inodes_.erase(it2);
+          }
+          authority_[path] = target;
+          mal::Buffer update;
+          mal::Encoder update_enc(&update);
+          update_enc.PutString(path);
+          update_enc.PutU32(target);
+          for (uint32_t peer : PeerRanks()) {
+            if (peer != target) {
+              SendOneWay(sim::EntityName::Mds(peer), kMsgAuthorityUpdate, update);
+            }
+          }
+          perf_.Inc("mds.seq.migrations");
+          UpdateOwnedLogsGauge();
+          if (on_migration) {
+            on_migration(path, target);
+          }
+          mon_client_.Log("INFO", "sequencer " + path + " handed off to mds." +
+                                      std::to_string(target));
+          on_done(mal::Status::Ok());
+        },
+        60 * sim::kSecond);
+  });
+}
+
+void MdsDaemon::HandleSeqMigrateIn(const sim::Envelope& request) {
+  mal::Decoder dec(request.payload);
+  std::string path = dec.GetString();
+  bool publish = dec.GetBool();
+  Inode inode = Inode::Decode(&dec);
+  if (!dec.ok()) {
+    ReplyError(request, mal::Status::Corruption("bad sequencer handoff payload"));
+    return;
+  }
+  sim::Envelope req_envelope = request;
+  AfterCpu(config_.seq_handoff_cost, [this, path, publish, inode, req_envelope] {
+    auto it = inodes_.find(path);
+    if (it != inodes_.end()) {
+      // Redelivered handoff (the source crashed after our install and
+      // re-drove the transfer): merge, never regress. Our params
+      // (epoch/views) are at least as fresh as the resent copy's.
+      it->second.inode.seq_tail = std::max(it->second.inode.seq_tail, inode.seq_tail);
+    } else {
+      HostedInode hosted;
+      hosted.inode = inode;
+      inodes_[path] = std::move(hosted);
+    }
+    authority_.erase(path);
+    if (MapOwnerOf(path) != std::optional<uint32_t>(name().id)) {
+      inodes_[path].inode.params["owner_pending"] = "1";
+      if (publish) {
+        PublishSeqOwner(path);
+      }
+    }
+    UpdateOwnedLogsGauge();
+    perf_.Inc("mds.seq.handoffs_in");
+    Reply(req_envelope, mal::Buffer());
+  });
+}
+
 // -- load + balancing ---------------------------------------------------------------
 
 LoadMetrics MdsDaemon::SnapshotLoad(bool commit) {
@@ -649,6 +1002,9 @@ LoadMetrics MdsDaemon::SnapshotLoad(bool commit) {
     double subtree_window = static_cast<double>(hosted.window_requests) / window_sec;
     double blended = kAlpha * subtree_window + (1 - kAlpha) * hosted.rate;
     metrics.subtree_rate[path] = blended;
+    if (config_.seq_ownership && hosted.inode.type == InodeType::kSequencer) {
+      metrics.seq_paths.push_back(path);
+    }
     if (commit) {
       hosted.rate = blended;
     }
@@ -730,12 +1086,21 @@ void MdsDaemon::BalanceTick() {
       available.erase(std::remove_if(available.begin(), available.end(),
                                      [&path](const SubtreeLoad& s) { return s.path == path; }),
                       available.end());
-      Migrate(path, rank, [this, path, rank](mal::Status s) {
+      auto done = [this, path, rank](mal::Status s) {
         if (!s.ok()) {
           MAL_WARN(name().ToString())
               << "migration of " << path << " to mds." << rank << " failed: " << s;
         }
-      });
+      };
+      // Hot sequencer inodes move through the grant-preserving handoff;
+      // everything else takes the generic subtree export.
+      auto hosted_it = inodes_.find(path);
+      if (config_.seq_ownership && hosted_it != inodes_.end() &&
+          hosted_it->second.inode.type == InodeType::kSequencer) {
+        MigrateSequencer(path, rank, done);
+      } else {
+        Migrate(path, rank, done);
+      }
     }
   }
 }

@@ -25,7 +25,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/perf.h"
@@ -64,6 +66,17 @@ struct MdsConfig {
 
   RoutingMode routing = RoutingMode::kProxy;
   uint32_t root_rank = 0;  // authority for "/" and coherence anchor
+
+  // Sharded sequencers: when true, sequencer-inode ownership is published
+  // in the MdsMap service metadata ("seq.owner.<path>" entries), non-owner
+  // ranks answer sequencer ops with kWrongRank redirects instead of
+  // proxying, and hot logs move between ranks through the two-phase
+  // handoff (MigrateSequencer). Off by default: the single-sequencer wire
+  // and cost model is byte-for-byte the legacy one.
+  bool seq_ownership = false;
+  // CPU charge per handoff phase at each end (freeze/transfer accounting,
+  // much lighter than a full subtree export).
+  sim::Time seq_handoff_cost = 1 * sim::kMillisecond;
 
   // Relative sampling noise on the exported CPU metric: request counters
   // are exact, but CPU utilization is sampled from a volatile signal (the
@@ -114,6 +127,13 @@ class MdsDaemon : public sim::Actor {
   void Migrate(const std::string& path, uint32_t target,
                std::function<void(mal::Status)> on_done);
 
+  // Two-phase sequencer handoff (requires config.seq_ownership): freeze
+  // grants, transfer tail/epoch/lease state to `target`, publish the new
+  // owner in the MdsMap. Positions are never reissued: grants queued during
+  // the freeze are answered with kWrongRank once the transfer commits.
+  void MigrateSequencer(const std::string& path, uint32_t target,
+                        std::function<void(mal::Status)> on_done);
+
   // -- introspection (tests and benches) ---------------------------------------
   bool IsAuthority(const std::string& path) const;
   uint32_t AuthorityOf(const std::string& path) const;
@@ -149,6 +169,10 @@ class MdsDaemon : public sim::Actor {
     CapState cap;
     uint64_t window_requests = 0;  // decayed per load window
     double rate = 0;
+    // Sequencer ops queued while a handoff has the inode frozen
+    // (params["migrating_to"] set). Volatile: queued rpcs die with a crash,
+    // exactly like cap.waiters.
+    std::deque<std::pair<sim::Envelope, ClientRequest>> seq_waiters;
   };
 
   void RegisterHandlers();
@@ -161,6 +185,32 @@ class MdsDaemon : public sim::Actor {
   void HandleAuthorityUpdate(const sim::Envelope& request);
   void HandleLoadReport(const sim::Envelope& request);
   void HandleMapUpdate(const sim::Envelope& request);
+
+  // -- sharded sequencers --------------------------------------------------------
+  // Phase 1 of a handoff: validate, journal the freeze
+  // (params["migrating_to"] = target), then drive the transfer.
+  void StartSeqHandoff(const std::string& path, uint32_t target, bool publish,
+                       std::function<void(mal::Status)> on_done);
+  // Phase 2+3 of a handoff whose freeze (params["migrating_to"]) is already
+  // journaled; re-driven from Recover() after a source crash. `publish`
+  // tells the receiving rank to publish itself as the new owner (false for
+  // demotions, where the map already names it).
+  void DriveSeqHandoff(const std::string& path, uint32_t target, bool publish,
+                       std::function<void(mal::Status)> on_done);
+  void HandleSeqMigrateIn(const sim::Envelope& request);
+  // Reconciles hosted sequencers against a freshly adopted ownership map
+  // (publish re-drive, demotion of stale copies).
+  void SeqOwnershipSweep();
+  // Published owner of `path` in the current MdsMap, if any.
+  std::optional<uint32_t> MapOwnerOf(const std::string& path) const;
+  // Submits the seq.owner.<path> -> rank map transaction (idempotent;
+  // re-driven from HandleMapUpdate while params["owner_pending"] is set).
+  void PublishSeqOwner(const std::string& path);
+  // Answer every queued grant with a kWrongRank pointing at `new_owner`.
+  void FlushSeqWaiters(HostedInode& hosted, uint32_t new_owner);
+  // Re-execute queued grants locally (handoff aborted).
+  void ResumeSeqWaiters(const std::string& path);
+  void UpdateOwnedLogsGauge();
 
   void GrantCap(const std::string& path, HostedInode& hosted, const sim::Envelope& to);
   void MaybeRevoke(const std::string& path, HostedInode& hosted);

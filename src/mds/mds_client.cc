@@ -15,11 +15,32 @@ bool ParseRedirect(const mal::Status& status, uint32_t* rank) {
   return true;
 }
 
+// Sharded-sequencer redirects carry "wrong_rank:<owner>:<map_epoch>".
+bool ParseWrongRank(const mal::Status& status, uint32_t* rank, uint64_t* epoch) {
+  constexpr char kPrefix[] = "wrong_rank:";
+  const std::string& message = status.message();
+  if (status.code() != mal::Code::kWrongRank || message.rfind(kPrefix, 0) != 0) {
+    return false;
+  }
+  size_t pos = sizeof(kPrefix) - 1;
+  size_t colon = message.find(':', pos);
+  if (colon == std::string::npos) {
+    return false;
+  }
+  *rank = static_cast<uint32_t>(std::stoul(message.substr(pos, colon - pos)));
+  *epoch = std::stoull(message.substr(colon + 1));
+  return true;
+}
+
 }  // namespace
 
 uint32_t MdsClient::TargetFor(const std::string& path) const {
   auto it = authority_cache_.find(path);
-  return it == authority_cache_.end() ? config_.home_mds : it->second;
+  return it == authority_cache_.end() ? config_.home_mds : it->second.rank;
+}
+
+void MdsClient::SetAuthorityHint(const std::string& path, uint32_t rank) {
+  authority_cache_[path].rank = rank;  // epoch untouched: newer maps override
 }
 
 void MdsClient::Request(const ClientRequest& request, ReplyHandler on_reply) {
@@ -50,7 +71,21 @@ void MdsClient::RequestAttempt(const ClientRequest& request, ReplyHandler on_rep
         };
         uint32_t redirect_rank = 0;
         if (ParseRedirect(status, &redirect_rank)) {
-          authority_cache_[request.path] = redirect_rank;
+          authority_cache_[request.path] = {redirect_rank, 0};
+          retry();
+          return;
+        }
+        uint64_t redirect_epoch = 0;
+        if (ParseWrongRank(status, &redirect_rank, &redirect_epoch)) {
+          // Epoch-guarded: a redirect stamped with an older ownership map
+          // never clobbers a fresher cache entry — but we still retry at
+          // whatever the cache now says, so a redirect ping-pong between two
+          // stale ranks dies with the bounded retry budget instead of
+          // looping forever.
+          CachedAuthority& cached = authority_cache_[request.path];
+          if (redirect_epoch >= cached.epoch) {
+            cached = {redirect_rank, redirect_epoch};
+          }
           retry();
           return;
         }

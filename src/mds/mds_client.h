@@ -81,6 +81,12 @@ class MdsClient {
   // Generic escape hatch.
   void Request(const ClientRequest& request, ReplyHandler on_reply);
 
+  // Pin the cached owner rank for a path (sharded-sequencer failover: the
+  // takeover initiator knows where it is about to install the inode before
+  // any MDS can redirect it there). Later kWrongRank redirects with a newer
+  // map epoch still override the pin.
+  void SetAuthorityHint(const std::string& path, uint32_t rank);
+
   uint64_t caps_released() const { return caps_released_; }
 
  private:
@@ -100,10 +106,18 @@ class MdsClient {
   void HandleRevoke(const std::string& path);
   void ReleaseNow(const std::string& path);
 
+  // Cached owner rank per path. `epoch` is the ownership-map epoch the
+  // entry was learned at (0 = legacy redirect or local hint, always
+  // overridable): kWrongRank redirects only move the cache forward.
+  struct CachedAuthority {
+    uint32_t rank = 0;
+    uint64_t epoch = 0;
+  };
+
   sim::Actor* owner_;
   MdsClientConfig config_;
   mal::Rng retry_rng_;
-  std::map<std::string, uint32_t> authority_cache_;
+  std::map<std::string, CachedAuthority> authority_cache_;
   std::map<std::string, HeldCap> caps_;
   uint64_t caps_released_ = 0;
 };

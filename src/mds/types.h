@@ -24,6 +24,7 @@ enum MsgType : uint32_t {
   kMsgLoadReport = 304,      // mds -> mds broadcast (one-way)
   kMsgForward = 305,         // proxy: mds -> authoritative mds
   kMsgCoherence = 306,       // one-way scatter-gather strain at the root
+  kMsgSeqMigrate = 307,      // mds -> mds: sequencer-inode handoff (phase 2)
 };
 
 // Inode types. kSequencer is the domain-specific type ZLog defines through
@@ -163,6 +164,11 @@ struct LoadMetrics {
   // Per hosted subtree (path -> requests/sec): the popularity metric
   // subtree migration decisions need.
   std::map<std::string, double> subtree_rate;
+  // Subset of subtree_rate paths that are hosted kSequencer inodes; lets a
+  // Mantle hot-log policy (mds[i]["seq"]) target sequencer handoffs without
+  // guessing from path names. Appended at the end of the encoding so the
+  // wire image of reports without sequencers is unchanged.
+  std::vector<std::string> seq_paths;
 
   void Encode(mal::Encoder* enc) const {
     enc->PutF64(req_rate);
@@ -172,6 +178,10 @@ struct LoadMetrics {
     for (const auto& [path, rate] : subtree_rate) {
       enc->PutString(path);
       enc->PutF64(rate);
+    }
+    enc->PutVarU64(seq_paths.size());
+    for (const std::string& path : seq_paths) {
+      enc->PutString(path);
     }
   }
   static LoadMetrics Decode(mal::Decoder* dec) {
@@ -183,6 +193,10 @@ struct LoadMetrics {
     for (uint64_t i = 0; i < n && dec->ok(); ++i) {
       std::string path = dec->GetString();
       m.subtree_rate[path] = dec->GetF64();
+    }
+    uint64_t s = dec->GetVarU64();
+    for (uint64_t i = 0; i < s && dec->ok(); ++i) {
+      m.seq_paths.push_back(dec->GetString());
     }
     return m;
   }

@@ -84,4 +84,19 @@ mal::Result<MdsMap> MdsMap::Decode(mal::Decoder* dec) {
   return map;
 }
 
+std::optional<uint32_t> SeqOwnerOf(const MdsMap& map, const std::string& path) {
+  auto it = map.service_metadata.find(SeqOwnerKey(path));
+  if (it == map.service_metadata.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  uint32_t rank = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    rank = rank * 10 + static_cast<uint32_t>(c - '0');
+  }
+  return rank;
+}
+
 }  // namespace mal::mon

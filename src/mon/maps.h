@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "src/common/buffer.h"
@@ -21,6 +22,14 @@ using Epoch = uint64_t;
 // Well-known service-metadata keys.
 inline constexpr char kClsInterfaceKeyPrefix[] = "cls.";      // cls.<class>: version
 inline constexpr char kMantleBalancerVersionKey[] = "mantle.balancer_version";
+// Sequencer-ownership map entries (one per sharded kSequencer inode):
+// seq.owner.<path> -> decimal MDS rank. The MdsMap epoch doubles as the
+// ownership-map epoch carried in kWrongRank redirects.
+inline constexpr char kSeqOwnerKeyPrefix[] = "seq.owner.";
+
+inline std::string SeqOwnerKey(const std::string& path) {
+  return std::string(kSeqOwnerKeyPrefix) + path;
+}
 
 struct OsdInfo {
   bool up = false;
@@ -57,6 +66,10 @@ struct MdsMap {
   void Encode(mal::Encoder* enc) const;
   static mal::Result<MdsMap> Decode(mal::Decoder* dec);
 };
+
+// Published owner rank for a sequencer path, or nullopt when the path has
+// no ownership entry (legacy single-sequencer placement).
+std::optional<uint32_t> SeqOwnerOf(const MdsMap& map, const std::string& path);
 
 // Which map a transaction or subscription targets.
 enum class MapKind : uint8_t { kOsdMap = 0, kMdsMap = 1 };

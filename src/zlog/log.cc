@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "src/mon/maps.h"
+
 namespace mal::zlog {
 
 using cls::ZlogOps;
@@ -323,6 +325,17 @@ void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices
           Recover([this, batch, indices, reattempt](mal::Status recover_status,
                                                     uint64_t) mutable {
             if (!recover_status.ok()) {
+              if (ShouldTakeover(recover_status)) {
+                MaybeTakeover([this, batch, indices, reattempt,
+                               recover_status](mal::Status t) mutable {
+                  if (t.ok()) {
+                    reattempt(indices);
+                  } else {
+                    FinishBatch(batch, recover_status);
+                  }
+                });
+                return;
+              }
               FinishBatch(batch, recover_status);
               return;
             }
@@ -331,6 +344,19 @@ void Log::BatchAttempt(std::shared_ptr<Batch> batch, std::vector<size_t> indices
           return;
         }
         if (!status.ok()) {
+          if (ShouldTakeover(status)) {
+            // The owning rank is gone (or lost the inode): attempt the
+            // sharded-sequencer takeover, then retry with fresh positions
+            // from the new owner.
+            MaybeTakeover([this, batch, indices, reattempt, status](mal::Status t) mutable {
+              if (t.ok()) {
+                reattempt(indices);
+              } else {
+                FinishBatch(batch, status);
+              }
+            });
+            return;
+          }
           FinishBatch(batch, status);
           return;
         }
@@ -430,8 +456,18 @@ void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_do
     if (status.code() == mal::Code::kAborted) {
       // The sequencer lost its state (holder died): run CORFU recovery,
       // then retry the append under the new epoch.
-      Recover([on_done, reattempt](mal::Status recover_status, uint64_t) mutable {
+      Recover([this, on_done, reattempt](mal::Status recover_status, uint64_t) mutable {
         if (!recover_status.ok()) {
+          if (ShouldTakeover(recover_status)) {
+            MaybeTakeover([on_done, reattempt, recover_status](mal::Status t) mutable {
+              if (t.ok()) {
+                reattempt();
+              } else {
+                on_done(recover_status, 0);
+              }
+            });
+            return;
+          }
           on_done(recover_status, 0);
           return;
         }
@@ -440,6 +476,18 @@ void Log::AppendAttempt(std::shared_ptr<mal::Buffer> data, PositionHandler on_do
       return;
     }
     if (!status.ok()) {
+      if (ShouldTakeover(status)) {
+        // Owner change or owner crash: run the sharded-sequencer takeover
+        // (epoch bump + seal, like any CORFU failover), then retry.
+        MaybeTakeover([on_done, reattempt, status](mal::Status t) mutable {
+          if (t.ok()) {
+            reattempt();
+          } else {
+            on_done(status, 0);
+          }
+        });
+        return;
+      }
       on_done(status, 0);
       return;
     }
@@ -509,7 +557,7 @@ void Log::CheckTail(PositionHandler on_tail) {
 }
 
 void Log::SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
-                         PositionHandler on_done) {
+                         PositionHandler on_done, bool takeover) {
   std::vector<std::string> objects = AllObjects();
   auto max_tail = std::make_shared<uint64_t>(0);
   auto pending = std::make_shared<size_t>(objects.size());
@@ -517,7 +565,7 @@ void Log::SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
   for (const std::string& oid : objects) {
     rados_->Exec(
         oid, "zlog", "seal", ZlogOps::MakeSeal(new_epoch),
-        [this, max_tail, pending, failed, new_epoch, new_width, on_done](
+        [this, max_tail, pending, failed, new_epoch, new_width, on_done, takeover](
             mal::Status seal_status, const mal::Buffer& out) {
           if (!seal_status.ok()) {
             if (failed->ok()) {
@@ -549,6 +597,16 @@ void Log::SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
           install.params["epoch"] = std::to_string(new_epoch);
           install.params["views"] = EncodeViews(new_views);
           install.params["needs_recovery"] = "";  // erase
+          if (takeover) {
+            // Failover install: the target rank creates the inode if it does
+            // not host it yet, with the same lease policy Open() would use.
+            install.params["takeover"] = "1";
+            install.inode_type = mds::InodeType::kSequencer;
+            install.policy = options_.lease;
+            if (options_.sequencer_mode == SequencerMode::kRoundTrip) {
+              install.policy.mode = mds::LeaseMode::kRoundTrip;
+            }
+          }
           mds_->Request(install, [this, new_epoch, new_views, max_tail, on_done](
                                      mal::Status install_status, const mds::MdsReply&) {
             if (!install_status.ok()) {
@@ -561,6 +619,84 @@ void Log::SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
           });
         });
   }
+}
+
+bool Log::ShouldTakeover(const mal::Status& status) {
+  // kUnavailable/kTimedOut: the owning rank is down or unreachable.
+  // kNotFound: the ownership map named a rank that lost (or never got) the
+  // inode — an aborted demotion; installing recovered state there heals it.
+  return status.code() == mal::Code::kUnavailable ||
+         status.code() == mal::Code::kTimedOut ||
+         status.code() == mal::Code::kNotFound;
+}
+
+void Log::MaybeTakeover(DoneHandler on_done) {
+  // Owner change is CORFU failover (paper §5.2.2): consult the published
+  // ownership map; if this log's sequencer is sharded and the cluster has a
+  // survivor, seal at a bumped epoch — fencing every grant the dead rank
+  // ever issued — and install the recovered tail on the survivor. Without
+  // an ownership entry (legacy single-sequencer placement) the failure is
+  // surfaced unchanged.
+  rados_->mon_client().GetMap(
+      mon::MapKind::kMdsMap,
+      [this, on_done = std::move(on_done)](mal::Status status,
+                                           const mon::MapUpdate& update) {
+        if (!status.ok()) {
+          on_done(status);
+          return;
+        }
+        mal::Decoder dec(update.map_payload);
+        auto map = mon::MdsMap::Decode(&dec);
+        if (!map.ok()) {
+          on_done(map.status());
+          return;
+        }
+        std::optional<uint32_t> owner = mon::SeqOwnerOf(map.value(), sequencer_path_);
+        if (!owner.has_value()) {
+          on_done(mal::Status::Unavailable("sequencer is not sharded"));
+          return;
+        }
+        std::vector<uint32_t> active;
+        for (const auto& [id, info] : map.value().mds) {
+          if (info.state == mon::MdsState::kActive) {
+            active.push_back(id);
+          }
+        }
+        if (active.empty()) {
+          on_done(mal::Status::Unavailable("no active mds"));
+          return;
+        }
+        // Prefer a rank other than the (presumed dead) published owner;
+        // rotate across attempts so concurrent takeovers spread out.
+        uint32_t pick = active[takeover_round_++ % active.size()];
+        if (pick == *owner && active.size() > 1) {
+          pick = active[takeover_round_++ % active.size()];
+        }
+        if (perf_ != nullptr) {
+          perf_->Inc("zlog.takeovers");
+        }
+        TakeoverInstall(pick, /*tries_left=*/4, std::move(on_done));
+      });
+}
+
+void Log::TakeoverInstall(uint32_t rank, int tries_left, DoneHandler on_done) {
+  // Aim the install at the chosen survivor before any MDS can redirect us
+  // there; the server-side takeover directive bypasses the (stale)
+  // ownership check.
+  mds_->SetAuthorityHint(sequencer_path_, rank);
+  SealAndInstall(
+      epoch_ + 1, std::nullopt,
+      [this, rank, tries_left, on_done = std::move(on_done)](mal::Status status,
+                                                             uint64_t) {
+        if (status.code() == mal::Code::kStaleEpoch && tries_left > 0) {
+          // A competing recovery sealed higher; outbid it.
+          ++epoch_;
+          TakeoverInstall(rank, tries_left - 1, on_done);
+          return;
+        }
+        on_done(status);
+      },
+      /*takeover=*/true);
 }
 
 void Log::Recover(PositionHandler on_recovered) {

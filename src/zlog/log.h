@@ -152,9 +152,21 @@ class Log {
   // Every object of every view (the set recovery must seal).
   std::vector<std::string> AllObjects() const;
   // Seals every object at `new_epoch`, returns max tail; then installs
-  // tail + epoch (+ optional view entry) into the sequencer inode.
+  // tail + epoch (+ optional view entry) into the sequencer inode. With
+  // `takeover` the install carries the takeover directive: the receiving
+  // rank creates the inode if it does not host it and claims ownership
+  // (sharded-sequencer failover).
   void SealAndInstall(uint64_t new_epoch, std::optional<uint32_t> new_width,
-                      PositionHandler on_done);
+                      PositionHandler on_done, bool takeover = false);
+  // True for failures that mean "the owning rank is gone" rather than "the
+  // request was bad": worth attempting a takeover.
+  static bool ShouldTakeover(const mal::Status& status);
+  // Sharded-sequencer failover (treated like CORFU sequencer failure): if
+  // the published ownership map has an entry for this log and the cluster
+  // has survivors, seal at a bumped epoch and install the recovered tail on
+  // a surviving rank. Calls on_done(ok) when a new owner is serving.
+  void MaybeTakeover(DoneHandler on_done);
+  void TakeoverInstall(uint32_t rank, int tries_left, DoneHandler on_done);
   static std::string EncodeViews(const std::vector<View>& views);
   static std::vector<View> DecodeViews(const std::string& encoded, uint32_t default_width);
 
@@ -171,6 +183,8 @@ class Log {
   // Windowed pipeline state.
   std::deque<std::shared_ptr<Batch>> batch_queue_;
   uint32_t inflight_ = 0;
+  // Rotates the surviving-rank pick across repeated takeover attempts.
+  uint64_t takeover_round_ = 0;
 };
 
 }  // namespace mal::zlog

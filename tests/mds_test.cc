@@ -7,6 +7,7 @@
 
 #include "src/mds/mds.h"
 #include "src/mds/mds_client.h"
+#include "src/mon/maps.h"
 #include "src/mon/monitor.h"
 
 namespace mal::mds {
@@ -312,6 +313,115 @@ TEST_F(MdsFixture, MigrationWithHeldCapIsRefused) {
   Settle(2 * sim::kSecond);
   ASSERT_TRUE(migrated.has_value());
   EXPECT_EQ(migrated->code(), Code::kUnavailable);
+}
+
+// ---- sharded sequencer ownership (seq_ownership) -----------------------------
+
+TEST_F(MdsFixture, ShardedHandoffMovesOwnershipAndFollowsRedirect) {
+  MdsConfig config;
+  config.seq_ownership = true;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  ASSERT_EQ(Next("/seq").value(), 0u);
+  ASSERT_EQ(Next("/seq").value(), 1u);
+  // Creation published the birth rank into the monitor map.
+  EXPECT_EQ(mon::SeqOwnerOf(monitor->mds_map(), "/seq"), std::optional<uint32_t>(0));
+
+  std::optional<Status> migrated;
+  mds[0]->MigrateSequencer("/seq", 1, [&](Status s) { migrated = s; });
+  Settle(3 * sim::kSecond);
+  ASSERT_TRUE(migrated.has_value());
+  ASSERT_TRUE(migrated->ok()) << *migrated;
+  EXPECT_EQ(mds[0]->GetInode("/seq"), nullptr);
+  ASSERT_NE(mds[1]->GetInode("/seq"), nullptr);
+  EXPECT_EQ(mds[1]->GetInode("/seq")->seq_tail, 2u);
+  // The new owner republished the map entry.
+  EXPECT_EQ(mon::SeqOwnerOf(monitor->mds_map(), "/seq"), std::optional<uint32_t>(1));
+
+  // The client's next grant chases the kWrongRank redirect and continues
+  // the position sequence — nothing reissued, nothing skipped.
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 2u);
+  EXPECT_GE(mds[0]->perf().counter("mds.seq.migrations"), 1u);
+  EXPECT_GE(mds[1]->perf().counter("mds.seq.handoffs_in"), 1u);
+  EXPECT_GE(mds[0]->perf().counter("mds.seq.redirects"), 1u);
+}
+
+TEST_F(MdsFixture, CrashMidHandoffRecoversWithoutPositionReuse) {
+  MdsConfig config;
+  config.seq_ownership = true;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  for (uint64_t expected = 0; expected < 5; ++expected) {
+    ASSERT_EQ(Next("/seq").value(), expected);
+  }
+  // The freeze (journaled migrating_to marker) lands, then the rank dies
+  // before the transfer RPC leaves the CPU queue.
+  mds[0]->MigrateSequencer("/seq", 1, [](Status) {});
+  mds[0]->Crash();
+  Settle(2 * sim::kSecond);
+  mds[0]->Recover();
+  Settle(3 * sim::kSecond);
+
+  // Recovery re-drove the journaled handoff: rank 1 owns the inode and the
+  // grant counter survived intact.
+  ASSERT_NE(mds[1]->GetInode("/seq"), nullptr);
+  EXPECT_GE(mds[1]->GetInode("/seq")->seq_tail, 5u);
+  EXPECT_EQ(mds[0]->GetInode("/seq"), nullptr);
+  EXPECT_EQ(mon::SeqOwnerOf(monitor->mds_map(), "/seq"), std::optional<uint32_t>(1));
+
+  // The committed prefix 0..4 is never reissued, and no grant was lost.
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_EQ(pos.value(), 5u);
+}
+
+TEST_F(MdsFixture, RedirectChaseTerminatesWhenOwnerIsDown) {
+  MdsConfig config;
+  config.seq_ownership = true;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  std::optional<Status> migrated;
+  mds[0]->MigrateSequencer("/seq", 1, [&](Status s) { migrated = s; });
+  Settle(3 * sim::kSecond);
+  ASSERT_TRUE(migrated.has_value() && migrated->ok());
+  mds[1]->Crash();
+
+  // Every redirect names the dead owner; the chase must burn through the
+  // retry budget and surface an error instead of looping forever.
+  MdsClientConfig client_config;
+  client_config.rpc_timeout = 1 * sim::kSecond;
+  auto chaser = std::make_unique<MdsAppClient>(&simulator, &network, 99, client_config);
+  std::optional<Status> result;
+  chaser->mds.SeqNext("/seq", [&](Status s, uint64_t) { result = s; });
+  Settle(20 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+}
+
+TEST_F(MdsFixture, OwnershipSweepDemotesStaleHostToPublishedOwner) {
+  MdsConfig config;
+  config.seq_ownership = true;
+  Start(2, config);
+  ASSERT_TRUE(CreateSequencer("/seq", RoundTrip()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(Next("/seq").ok());
+  }
+  // Force the map to name rank 1 while rank 0 still hosts (the state after
+  // a lost publish or a takeover the old owner slept through). The sweep on
+  // the next map update must demote rank 0's copy to the published owner,
+  // max-merging the tail.
+  mds[0]->mon_client().SetServiceMetadata(mon::MapKind::kMdsMap,
+                                          mon::SeqOwnerKey("/seq"), "1", [](Status) {});
+  Settle(5 * sim::kSecond);
+  EXPECT_EQ(mds[0]->GetInode("/seq"), nullptr);
+  ASSERT_NE(mds[1]->GetInode("/seq"), nullptr);
+  EXPECT_GE(mds[1]->GetInode("/seq")->seq_tail, 3u);
+  EXPECT_GE(mds[0]->perf().counter("mds.seq.demotions"), 1u);
+  auto pos = Next("/seq");
+  ASSERT_TRUE(pos.ok()) << pos.status();
+  EXPECT_GE(pos.value(), 3u);
 }
 
 TEST_F(MdsFixture, LoadReportsPropagateToPeers) {
