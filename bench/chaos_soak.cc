@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "src/chaos/chaos.h"
+#include "src/scrub/agent.h"
 
 namespace mal {
 namespace {
@@ -66,8 +67,9 @@ struct SoakResult {
 
 // The fault classes every record reports, present or not, so the JSON
 // shape is stable across seeds and plans.
-const char* kFaultClasses[] = {"osd_crash", "mds_crash",  "mon_crash",
-                               "leader_crash", "partition", "burst"};
+const char* kFaultClasses[] = {"osd_crash",     "mds_crash", "mon_crash",
+                               "leader_crash",  "partition", "burst",
+                               "osd_perm_loss", "shard_corrupt"};
 
 SoakResult RunSoak(const chaos::FaultPlan& plan) {
   cluster::ClusterOptions options;
@@ -162,6 +164,100 @@ SoakResult RunSoak(const chaos::FaultPlan& plan) {
   return result;
 }
 
+// EC robustness soak: an erasure-coded pool under permanent OSD loss and
+// silent shard corruption (plus crashes), with the scrub agent healing in
+// the background. The workload is a paced EC object writer; the verdict
+// adds the EC invariants — every acked object reads back exactly, and
+// scrub restores full k+1 redundancy — on top of the usual checkers.
+SoakResult RunEcSoak(const chaos::FaultPlan& plan) {
+  cluster::ClusterOptions options;
+  options.num_mons = 3;
+  options.num_osds = 8;
+  options.num_mds = 1;
+  options.osd.replicas = 3;
+  options.osd.mon_request_timeout = 1 * sim::kSecond;
+  options.mon.proposal_interval = 200 * sim::kMillisecond;
+  options.mon.election_timeout = 1 * sim::kSecond;
+  cluster::Cluster cluster(options);
+  cluster.Boot();
+
+  auto* client = cluster.NewClient();
+  client->rados.mon_client().set_request_timeout(1 * sim::kSecond);
+  const uint32_t k = 3;
+  std::optional<Status> created;
+  ec::Pool::Create(&client->rados, "ecsoak", mon::PoolLayout::Erasure(k),
+                   [&](Status s) { created = s; });
+  cluster.RunUntil([&] { return created.has_value() && created->ok(); });
+  auto pool = ec::Pool::Bind(&client->rados, "ecsoak");
+  if (!pool.has_value()) {
+    return {};
+  }
+
+  chaos::Checkers checkers(&cluster);
+  checkers.Arm();
+
+  scrub::ScrubConfig scrub_config;
+  scrub_config.interval = 200 * sim::kMillisecond;
+  scrub_config.objects_per_tick = 8;
+  auto* agent = cluster.NewScrubAgent(scrub_config);
+  agent->rados().mon_client().set_request_timeout(1 * sim::kSecond);
+
+  chaos::Runner runner(&cluster, plan);
+  runner.Arm();
+
+  // Paced writer: a fresh EC object every 200 ms while faults rain.
+  uint64_t ok_writes = 0;
+  uint64_t failed_writes = 0;
+  uint64_t next_object = 0;
+  bool inflight = false;
+  for (int step = 0; step < 60; ++step) {
+    if (!inflight) {
+      inflight = true;
+      std::string object = "obj" + std::to_string(next_object++);
+      std::string payload = "soak:" + object + std::string(512, 'x');
+      pool->Write(object, Buffer::FromString(payload),
+                  [&, object, payload](Status s) {
+                    inflight = false;
+                    if (s.ok()) {
+                      ++ok_writes;
+                      checkers.RecordEcAck("ecsoak", object, payload);
+                    } else {
+                      ++failed_writes;
+                    }
+                  });
+    }
+    cluster.RunFor(200 * sim::kMillisecond);
+  }
+  cluster.RunFor(plan.duration + sim::kSecond);
+  cluster.RunUntil([&] { return runner.quiescent() && !inflight; },
+                   120 * sim::kSecond);
+
+  // Post-heal: two clean scrub passes, then the EC invariants.
+  uint64_t base = agent->passes_completed();
+  cluster.RunUntil([&] { return agent->passes_completed() >= base + 2; },
+                   120 * sim::kSecond);
+  bool verified = false;
+  checkers.VerifyEcPool(&*pool, [&] { verified = true; });
+  cluster.RunUntil([&] { return verified; }, 300 * sim::kSecond);
+
+  SoakResult result;
+  result.ok = ok_writes;
+  result.failed = failed_writes;
+  result.violations = checkers.violations().size() +
+                      checkers.EcMissingShards("ecsoak", k);
+  result.chaos_events = runner.events().size();
+  for (const auto& [cls, samples] : runner.recovery_ns()) {
+    Histogram& h = result.recovery_ms[cls];
+    for (sim::Time ns : samples) {
+      h.Add(static_cast<double>(ns) / 1e6);
+    }
+  }
+  if (!checkers.violations().empty()) {
+    std::fprintf(stderr, "checker report:\n%s", checkers.Report().c_str());
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace mal
 
@@ -180,8 +276,9 @@ int main() {
   bool ok = true;
   uint64_t total_violations = 0;
 
-  auto run_plan = [&](const std::string& name, const chaos::FaultPlan& plan) {
-    SoakResult r = RunSoak(plan);
+  auto run_plan = [&](const std::string& name, const chaos::FaultPlan& plan,
+                      SoakResult (*soak)(const chaos::FaultPlan&) = &RunSoak) {
+    SoakResult r = soak(plan);
     double total_ops = static_cast<double>(r.ok + r.failed);
     double availability = total_ops > 0 ? static_cast<double>(r.ok) / total_ops : 0;
     std::printf("%s\t%llu\t%llu\t%.4f\t%llu\t%llu\n", name.c_str(),
@@ -245,6 +342,18 @@ int main() {
   network.burst.loss_prob = 0.10;
   network.burst.dup_prob = 0.10;
   run_plan("network-heavy(seed=3)", network);
+
+  // EC robustness: permanent OSD loss + silent shard corruption against an
+  // erasure-coded pool, with background scrub healing (see RunEcSoak).
+  chaos::FaultPlan ec;
+  ec.seed = 4;
+  ec.duration = 12 * sim::kSecond;
+  ec.mean_interval = 1500 * sim::kMillisecond;
+  ec.w_mds_crash = 0.2;
+  ec.w_osd_perm_loss = 2.0;
+  ec.w_shard_corrupt = 2.5;
+  ec.mon_request_timeout = 1 * sim::kSecond;
+  run_plan("ec-robustness(seed=4)", ec, &RunEcSoak);
 
   PrintSection("shape checks");
   ok &= ShapeCheck("no violations across all plans", total_violations == 0);

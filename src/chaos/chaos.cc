@@ -1,6 +1,7 @@
 #include "src/chaos/chaos.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/log.h"
 #include "src/mds/types.h"
@@ -24,6 +25,8 @@ enum FaultClass : size_t {
   kLeaderCrash,
   kPartition,
   kBurst,
+  kOsdPermLoss,
+  kShardCorrupt,
   kNumClasses,
 };
 
@@ -37,6 +40,15 @@ void Runner::Arm() {
     return;
   }
   armed_ = true;
+  // Permanent loss needs a monitor client to submit kOsdFail. Create it
+  // only when the class is enabled: a client changes the message trace, so
+  // plans without the class must not pay for it.
+  if (plan_.w_osd_perm_loss > 0 && chaos_client_ == nullptr) {
+    chaos_client_ = cluster_->NewClient();
+    if (plan_.mon_request_timeout > 0) {
+      chaos_client_->rados.mon_client().set_request_timeout(plan_.mon_request_timeout);
+    }
+  }
   auto* sim = &cluster_->simulator();
   end_time_ = sim->Now() + plan_.duration;
   sim->Schedule(plan_.duration, [this] {
@@ -92,8 +104,24 @@ void Runner::Inject() {
   bool mon_ok = mons_out < mon_budget;
 
   std::vector<double> weights(kNumClasses, 0.0);
-  if (cluster_->num_osds() > down_osds_.size() && down_osds_.size() < plan_.max_down_osds) {
+  size_t osds_out = down_osds_.size() + lost_osds_.size();
+  if (cluster_->num_osds() > osds_out && down_osds_.size() < plan_.max_down_osds) {
     weights[kOsdCrash] = plan_.w_osd_crash;
+  }
+  // The redundancy-damage classes (permanent loss, bit-rot) respect a
+  // spacing floor: an m=1 erasure code provably survives them only if the
+  // scrubber completes a repair pass between consecutive hits, so back-to-
+  // back damage would test the code's tolerance, not the repair machinery.
+  bool damage_ok = last_damage_ == 0 ||
+                   cluster_->simulator().Now() - last_damage_ >= plan_.min_damage_interval;
+  // Permanent loss keeps at least one OSD alive (a cluster with zero
+  // stores has nothing left to verify) and needs the mon client.
+  if (plan_.w_osd_perm_loss > 0 && chaos_client_ != nullptr && damage_ok &&
+      lost_osds_.size() < plan_.max_lost_osds && cluster_->num_osds() >= osds_out + 2) {
+    weights[kOsdPermLoss] = plan_.w_osd_perm_loss;
+  }
+  if (plan_.w_shard_corrupt > 0 && damage_ok && !ShardCandidates().empty()) {
+    weights[kShardCorrupt] = plan_.w_shard_corrupt;
   }
   if (cluster_->num_mds() > down_mds_.size() && down_mds_.size() < plan_.max_down_mds) {
     weights[kMdsCrash] = plan_.w_mds_crash;
@@ -136,6 +164,12 @@ void Runner::Inject() {
     case kBurst:
       InjectBurst();
       break;
+    case kOsdPermLoss:
+      InjectOsdPermLoss();
+      break;
+    case kShardCorrupt:
+      InjectShardCorrupt();
+      break;
     default:
       break;
   }
@@ -153,7 +187,9 @@ void Runner::Record(const char* kind, std::string detail) {
 }
 
 void Runner::InjectOsdCrash() {
-  uint32_t id = PickUp(static_cast<uint32_t>(cluster_->num_osds()), down_osds_);
+  std::set<uint32_t> out = down_osds_;
+  out.insert(lost_osds_.begin(), lost_osds_.end());
+  uint32_t id = PickUp(static_cast<uint32_t>(cluster_->num_osds()), out);
   down_osds_.insert(id);
   Record("osd_crash", "osd." + std::to_string(id));
   cluster_->osd(id).Crash();
@@ -228,7 +264,7 @@ void Runner::InjectPartition() {
     }
   }
   for (uint32_t i = 0; i < cluster_->num_osds(); ++i) {
-    if (down_osds_.count(i) == 0) {
+    if (down_osds_.count(i) == 0 && lost_osds_.count(i) == 0) {
       candidates.push_back(sim::EntityName::Osd(i));
     }
   }
@@ -299,6 +335,91 @@ void Runner::LiftBurst() {
   cluster_->network().SetDefaultFaults(sim::FaultSpec{});
   Record("burst_end", "");
   recovery_ns_["burst"].push_back(0);
+}
+
+void Runner::InjectOsdPermLoss() {
+  std::set<uint32_t> out = down_osds_;
+  out.insert(lost_osds_.begin(), lost_osds_.end());
+  uint32_t id = PickUp(static_cast<uint32_t>(cluster_->num_osds()), out);
+  lost_osds_.insert(id);
+  last_damage_ = cluster_->simulator().Now();
+  Record("osd_perm_loss", "osd." + std::to_string(id));
+  cluster_->osd(id).Crash();
+  cluster_->osd(id).store().Clear();  // the disk is gone, not just the daemon
+  MarkOsdFailed(id);
+  // Recovered when every surviving (currently-up) OSD has adopted a map
+  // that no longer lists the victim as up — placement has rerouted.
+  TrackRecovery("osd_perm_loss", [this, id] {
+    for (uint32_t i = 0; i < cluster_->num_osds(); ++i) {
+      if (lost_osds_.count(i) != 0 || down_osds_.count(i) != 0) {
+        continue;
+      }
+      const auto& map = cluster_->osd(i).osd_map();
+      auto it = map.osds.find(id);
+      if (it != map.osds.end() && it->second.up) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void Runner::MarkOsdFailed(uint32_t id) {
+  mon::Transaction fail;
+  fail.op = mon::Transaction::Op::kOsdFail;
+  fail.daemon_id = id;
+  chaos_client_->rados.mon_client().SubmitTransaction(fail, [this, id](mal::Status) {
+    // The fail may race a monitor failover and be dropped on the floor; a
+    // lost disk the map keeps routing to would wedge every repair, so
+    // verify against the freshest monitor and resubmit until it sticks.
+    cluster_->simulator().Schedule(500 * sim::kMillisecond, [this, id] {
+      const mon::OsdMap* map = &cluster_->monitor(0).osd_map();
+      for (size_t i = 1; i < cluster_->num_mons(); ++i) {
+        if (cluster_->monitor(i).osd_map().epoch > map->epoch) {
+          map = &cluster_->monitor(i).osd_map();
+        }
+      }
+      auto it = map->osds.find(id);
+      if (it != map->osds.end() && it->second.up) {
+        MarkOsdFailed(id);
+      }
+    });
+  });
+}
+
+std::vector<std::pair<uint32_t, std::string>> Runner::ShardCandidates() const {
+  std::vector<std::pair<uint32_t, std::string>> out;
+  for (uint32_t i = 0; i < cluster_->num_osds(); ++i) {
+    if (down_osds_.count(i) != 0 || lost_osds_.count(i) != 0) {
+      continue;
+    }
+    for (const std::string& oid : cluster_->osd(i).store().List()) {
+      if (osd::ParseEcShardOid(oid).has_value()) {
+        out.emplace_back(i, oid);
+      }
+    }
+  }
+  return out;
+}
+
+void Runner::InjectShardCorrupt() {
+  auto candidates = ShardCandidates();
+  if (candidates.empty()) {
+    return;
+  }
+  auto [osd_id, oid] = candidates[rng_.NextBelow(candidates.size())];
+  auto object = cluster_->osd(osd_id).store().Get(oid);
+  if (!object.ok() || object.value()->data.size() == 0) {
+    return;  // zero-length shard: nothing to rot
+  }
+  uint64_t byte = rng_.NextBelow(object.value()->data.size());
+  uint32_t bit = static_cast<uint32_t>(rng_.NextBelow(8));
+  cluster_->osd(osd_id).store().FlipBit(oid, byte, bit);
+  last_damage_ = cluster_->simulator().Now();
+  Record("shard_corrupt", "osd." + std::to_string(osd_id) + " " + oid +
+                              " byte=" + std::to_string(byte) +
+                              " bit=" + std::to_string(bit));
+  // No heal to schedule: silent corruption stays until scrub catches it.
 }
 
 void Runner::HealAll() {
@@ -399,6 +520,13 @@ void Checkers::RecordAck(const std::string& path, uint64_t position, std::string
   if (!fresh) {
     Violation(path + " position " + std::to_string(position) + " acked twice");
   }
+}
+
+void Checkers::RecordEcAck(const std::string& pool, const std::string& object,
+                           std::string payload) {
+  // Unlike log positions, objects are mutable: the newest acked write is
+  // the one that must survive.
+  ec_acked_[pool][object] = std::move(payload);
 }
 
 void Checkers::CheckEpoch(const std::string& observer, uint64_t epoch) {
@@ -612,6 +740,104 @@ void Checkers::VerifyStep(std::shared_ptr<LogScan> scan) {
     scan->retries = 0;
     VerifyStep(std::move(scan));
   });
+}
+
+struct Checkers::EcScan {
+  ec::Pool* pool = nullptr;
+  const std::map<std::string, std::string>* acks = nullptr;
+  std::map<std::string, std::string>::const_iterator it;
+  int retries = 0;
+  std::function<void()> done;
+};
+
+void Checkers::VerifyEcPool(ec::Pool* pool, std::function<void()> on_done) {
+  auto pit = ec_acked_.find(pool->name());
+  if (pit == ec_acked_.end() || pit->second.empty()) {
+    on_done();
+    return;
+  }
+  auto scan = std::make_shared<EcScan>();
+  scan->pool = pool;
+  scan->acks = &pit->second;
+  scan->it = pit->second.begin();
+  scan->done = std::move(on_done);
+  VerifyEcStep(std::move(scan));
+}
+
+void Checkers::VerifyEcStep(std::shared_ptr<EcScan> scan) {
+  if (scan->it == scan->acks->end()) {
+    scan->done();
+    return;
+  }
+  const std::string& object = scan->it->first;
+  scan->pool->Read(object, [this, scan](mal::Status status, const mal::Buffer& data) {
+    const std::string& object = scan->it->first;
+    if (status.ok()) {
+      if (data.View() != scan->it->second) {
+        Violation("ec " + scan->pool->name() + "/" + object +
+                  " payload mismatch after heal");
+      }
+      ++scan->it;
+      scan->retries = 0;
+      VerifyEcStep(std::move(scan));
+      return;
+    }
+    bool transient = status.code() == mal::Code::kUnavailable ||
+                     status.code() == mal::Code::kTimedOut ||
+                     status.code() == mal::Code::kBusy;
+    if (transient && ++scan->retries <= 8) {
+      VerifyEcStep(std::move(scan));
+      return;
+    }
+    // kDataLoss / kNotFound (or a transient that never clears): an acked
+    // object no longer reads back — the invariant the EC pool promises.
+    Violation("ec " + scan->pool->name() + "/" + object + " acked object lost: " +
+              status.ToString());
+    ++scan->it;
+    scan->retries = 0;
+    VerifyEcStep(std::move(scan));
+  });
+}
+
+uint32_t Checkers::EcMissingShards(const std::string& pool, uint32_t k) const {
+  auto pit = ec_acked_.find(pool);
+  if (pit == ec_acked_.end() || cluster_->num_mons() == 0) {
+    return 0;
+  }
+  // Freshest map any monitor holds: the authoritative placement view.
+  const mon::OsdMap* map = &cluster_->monitor(0).osd_map();
+  for (size_t i = 1; i < cluster_->num_mons(); ++i) {
+    if (cluster_->monitor(i).osd_map().epoch > map->epoch) {
+      map = &cluster_->monitor(i).osd_map();
+    }
+  }
+  uint32_t default_replicas = cluster_->options().osd.replicas;
+  uint32_t missing = 0;
+  for (const auto& [object, payload] : pit->second) {
+    std::string logical = osd::PoolOid(pool, object);
+    uint64_t stamp = ec::Checksum(mal::Buffer::FromString(payload));
+    for (uint32_t s = 0; s < k + 1; ++s) {
+      std::string shard_oid = osd::EcShardOid(logical, s);
+      auto acting = osd::ActingSetForOid(shard_oid, *map, default_replicas);
+      bool healthy = false;
+      if (!acting.empty() && acting[0] < cluster_->num_osds()) {
+        auto stored = cluster_->osd(acting[0]).store().Get(shard_oid);
+        if (stored.ok()) {
+          const auto& xattrs = stored.value()->xattrs;
+          auto cksum = xattrs.find(ec::kShardCksumXattr);
+          auto gen = xattrs.find(ec::kShardStampXattr);
+          healthy = cksum != xattrs.end() && gen != xattrs.end() &&
+                    std::strtoull(cksum->second.c_str(), nullptr, 10) ==
+                        ec::Checksum(stored.value()->data) &&
+                    std::strtoull(gen->second.c_str(), nullptr, 10) == stamp;
+        }
+      }
+      if (!healthy) {
+        ++missing;
+      }
+    }
+  }
+  return missing;
 }
 
 std::string Checkers::Report() const {

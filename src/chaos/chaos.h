@@ -27,6 +27,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/common/rng.h"
+#include "src/ec/pool.h"
 
 namespace mal::chaos {
 
@@ -58,9 +59,25 @@ struct FaultPlan {
   double w_leader_crash = 1.0;  // crash specifically the Paxos leader
   double w_partition = 1.0;     // isolate one daemon from all other daemons
   double w_burst = 1.0;
+  // Robustness classes for EC/scrub runs; default off so existing plans
+  // draw the exact same RNG sequence and replay byte-identically.
+  double w_osd_perm_loss = 0.0;  // destroy an OSD and its store forever
+  double w_shard_corrupt = 0.0;  // flip one bit in a stored EC shard
 
   uint32_t max_down_osds = 1;
   uint32_t max_down_mds = 1;
+  uint32_t max_lost_osds = 1;  // permanent losses over the whole run
+  // Spacing floor between redundancy-damage faults (permanent loss, shard
+  // corruption): an m=1 erasure code only provably survives them when the
+  // scrubber gets a full repair pass in between. Set to 0 to explore the
+  // beyond-tolerance regime where acked data may genuinely be lost.
+  sim::Time min_damage_interval = 5 * sim::kSecond;
+  // Per-attempt monitor RPC timeout for the runner's own client (the one
+  // that submits kOsdFail for permanent losses). 0 keeps the transport
+  // default (5s); damage plans set ~1s so a down-OSD map update is not
+  // stalled behind a dead monitor while the scrubber's repair window runs
+  // out (see min_damage_interval).
+  sim::Time mon_request_timeout = 0;
 };
 
 // Injects the plan's faults into a booted cluster. Every fault schedules
@@ -108,6 +125,19 @@ class Runner {
   void InjectMonCrash(bool target_leader);
   void InjectPartition();
   void InjectBurst();
+  // Permanent loss: crash + wipe the store + mark the OSD failed in the
+  // map (via the runner's own client). Never healed — the data is gone and
+  // only scrub rebuild brings the redundancy back on the survivors.
+  void InjectOsdPermLoss();
+  // Silent bit-rot: flip one bit of a stored EC shard object on a live
+  // OSD. No heal either — checksum scrubbing must catch and repair it.
+  void InjectShardCorrupt();
+  // Submits kOsdFail for a lost OSD and resubmits (500 ms cadence, no RNG)
+  // until the freshest monitor map stops listing it up — the transaction
+  // may race a monitor failover and be dropped.
+  void MarkOsdFailed(uint32_t id);
+  // All stored ".shard" objects on up OSDs, in deterministic order.
+  std::vector<std::pair<uint32_t, std::string>> ShardCandidates() const;
 
   // Heal primitives; each is a no-op if the fault is no longer active, so
   // the per-fault scheduled heal and HealAll() compose safely.
@@ -131,6 +161,15 @@ class Runner {
   std::set<uint32_t> down_osds_;
   std::set<uint32_t> down_mds_;
   std::set<uint32_t> down_mons_;
+  // Permanently destroyed OSDs: never recovered, excluded from heal and
+  // quiescence (a dead disk is a steady state, not an outstanding fault).
+  std::set<uint32_t> lost_osds_;
+  // When the last redundancy-damage fault landed (0 = never); gates the
+  // damage classes behind plan.min_damage_interval.
+  sim::Time last_damage_ = 0;
+  // Lazily created at Arm() when permanent loss is enabled: submits the
+  // kOsdFail transactions that take lost OSDs out of the map.
+  cluster::Client* chaos_client_ = nullptr;
   // Active partition edges (empty when none).
   std::vector<std::pair<sim::EntityName, sim::EntityName>> partition_edges_;
   // When a monitor is the isolated endpoint it counts against quorum.
@@ -159,6 +198,10 @@ class Checkers {
   // Workload-side: an append was acked at `position` carrying `tag`.
   // Flags the same position acked twice immediately.
   void RecordAck(uint64_t position, std::string tag);
+  // EC-pool workload-side: `object` in `pool` was fully committed with
+  // `payload` (all shards + index acked). Later writes of the same object
+  // replace the expectation.
+  void RecordEcAck(const std::string& pool, const std::string& object, std::string payload);
   // Path-scoped variant for multi-log runs (sharded sequencers): each log
   // keeps its own position space, so ack-twice and verify are checked per
   // log instead of in one shared map.
@@ -175,6 +218,17 @@ class Checkers {
   // rank its sequencer lived on when the faults hit.
   void VerifyLog(const std::string& path, zlog::Log* log, std::function<void()> on_done);
 
+  // Post-heal scan of an EC pool: every acked object must read back its
+  // exact payload (degraded reads are fine — kDataLoss or a mismatch is
+  // not). `pool` must be a handle on the verified pool.
+  void VerifyEcPool(ec::Pool* pool, std::function<void()> on_done);
+
+  // White-box redundancy audit against the freshest monitor map: counts
+  // acked (object, shard) slots whose canonical home does not hold a
+  // checksum-valid shard of the object's acked generation. Zero means
+  // scrub restored full k+1 redundancy on the surviving OSDs.
+  uint32_t EcMissingShards(const std::string& pool, uint32_t k) const;
+
   const std::vector<std::string>& violations() const { return violations_; }
   uint64_t samples() const { return samples_; }
   uint64_t acked_count() const {
@@ -189,8 +243,10 @@ class Checkers {
 
  private:
   struct LogScan;
+  struct EcScan;
 
   void Sample();
+  void VerifyEcStep(std::shared_ptr<EcScan> scan);
   void SampleLoop(sim::Time interval);
   void CheckEpoch(const std::string& observer, uint64_t epoch);
   void Violation(std::string what);
@@ -203,6 +259,8 @@ class Checkers {
   std::map<uint64_t, std::string> acked_;  // position -> payload tag
   // Multi-log runs: per-path ack maps (position spaces are independent).
   std::map<std::string, std::map<uint64_t, std::string>> acked_by_path_;
+  // EC pools: pool -> object -> last acked payload.
+  std::map<std::string, std::map<std::string, std::string>> ec_acked_;
   std::map<std::string, uint64_t> max_epoch_;      // observer -> max epoch seen
   std::map<uint64_t, uint32_t> ballot_leader_;     // ballot -> monitor id
   std::map<std::string, uint64_t> seq_floor_;      // path -> max tail seen

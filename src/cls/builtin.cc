@@ -499,6 +499,64 @@ mal::Result<mal::Buffer> KvIndexGet(ClsContext& ctx, const mal::Buffer& input) {
   return data.value();
 }
 
+// -- cls ec -------------------------------------------------------------------
+// Epoch guard for erasure-coded shard objects: the same seal protocol zlog
+// stripe objects use, applied per shard so a client holding a stale pool
+// epoch cannot write a shard generation that scrub would then have to
+// arbitrate. check_epoch rides as a guard op inside each shard write
+// transaction; seal bumps the stored epoch (and creates the shard if it
+// does not exist yet, so sealing an unwritten shard still fences it).
+
+constexpr char kEcEpochXattr[] = "ec.epoch";
+
+mal::Result<mal::Buffer> EcCheckEpoch(ClsContext& ctx, const mal::Buffer& input) {
+  mal::Decoder dec(input);
+  uint64_t epoch = dec.GetU64();
+  if (!dec.ok()) {
+    return mal::Status::InvalidArgument("bad ec.check_epoch input");
+  }
+  uint64_t stored = 0;
+  if (ctx.Exists()) {
+    auto e = ctx.XattrGet(kEcEpochXattr);
+    if (e.ok()) {
+      stored = ParseU64(e.value());
+    }
+  }
+  if (epoch < stored) {
+    return mal::Status::StaleEpoch("shard epoch " + U64ToString(epoch) +
+                                   " < sealed epoch " + U64ToString(stored));
+  }
+  return mal::Buffer();
+}
+
+mal::Result<mal::Buffer> EcSeal(ClsContext& ctx, const mal::Buffer& input) {
+  mal::Decoder dec(input);
+  uint64_t epoch = dec.GetU64();
+  if (!dec.ok()) {
+    return mal::Status::InvalidArgument("bad ec.seal input");
+  }
+  uint64_t stored = 0;
+  if (ctx.Exists()) {
+    auto e = ctx.XattrGet(kEcEpochXattr);
+    if (e.ok()) {
+      stored = ParseU64(e.value());
+    }
+  }
+  if (epoch <= stored) {
+    return mal::Status::StaleEpoch("seal epoch " + U64ToString(epoch) +
+                                   " <= sealed epoch " + U64ToString(stored));
+  }
+  mal::Status s = ctx.Create(false);
+  if (!s.ok()) {
+    return s;
+  }
+  s = ctx.XattrSet(kEcEpochXattr, U64ToString(epoch));
+  if (!s.ok()) {
+    return s;
+  }
+  return mal::Buffer();
+}
+
 }  // namespace
 
 // -- ZlogOps input builders -----------------------------------------------------
@@ -594,6 +652,9 @@ void RegisterBuiltinClasses(ClassRegistry* registry) {
 
   registry->RegisterNative("kvindex", "put", Category::kMetadata, KvIndexPut);
   registry->RegisterNative("kvindex", "get", Category::kMetadata, KvIndexGet);
+
+  registry->RegisterNative("ec", "check_epoch", Category::kManagement, EcCheckEpoch);
+  registry->RegisterNative("ec", "seal", Category::kManagement, EcSeal);
 }
 
 }  // namespace mal::cls

@@ -101,6 +101,19 @@ Client* Cluster::NewClient(mds::MdsClientConfig mds_config) {
   return client;
 }
 
+scrub::Agent* Cluster::NewScrubAgent(scrub::ScrubConfig config) {
+  assert(options_.num_mons >= 1 && "cluster has no monitors to connect to");
+  scrub_agents_.push_back(
+      std::make_unique<scrub::Agent>(&simulator_, &network_,
+                                     static_cast<uint32_t>(scrub_agents_.size()),
+                                     Iota(options_.num_mons), config));
+  scrub::Agent* agent = scrub_agents_.back().get();
+  agent->Boot();
+  // Let the connect round-trip settle so the agent's first tick sees a map.
+  RunFor(100 * sim::kMillisecond);
+  return agent;
+}
+
 void Cluster::RunFor(sim::Time duration) {
   simulator_.RunUntil(simulator_.Now() + duration);
 }

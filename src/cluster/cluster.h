@@ -15,6 +15,7 @@
 #include "src/mon/monitor.h"
 #include "src/osd/osd.h"
 #include "src/rados/client.h"
+#include "src/scrub/agent.h"
 #include "src/zlog/log.h"
 
 namespace mal::cluster {
@@ -68,6 +69,10 @@ class Cluster {
 
   Client* NewClient(mds::MdsClientConfig mds_config = {});
 
+  // Boots a background scrub/repair agent (entity "scrub.<n>") that walks
+  // every EC pool in the map. Settles until its RADOS handle is connected.
+  scrub::Agent* NewScrubAgent(scrub::ScrubConfig config = {});
+
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
   // Bounds-checked: a bad rank is a harness bug worth an immediate assert,
@@ -103,6 +108,7 @@ class Cluster {
   std::vector<std::unique_ptr<osd::Osd>> osds_;
   std::vector<std::unique_ptr<mds::MdsDaemon>> mds_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<scrub::Agent>> scrub_agents_;
   uint32_t next_client_id_ = 0;
 };
 

@@ -40,6 +40,8 @@ const char* CodeName(Code code) {
       return "BUSY";
     case Code::kWrongRank:
       return "WRONG_RANK";
+    case Code::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

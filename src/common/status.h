@@ -40,6 +40,8 @@ enum class Code {
   kBusy,              // server shed the request at admission (bounded inbox full)
   kWrongRank,         // sequencer op sent to a non-owner MDS rank; message
                       // carries "wrong_rank:<owner>:<map_epoch>"
+  kDataLoss,          // unrecoverable: more shards lost than the erasure code
+                      // tolerates (distinct from transient kUnavailable)
 };
 
 const char* CodeName(Code code);
@@ -93,6 +95,9 @@ class Status {
   static Status Busy(std::string m = "server busy") { return {Code::kBusy, std::move(m)}; }
   static Status WrongRank(std::string m = "wrong rank") {
     return {Code::kWrongRank, std::move(m)};
+  }
+  static Status DataLoss(std::string m = "data loss") {
+    return {Code::kDataLoss, std::move(m)};
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -34,7 +34,7 @@ mal::Result<mal::Buffer> Decode(const std::vector<std::optional<mal::Buffer>>& s
   for (size_t i = 0; i < shards.size(); ++i) {
     if (!shards[i].has_value()) {
       if (missing >= 0) {
-        return mal::Status::Unavailable("more than one shard lost (m=1 code)");
+        return mal::Status::DataLoss("more than one shard lost (m=1 code)");
       }
       missing = static_cast<int>(i);
     } else {
@@ -70,17 +70,55 @@ mal::Result<mal::Buffer> Decode(const std::vector<std::optional<mal::Buffer>>& s
   return out;
 }
 
+uint64_t Checksum(const mal::Buffer& data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<unsigned char>(data.data()[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+mal::Buffer EpochInput(uint64_t epoch) {
+  mal::Buffer b;
+  mal::Encoder enc(&b);
+  enc.PutU64(epoch);
+  return b;
+}
+
+}  // namespace
+
 void EcObject::Write(mal::Buffer data, DoneHandler on_done) {
   std::vector<mal::Buffer> shards = Encode(data, k_);
+  uint64_t stamp = Checksum(data);
   auto pending = std::make_shared<size_t>(shards.size());
   auto first_error = std::make_shared<mal::Status>();
   for (uint32_t i = 0; i < shards.size(); ++i) {
-    std::vector<osd::Op> ops(2);
-    ops[0].type = osd::Op::Type::kWriteFull;
-    ops[0].data = shards[i];
-    ops[1].type = osd::Op::Type::kXattrSet;
-    ops[1].key = "ec.size";
-    ops[1].value = std::to_string(data.size());
+    std::vector<osd::Op> ops;
+    ops.reserve(5);
+    // Guard first: a stale epoch aborts the whole shard transaction.
+    ops.push_back(rados::RadosClient::MakeExecOp("ec", "check_epoch", EpochInput(epoch_)));
+    osd::Op write;
+    write.type = osd::Op::Type::kWriteFull;
+    write.data = shards[i];
+    ops.push_back(std::move(write));
+    osd::Op size_attr;
+    size_attr.type = osd::Op::Type::kXattrSet;
+    size_attr.key = kShardSizeXattr;
+    size_attr.value = std::to_string(data.size());
+    ops.push_back(std::move(size_attr));
+    osd::Op cksum_attr;
+    cksum_attr.type = osd::Op::Type::kXattrSet;
+    cksum_attr.key = kShardCksumXattr;
+    cksum_attr.value = std::to_string(Checksum(shards[i]));
+    ops.push_back(std::move(cksum_attr));
+    osd::Op stamp_attr;
+    stamp_attr.type = osd::Op::Type::kXattrSet;
+    stamp_attr.key = kShardStampXattr;
+    stamp_attr.value = std::to_string(stamp);
+    ops.push_back(std::move(stamp_attr));
     rados_->Execute(ShardOid(i), std::move(ops),
                     [pending, first_error, on_done](mal::Status status,
                                                     const osd::OsdOpReply& reply) {
@@ -96,6 +134,36 @@ void EcObject::Write(mal::Buffer data, DoneHandler on_done) {
                         *first_error = op_status;
                       }
                       if (--*pending == 0) {
+                        on_done(*first_error);
+                      }
+                    });
+  }
+}
+
+void EcObject::Seal(uint64_t epoch, DoneHandler on_done) {
+  auto pending = std::make_shared<size_t>(num_shards());
+  auto first_error = std::make_shared<mal::Status>();
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    std::vector<osd::Op> ops;
+    ops.push_back(rados::RadosClient::MakeExecOp("ec", "seal", EpochInput(epoch)));
+    rados_->Execute(ShardOid(i), std::move(ops),
+                    [this, epoch, pending, first_error, on_done](
+                        mal::Status status, const osd::OsdOpReply& reply) {
+                      mal::Status op_status = status;
+                      if (status.ok()) {
+                        for (const osd::OpResult& result : reply.results) {
+                          if (!result.status.ok()) {
+                            op_status = result.status;
+                          }
+                        }
+                      }
+                      if (!op_status.ok() && first_error->ok()) {
+                        *first_error = op_status;
+                      }
+                      if (--*pending == 0) {
+                        if (first_error->ok()) {
+                          epoch_ = epoch;
+                        }
                         on_done(*first_error);
                       }
                     });

@@ -32,9 +32,20 @@ std::vector<mal::Buffer> Encode(const mal::Buffer& data, uint32_t k);
 
 // Reassembles the original `size` bytes from shards; at most one entry may
 // be nullopt (reconstructed via parity). Order: data shards 0..k-1, parity
-// at index k.
+// at index k. More than one missing shard is unrecoverable under the m=1
+// code and returns kDataLoss (not kUnavailable: no amount of retrying
+// brings the bytes back — only scrub repair between failures can).
 mal::Result<mal::Buffer> Decode(const std::vector<std::optional<mal::Buffer>>& shards,
                                 uint64_t size);
+
+// FNV-1a over the buffer: the per-shard integrity checksum the write path
+// stamps into xattrs and scrub/reads verify against bit-rot.
+uint64_t Checksum(const mal::Buffer& data);
+
+// Xattr keys every EC shard write stamps alongside the data.
+inline constexpr char kShardSizeXattr[] = "ec.size";    // logical object size
+inline constexpr char kShardCksumXattr[] = "ec.cksum";  // Checksum(shard bytes)
+inline constexpr char kShardStampXattr[] = "ec.stamp";  // Checksum(whole object)
 
 // A logical object erasure-coded across shard objects "<name>.shard<i>".
 class EcObject {
@@ -46,7 +57,19 @@ class EcObject {
       : rados_(rados), name_(std::move(name)), k_(k) {}
 
   // Encodes and writes all k+1 shards (each tagged with the logical size).
+  // Every shard transaction is guarded by cls ec.check_epoch with the
+  // object's current epoch: after a Seal at a higher epoch, in-flight
+  // writes from this handle fail with kStaleEpoch instead of splitting the
+  // object across generations (the zlog.write_batch fencing discipline).
   void Write(mal::Buffer data, DoneHandler on_done);
+
+  // Seals every shard at `epoch` (cls ec.seal). Once any shard is sealed,
+  // writes tagged with a lower epoch lose. On success this handle adopts
+  // the epoch so its own subsequent writes pass the guard.
+  void Seal(uint64_t epoch, DoneHandler on_done);
+
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
 
   // Reads all shards; tolerates one missing/unreachable shard by
   // reconstructing it from the parity.
@@ -61,6 +84,7 @@ class EcObject {
   rados::RadosClient* rados_;
   std::string name_;
   uint32_t k_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mal::ec

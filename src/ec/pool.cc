@@ -1,0 +1,254 @@
+#include "src/ec/pool.h"
+
+#include <cstdlib>
+#include <map>
+
+namespace mal::ec {
+
+namespace {
+
+mal::Buffer EpochInput(uint64_t epoch) {
+  mal::Buffer b;
+  mal::Encoder enc(&b);
+  enc.PutU64(epoch);
+  return b;
+}
+
+uint64_t ParseU64(const std::string& s) {
+  return s.empty() ? 0 : std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::vector<std::optional<mal::Buffer>> SelectGeneration(const std::vector<ShardInfo>& shards,
+                                                         uint64_t* size_out,
+                                                         uint32_t* missing_out) {
+  // Plurality vote over write-generation stamps among checksum-valid
+  // shards. std::map iterates ascending and `>` keeps the first maximum,
+  // so ties deterministically pick the smallest stamp.
+  std::map<uint64_t, uint32_t> votes;
+  for (const ShardInfo& shard : shards) {
+    if (shard.valid) {
+      ++votes[shard.stamp];
+    }
+  }
+  uint64_t winner = 0;
+  uint32_t best = 0;
+  bool have = false;
+  for (const auto& [stamp, count] : votes) {
+    if (count > best) {
+      best = count;
+      winner = stamp;
+      have = true;
+    }
+  }
+  std::vector<std::optional<mal::Buffer>> generation(shards.size());
+  uint32_t missing = 0;
+  uint64_t size = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (have && shards[i].valid && shards[i].stamp == winner) {
+      generation[i] = shards[i].data;
+      size = shards[i].size;
+    } else {
+      ++missing;
+    }
+  }
+  *size_out = size;
+  *missing_out = missing;
+  return generation;
+}
+
+void Pool::Create(rados::RadosClient* rados, const std::string& name,
+                  const mon::PoolLayout& layout, DoneHandler on_done) {
+  rados->mon_client().SetServiceMetadata(
+      mon::MapKind::kOsdMap, mon::PoolKey(name), layout.Format(),
+      [rados, on_done](mal::Status status) {
+        if (!status.ok()) {
+          on_done(status);
+          return;
+        }
+        // Pull the map carrying the pool entry so this client's very next
+        // placement decision routes by the pool layout (other parties
+        // converge through the normal push/gossip machinery).
+        rados->RefreshMap(on_done);
+      });
+}
+
+std::optional<Pool> Pool::Bind(rados::RadosClient* rados, const std::string& name) {
+  auto layout = mon::PoolLayoutOf(rados->osd_map(), name);
+  if (!layout.has_value() || layout->kind != mon::PoolLayout::Kind::kErasure) {
+    return std::nullopt;
+  }
+  return Pool(rados, name, layout->width);
+}
+
+void Pool::Write(const std::string& object, mal::Buffer data, DoneHandler on_done) {
+  std::vector<mal::Buffer> shards = Encode(data, k_);
+  uint64_t stamp = Checksum(data);
+  std::vector<rados::RadosClient::TargetedOp> ops;
+  ops.reserve(shards.size() * 5 + 1);
+  for (uint32_t i = 0; i < shards.size(); ++i) {
+    std::string oid = ShardOid(object, i);
+    ops.push_back(
+        {oid, rados::RadosClient::MakeExecOp("ec", "check_epoch", EpochInput(epoch_))});
+    osd::Op write;
+    write.type = osd::Op::Type::kWriteFull;
+    write.data = shards[i];
+    ops.push_back({oid, std::move(write)});
+    osd::Op size_attr;
+    size_attr.type = osd::Op::Type::kXattrSet;
+    size_attr.key = kShardSizeXattr;
+    size_attr.value = std::to_string(data.size());
+    ops.push_back({oid, std::move(size_attr)});
+    osd::Op cksum_attr;
+    cksum_attr.type = osd::Op::Type::kXattrSet;
+    cksum_attr.key = kShardCksumXattr;
+    cksum_attr.value = std::to_string(Checksum(shards[i]));
+    ops.push_back({oid, std::move(cksum_attr)});
+    osd::Op stamp_attr;
+    stamp_attr.type = osd::Op::Type::kXattrSet;
+    stamp_attr.key = kShardStampXattr;
+    stamp_attr.value = std::to_string(stamp);
+    ops.push_back({oid, std::move(stamp_attr)});
+  }
+  // The object index rides in the same batch: scrub discovers the object
+  // as soon as the write acks.
+  osd::Op index;
+  index.type = osd::Op::Type::kOmapSet;
+  index.key = std::string(kIndexKeyPrefix) + object;
+  index.value = std::to_string(data.size());
+  ops.push_back({IndexOid(name_), std::move(index)});
+  rados_->ExecuteTargeted(std::move(ops), [on_done](std::vector<osd::OpResult> results) {
+    mal::Status first;
+    for (const osd::OpResult& result : results) {
+      if (!result.status.ok() && first.ok()) {
+        first = result.status;
+      }
+    }
+    on_done(first);
+  });
+}
+
+void Pool::GatherShards(const std::string& object, GatherHandler on_done) {
+  uint32_t total = num_shards();
+  auto shards = std::make_shared<std::vector<ShardInfo>>(total);
+  auto pending = std::make_shared<uint32_t>(total);
+  for (uint32_t i = 0; i < total; ++i) {
+    std::vector<osd::Op> ops(4);
+    ops[0].type = osd::Op::Type::kRead;
+    ops[1].type = osd::Op::Type::kXattrGet;
+    ops[1].key = kShardSizeXattr;
+    ops[2].type = osd::Op::Type::kXattrGet;
+    ops[2].key = kShardCksumXattr;
+    ops[3].type = osd::Op::Type::kXattrGet;
+    ops[3].key = kShardStampXattr;
+    rados_->Execute(ShardOid(object, i), std::move(ops),
+                    [shards, pending, on_done, i](mal::Status status,
+                                                  const osd::OsdOpReply& reply) {
+                      bool complete = status.ok() && reply.results.size() == 4;
+                      for (size_t r = 0; complete && r < reply.results.size(); ++r) {
+                        complete = reply.results[r].status.ok();
+                      }
+                      if (complete) {
+                        ShardInfo info;
+                        info.present = true;
+                        info.data = reply.results[0].out;
+                        info.size = ParseU64(reply.results[1].out.ToString());
+                        uint64_t cksum = ParseU64(reply.results[2].out.ToString());
+                        info.stamp = ParseU64(reply.results[3].out.ToString());
+                        info.valid = Checksum(info.data) == cksum;
+                        (*shards)[i] = std::move(info);
+                      }
+                      if (--*pending == 0) {
+                        on_done(std::move(*shards));
+                      }
+                    });
+  }
+}
+
+void Pool::Read(const std::string& object, DataHandler on_data) {
+  GatherShards(object, [this, on_data](std::vector<ShardInfo> shards) {
+    uint64_t size = 0;
+    uint32_t missing = 0;
+    auto generation = SelectGeneration(shards, &size, &missing);
+    if (missing == generation.size()) {
+      on_data(mal::Status::NotFound("no readable shards"), mal::Buffer());
+      return;
+    }
+    if (missing > 0 && rados_->perf() != nullptr) {
+      rados_->perf()->Inc("rados.ec.degraded_reads");
+    }
+    auto decoded = Decode(generation, size);
+    if (!decoded.ok()) {
+      on_data(decoded.status(), mal::Buffer());
+      return;
+    }
+    on_data(mal::Status::Ok(), decoded.value());
+  });
+}
+
+void Pool::Seal(const std::string& object, uint64_t epoch, DoneHandler on_done) {
+  auto pending = std::make_shared<uint32_t>(num_shards());
+  auto first_error = std::make_shared<mal::Status>();
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    std::vector<osd::Op> ops;
+    ops.push_back(rados::RadosClient::MakeExecOp("ec", "seal", EpochInput(epoch)));
+    rados_->Execute(ShardOid(object, i), std::move(ops),
+                    [this, epoch, pending, first_error, on_done](
+                        mal::Status status, const osd::OsdOpReply& reply) {
+                      mal::Status op_status = status;
+                      if (status.ok()) {
+                        for (const osd::OpResult& result : reply.results) {
+                          if (!result.status.ok()) {
+                            op_status = result.status;
+                          }
+                        }
+                      }
+                      if (!op_status.ok() && first_error->ok()) {
+                        *first_error = op_status;
+                      }
+                      if (--*pending == 0) {
+                        if (first_error->ok()) {
+                          epoch_ = epoch;
+                        }
+                        on_done(*first_error);
+                      }
+                    });
+  }
+}
+
+void Pool::ListObjects(ListHandler on_list) {
+  std::vector<osd::Op> ops(1);
+  ops[0].type = osd::Op::Type::kOmapList;
+  ops[0].key = kIndexKeyPrefix;
+  rados_->Execute(IndexOid(name_), std::move(ops),
+                  [on_list](mal::Status status, const osd::OsdOpReply& reply) {
+                    if (!status.ok()) {
+                      on_list(status, {});
+                      return;
+                    }
+                    if (reply.results.empty() || !reply.results[0].status.ok()) {
+                      // An absent index means an empty pool, not an error.
+                      mal::Status s = reply.results.empty()
+                                          ? mal::Status::Internal("empty reply")
+                                          : reply.results[0].status;
+                      if (s.code() == mal::Code::kNotFound) {
+                        on_list(mal::Status::Ok(), {});
+                      } else {
+                        on_list(s, {});
+                      }
+                      return;
+                    }
+                    mal::Decoder dec(reply.results[0].out);
+                    auto entries = DecodeStringMap(&dec);
+                    std::vector<std::string> objects;
+                    objects.reserve(entries.size());
+                    constexpr size_t kPrefixLen = sizeof(kIndexKeyPrefix) - 1;
+                    for (const auto& [key, value] : entries) {
+                      objects.push_back(key.substr(kPrefixLen));
+                    }
+                    on_list(mal::Status::Ok(), std::move(objects));
+                  });
+}
+
+}  // namespace mal::ec

@@ -1,0 +1,129 @@
+// Erasure-coded pools (paper §4.4: "RADOS protects data using common
+// techniques such as erasure coding, replication, and scrubbing").
+//
+// A pool is a named namespace with a placement policy recorded in the
+// OSDMap's service metadata ("pool.<name>" -> "ec:<k>" | "replicated:<n>"),
+// so the policy propagates to every client and OSD through the normal map
+// machinery — no new wire format, and clusters without pools place exactly
+// as before.
+//
+// An EC pool stripes each logical object "<pool>/<object>" across k+1
+// shard objects "<pool>/<object>.shard<i>" placed on distinct OSDs (see
+// osd::ActingSetForOid). Every shard write carries:
+//   ec.size  — logical object size (strip the codec padding on read)
+//   ec.cksum — FNV-1a of the shard bytes (detects silent bit-rot)
+//   ec.stamp — FNV-1a of the whole object (groups shards of one write
+//              generation, so a torn or stale shard can never be mixed
+//              into a decode with shards of a different write)
+// plus a cls ec.check_epoch guard so sealed objects fence stale writers.
+//
+// Reads gather all shards, discard checksum mismatches, decode around a
+// single loss (counting rados.ec.degraded_reads), and report kDataLoss
+// when the code's tolerance is exceeded. The scrub agent (src/scrub/)
+// walks the pool's object index and re-encodes lost shards back to full
+// redundancy.
+#ifndef MALACOLOGY_EC_POOL_H_
+#define MALACOLOGY_EC_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ec/codec.h"
+#include "src/mon/maps.h"
+#include "src/rados/client.h"
+
+namespace mal::ec {
+
+// One gathered shard, as seen by a read or a scrub pass.
+struct ShardInfo {
+  bool present = false;  // shard object existed and replied
+  bool valid = false;    // present and ec.cksum matched the bytes
+  mal::Buffer data;
+  uint64_t size = 0;   // ec.size (logical object size)
+  uint64_t stamp = 0;  // ec.stamp (write-generation checksum)
+};
+
+// Picks the write generation to decode: the plurality ec.stamp among valid
+// shards (ties break toward the smallest stamp, so the choice is
+// deterministic). Returns the shards of that generation positionally
+// (nullopt where missing/invalid/foreign), with the generation's logical
+// size in *size_out and the number of holes in *missing_out.
+std::vector<std::optional<mal::Buffer>> SelectGeneration(const std::vector<ShardInfo>& shards,
+                                                         uint64_t* size_out,
+                                                         uint32_t* missing_out);
+
+class Pool {
+ public:
+  using DoneHandler = std::function<void(mal::Status)>;
+  using DataHandler = std::function<void(mal::Status, const mal::Buffer&)>;
+  using ListHandler = std::function<void(mal::Status, std::vector<std::string>)>;
+  using GatherHandler = std::function<void(std::vector<ShardInfo>)>;
+
+  // Binds to a pool the map already knows about. `k` must match the
+  // registered layout (Bind() looks it up instead).
+  Pool(rados::RadosClient* rados, std::string name, uint32_t k)
+      : rados_(rados), name_(std::move(name)), k_(k) {}
+
+  // Registers the pool in the OSDMap service metadata and refreshes the
+  // caller's map so its next placement decision sees the pool.
+  static void Create(rados::RadosClient* rados, const std::string& name,
+                     const mon::PoolLayout& layout, DoneHandler on_done);
+
+  // Binds to an existing EC pool by looking the layout up in the client's
+  // current map view. nullopt when the pool is unknown or not erasure.
+  static std::optional<Pool> Bind(rados::RadosClient* rados, const std::string& name);
+
+  // Encodes and writes all k+1 shards plus the pool's object index entry.
+  // Acks only when every shard and the index committed — an acked write
+  // therefore survives any single subsequent shard loss.
+  void Write(const std::string& object, mal::Buffer data, DoneHandler on_done);
+
+  // Gathers all shards, drops corrupt ones, decodes around a single loss
+  // (incrementing rados.ec.degraded_reads on the owning client's perf
+  // registry), and fails with kDataLoss beyond the code's tolerance.
+  void Read(const std::string& object, DataHandler on_data);
+
+  // Seals every shard of `object` at `epoch` (cls ec.seal); writes tagged
+  // with a lower epoch then fail with kStaleEpoch. On success the pool
+  // handle adopts the epoch for its own subsequent writes.
+  void Seal(const std::string& object, uint64_t epoch, DoneHandler on_done);
+
+  // Lists the logical objects recorded in the pool's index (scrub's work
+  // queue; also how tests enumerate what must survive).
+  void ListObjects(ListHandler on_list);
+
+  // Reads every shard of `object` with checksum verification but no
+  // decode: the raw material for both Read and the scrub agent.
+  void GatherShards(const std::string& object, GatherHandler on_done);
+
+  const std::string& name() const { return name_; }
+  uint32_t k() const { return k_; }
+  uint32_t num_shards() const { return k_ + 1; }
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  rados::RadosClient* rados() { return rados_; }
+
+  std::string LogicalOid(const std::string& object) const {
+    return osd::PoolOid(name_, object);
+  }
+  std::string ShardOid(const std::string& object, uint32_t index) const {
+    return osd::EcShardOid(LogicalOid(object), index);
+  }
+  // The pool's object index: a replicated omap object ("obj.<name>" ->
+  // logical size) living outside the shard namespace.
+  static std::string IndexOid(const std::string& pool) { return pool + "/.index"; }
+  static constexpr char kIndexKeyPrefix[] = "obj.";
+
+ private:
+  rados::RadosClient* rados_;
+  std::string name_;
+  uint32_t k_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace mal::ec
+
+#endif  // MALACOLOGY_EC_POOL_H_

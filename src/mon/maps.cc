@@ -84,6 +84,46 @@ mal::Result<MdsMap> MdsMap::Decode(mal::Decoder* dec) {
   return map;
 }
 
+std::string PoolLayout::Format() const {
+  return (kind == Kind::kErasure ? "ec:" : "replicated:") + std::to_string(width);
+}
+
+std::optional<PoolLayout> PoolLayout::Parse(const std::string& s) {
+  size_t colon = s.find(':');
+  if (colon == std::string::npos || colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  PoolLayout layout;
+  std::string kind = s.substr(0, colon);
+  if (kind == "replicated") {
+    layout.kind = Kind::kReplicated;
+  } else if (kind == "ec") {
+    layout.kind = Kind::kErasure;
+  } else {
+    return std::nullopt;
+  }
+  uint32_t width = 0;
+  for (size_t i = colon + 1; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return std::nullopt;
+    }
+    width = width * 10 + static_cast<uint32_t>(s[i] - '0');
+  }
+  if (width == 0) {
+    return std::nullopt;
+  }
+  layout.width = width;
+  return layout;
+}
+
+std::optional<PoolLayout> PoolLayoutOf(const OsdMap& map, const std::string& pool) {
+  auto it = map.service_metadata.find(PoolKey(pool));
+  if (it == map.service_metadata.end()) {
+    return std::nullopt;
+  }
+  return PoolLayout::Parse(it->second);
+}
+
 std::optional<uint32_t> SeqOwnerOf(const MdsMap& map, const std::string& path) {
   auto it = map.service_metadata.find(SeqOwnerKey(path));
   if (it == map.service_metadata.end() || it->second.empty()) {

@@ -26,10 +26,35 @@ inline constexpr char kMantleBalancerVersionKey[] = "mantle.balancer_version";
 // seq.owner.<path> -> decimal MDS rank. The MdsMap epoch doubles as the
 // ownership-map epoch carried in kWrongRank redirects.
 inline constexpr char kSeqOwnerKeyPrefix[] = "seq.owner.";
+// Pool-table entries: pool.<name> -> layout ("replicated:<n>" | "ec:<k>").
+// The pool table rides the OsdMap's Service Metadata section, so creating a
+// pool is one kSetServiceMetadata transaction and propagation reuses the
+// Paxos + push + gossip machinery; clusters with no pools carry no entries
+// and encode byte-identically to the pre-pool wire format.
+inline constexpr char kPoolKeyPrefix[] = "pool.";
 
 inline std::string SeqOwnerKey(const std::string& path) {
   return std::string(kSeqOwnerKeyPrefix) + path;
 }
+
+inline std::string PoolKey(const std::string& pool) {
+  return std::string(kPoolKeyPrefix) + pool;
+}
+
+// Data-protection layout of one pool. `width` is the replica count for
+// replicated pools and the data-shard count k for erasure pools (objects
+// stripe across k+1 shard objects, the +1 being XOR parity).
+struct PoolLayout {
+  enum class Kind : uint8_t { kReplicated = 0, kErasure = 1 };
+  Kind kind = Kind::kReplicated;
+  uint32_t width = 3;
+
+  uint32_t num_shards() const { return kind == Kind::kErasure ? width + 1 : width; }
+  std::string Format() const;
+  static std::optional<PoolLayout> Parse(const std::string& s);
+  static PoolLayout Replicated(uint32_t n) { return {Kind::kReplicated, n}; }
+  static PoolLayout Erasure(uint32_t k) { return {Kind::kErasure, k}; }
+};
 
 struct OsdInfo {
   bool up = false;
@@ -70,6 +95,10 @@ struct MdsMap {
 // Published owner rank for a sequencer path, or nullopt when the path has
 // no ownership entry (legacy single-sequencer placement).
 std::optional<uint32_t> SeqOwnerOf(const MdsMap& map, const std::string& path);
+
+// Layout of a registered pool, or nullopt when `pool` has no table entry
+// (oids outside any pool keep the legacy default placement).
+std::optional<PoolLayout> PoolLayoutOf(const OsdMap& map, const std::string& pool);
 
 // Which map a transaction or subscription targets.
 enum class MapKind : uint8_t { kOsdMap = 0, kMdsMap = 1 };

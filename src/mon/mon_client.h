@@ -5,6 +5,7 @@
 #define MALACOLOGY_MON_MON_CLIENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,17 @@ class MonClient {
   // twice the quorum size (two full rotations); the default zero base
   // delay reproduces the legacy retry-next-mon-immediately loop.
   void set_retry_policy(const svc::RetryPolicy& policy) { retry_ = policy; }
+
+  // Per-attempt RPC timeout against a single monitor. The default matches
+  // the transport default (5s), but that makes quorum rotation nearly
+  // useless under failures: a request whose first pick is a dead monitor
+  // stalls the full 5s before trying the next member, which turns every
+  // map fetch or transaction submitted during a monitor outage into a
+  // multi-second stall. Recovery-sensitive deployments (chaos tests, the
+  // scrub/repair path) set this to ~1s so rotation finds a live member
+  // quickly.
+  void set_request_timeout(sim::Time timeout) { request_timeout_ = timeout; }
+  sim::Time request_timeout() const { return request_timeout_; }
 
   using AckHandler = std::function<void(mal::Status)>;
   using MapHandler = std::function<void(mal::Status, const MapUpdate&)>;
@@ -73,6 +85,27 @@ class MonClient {
                     mal::Decoder dec(reply.payload);
                     on_map(mal::Status::Ok(), MapUpdate::Decode(&dec));
                   });
+  }
+
+  // Like GetMap, but treats a reply whose map is not strictly newer than
+  // `have_epoch` as a miss: a stale follower (e.g. a monitor that just
+  // crash-recovered with old state) causes rotation to the next quorum
+  // member instead of satisfying the fetch. Only when the whole retry
+  // budget finds nothing newer is the freshest reply seen delivered with
+  // Ok — the caller keeps its map and its own backoff paces the next
+  // attempt. Without this, a client whose push subscription died with a
+  // crashed leader can re-read the same stale map forever while it
+  // retries an OSD the rest of the cluster already failed.
+  // `epoch_of` extracts the epoch from a reply (the payload encoding is
+  // map-kind specific, so the caller supplies the decode).
+  void GetMapAbove(MapKind kind, Epoch have_epoch,
+                   std::function<Epoch(const MapUpdate&)> epoch_of, MapHandler on_map) {
+    GetMapRequest req{kind};
+    mal::Buffer payload;
+    mal::Encoder enc(&payload);
+    req.Encode(&enc);
+    GetMapAboveAttempt(std::move(payload), have_epoch, std::move(epoch_of), MakeBackoff(),
+                       std::make_shared<BestMap>(), std::move(on_map));
   }
 
   // Registers for push updates (delivered to the owner as kMsgMapUpdate).
@@ -164,6 +197,68 @@ class MonClient {
     return svc::Backoff(policy);
   }
 
+  // Freshest not-newer-than-have_epoch reply seen during a GetMapAbove
+  // rotation; delivered only if the whole budget finds nothing newer.
+  struct BestMap {
+    bool seen = false;
+    Epoch epoch = 0;
+    MapUpdate update;
+  };
+
+  void GetMapAboveAttempt(mal::Buffer payload, Epoch have_epoch,
+                          std::function<Epoch(const MapUpdate&)> epoch_of,
+                          svc::Backoff backoff, std::shared_ptr<BestMap> best,
+                          MapHandler on_map) {
+    if (backoff.Exhausted()) {
+      if (best->seen) {
+        on_map(mal::Status::Ok(), best->update);  // quorum-wide, nothing newer exists
+      } else {
+        on_map(mal::Status::Unavailable("monitor quorum unreachable"), MapUpdate{});
+      }
+      return;
+    }
+    uint32_t mon = mons_[(pick_ + static_cast<size_t>(backoff.attempt())) % mons_.size()];
+    owner_->SendRequest(
+        sim::EntityName::Mon(mon), kMsgGetMap, payload,
+        [this, payload, have_epoch, epoch_of, backoff, best,
+         on_map = std::move(on_map)](mal::Status status, const sim::Envelope& reply) mutable {
+          auto retry = [this, &payload, have_epoch, &epoch_of, &backoff, &best,
+                        &on_map]() mutable {
+            sim::Time delay = backoff.NextDelay(&retry_rng_);
+            svc::RunAfter(owner_->simulator(), delay,
+                          [this, payload, have_epoch, epoch_of, backoff, best,
+                           on_map = std::move(on_map)] {
+                            GetMapAboveAttempt(payload, have_epoch, epoch_of, backoff,
+                                               best, on_map);
+                          });
+          };
+          if (status.code() == mal::Code::kTimedOut ||
+              status.code() == mal::Code::kUnavailable ||
+              status.code() == mal::Code::kBusy) {
+            retry();
+            return;
+          }
+          if (!status.ok()) {
+            on_map(status, MapUpdate{});
+            return;
+          }
+          mal::Decoder dec(reply.payload);
+          MapUpdate update = MapUpdate::Decode(&dec);
+          Epoch epoch = epoch_of(update);
+          if (epoch > have_epoch) {
+            on_map(mal::Status::Ok(), update);
+            return;
+          }
+          // Stale (or merely not newer): remember the freshest such reply
+          // in case the whole quorum agrees, and try the next member.
+          if (!best->seen || epoch > best->epoch) {
+            *best = {true, epoch, std::move(update)};
+          }
+          retry();
+        },
+        request_timeout_);
+  }
+
   void SendWithRetry(uint32_t type, mal::Buffer payload, svc::Backoff backoff,
                      sim::Actor::ReplyHandler handler) {
     if (backoff.Exhausted()) {
@@ -190,12 +285,14 @@ class MonClient {
             return;
           }
           handler(status, reply);
-        });
+        },
+        request_timeout_);
   }
 
   sim::Actor* owner_;
   std::vector<uint32_t> mons_;
   svc::RetryPolicy retry_{};
+  sim::Time request_timeout_ = 5 * sim::kSecond;
   mal::Rng retry_rng_;
   size_t pick_ = 0;
   uint64_t log_seq_ = 0;

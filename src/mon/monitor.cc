@@ -55,7 +55,7 @@ Monitor::Monitor(sim::Simulator* simulator, sim::Network* network, uint32_t id,
         msg.Encode(&enc);
         SendOneWay(sim::EntityName::Mon(peer), kMsgPaxos, std::move(payload));
       },
-      [this](uint64_t /*instance*/, const mal::Buffer& value) { ApplyCommitted(value); });
+      [this](uint64_t, const mal::Buffer& value) { ApplyCommitted(value); });
   RegisterHandlers();
   SetInboxLimit(config_.inbox_depth);
   SetServicePerf(&perf_);

@@ -222,6 +222,22 @@ void ObjectStore::Remove(const std::string& oid) {
   objects_.erase(it);
 }
 
+bool ObjectStore::FlipBit(const std::string& oid, uint64_t byte, uint32_t bit) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end() || byte >= it->second.data.size()) {
+    return false;
+  }
+  char c = it->second.data.data()[byte];
+  c = static_cast<char>(c ^ (1u << (bit % 8)));
+  it->second.data.Write(byte, &c, 1);
+  return true;
+}
+
+void ObjectStore::Clear() {
+  objects_.clear();
+  bytes_used_ = 0;
+}
+
 std::vector<std::string> ObjectStore::List() const {
   std::vector<std::string> names;
   names.reserve(objects_.size());

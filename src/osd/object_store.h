@@ -171,6 +171,15 @@ class ObjectStore {
   void Put(const std::string& oid, Object object);
   void Remove(const std::string& oid);
 
+  // Fault injection (chaos bit-rot): XORs one bit of the object's
+  // bytestream in place without bumping the version — silent corruption,
+  // exactly the failure mode checksum scrubbing exists to catch. Returns
+  // false when the object is absent or `byte` is past the end.
+  bool FlipBit(const std::string& oid, uint64_t byte, uint32_t bit);
+
+  // Drops every object (chaos permanent loss: the disk is gone).
+  void Clear();
+
   std::vector<std::string> List() const;
   size_t size() const { return objects_.size(); }
 

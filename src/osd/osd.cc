@@ -9,6 +9,27 @@
 namespace mal::osd {
 namespace {
 
+// Integrity gate on shard adoption: a pulled/recovered EC shard whose
+// ec.cksum xattr no longer matches its bytes is bit-rot, and adopting it
+// would re-home the corruption onto a healthy OSD. Refuse; the scrub agent
+// re-encodes a clean shard instead. The hash must match ec::Checksum
+// (FNV-1a over the bytestream).
+bool AdoptableObject(const std::string& oid, const Object& object) {
+  if (!ParseEcShardOid(oid).has_value()) {
+    return true;
+  }
+  auto it = object.xattrs.find("ec.cksum");
+  if (it == object.xattrs.end()) {
+    return true;
+  }
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : object.data.View()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return std::to_string(h) == it->second;
+}
+
 const char* OpTypeName(Op::Type type) {
   switch (type) {
     case Op::Type::kCreate:
@@ -65,6 +86,9 @@ Osd::Osd(sim::Simulator* simulator, sim::Network* network, uint32_t id,
   RegisterHandlers();
   SetInboxLimit(config_.inbox_depth);
   SetServicePerf(&perf_);
+  if (config_.mon_request_timeout > 0) {
+    mon_client_.set_request_timeout(config_.mon_request_timeout);
+  }
 }
 
 void Osd::RegisterHandlers() {
@@ -332,13 +356,24 @@ void Osd::HandleOsdOp(const sim::Envelope& request, OsdOpRequest req) {
     return;
   }
   // Primary check against our map view.
-  std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
+  std::vector<uint32_t> acting = ActingSetForOid(req.oid, osd_map_, config_.replicas);
   if (acting.empty() || acting[0] != name().id) {
     ReplyError(request, mal::Status::Unavailable("not primary for " + req.oid));
     return;
   }
-  // Re-peering: a newly-promoted primary may not hold the object yet.
-  if (config_.pull_on_miss && !store_.Exists(req.oid) && acting.size() > 1) {
+  // Re-peering: a newly-promoted primary may not hold the object yet. For
+  // single-copy EC shards the same situation arises when membership change
+  // shifts the shard's canonical home: the data still exists on the old
+  // home, so sweep for it — but only for read-only transactions (a write
+  // simply lays down the new generation here; stale copies elsewhere lose
+  // the stamp plurality and scrub garbage-collects the inconsistency).
+  bool mutating = false;
+  for (const Op& op : req.ops) {
+    mutating = mutating || IsMutating(op);
+  }
+  bool sweep_eligible =
+      acting.size() > 1 || (!mutating && ParseEcShardOid(req.oid).has_value());
+  if (config_.pull_on_miss && !store_.Exists(req.oid) && sweep_eligible) {
     bool reads_existing = false;
     for (const Op& op : req.ops) {
       switch (op.type) {
@@ -376,7 +411,7 @@ void Osd::HandleOsdOp(const sim::Envelope& request, OsdOpRequest req) {
 
 void Osd::PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
                           const std::vector<uint32_t>& candidates, size_t index) {
-  std::vector<uint32_t> acting = OsdsForObject(req.oid, osd_map_, config_.replicas);
+  std::vector<uint32_t> acting = ActingSetForOid(req.oid, osd_map_, config_.replicas);
   if (index >= candidates.size()) {
     ExecuteOsdOp(request, req, acting);  // nobody has it; proceed (NotFound)
     return;
@@ -390,9 +425,13 @@ void Osd::PullThenExecute(const sim::Envelope& request, const OsdOpRequest& req,
                   mal::Status status, const sim::Envelope& reply) {
                 if (status.ok()) {
                   mal::Decoder dec(reply.payload);
-                  store_.Put(req.oid, Object::Decode(&dec));
-                  ExecuteOsdOp(request, req, acting);
-                  return;
+                  Object pulled = Object::Decode(&dec);
+                  if (AdoptableObject(req.oid, pulled)) {
+                    store_.Put(req.oid, std::move(pulled));
+                    ExecuteOsdOp(request, req, acting);
+                    return;
+                  }
+                  // Corrupt shard offered: keep sweeping for a clean copy.
                 }
                 PullThenExecute(request, req, candidates, index + 1);
               },
@@ -623,7 +662,12 @@ void Osd::RecoverObject(uint32_t from_osd, const std::string& oid,
                   return;
                 }
                 mal::Decoder dec(reply.payload);
-                store_.Put(oid, Object::Decode(&dec));
+                Object pulled = Object::Decode(&dec);
+                if (!AdoptableObject(oid, pulled)) {
+                  on_done(mal::Status::Unavailable("pulled shard failed checksum"));
+                  return;
+                }
+                store_.Put(oid, std::move(pulled));
                 on_done(mal::Status::Ok());
               });
 }
@@ -687,7 +731,7 @@ void Osd::ScrubTick() {
     return;
   }
   const std::string& oid = locals[rng_.NextBelow(locals.size())];
-  std::vector<uint32_t> acting = OsdsForObject(oid, osd_map_, config_.replicas);
+  std::vector<uint32_t> acting = ActingSetForOid(oid, osd_map_, config_.replicas);
   if (acting.empty() || acting[0] != name().id) {
     return;
   }

@@ -68,6 +68,11 @@ struct OsdConfig {
   sim::Time perf_report_interval = 1 * sim::kSecond;
   // Bounded inbox depth for admission control; 0 disables (see svc/).
   size_t inbox_depth = 0;
+  // Per-attempt timeout for this OSD's monitor RPCs (boot registration,
+  // map catch-up after a restart). 0 keeps the transport default (5s);
+  // recovery-sensitive clusters set ~1s so a dead monitor costs one short
+  // stall instead of pinning the OSD in its rejoining state.
+  sim::Time mon_request_timeout = 0;
   uint64_t seed = 1;
 };
 

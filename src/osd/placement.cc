@@ -62,4 +62,53 @@ std::vector<uint32_t> OsdsForObject(const std::string& oid, const mon::OsdMap& m
   return PgToOsds(PgForObject(oid, map.pg_count), map, replicas);
 }
 
+std::string EcShardOid(const std::string& pool_oid, uint32_t index) {
+  return pool_oid + ".shard" + std::to_string(index);
+}
+
+std::optional<EcShardRef> ParseEcShardOid(const std::string& oid) {
+  constexpr char kMarker[] = ".shard";
+  constexpr size_t kMarkerLen = sizeof(kMarker) - 1;
+  size_t marker = oid.rfind(kMarker);
+  if (marker == std::string::npos || marker + kMarkerLen >= oid.size()) {
+    return std::nullopt;
+  }
+  uint32_t index = 0;
+  for (size_t i = marker + kMarkerLen; i < oid.size(); ++i) {
+    if (oid[i] < '0' || oid[i] > '9') {
+      return std::nullopt;
+    }
+    index = index * 10 + static_cast<uint32_t>(oid[i] - '0');
+  }
+  return EcShardRef{oid.substr(0, marker), index};
+}
+
+std::vector<uint32_t> ActingSetForOid(const std::string& oid, const mon::OsdMap& map,
+                                      uint32_t default_replicas) {
+  size_t slash = oid.find('/');
+  if (slash != std::string::npos && slash > 0) {
+    auto layout = mon::PoolLayoutOf(map, oid.substr(0, slash));
+    if (layout.has_value()) {
+      if (layout->kind == mon::PoolLayout::Kind::kErasure) {
+        auto ref = ParseEcShardOid(oid);
+        if (ref.has_value() && ref->index < layout->num_shards()) {
+          // Shard i lives (unreplicated) at member i of the logical object's
+          // full-width set. When fewer OSDs are up than shards, wrap so the
+          // pool stays writable; the scrub agent re-separates shards once
+          // membership recovers.
+          auto set = OsdsForObject(ref->logical_oid, map, layout->num_shards());
+          if (set.empty()) {
+            return {};
+          }
+          return {set[ref->index % set.size()]};
+        }
+        // Non-shard metadata in an EC pool (the object index): replicate it.
+        return OsdsForObject(oid, map, 3);
+      }
+      return OsdsForObject(oid, map, layout->width);
+    }
+  }
+  return OsdsForObject(oid, map, default_replicas);
+}
+
 }  // namespace mal::osd

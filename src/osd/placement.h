@@ -8,6 +8,7 @@
 #define MALACOLOGY_OSD_PLACEMENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,33 @@ std::vector<uint32_t> PgToOsds(uint32_t pg, const mon::OsdMap& map, uint32_t rep
 // Convenience: the acting set for an object (primary first).
 std::vector<uint32_t> OsdsForObject(const std::string& oid, const mon::OsdMap& map,
                                     uint32_t replicas);
+
+// -- pool-aware placement --------------------------------------------------------
+// Objects in a registered pool are named "<pool>/<object>"; EC pools stripe
+// each logical object across shard objects "<pool>/<object>.shard<i>".
+
+inline std::string PoolOid(const std::string& pool, const std::string& object) {
+  return pool + "/" + object;
+}
+std::string EcShardOid(const std::string& pool_oid, uint32_t index);
+
+struct EcShardRef {
+  std::string logical_oid;  // "<pool>/<object>"
+  uint32_t index = 0;
+};
+// Parses "<pool>/<object>.shard<i>"; nullopt when `oid` is not a shard name.
+std::optional<EcShardRef> ParseEcShardOid(const std::string& oid);
+
+// The acting set for an oid, consulting the map's pool table. Replicated
+// pools use the pool's width. EC shard objects store exactly one copy at
+// member `index` of the *logical* object's (k+1)-wide rendezvous set, which
+// guarantees the shards of one object land on distinct OSDs (while enough
+// are up). Non-shard objects in an EC pool (e.g. the pool's object index)
+// are replicated 3-wide. Oids outside any registered pool — everything that
+// existed before pools — keep the legacy `default_replicas` placement, so
+// pool-free clusters place byte-identically.
+std::vector<uint32_t> ActingSetForOid(const std::string& oid, const mon::OsdMap& map,
+                                      uint32_t default_replicas);
 
 }  // namespace mal::osd
 

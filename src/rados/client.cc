@@ -11,24 +11,60 @@ void RadosClient::RefreshMap(DoneHandler on_done) {
   if (perf_ != nullptr) {
     perf_->Inc("rados.map_refreshes");
   }
-  mon_client_.GetMap(mon::MapKind::kOsdMap,
-                     [this, on_done = std::move(on_done)](mal::Status status,
-                                                          const mon::MapUpdate& update) {
-                       if (!status.ok()) {
-                         on_done(status);
-                         return;
-                       }
-                       mal::Decoder dec(update.map_payload);
-                       auto map = mon::OsdMap::Decode(&dec);
-                       if (!map.ok()) {
-                         on_done(map.status());
-                         return;
-                       }
-                       if (map.value().epoch > osd_map_.epoch) {
-                         osd_map_ = std::move(map).value();
-                       }
-                       on_done(mal::Status::Ok());
-                     });
+  mon_client_.GetMap(
+      mon::MapKind::kOsdMap,
+      [this, on_done = std::move(on_done)](mal::Status status,
+                                           const mon::MapUpdate& update) {
+        if (!status.ok()) {
+          on_done(status);
+          return;
+        }
+        mal::Decoder dec(update.map_payload);
+        auto map = mon::OsdMap::Decode(&dec);
+        if (!map.ok()) {
+          on_done(map.status());
+          return;
+        }
+        if (map.value().epoch > osd_map_.epoch) {
+          osd_map_ = std::move(map).value();
+        }
+        on_done(mal::Status::Ok());
+      });
+}
+
+void RadosClient::RefreshMapAfterFailure(DoneHandler on_done) {
+  if (perf_ != nullptr) {
+    perf_->Inc("rados.map_refreshes");
+  }
+  mon_client_.GetMapAbove(
+      mon::MapKind::kOsdMap, osd_map_.epoch,
+      [](const mon::MapUpdate& update) -> mon::Epoch {
+        mal::Decoder dec(update.map_payload);
+        auto map = mon::OsdMap::Decode(&dec);
+        return map.ok() ? map.value().epoch : 0;
+      },
+      [this, on_done = std::move(on_done)](mal::Status status,
+                                           const mon::MapUpdate& update) {
+        if (!status.ok()) {
+          on_done(status);
+          return;
+        }
+        mal::Decoder dec(update.map_payload);
+        auto map = mon::OsdMap::Decode(&dec);
+        if (!map.ok()) {
+          on_done(map.status());
+          return;
+        }
+        if (map.value().epoch > osd_map_.epoch) {
+          osd_map_ = std::move(map).value();
+          // The push stream missed at least one epoch — most likely the
+          // subscription died with a crashed monitor. Re-register so
+          // future epochs arrive as pushes again instead of being
+          // discovered one failed op at a time.
+          mon_client_.Subscribe(mon::MapKind::kOsdMap, osd_map_.epoch);
+        }
+        on_done(mal::Status::Ok());
+      });
 }
 
 bool RadosClient::OnMapUpdate(const sim::Envelope& envelope) {
@@ -81,10 +117,10 @@ void RadosClient::ExecuteAttempt(const std::string& oid,
       ExecuteAttempt(oid, ops, on_reply, backoff);
     });
   };
-  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  std::vector<uint32_t> acting = osd::ActingSetForOid(oid, osd_map_, replicas_);
   if (acting.empty()) {
     // No map yet (or no OSD up): refresh and retry.
-    RefreshMap([on_reply, retry](mal::Status status) mutable {
+    RefreshMapAfterFailure([on_reply, retry](mal::Status status) mutable {
       if (!status.ok()) {
         on_reply(status, osd::OsdOpReply{});
         return;
@@ -101,11 +137,12 @@ void RadosClient::ExecuteAttempt(const std::string& oid,
   req.Encode(&enc);
   owner_->SendRequest(
       sim::EntityName::Osd(acting[0]), osd::kMsgOsdOp, std::move(payload),
-      [this, on_reply, retry](mal::Status status, const sim::Envelope& reply) mutable {
+      [this, on_reply,
+       retry](mal::Status status, const sim::Envelope& reply) mutable {
         if (status.code() == mal::Code::kUnavailable ||
             status.code() == mal::Code::kTimedOut) {
           // Stale placement or dead primary: refresh the map and retry.
-          RefreshMap([on_reply, retry](mal::Status refresh_status) mutable {
+          RefreshMapAfterFailure([on_reply, retry](mal::Status refresh_status) mutable {
             if (!refresh_status.ok()) {
               on_reply(refresh_status, osd::OsdOpReply{});
               return;
@@ -322,7 +359,7 @@ void RadosClient::ExecuteTargeted(std::vector<TargetedOp> ops, TargetedHandler o
 
 void RadosClient::Watch(const std::string& oid, NotifyHandler on_notify,
                         DoneHandler on_done) {
-  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  std::vector<uint32_t> acting = osd::ActingSetForOid(oid, osd_map_, replicas_);
   if (acting.empty()) {
     on_done(mal::Status::Unavailable("no primary for " + oid));
     return;
@@ -344,7 +381,7 @@ void RadosClient::Watch(const std::string& oid, NotifyHandler on_notify,
 
 void RadosClient::Unwatch(const std::string& oid, DoneHandler on_done) {
   notify_handlers_.erase(oid);
-  std::vector<uint32_t> acting = osd::OsdsForObject(oid, osd_map_, replicas_);
+  std::vector<uint32_t> acting = osd::ActingSetForOid(oid, osd_map_, replicas_);
   if (acting.empty()) {
     on_done(mal::Status::Ok());
     return;

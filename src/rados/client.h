@@ -117,10 +117,19 @@ class RadosClient {
   void InstallScriptInterface(const std::string& cls, const std::string& version,
                               const std::string& source, DoneHandler on_done);
 
+  // Re-fetches the OSDMap from the monitors. Execute calls this on retry
+  // automatically; callers that just committed a map change (e.g. pool
+  // creation) can force it so the next placement decision sees the change.
+  void RefreshMap(DoneHandler on_done);
+
  private:
+  // Failure-path refresh: rotates past stale quorum members until it finds
+  // a map strictly newer than ours, and re-registers the push subscription
+  // when it makes progress (a failed op plus a missed epoch usually means
+  // the subscription died with a crashed monitor).
+  void RefreshMapAfterFailure(DoneHandler on_done);
   void ExecuteAttempt(const std::string& oid, std::shared_ptr<std::vector<osd::Op>> ops,
                       OpHandler on_reply, svc::Backoff backoff);
-  void RefreshMap(DoneHandler on_done);
 
   sim::Actor* owner_;
   mon::MonClient mon_client_;

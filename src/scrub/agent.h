@@ -1,0 +1,99 @@
+// Background scrub and self-healing rebuild for erasure-coded pools
+// (paper §4.4: "RADOS protects data using common techniques such as
+// erasure coding, replication, and scrubbing").
+//
+// The agent is a maintenance actor (entity "scrub.<id>") that discovers EC
+// pools from the OSDMap's service metadata, walks each pool's object index
+// at a paced rate, and for every object gathers all k+1 shards with
+// checksum verification. Any hole — a shard lost with its OSD, silently
+// bit-rotted, stranded on a former canonical home after membership change,
+// or stale from a torn write — is repaired by decoding the surviving
+// generation and re-writing the full stripe, which lands every shard on
+// its *current* canonical home. Whole-OSD rebuild is therefore the same
+// code path as single-shard repair, just triggered k+1 object-walks at a
+// time.
+//
+// Everything the agent observes flows into perf counters
+// (scrub.objects_scanned, scrub.shards_rebuilt, scrub.bytes_rebuilt,
+// scrub.repair_latency_us, and the scrub.degraded_objects /
+// scrub.objects_tracked gauges refreshed per pass) and is pushed to the
+// monitor, where the ec_degraded / scrub_stalled health rules watch them.
+#ifndef MALACOLOGY_SCRUB_AGENT_H_
+#define MALACOLOGY_SCRUB_AGENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/perf.h"
+#include "src/ec/pool.h"
+#include "src/rados/client.h"
+#include "src/sim/actor.h"
+
+namespace mal::scrub {
+
+struct ScrubConfig {
+  // Pacing: every `interval` the agent scrubs up to `objects_per_tick`
+  // objects (sequentially, so at most one gather/repair is in flight).
+  sim::Time interval = 500 * sim::kMillisecond;
+  uint32_t objects_per_tick = 4;
+  // Perf-report cadence to the monitor (0 disables).
+  sim::Time report_interval = 1 * sim::kSecond;
+};
+
+class Agent : public sim::Actor {
+ public:
+  Agent(sim::Simulator* simulator, sim::Network* network, uint32_t id,
+        std::vector<uint32_t> mons, ScrubConfig config = {});
+
+  // Connects to the monitors and starts the periodic scrub tick.
+  void Boot();
+
+  mal::PerfRegistry& perf() { return perf_; }
+  rados::RadosClient& rados() { return rados_; }
+
+  // Objects found degraded (and repaired, where possible) during the most
+  // recently completed pass; mirrors the scrub.degraded_objects gauge.
+  uint64_t last_pass_degraded() const { return last_pass_degraded_; }
+  // Completed full walks over every tracked pool.
+  uint64_t passes_completed() const { return passes_completed_; }
+
+ protected:
+  void HandleRequest(const sim::Envelope& request) override;
+
+ private:
+  struct WorkItem {
+    std::string pool;
+    uint32_t k = 0;
+    std::string object;
+    // Repair attempts already made this pass: a failed repair (e.g. the
+    // map still routing a shard to a dead OSD mid-failover) requeues the
+    // object instead of leaving it degraded until the next pass.
+    uint32_t attempts = 0;
+  };
+
+  void Tick();
+  // Rebuilds the work queue: one index listing per EC pool in the current
+  // map, chained sequentially for determinism.
+  void Refill(std::vector<std::pair<std::string, uint32_t>> pools, size_t next);
+  void FinishPass();
+  // Scrubs the queue head, then continues the batch until `budget` runs out.
+  void ScrubNext(uint32_t budget);
+  void ScrubOne(const WorkItem& item, uint32_t budget);
+
+  ScrubConfig config_;
+  rados::RadosClient rados_;
+  mal::PerfRegistry perf_;
+  std::deque<WorkItem> queue_;
+  bool busy_ = false;        // a batch (or the refill) is in flight
+  bool pass_open_ = false;   // stats below describe the current pass
+  uint64_t pass_degraded_ = 0;
+  uint64_t pass_tracked_ = 0;
+  uint64_t last_pass_degraded_ = 0;
+  uint64_t passes_completed_ = 0;
+};
+
+}  // namespace mal::scrub
+
+#endif  // MALACOLOGY_SCRUB_AGENT_H_

@@ -32,6 +32,9 @@ std::string EntityName::ToString() const {
     case EntityType::kClient:
       prefix = "client";
       break;
+    case EntityType::kScrub:
+      prefix = "scrub";
+      break;
   }
   return std::string(prefix) + "." + std::to_string(id);
 }

@@ -22,7 +22,7 @@
 
 namespace mal::sim {
 
-enum class EntityType : uint8_t { kMon = 0, kOsd = 1, kMds = 2, kClient = 3 };
+enum class EntityType : uint8_t { kMon = 0, kOsd = 1, kMds = 2, kClient = 3, kScrub = 4 };
 
 struct EntityName {
   EntityType type = EntityType::kClient;
@@ -32,6 +32,7 @@ struct EntityName {
   static EntityName Osd(uint32_t id) { return {EntityType::kOsd, id}; }
   static EntityName Mds(uint32_t id) { return {EntityType::kMds, id}; }
   static EntityName Client(uint32_t id) { return {EntityType::kClient, id}; }
+  static EntityName Scrub(uint32_t id) { return {EntityType::kScrub, id}; }
 
   bool operator<(const EntityName& o) const {
     return std::tie(type, id) < std::tie(o.type, o.id);

@@ -414,6 +414,36 @@ if n > 1 and max_ops > params.min_ops and max_ops > min_ops * params.ratio then
 end
 )";
 
+// Erasure-coded pools losing redundancy: the scrub agent publishes the
+// number of objects it found degraded on its last full pass as a gauge.
+// Any non-zero value means acked data is one more fault away from loss,
+// so the cluster should be WARN until repair brings it back to zero.
+constexpr const char* kEcDegradedRule = R"(
+for _, e in pairs(entities("scrub.")) do
+  local degraded = series_last(e, "scrub.degraded_objects")
+  if degraded > params.max_degraded then
+    alert("ec_degraded:" .. e, "WARN",
+          e .. " last scrub pass found " .. degraded
+          .. " EC objects below full redundancy", degraded)
+  end
+end
+)";
+
+// Scrub liveness: the agent tracks objects but has scanned nothing over
+// the window. A stalled scrubber silently voids the self-healing story —
+// degraded objects stay degraded — so this is an ERR, not a WARN.
+constexpr const char* kScrubStalledRule = R"(
+for _, e in pairs(entities("scrub.")) do
+  local tracked = series_last(e, "scrub.objects_tracked")
+  local scanned = series_sum(e, "scrub.objects_scanned", params.window_s)
+  if tracked > 0 and scanned == 0 then
+    alert("scrub_stalled:" .. e, "ERR",
+          e .. " tracks " .. tracked .. " objects but scanned none in "
+          .. params.window_s .. "s", tracked)
+  end
+end
+)";
+
 }  // namespace
 
 void HealthEngine::InstallBuiltinRules() {
@@ -422,6 +452,8 @@ void HealthEngine::InstallBuiltinRules() {
   InstallRule("seq_stall", kSeqStallRule, {{"window_s", 10.0}});
   InstallRule("osd_op_imbalance", kOsdImbalanceRule,
               {{"ratio", 3.0}, {"min_ops", 1000.0}});
+  InstallRule("ec_degraded", kEcDegradedRule, {{"max_degraded", 0.0}});
+  InstallRule("scrub_stalled", kScrubStalledRule, {{"window_s", 10.0}});
 }
 
 }  // namespace mal::telemetry

@@ -396,15 +396,15 @@ end
 TEST(RegistryCensusTest, CountsClassesAndMethods) {
   ClassRegistry registry;
   RegisterBuiltinClasses(&registry);
-  EXPECT_EQ(registry.NumClasses(), 6u);
+  EXPECT_EQ(registry.NumClasses(), 7u);
   auto methods = registry.ListMethods();
-  EXPECT_EQ(methods.size(), 18u);
+  EXPECT_EQ(methods.size(), 20u);
 
   auto by_category = registry.MethodCountByCategory();
   EXPECT_EQ(by_category[Category::kLogging], 9u);   // zlog(7) + log(2)
   EXPECT_EQ(by_category[Category::kLocking], 3u);
   EXPECT_EQ(by_category[Category::kMetadata], 2u);
-  EXPECT_EQ(by_category[Category::kManagement], 1u);
+  EXPECT_EQ(by_category[Category::kManagement], 3u);  // checksum(1) + ec(2)
   EXPECT_EQ(by_category[Category::kOther], 3u);
 }
 

@@ -266,7 +266,7 @@ TEST(HealthEngineTest, BuiltinStaleDaemonRuleFiresOnSilence) {
   telemetry::SeriesStore store;
   telemetry::HealthEngine health(&store);
   health.InstallBuiltinRules();
-  EXPECT_EQ(health.rule_count(), 4u);
+  EXPECT_EQ(health.rule_count(), 6u);
 
   store.Ingest(CounterSnap("osd.1", 1 * kS, "osd.op.write.count", 10));
   EXPECT_TRUE(health.Evaluate(2 * kS).empty());  // fresh: 1s old
@@ -282,6 +282,67 @@ TEST(HealthEngineTest, BuiltinStaleDaemonRuleFiresOnSilence) {
   auto down = health.Evaluate(12 * kS);
   ASSERT_EQ(down.size(), 1u);
   EXPECT_EQ(down[0].text, "HEALTH_OK: cleared stale:osd.1");
+  EXPECT_EQ(health.Overall(), telemetry::HealthSeverity::kOk);
+}
+
+// Synthetic scrub-agent report: pass gauges plus the cumulative scan counter.
+PerfSnapshot ScrubSnap(uint64_t time_ns, double degraded, double tracked,
+                       uint64_t scanned_total) {
+  PerfSnapshot snap;
+  snap.entity = "scrub.0";
+  snap.time_ns = time_ns;
+  snap.gauges["scrub.degraded_objects"] = degraded;
+  snap.gauges["scrub.objects_tracked"] = tracked;
+  snap.counters["scrub.objects_scanned"] = scanned_total;
+  return snap;
+}
+
+TEST(HealthEngineTest, BuiltinEcDegradedRuleRaisesAndClears) {
+  telemetry::SeriesStore store;
+  telemetry::HealthEngine health(&store);
+  health.InstallBuiltinRules();
+
+  // Healthy pass: scanning, nothing degraded.
+  store.Ingest(ScrubSnap(1 * kS, /*degraded=*/0, /*tracked=*/4, /*scanned=*/4));
+  EXPECT_TRUE(health.Evaluate(1 * kS).empty());
+
+  // A pass finds degraded objects: WARN raises.
+  store.Ingest(ScrubSnap(2 * kS, /*degraded=*/3, /*tracked=*/4, /*scanned=*/8));
+  auto up = health.Evaluate(2 * kS);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_NE(up[0].text.find("ec_degraded:scrub.0"), std::string::npos);
+  EXPECT_EQ(health.Overall(), telemetry::HealthSeverity::kWarn);
+
+  // Repair brought the pool back to full redundancy: alert clears.
+  store.Ingest(ScrubSnap(3 * kS, /*degraded=*/0, /*tracked=*/4, /*scanned=*/12));
+  auto down = health.Evaluate(3 * kS);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].text, "HEALTH_OK: cleared ec_degraded:scrub.0");
+  EXPECT_EQ(health.Overall(), telemetry::HealthSeverity::kOk);
+}
+
+TEST(HealthEngineTest, BuiltinScrubStalledRuleFiresWhenScanningStops) {
+  telemetry::SeriesStore store;
+  telemetry::HealthEngine health(&store);
+  health.InstallBuiltinRules();
+
+  // Actively scanning: the window sum of scan deltas is positive.
+  store.Ingest(ScrubSnap(1 * kS, /*degraded=*/0, /*tracked=*/5, /*scanned=*/5));
+  EXPECT_TRUE(health.Evaluate(1 * kS).empty());
+
+  // Still reporting (so stale_daemon stays quiet) and still tracking
+  // objects, but the scan counter stopped moving: ERR raises.
+  store.Ingest(ScrubSnap(20 * kS, /*degraded=*/0, /*tracked=*/5, /*scanned=*/5));
+  auto up = health.Evaluate(20 * kS);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_NE(up[0].text.find("scrub_stalled:scrub.0"), std::string::npos);
+  EXPECT_EQ(health.Overall(), telemetry::HealthSeverity::kErr);
+
+  // Scanning resumes: alert clears.
+  store.Ingest(ScrubSnap(21 * kS, /*degraded=*/0, /*tracked=*/5, /*scanned=*/9));
+  auto down = health.Evaluate(21 * kS);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].text, "HEALTH_OK: cleared scrub_stalled:scrub.0");
   EXPECT_EQ(health.Overall(), telemetry::HealthSeverity::kOk);
 }
 
